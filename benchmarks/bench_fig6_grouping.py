@@ -1,0 +1,100 @@
+"""Figure 6 / Figure 7 — grouping and storage mapping report.
+
+Regenerates the fused-group structure and storage coloring of the best
+2D-V-4-4-4 configuration: group membership and operator kinds,
+scratchpad vs live-out classification, buffer coloring from the
+intra-group reuse pass, and tiled/untiled status.  Paper shape: around
+ten groups, sizes between one and six, smoothing steps fused with
+restrict or interpolation (cross-level fusion), and scratchpad reuse
+within groups (Figure 7's two-buffer chain coloring).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from conftest import write_result
+from repro.bench import SMALL_TILES, workload
+from repro.model import PAPER_MACHINE
+from repro.tuning import autotune_model
+from repro.variants import polymg_opt_plus
+
+
+def test_fig6_grouping_report(benchmark, rng):
+    w = workload("V-2D-4-4-4")
+    pipe = w.pipeline("B")
+    tuned = autotune_model(
+        pipe, polymg_opt_plus(), PAPER_MACHINE, threads=24, cycles=10
+    )
+    cfg = tuned.best_config(polymg_opt_plus(), 2)
+    compiled = pipe.compile(cfg)
+    report = compiled.report()
+
+    # wall-clock: executing the tuned schedule at laptop scale
+    lap = w.pipeline("laptop")
+    n = w.size["laptop"]
+    lap_compiled = lap.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
+    f = np.zeros((n + 2, n + 2))
+    f[1:-1, 1:-1] = rng.standard_normal((n, n))
+    inputs = lap.make_inputs(np.zeros_like(f), f)
+    benchmark(lambda: lap_compiled.execute(inputs))
+
+    out = io.StringIO()
+    out.write(
+        "Figure 6: grouping and storage mapping, best 2D-V-4-4-4 "
+        f"(tile {tuned.best.tile_shape}, limit {tuned.best.group_limit})\n"
+    )
+    out.write(
+        f"groups: {report['group_count']}  full arrays: "
+        f"{report['full_arrays']} (one-to-one would use "
+        f"{report['full_arrays_without_reuse']})\n\n"
+    )
+    splans = compiled.storage.scratch
+    for gi, g in enumerate(report["groups"]):
+        members = ", ".join(
+            f"{s}[{k}]" for s, k in zip(g["stages"], g["kinds"])
+        )
+        out.write(
+            f"group {gi}: {'tiled' if g['tiled'] else 'untiled'} "
+            f"{members}\n"
+        )
+        out.write(
+            f"  live-outs: {g['live_outs']}  scratch stages: "
+            f"{g['scratch_stages']} -> {g['scratch_buffers']} buffers\n"
+        )
+        colors = splans[gi].buffer_of
+        if colors:
+            coloring = ", ".join(
+                f"{s.name}:buf{b}" for s, b in colors.items()
+            )
+            out.write(f"  coloring: {coloring}\n")
+    write_result("fig6_grouping", out.getvalue())
+
+    # paper shape assertions
+    sizes = [len(g["stages"]) for g in report["groups"]]
+    assert 6 <= report["group_count"] <= 16  # paper: ten groups
+    assert max(sizes) <= tuned.best.group_limit
+    kinds_by_group = [set(g["kinds"]) for g in report["groups"]]
+    # smoothing fused with restrict and/or interpolation somewhere
+    assert any(
+        "smooth" in k and ("restrict" in k or "interp" in k or "defect" in k)
+        for k in kinds_by_group
+    )
+    # intra-group reuse colors fewer buffers than stages (Figure 7)
+    assert any(
+        g["scratch_buffers"] < g["scratch_stages"]
+        for g in report["groups"]
+        if g["scratch_stages"] >= 3
+    )
+    # storage reuse never inflates the full-array count; on the V-cycle
+    # at large group limits every live-out is still live at its class
+    # peers' definition points, so the interesting reuse shows on the
+    # W-cycle (many repeated per-level live-outs)
+    assert report["full_arrays"] <= report["full_arrays_without_reuse"]
+    w_pipe = workload("W-2D-4-4-4").pipeline("B")
+    w_report = w_pipe.compile(
+        polymg_opt_plus(tile_sizes={2: (32, 256)}, group_size_limit=6)
+    ).report()
+    assert w_report["full_arrays"] < w_report["full_arrays_without_reuse"]

@@ -1,0 +1,124 @@
+"""Figure 9 — 2-D benchmark performance.
+
+Regenerates the speedups over ``polymg-naive`` on 24 cores for every
+2-D benchmark and class: handopt, handopt+pluto, polymg-opt,
+polymg-opt+, polymg-dtile-opt+ (machine model at paper scale, tunable
+variants autotuned).  Shape assertions encode the paper's findings:
+``opt+`` beats everything in 2-D — including handopt+pluto — and the
+storage optimizations (opt+ vs opt) always help.
+
+Wall-clock: one laptop-scale run of naive vs opt+ verifying the
+executor path end to end.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from conftest import write_result
+from repro.bench import (
+    POISSON_WORKLOADS,
+    SMALL_TILES,
+    VARIANT_ORDER,
+    cached_speedups,
+)
+from repro.bench.workloads import include_class_c
+from repro.variants import polymg_naive, polymg_opt_plus
+
+WORKLOADS_2D = [w for w in POISSON_WORKLOADS if w.ndim == 2]
+
+
+def _rows():
+    rows = []
+    classes = ("B", "C") if include_class_c() else ("B",)
+    for w in WORKLOADS_2D:
+        for cls in classes:
+            sp = cached_speedups(w.name, cls)
+            rows.append((f"{w.name}/{cls}", sp))
+    return rows
+
+
+def test_fig9_2d_speedups(benchmark, rng):
+    w = WORKLOADS_2D[0]
+    n = w.size["laptop"]
+    pipe = w.pipeline("laptop")
+    opt_plus = pipe.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
+    f = np.zeros((n + 2, n + 2))
+    f[1:-1, 1:-1] = rng.standard_normal((n, n))
+    inputs = pipe.make_inputs(np.zeros_like(f), f)
+    benchmark(lambda: opt_plus.execute(inputs))
+    # executor cross-check at laptop scale
+    naive = pipe.compile(polymg_naive())
+    assert np.array_equal(
+        opt_plus.execute(inputs)[pipe.output.name],
+        naive.execute(inputs)[pipe.output.name],
+    )
+
+    rows = _rows()
+    out = io.StringIO()
+    out.write(
+        "Figure 9: 2-D speedups over polymg-naive @ 24 cores "
+        "(model, tuned)\n"
+    )
+    out.write(f"{'benchmark':18s}" + "".join(f"{v:>20s}" for v in VARIANT_ORDER) + "\n")
+    for name, sp in rows:
+        out.write(
+            f"{name:18s}"
+            + "".join(f"{sp[v]:20.2f}" for v in VARIANT_ORDER)
+            + "\n"
+        )
+    write_result("fig9_2d_speedups", out.getvalue())
+
+    for name, sp in rows:
+        # paper: in 2-D polymg-opt+ always wins, incl. over handopt+pluto
+        for other in VARIANT_ORDER:
+            if other != "polymg-opt+":
+                assert sp["polymg-opt+"] >= sp[other], (name, other)
+        # storage optimizations always help
+        assert sp["polymg-opt+"] > sp["polymg-opt"], name
+        # everything beats straightforward parallelization
+        for v in VARIANT_ORDER:
+            assert sp[v] > 1.0, (name, v)
+
+    # scaling (paper section 4.2, W-2D-10-0-0 class C example: naive
+    # scales only ~5.4x to 24 cores while tuned opt+ delivers ~33x over
+    # *sequential* naive)
+    from repro.model import PAPER_MACHINE, PipelineCostModel
+    from repro.variants import polymg_opt_plus as optp
+
+    w = next(w for w in WORKLOADS_2D if w.name == "W-2D-10-0-0")
+    cls = "C" if include_class_c() else "B"
+    pipe = w.pipeline(cls)
+    iters = w.iters[cls]
+    naive_model = PipelineCostModel(
+        pipe.compile(polymg_naive()), PAPER_MACHINE
+    )
+    optp_model = PipelineCostModel(
+        pipe.compile(optp(tile_sizes={2: (32, 256)})), PAPER_MACHINE
+    )
+    seq = naive_model.run_time(1, iters)
+    out2 = io.StringIO()
+    out2.write(
+        f"Figure 9 scaling: {w.name} class {cls}, speedup over "
+        "sequential polymg-naive (model)\n"
+    )
+    out2.write(f"{'threads':>8s} {'naive':>8s} {'opt+':>8s}\n")
+    naive_scaling = {}
+    optp_scaling = {}
+    for p in (1, 2, 4, 8, 16, 24):
+        naive_scaling[p] = seq / naive_model.run_time(p, iters)
+        optp_scaling[p] = seq / optp_model.run_time(p, iters)
+        out2.write(
+            f"{p:8d} {naive_scaling[p]:8.2f} {optp_scaling[p]:8.2f}\n"
+        )
+    write_result("fig9_scaling", out2.getvalue())
+    # paper shape: naive saturates well below the core count; opt+'s
+    # total speedup over sequential naive is several times larger
+    assert naive_scaling[24] < 12
+    assert optp_scaling[24] > 2.5 * naive_scaling[24]
+    assert all(
+        optp_scaling[a] <= optp_scaling[b] * 1.001
+        for a, b in ((1, 2), (2, 4), (4, 8), (8, 16), (16, 24))
+    )

@@ -1,0 +1,153 @@
+"""Table 3 — benchmark characteristics.
+
+Regenerates: DAG stage counts (as specified), generated-code line
+counts (from our C emitter), and polymg-naive execution times for 1 and
+24 threads, classes B and C (machine model at paper scale).  Paper
+values are printed alongside.
+
+The wall-clock component benchmarks one laptop-scale naive cycle per
+row family (2-D, 3-D) so the harness also times real execution.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.backend.codegen_c import generated_loc
+from repro.bench import POISSON_WORKLOADS, SMALL_TILES, banner
+from repro.model import PAPER_MACHINE, PipelineCostModel
+from repro.bench.workloads import NAS_WORKLOADS
+from repro.multigrid.nas_mg import build_nas_mg_cycle, nas_rhs
+from repro.variants import polymg_naive, polymg_opt, polymg_opt_plus
+
+# paper Table 3: name -> (stages, gen_loc_opt, gen_loc_opt+, naive B 1thr,
+# naive B 24thr, naive C 1thr, naive C 24thr)
+PAPER_TABLE3 = {
+    "V-2D-4-4-4": (40, 2324, 2496, 51.36, 9.61, 141.43, 25.8),
+    "V-2D-10-0-0": (42, 2155, 2059, 60.11, 11.41, 169.74, 30.96),
+    "W-2D-4-4-4": (100, 6156, 6768, 95.39, 13.19, 268.15, 37.19),
+    "W-2D-10-0-0": (98, 4306, 4711, 78.23, 14.75, 241.14, 44.79),
+    "V-3D-4-4-4": (40, 4889, 4457, 20.89, 4.1, 67.35, 15.05),
+    "V-3D-10-0-0": (42, 4593, 4179, 24.21, 5.3, 78.15, 18.09),
+    "W-3D-4-4-4": (100, 12184, 11535, 40.69, 6.16, 132.95, 17.74),
+    "W-3D-10-0-0": (98, 9237, 7897, 42.18, 6.79, 133.44, 21.26),
+    "NAS-MG": (34, 2010, 2013, 6.72, 0.95, 60.34, 7.84),
+}
+
+
+def _table3_rows():
+    rows = []
+    for w in POISSON_WORKLOADS:
+        pipe_b = w.pipeline("B")
+        paper = PAPER_TABLE3[w.name]
+        naive_b = pipe_b.compile(polymg_naive())
+        model = PipelineCostModel(naive_b, PAPER_MACHINE)
+        iters_b = w.iters["B"]
+        t1_b = model.run_time(1, iters_b)
+        t24_b = model.run_time(24, iters_b)
+        pipe_c = w.pipeline("C")
+        model_c = PipelineCostModel(
+            pipe_c.compile(polymg_naive()), PAPER_MACHINE
+        )
+        iters_c = w.iters["C"]
+        t1_c = model_c.run_time(1, iters_c)
+        t24_c = model_c.run_time(24, iters_c)
+        loc_opt = generated_loc(pipe_b.compile(polymg_opt()))
+        loc_optp = generated_loc(pipe_b.compile(polymg_opt_plus()))
+        rows.append(
+            (
+                w.name,
+                pipe_b.stage_count_,
+                paper[0],
+                loc_opt,
+                paper[1],
+                loc_optp,
+                paper[2],
+                t1_b,
+                paper[3],
+                t24_b,
+                paper[4],
+                t1_c,
+                paper[5],
+                t24_c,
+                paper[6],
+            )
+        )
+    # NAS MG row
+    n_b, iters_b, levels_b = NAS_WORKLOADS["B"]
+    nas = build_nas_mg_cycle(n_b, levels=levels_b)
+    naive = nas.compile(polymg_naive())
+    model = PipelineCostModel(naive, PAPER_MACHINE)
+    paper = PAPER_TABLE3["NAS-MG"]
+    n_c, iters_c, levels_c = NAS_WORKLOADS["C"]
+    nas_c = build_nas_mg_cycle(n_c, levels=levels_c)
+    model_c = PipelineCostModel(nas_c.compile(polymg_naive()), PAPER_MACHINE)
+    rows.append(
+        (
+            "NAS-MG",
+            nas.stage_count_,
+            paper[0],
+            generated_loc(nas.compile(polymg_opt())),
+            paper[1],
+            generated_loc(nas.compile(polymg_opt_plus())),
+            paper[2],
+            model.run_time(1, iters_b),
+            paper[3],
+            model.run_time(24, iters_b),
+            paper[4],
+            model_c.run_time(1, iters_c),
+            paper[5],
+            model_c.run_time(24, iters_c),
+            paper[6],
+        )
+    )
+    return rows
+
+
+def test_table3_characteristics(benchmark, rng):
+    # wall-clock component: one laptop-scale naive 2-D cycle
+    w = POISSON_WORKLOADS[0]
+    n = w.size["laptop"]
+    pipe = w.pipeline("laptop")
+    compiled = pipe.compile(polymg_naive())
+    f = np.zeros((n + 2, n + 2))
+    f[1:-1, 1:-1] = rng.standard_normal((n, n))
+    inputs = pipe.make_inputs(np.zeros_like(f), f)
+    benchmark(lambda: compiled.execute(inputs))
+
+    rows = _table3_rows()
+    out = io.StringIO()
+    out.write(
+        "Table 3: benchmark characteristics "
+        "(ours vs paper; times = polymg-naive, model @ paper scale)\n"
+    )
+    header = (
+        f"{'benchmark':13s} {'stages':>6s} {'(ppr)':>5s} "
+        f"{'locO':>6s} {'(ppr)':>6s} {'locO+':>6s} {'(ppr)':>6s} "
+        f"{'B1':>7s} {'(ppr)':>7s} {'B24':>6s} {'(ppr)':>6s} "
+        f"{'C1':>7s} {'(ppr)':>7s} {'C24':>6s} {'(ppr)':>6s}\n"
+    )
+    out.write(header)
+    for r in rows:
+        out.write(
+            f"{r[0]:13s} {r[1]:6d} {r[2]:5d} {r[3]:6d} {r[4]:6d} "
+            f"{r[5]:6d} {r[6]:6d} {r[7]:7.1f} {r[8]:7.2f} {r[9]:6.1f} "
+            f"{r[10]:6.2f} {r[11]:7.1f} {r[12]:7.2f} {r[13]:6.1f} "
+            f"{r[14]:6.2f}\n"
+        )
+    write_result("table3_characteristics", out.getvalue())
+
+    by_name = {r[0]: r for r in rows}
+    # stage counts match the paper exactly for the Poisson benchmarks
+    for w in POISSON_WORKLOADS:
+        assert by_name[w.name][1] == PAPER_TABLE3[w.name][0]
+    # naive times are the right order of magnitude (within 3x of paper)
+    for r in rows[:-1]:
+        for ours, paper in ((r[7], r[8]), (r[9], r[10]), (r[11], r[12]), (r[13], r[14])):
+            assert paper / 3 < ours < paper * 3, r[0]
+    # generated code is nontrivial and scales with pipeline complexity
+    assert by_name["W-2D-4-4-4"][3] > by_name["V-2D-4-4-4"][3]

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+RESULTS.mkdir(exist_ok=True)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure next to the benchmarks and
+    echo it (EXPERIMENTS.md references these files)."""
+    (RESULTS / f"{name}.txt").write_text(text)
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20170712)

@@ -1,0 +1,69 @@
+"""Auto-tuning demo (paper section 3.2.4 / Figure 12).
+
+Tunes the 2-D V-10-0-0 pipeline over the paper's 80-configuration space
+against the Table-1 machine model, then wall-clock-tunes a laptop-scale
+instance over a reduced space with real executions.
+
+Run:  python examples/autotune_demo.py
+"""
+
+import numpy as np
+
+from repro.model import PAPER_MACHINE
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.tuning import autotune_measured, autotune_model
+from repro.variants import polymg_opt_plus
+
+
+def main() -> None:
+    opts = MultigridOptions(cycle="V", n1=10, n2=0, n3=0, levels=4)
+
+    print("=== model-based tuning @ paper scale (8192^2, 80 configs) ===")
+    pipe = build_poisson_cycle(2, 8192, opts)
+    result = autotune_model(
+        pipe, polymg_opt_plus(), PAPER_MACHINE, threads=24, cycles=10
+    )
+    print(f"searched {result.configurations} configurations")
+    top = sorted(result.points, key=lambda p: p.score)[:5]
+    for p in top:
+        print(
+            f"  tile {str(p.tile_shape):12s} group-limit {p.group_limit} "
+            f"-> {p.score:6.2f} s"
+        )
+    print(f"best: tile {result.best.tile_shape}, limit {result.best.group_limit}")
+
+    print("\n=== measured tuning @ laptop scale (128^2) ===")
+    n = 128
+    lap = build_poisson_cycle(2, n, opts)
+    rng = np.random.default_rng(3)
+    f = np.zeros((n + 2, n + 2))
+    f[1:-1, 1:-1] = rng.standard_normal((n, n))
+
+    base = polymg_opt_plus(tile_sizes={2: (16, 64)})
+
+    # restrict the measured search to a handful of points for speed
+    import repro.tuning.autotuner as at
+
+    space = [(16, 64), (32, 64), (32, 128), (64, 128)]
+    orig = at.tile_space
+    at.tile_space = lambda ndim: space if ndim == 2 else orig(ndim)
+    at.GROUP_LIMITS = (4, 8)
+    try:
+        measured = autotune_measured(
+            lap,
+            base,
+            lambda: lap.make_inputs(np.zeros_like(f), f),
+            repeats=2,
+        )
+    finally:
+        at.tile_space = orig
+        at.GROUP_LIMITS = (1, 2, 4, 6, 8)
+    for p in sorted(measured.points, key=lambda q: q.score):
+        print(
+            f"  tile {str(p.tile_shape):12s} group-limit {p.group_limit} "
+            f"-> {p.score * 1e3:7.1f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

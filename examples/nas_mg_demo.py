@@ -1,0 +1,55 @@
+"""NAS MG benchmark demo.
+
+Runs the from-scratch NAS MG implementation (class S at laptop scale):
+the plain-numpy solver and the compiled PolyMG pipeline side by side,
+printing the residual-norm trajectory the NPB verification is built on.
+
+Run:  python examples/nas_mg_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.multigrid.nas_mg import (
+    NAS_CLASSES,
+    NasMgSolver,
+    build_nas_mg_cycle,
+    nas_rhs,
+)
+from repro.variants import polymg_opt_plus
+
+
+def main() -> None:
+    n, iterations = NAS_CLASSES["S"]
+    levels = 4
+    print(f"NAS MG class S: {n}^3 grid, {iterations} iterations, {levels} levels")
+
+    v = nas_rhs(n)
+    solver = NasMgSolver(n, levels=levels)
+    t0 = time.perf_counter()
+    u_ref, norms = solver.solve(v, iterations)
+    dt_ref = time.perf_counter() - t0
+
+    pipe = build_nas_mg_cycle(n, levels=levels)
+    compiled = pipe.compile(polymg_opt_plus(tile_sizes={3: (8, 8, 16)}))
+    u = np.zeros_like(v)
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        u = compiled.execute(pipe.make_inputs(u, v))[pipe.output.name]
+    dt_dsl = time.perf_counter() - t0
+
+    print(f"\n{'it':>4s} {'residual L2 norm':>18s}")
+    for i, norm in enumerate(norms):
+        print(f"{i:4d} {norm:18.10e}")
+
+    assert np.array_equal(u, u_ref), "DSL and reference disagree"
+    print(
+        f"\nsolver {dt_ref * 1e3:.1f} ms, compiled pipeline "
+        f"{dt_dsl * 1e3:.1f} ms — results bit-identical"
+    )
+    print(f"pipeline: {pipe.stage_count_} stages (V-cycle, no pre-smoothing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""3-D Poisson with a W-cycle: comparing every optimization variant.
+
+Runs the same W-cycle through all PolyMG variants and the hand-optimized
+baselines at laptop scale, verifying they produce identical results, and
+then evaluates the paper-scale machine model for the same pipeline —
+the two views DESIGN.md section 5 describes.
+
+Run:  python examples/poisson3d_wcycle.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import HandOptPlutoSolver, HandOptSolver
+from repro.bench import SMALL_TILES
+from repro.model import PAPER_MACHINE, PipelineCostModel
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.variants import (
+    handopt_model,
+    handopt_pluto_model,
+    polymg_dtile_opt_plus,
+    polymg_naive,
+    polymg_opt,
+    polymg_opt_plus,
+)
+
+
+def main() -> None:
+    n = 32
+    opts = MultigridOptions(cycle="W", n1=4, n2=4, n3=4, levels=3)
+    pipe = build_poisson_cycle(3, n, opts)
+
+    rng = np.random.default_rng(7)
+    f = np.zeros((n + 2,) * 3)
+    f[1:-1, 1:-1, 1:-1] = rng.standard_normal((n,) * 3)
+    u0 = np.zeros_like(f)
+
+    print(f"=== laptop-scale wall clock ({pipe.name}, one cycle) ===")
+    reference = None
+    for name, cfg in [
+        ("polymg-naive", polymg_naive()),
+        ("polymg-opt", polymg_opt(tile_sizes=SMALL_TILES)),
+        ("polymg-opt+", polymg_opt_plus(tile_sizes=SMALL_TILES)),
+        ("polymg-dtile-opt+", polymg_dtile_opt_plus(tile_sizes=SMALL_TILES)),
+    ]:
+        compiled = pipe.compile(cfg)
+        inputs = pipe.make_inputs(u0, f)
+        t0 = time.perf_counter()
+        out = compiled.execute(inputs)[pipe.output.name]
+        dt = time.perf_counter() - t0
+        if reference is None:
+            reference = out
+        match = "bit-identical" if np.array_equal(out, reference) else "MISMATCH"
+        print(f"  {name:18s} {dt * 1e3:8.1f} ms   {match}")
+
+    for name, solver_cls in [
+        ("handopt", HandOptSolver),
+        ("handopt+pluto", HandOptPlutoSolver),
+    ]:
+        solver = solver_cls(3, n, opts)
+        t0 = time.perf_counter()
+        out = solver.cycle(u0, f)
+        dt = time.perf_counter() - t0
+        match = "bit-identical" if np.array_equal(out, reference) else "MISMATCH"
+        print(f"  {name:18s} {dt * 1e3:8.1f} ms   {match}")
+
+    print("\n=== paper-scale machine model (class B: 256^3, 25 cycles, 24 cores) ===")
+    paper = build_poisson_cycle(3, 256, MultigridOptions(cycle="W", n1=4, n2=4, n3=4, levels=4))
+    naive_t = PipelineCostModel(
+        paper.compile(polymg_naive()), PAPER_MACHINE
+    ).run_time(24, 25)
+    for name, cfg in [
+        ("handopt", handopt_model()),
+        ("handopt+pluto", handopt_pluto_model()),
+        ("polymg-opt", polymg_opt()),
+        ("polymg-opt+", polymg_opt_plus()),
+        ("polymg-dtile-opt+", polymg_dtile_opt_plus()),
+    ]:
+        t = PipelineCostModel(paper.compile(cfg), PAPER_MACHINE).run_time(24, 25)
+        print(f"  {name:18s} {t:7.2f} s   ({naive_t / t:4.2f}x over naive {naive_t:.2f} s)")
+
+
+if __name__ == "__main__":
+    main()

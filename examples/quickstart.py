@@ -1,0 +1,54 @@
+"""Quickstart: solve a 2-D Poisson problem with the PolyMG DSL.
+
+Builds the paper's Figure-3 V-cycle specification, compiles it with the
+full ``polymg-opt+`` optimization pipeline (fusion + overlapped tiling +
+all three storage optimizations), and iterates cycles to convergence.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import SMALL_TILES
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.multigrid.kernels import apply_operator, norm_residual
+from repro.variants import polymg_opt_plus
+
+
+def main() -> None:
+    n = 128  # interior grid points per dimension
+    h = 1.0 / (n + 1)
+
+    # manufactured problem: A u = f with u* = sin(pi x) sin(pi y)
+    coords = np.arange(n + 2) * h
+    X, Y = np.meshgrid(coords, coords, indexing="ij")
+    u_exact = np.sin(np.pi * X) * np.sin(np.pi * Y)
+    f = np.zeros_like(u_exact)
+    f[1:-1, 1:-1] = apply_operator(u_exact, h)
+
+    # one W(4,4)-cycle as a DSL pipeline, compiled with polymg-opt+
+    opts = MultigridOptions(cycle="W", n1=4, n2=4, n3=4, levels=5)
+    pipe = build_poisson_cycle(2, n, opts)
+    compiled = pipe.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
+    print(f"pipeline {pipe.name}: {pipe.stage_count_} stages,")
+    report = compiled.report()
+    print(
+        f"  fused into {report['group_count']} groups, "
+        f"{report['full_arrays']} full arrays "
+        f"(one-to-one would need {report['full_arrays_without_reuse']})"
+    )
+
+    u = np.zeros_like(f)
+    print(f"\n{'cycle':>6s} {'residual':>12s} {'error':>12s}")
+    for cycle in range(9):
+        res = norm_residual(u, f, h)
+        err = np.abs(u - u_exact).max()
+        print(f"{cycle:6d} {res:12.3e} {err:12.3e}")
+        u = compiled.execute(pipe.make_inputs(u, f))[pipe.output.name]
+
+    assert np.abs(u - u_exact).max() < 1e-6
+    print("\nconverged to the discrete solution.")
+
+
+if __name__ == "__main__":
+    main()

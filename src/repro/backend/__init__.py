@@ -1,0 +1,12 @@
+"""Backends: the numpy tile interpreter and the C/OpenMP code emitter."""
+
+from .buffers import DirectAllocator, MemoryPool, PoolStats
+from .executor import CompiledPipeline, ExecutionStats
+
+__all__ = [
+    "DirectAllocator",
+    "MemoryPool",
+    "PoolStats",
+    "CompiledPipeline",
+    "ExecutionStats",
+]

@@ -1,0 +1,120 @@
+"""Runtime buffer management: the pooled memory allocator.
+
+Paper section 3.2.3: PolyMG generates ``pool_allocate`` /
+``pool_deallocate`` calls so that full-array requests across (and
+within) multigrid cycle invocations are served from a pool instead of
+fresh ``malloc`` calls.  Arrays are actually allocated at the first
+cycle's entry and all freed after the last; a deallocation is a table
+update.
+
+The pool here mirrors that behaviour for the numpy backend: it owns flat
+byte buffers, serves a request with the first free buffer of sufficient
+size (scanning the free list, as the paper describes), and returns a
+correctly-shaped view.  Statistics (fresh allocations vs. pool hits,
+peak resident bytes) feed the machine cost model and Figure 11b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PoolStats", "MemoryPool", "DirectAllocator"]
+
+
+@dataclass
+class PoolStats:
+    fresh_allocations: int = 0
+    pool_hits: int = 0
+    deallocations: int = 0
+    resident_bytes: int = 0
+    peak_resident_bytes: int = 0
+    requested_bytes: int = 0
+
+    def record_alloc(self, nbytes: int, from_pool: bool) -> None:
+        self.requested_bytes += nbytes
+        if from_pool:
+            self.pool_hits += 1
+        else:
+            self.fresh_allocations += 1
+            self.resident_bytes += nbytes
+            self.peak_resident_bytes = max(
+                self.peak_resident_bytes, self.resident_bytes
+            )
+
+
+class MemoryPool:
+    """First-fit pooled allocator over flat byte buffers."""
+
+    def __init__(self) -> None:
+        self._free: list[np.ndarray] = []  # flat uint8 buffers
+        self._lent: dict[int, np.ndarray] = {}  # id(view) -> backing buffer
+        self.stats = PoolStats()
+
+    def allocate(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        backing = None
+        best_index = -1
+        for i, buf in enumerate(self._free):
+            if buf.nbytes >= nbytes and (
+                backing is None or buf.nbytes < backing.nbytes
+            ):
+                backing, best_index = buf, i
+        from_pool = backing is not None
+        if backing is None:
+            backing = np.empty(nbytes, dtype=np.uint8)
+        else:
+            self._free.pop(best_index)
+        self.stats.record_alloc(nbytes, from_pool)
+        view = backing[:nbytes].view(dtype).reshape(shape)
+        self._lent[id(view)] = backing
+        return view
+
+    def deallocate(self, view: np.ndarray) -> None:
+        backing = self._lent.pop(id(view), None)
+        if backing is None:
+            raise ValueError("deallocate of a buffer not lent by this pool")
+        self.stats.deallocations += 1
+        self._free.append(backing)
+
+    def release_all(self) -> None:
+        """Drop every buffer (end of the last multigrid cycle)."""
+        self._free.clear()
+        self._lent.clear()
+        self.stats.resident_bytes = 0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._lent)
+
+
+class DirectAllocator:
+    """Non-pooled allocator: every request is a fresh ``np.empty`` (what
+    ``polymg-opt`` does for full arrays).  Keeps the same interface and
+    statistics so variants are interchangeable in the executor."""
+
+    def __init__(self) -> None:
+        self.stats = PoolStats()
+        self._lent: dict[int, int] = {}
+
+    def allocate(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        array = np.empty(shape, dtype=dtype)
+        self.stats.record_alloc(array.nbytes, from_pool=False)
+        self._lent[id(array)] = array.nbytes
+        return array
+
+    def deallocate(self, view: np.ndarray) -> None:
+        nbytes = self._lent.pop(id(view), None)
+        if nbytes is not None:
+            self.stats.deallocations += 1
+            self.stats.resident_bytes -= nbytes
+
+    def release_all(self) -> None:
+        self._lent.clear()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._lent)

@@ -1,0 +1,446 @@
+"""Execution of compiled pipelines (the numpy backend).
+
+A :class:`CompiledPipeline` executes the *exact schedule* produced by
+the compiler passes: groups in topological order; overlapped tiles over
+each multi-stage group's anchor domain; internal stages into (reused)
+scratchpads; live-outs into (reused) full arrays served by the pooled
+allocator; arrays freed as soon as their last consumer group finishes
+(the generated ``pool_deallocate`` placement of paper 3.2.3).
+
+The backend exists to make every optimization *observable*: outputs are
+bit-compared against an independent reference solver in the tests, and
+execution statistics (tiles, redundant points, allocation traffic) feed
+the machine cost model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import PolyMgConfig
+from ..ir.domain import Box
+from ..ir.interval import ConcreteInterval
+from .buffers import DirectAllocator, MemoryPool
+from .evaluate import evaluate_stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ir.dag import PipelineDAG
+    from ..lang.function import Function
+    from ..passes.grouping import GroupingResult
+    from ..passes.groups import Group
+    from ..passes.schedule import PipelineSchedule
+    from ..passes.storage import StoragePlan
+
+__all__ = ["ExecutionStats", "CompiledPipeline"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters from one or more ``execute`` calls."""
+
+    executions: int = 0
+    groups_executed: int = 0
+    tiles_executed: int = 0
+    points_computed: int = 0
+    ideal_points: int = 0
+    scratch_bytes_peak: int = 0
+    diamond_segments: int = 0
+    copy_bytes: int = 0
+
+    def redundancy(self) -> float:
+        if self.ideal_points == 0:
+            return 0.0
+        return self.points_computed / self.ideal_points - 1.0
+
+
+class CompiledPipeline:
+    """A fully scheduled pipeline ready to run on numpy arrays."""
+
+    def __init__(
+        self,
+        dag: "PipelineDAG",
+        config: PolyMgConfig,
+        grouping: "GroupingResult",
+        schedule: "PipelineSchedule",
+        storage: "StoragePlan",
+    ) -> None:
+        self.dag = dag
+        self.config = config
+        self.grouping = grouping
+        self.schedule = schedule
+        self.storage = storage
+        self.bindings = dag.param_bindings
+        self.allocator = (
+            MemoryPool() if config.pooled_allocation else DirectAllocator()
+        )
+        self.stats = ExecutionStats()
+        self._plan_array_lifetimes()
+        self._plan_diamond_segments()
+
+    # ------------------------------------------------------------------
+    # compile-time planning helpers
+    # ------------------------------------------------------------------
+    def _plan_array_lifetimes(self) -> None:
+        """First-definition and last-use group index per array id."""
+        alloc_at: dict[int, int] = {}
+        free_after: dict[int, int] = {}
+        for gi, group in enumerate(self.grouping.groups):
+            for stage in group.live_outs():
+                aid = self.storage.array_of[stage]
+                alloc_at.setdefault(aid, gi)
+                last = gi
+                for consumer in self.dag.consumers_of(stage):
+                    cg = self.grouping.group_of[consumer]
+                    last = max(last, self.schedule.time_of_group(cg))
+                if self.dag.is_output(stage):
+                    last = len(self.grouping.groups)  # never freed
+                free_after[aid] = max(free_after.get(aid, -1), last)
+        self._alloc_at = alloc_at
+        self._free_after = free_after
+
+    def _plan_diamond_segments(self) -> None:
+        """Identify smoother chains to run under diamond tiling
+        (``polymg-dtile-opt+``): maximal runs of same-TStencil steps that
+        form a whole group."""
+        self._diamond_groups: set[int] = set()
+        if not self.config.diamond_smoothing:
+            return
+        for gi, group in enumerate(self.grouping.groups):
+            stages = group.stages
+            if len(stages) < 2:
+                continue
+            t0 = getattr(stages[0], "tstencil", None)
+            if t0 is None:
+                continue
+            if all(getattr(s, "tstencil", None) is t0 for s in stages):
+                self._diamond_groups.add(gi)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run one pipeline invocation (e.g. one multigrid cycle)."""
+        dag = self.dag
+        self.stats.executions += 1
+
+        input_arrays: dict["Function", np.ndarray] = {}
+        for grid in dag.inputs:
+            if grid.name not in inputs:
+                raise KeyError(f"missing input {grid.name!r}")
+            arr = np.asarray(inputs[grid.name])
+            expected = grid.domain_box(self.bindings).shape()
+            if arr.shape != expected:
+                raise ValueError(
+                    f"input {grid.name!r} has shape {arr.shape}, expected "
+                    f"{expected}"
+                )
+            input_arrays[grid] = arr
+
+        arrays: dict[int, np.ndarray] = {}
+        outputs: dict[str, np.ndarray] = {}
+
+        output_ids = {
+            self.storage.array_of[out]
+            for out in dag.outputs
+            if out in self.storage.array_of
+        }
+
+        def ensure_array(aid: int) -> np.ndarray:
+            if aid not in arrays:
+                shape = self.storage.array_shapes[aid]
+                from ..lang.types import dtype_of
+
+                npdt = dtype_of(self.storage.array_dtypes[aid]).np_dtype
+                if aid in output_ids:
+                    # program outputs are owned by the caller, never by
+                    # the pool (paper 3.2.2: inputs/outputs are not
+                    # reuse buffers)
+                    arrays[aid] = np.empty(shape, dtype=npdt)
+                else:
+                    arrays[aid] = self.allocator.allocate(shape, npdt)
+            return arrays[aid]
+
+        for gi, group in enumerate(self.grouping.groups):
+            self.stats.groups_executed += 1
+            # materialize live-out arrays of this group
+            stage_arrays: dict["Function", np.ndarray] = {}
+            for stage in group.live_outs():
+                aid = self.storage.array_of[stage]
+                full = ensure_array(aid)
+                shape = stage.domain_box(self.bindings).shape()
+                view = full[tuple(slice(0, s) for s in shape)]
+                stage_arrays[stage] = view
+                if dag.is_output(stage):
+                    outputs[stage.name] = view
+
+            if gi in self._diamond_groups:
+                self._execute_group_diamond(
+                    group, stage_arrays, input_arrays, arrays
+                )
+            elif self.config.tile and group.size > 1:
+                self._execute_group_tiled(
+                    gi, group, stage_arrays, input_arrays, arrays
+                )
+            else:
+                self._execute_group_straight(
+                    group, stage_arrays, input_arrays, arrays
+                )
+
+            # free arrays whose last consumer group has completed
+            for aid, last in self._free_after.items():
+                if last == gi and aid in arrays:
+                    self.allocator.deallocate(arrays.pop(aid))
+
+        # ideal (non-redundant) work for redundancy accounting
+        for stage in dag.stages:
+            self.stats.ideal_points += stage.domain_box(
+                self.bindings
+            ).volume()
+        return outputs
+
+    # -- readers -----------------------------------------------------------
+    def _make_reader(
+        self,
+        group: "Group",
+        input_arrays: dict["Function", np.ndarray],
+        arrays: dict[int, np.ndarray],
+        scratch: dict["Function", tuple[np.ndarray, tuple[int, ...]]],
+    ):
+        dag = self.dag
+        storage = self.storage
+        bindings = self.bindings
+
+        def read(func: "Function", box: Box) -> np.ndarray:
+            if func.is_input:
+                arr = input_arrays[func]
+                return arr[box.slices(origin=(0,) * box.ndim)]
+            if func in scratch:
+                arr, origin = scratch[func]
+                return arr[box.slices(origin=origin)]
+            aid = storage.array_of[func]
+            full = arrays[aid]
+            dom = func.domain_box(bindings)
+            view = full[tuple(slice(0, s) for s in dom.shape())]
+            return view[box.slices(origin=dom.lower())]
+
+        return read
+
+    # -- straight (untiled) execution ---------------------------------------
+    def _execute_group_straight(
+        self,
+        group: "Group",
+        stage_arrays: dict["Function", np.ndarray],
+        input_arrays: dict["Function", np.ndarray],
+        arrays: dict[int, np.ndarray],
+    ) -> None:
+        bindings = self.bindings
+        scratch: dict["Function", tuple[np.ndarray, tuple[int, ...]]] = {}
+        reader = self._make_reader(group, input_arrays, arrays, scratch)
+        live = set(group.live_outs())
+        for stage in group.stages:
+            dom = stage.domain_box(bindings)
+            if stage in live:
+                out = stage_arrays[stage]
+                origin = dom.lower()
+            else:
+                out = np.empty(dom.shape(), dtype=stage.dtype.np_dtype)
+                origin = dom.lower()
+                scratch[stage] = (out, origin)
+            self.stats.points_computed += evaluate_stage(
+                stage, dom, reader, out, origin, bindings
+            )
+
+    # -- overlapped-tile execution ------------------------------------------
+    def _tile_grid(self, anchor_dom: Box, tile_shape) -> list[Box]:
+        per_dim: list[list[ConcreteInterval]] = []
+        for iv, t in zip(anchor_dom.intervals, tile_shape):
+            dim_tiles = []
+            lo = iv.lb
+            while lo <= iv.ub:
+                hi = min(lo + t - 1, iv.ub)
+                dim_tiles.append(ConcreteInterval(lo, hi))
+                lo = hi + 1
+            per_dim.append(dim_tiles)
+        return [Box(combo) for combo in itertools.product(*per_dim)]
+
+    def _execute_group_tiled(
+        self,
+        gi: int,
+        group: "Group",
+        stage_arrays: dict["Function", np.ndarray],
+        input_arrays: dict["Function", np.ndarray],
+        arrays: dict[int, np.ndarray],
+    ) -> None:
+        bindings = self.bindings
+        anchor_dom = group.anchor.domain_box(bindings)
+        tile_shape = self.config.tile_shape(group.anchor.ndim)
+        live = set(group.live_outs())
+        splan = self.storage.group_scratch(gi)
+
+        tiles = self._tile_grid(anchor_dom, tile_shape)
+        if self.config.num_threads > 1 and len(tiles) > 1:
+            # overlapped tiles are independent (communication-avoiding):
+            # writes to live-out overlap zones are redundant writes of
+            # identical values, so a thread pool over tiles is safe
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run_tile(tile):
+                return self._execute_one_tile(
+                    group, tile, splan, live, stage_arrays,
+                    input_arrays, arrays,
+                )
+
+            with ThreadPoolExecutor(self.config.num_threads) as pool:
+                results = list(pool.map(run_tile, tiles))
+            for points, scratch_bytes in results:
+                self.stats.tiles_executed += 1
+                self.stats.points_computed += points
+                self.stats.scratch_bytes_peak = max(
+                    self.stats.scratch_bytes_peak, scratch_bytes
+                )
+            return
+
+        for tile in tiles:
+            points, scratch_bytes = self._execute_one_tile(
+                group, tile, splan, live, stage_arrays, input_arrays,
+                arrays,
+            )
+            self.stats.tiles_executed += 1
+            self.stats.points_computed += points
+            self.stats.scratch_bytes_peak = max(
+                self.stats.scratch_bytes_peak, scratch_bytes
+            )
+
+    def _execute_one_tile(
+        self,
+        group: "Group",
+        tile: Box,
+        splan,
+        live: set,
+        stage_arrays: dict,
+        input_arrays: dict,
+        arrays: dict,
+    ) -> tuple[int, int]:
+        """Execute one overlapped tile; returns (points, scratch bytes)."""
+        bindings = self.bindings
+        regions = group.tile_regions(tile)
+        # allocate logical scratch buffers for this tile
+        buf_shape: dict[int, tuple[int, ...]] = {}
+        buf_dtype: dict[int, np.dtype] = {}
+        for stage in group.internal_stages():
+            if stage not in regions:
+                continue
+            bid = splan.buffer_of[stage]
+            shape = regions[stage].shape()
+            old = buf_shape.get(bid)
+            if old is None:
+                buf_shape[bid] = shape
+                buf_dtype[bid] = stage.dtype.np_dtype
+            else:
+                buf_shape[bid] = tuple(
+                    max(a, b) for a, b in zip(old, shape)
+                )
+        buffers = {
+            bid: np.empty(shape, dtype=buf_dtype[bid])
+            for bid, shape in buf_shape.items()
+        }
+        tile_scratch_bytes = sum(b.nbytes for b in buffers.values())
+
+        points = 0
+        scratch: dict["Function", tuple[np.ndarray, tuple[int, ...]]] = {}
+        reader = self._make_reader(group, input_arrays, arrays, scratch)
+        for stage in group.stages:
+            region = regions.get(stage)
+            if region is None or region.is_empty():
+                continue
+            if stage in live:
+                out = stage_arrays[stage]
+                origin = stage.domain_box(bindings).lower()
+            else:
+                bid = splan.buffer_of[stage]
+                buf = buffers[bid]
+                view = buf[tuple(slice(0, s) for s in region.shape())]
+                out = view
+                origin = region.lower()
+                scratch[stage] = (view, origin)
+            points += evaluate_stage(
+                stage, region, reader, out, origin, bindings
+            )
+        return points, tile_scratch_bytes
+
+    # -- diamond-tiled smoother groups (polymg-dtile-opt+) -------------------
+    def _execute_group_diamond(
+        self,
+        group: "Group",
+        stage_arrays: dict["Function", np.ndarray],
+        input_arrays: dict["Function", np.ndarray],
+        arrays: dict[int, np.ndarray],
+    ) -> None:
+        from ..pluto.executor import execute_smoother_chain
+
+        self.stats.diamond_segments += 1
+        bindings = self.bindings
+        scratch: dict["Function", tuple[np.ndarray, tuple[int, ...]]] = {}
+        reader = self._make_reader(group, input_arrays, arrays, scratch)
+
+        result, points, copy_bytes = execute_smoother_chain(
+            group,
+            reader,
+            bindings,
+            conservative_copies=self.config.dtile_conservative_copies,
+        )
+        self.stats.points_computed += points
+        self.stats.copy_bytes += copy_bytes
+        final = group.stages[-1]
+        out = stage_arrays[final]
+        out[...] = result
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """Compile-time artifact summary for the cost model and docs."""
+        groups = []
+        for gi, group in enumerate(self.grouping.groups):
+            tile_shape = (
+                self.config.tile_shape(group.anchor.ndim)
+                if self.config.tile and group.size > 1
+                else None
+            )
+            splan = self.storage.group_scratch(gi)
+            groups.append(
+                {
+                    "stages": [s.name for s in group.stages],
+                    "kinds": [s.stage_kind() for s in group.stages],
+                    "anchor": group.anchor.name,
+                    "live_outs": [s.name for s in group.live_outs()],
+                    "tiled": tile_shape is not None,
+                    "diamond": gi in self._diamond_groups,
+                    "tile_shape": tile_shape,
+                    "scratch_buffers": splan.buffer_count(),
+                    "scratch_stages": len(splan.buffer_of),
+                    "redundancy": (
+                        group.redundancy(tile_shape) if tile_shape else 0.0
+                    ),
+                }
+            )
+        return {
+            "pipeline": self.dag.name,
+            "stage_count": self.dag.stage_count(),
+            "group_count": len(self.grouping.groups),
+            "groups": groups,
+            "full_arrays": self.storage.full_arrays_with_reuse,
+            "full_arrays_without_reuse": self.storage.full_arrays_without_reuse,
+            "full_array_bytes": self.storage.full_array_bytes_with_reuse,
+            "full_array_bytes_without_reuse": (
+                self.storage.full_array_bytes_without_reuse
+            ),
+            "scratch_bytes": self.storage.scratch_bytes_with_reuse,
+            "scratch_bytes_without_reuse": (
+                self.storage.scratch_bytes_without_reuse
+            ),
+        }

@@ -1,0 +1,8 @@
+"""Hand-optimized baseline implementations (paper section 4.1):
+``handopt`` (Ghysels & Vanroose reference) and ``handopt+pluto``
+(diamond-tiled smoothers)."""
+
+from .handopt import HandOptSolver
+from .handopt_pluto import HandOptPlutoSolver
+
+__all__ = ["HandOptSolver", "HandOptPlutoSolver"]

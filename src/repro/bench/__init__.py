@@ -1,0 +1,30 @@
+"""Benchmark harness: Table-2 workload definitions, the shared
+model/measured runners, and table printers used by benchmarks/."""
+
+from .report import banner, print_series, print_table
+from .workloads import (
+    NAS_WORKLOADS,
+    POISSON_WORKLOADS,
+    SMALL_TILES,
+    VARIANT_ORDER,
+    Workload,
+    cached_speedups,
+    geomean,
+    model_speedups,
+    workload,
+)
+
+__all__ = [
+    "banner",
+    "print_series",
+    "print_table",
+    "NAS_WORKLOADS",
+    "POISSON_WORKLOADS",
+    "SMALL_TILES",
+    "VARIANT_ORDER",
+    "Workload",
+    "cached_speedups",
+    "geomean",
+    "model_speedups",
+    "workload",
+]

@@ -1,0 +1,49 @@
+"""Table/series printers shared by the benchmark files.
+
+Every ``benchmarks/bench_*.py`` regenerates one of the paper's tables or
+figures and prints the rows/series in the same layout the paper reports,
+with the paper's published value alongside ours where the paper states
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["print_table", "print_series", "banner"]
+
+
+def banner(title: str) -> None:
+    line = "=" * max(60, len(title) + 4)
+    print(f"\n{line}\n  {title}\n{line}")
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.2f}",
+) -> None:
+    rendered = []
+    for row in rows:
+        rendered.append(
+            [
+                floatfmt.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(name: str, xs: Sequence, ys: Sequence[float]) -> None:
+    print(f"{name}:")
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(y * 8)))
+        print(f"  {str(x):>10s}  {y:7.3f}  {bar}")

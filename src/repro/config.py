@@ -1,0 +1,98 @@
+"""Compiler configuration for PolyMG.
+
+A :class:`PolyMgConfig` selects which of the paper's optimizations are
+applied; the named variants of section 4.1 (``polymg-naive``,
+``polymg-opt``, ``polymg-opt+``, ``polymg-dtile-opt+``) are presets over
+this structure (see :mod:`repro.variants`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES"]
+
+# Paper section 3.2.4 default mid-range tile sizes: 2-D outermost 8:64,
+# innermost 64:512; 3-D two outermost 8:32, innermost 64:256.
+DEFAULT_TILE_SIZES: dict[int, tuple[int, ...]] = {
+    1: (256,),
+    2: (32, 256),
+    3: (8, 16, 128),
+}
+
+
+@dataclass(frozen=True)
+class PolyMgConfig:
+    """Optimization switches of the PolyMG code generator.
+
+    Attributes
+    ----------
+    fuse:
+        Enable auto-grouping of stages (fusion).  Off = every stage is
+        its own group (``polymg-naive``).
+    tile:
+        Enable overlapped tiling of multi-stage groups.
+    tile_sizes:
+        Per-dimensionality tile edge lengths, outermost first.
+    group_size_limit:
+        Maximum number of stages per fused group (the paper's "grouping
+        limit" auto-tuning knob).
+    overlap_threshold:
+        Maximum tolerated fraction of redundant computation added by
+        overlapped tiling within a group.
+    intra_group_reuse:
+        Scratchpad remapping inside a group (paper 3.2.1, Algorithms
+        2-3).
+    inter_group_reuse:
+        Full-array remapping across groups (paper 3.2.2).
+    pooled_allocation:
+        Pooled allocator serving full-array requests across (and within)
+        multigrid cycle invocations (paper 3.2.3).
+    scratch_class_slack:
+        The "small +/- constant threshold" relaxing scratchpad storage
+        class size equality (paper 3.2.1), in elements per dimension.
+    diamond_smoothing:
+        Execute pre/post-smoothing TStencil chains with diamond tiling
+        instead of overlapped tiling (``polymg-dtile-opt+``).
+    dtile_conservative_copies:
+        Model the paper-reported implementation issue of
+        ``polymg-dtile-opt+``: conservative input/output array reuse
+        assumptions force extra memory copies around diamond-tiled
+        segments (section 4.2, up to 60% penalty in 3-D).
+    fuse_smoother_chains_only:
+        Restrict grouping to same-``TStencil`` smoother chains (no
+        cross-operator fusion).  Used to express the ``handopt+pluto``
+        baseline — which time-tiles smoothers but fuses nothing else —
+        as a compiler configuration for the machine cost model.
+    num_threads:
+        Threads used by the interpreter backend when executing tiles.
+    """
+
+    fuse: bool = True
+    tile: bool = True
+    tile_sizes: dict[int, tuple[int, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_TILE_SIZES)
+    )
+    group_size_limit: int = 6
+    overlap_threshold: float = 0.4
+    intra_group_reuse: bool = True
+    inter_group_reuse: bool = True
+    pooled_allocation: bool = True
+    scratch_class_slack: int = 4
+    diamond_smoothing: bool = False
+    dtile_conservative_copies: bool = True
+    fuse_smoother_chains_only: bool = False
+    num_threads: int = 1
+
+    def tile_shape(self, ndim: int) -> tuple[int, ...]:
+        if ndim in self.tile_sizes:
+            return tuple(self.tile_sizes[ndim])
+        if ndim > 3:
+            # higher-dimensional grids: reuse the innermost 3-D choices
+            base = self.tile_sizes.get(3, DEFAULT_TILE_SIZES[3])
+            return tuple([base[0]] * (ndim - len(base)) + list(base))
+        raise ValueError(f"no tile sizes configured for rank {ndim}")
+
+    def with_(self, **kwargs) -> "PolyMgConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,31 @@
+"""Polyhedral-lite intermediate representation.
+
+Parametric affine arithmetic, integer intervals and boxes, scaled affine
+access relations, and the pipeline DAG — the subset of a polyhedral
+framework that geometric multigrid pipelines require (see DESIGN.md for
+the ISL substitution rationale).
+"""
+
+from .access import AccessDim, AccessRange, identity_access
+from .affine import Affine, aff, amax, amin
+from .dag import PipelineDAG, topological_order
+from .domain import Box, Domain, box_union_volume
+from .interval import ConcreteInterval
+from .interval import Interval as IRInterval
+
+__all__ = [
+    "AccessDim",
+    "AccessRange",
+    "identity_access",
+    "Affine",
+    "aff",
+    "amax",
+    "amin",
+    "PipelineDAG",
+    "topological_order",
+    "Box",
+    "Domain",
+    "box_union_volume",
+    "ConcreteInterval",
+    "IRInterval",
+]

@@ -1,0 +1,116 @@
+"""Scaled affine access relations.
+
+Every read in a GMG pipeline maps a consumer iteration index ``x`` to a
+producer index of the form
+
+    floor((num * x + off) / den)
+
+with small positive ``num``/``den`` (1 for plain stencils, ``num=2`` for
+restriction-style downsampling, ``den=2`` for interpolation-style
+upsampling).  :class:`AccessDim` is a single such map per dimension;
+:class:`AccessRange` summarizes *all* reads of one producer by one
+consumer along one dimension (same scaling, an inclusive offset window),
+which is what dependence-driven overlap computation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+from .interval import ConcreteInterval
+
+__all__ = ["AccessDim", "AccessRange", "identity_access"]
+
+
+@dataclass(frozen=True)
+class AccessDim:
+    """One-dimensional access map ``x -> floor((num*x + off)/den)``."""
+
+    num: int = 1
+    den: int = 1
+    off: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num <= 0 or self.den <= 0:
+            raise ValueError("access scaling must be positive")
+        g = gcd(self.num, self.den)
+        if g != 1:
+            object.__setattr__(self, "num", self.num // g)
+            object.__setattr__(self, "den", self.den // g)
+            # off is *not* reducible: floor((2x+1)/2) != floor((x+0.5)/1)
+
+    def apply(self, x: int) -> int:
+        return (self.num * x + self.off) // self.den
+
+    def image(self, interval: ConcreteInterval) -> ConcreteInterval:
+        """Image of an interval (map is monotone non-decreasing)."""
+        if interval.is_empty():
+            return interval
+        return ConcreteInterval(self.apply(interval.lb), self.apply(interval.ub))
+
+    def is_identity(self) -> bool:
+        return self.num == 1 and self.den == 1 and self.off == 0
+
+    def scaling(self) -> tuple[int, int]:
+        return (self.num, self.den)
+
+    def to_range(self) -> "AccessRange":
+        return AccessRange(self.num, self.den, self.off, self.off)
+
+
+@dataclass(frozen=True)
+class AccessRange:
+    """All accesses of a producer along one dim: a window of offsets
+    ``[omin, omax]`` under a common scaling ``num/den``."""
+
+    num: int = 1
+    den: int = 1
+    omin: int = 0
+    omax: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num <= 0 or self.den <= 0:
+            raise ValueError("access scaling must be positive")
+        if self.omin > self.omax:
+            raise ValueError("empty access offset window")
+
+    def union(self, other: "AccessRange") -> "AccessRange":
+        """Smallest window covering both; scalings must match."""
+        if (self.num, self.den) != (other.num, other.den):
+            raise ValueError(
+                f"cannot union accesses with scalings "
+                f"{self.num}/{self.den} and {other.num}/{other.den}"
+            )
+        return AccessRange(
+            self.num,
+            self.den,
+            min(self.omin, other.omin),
+            max(self.omax, other.omax),
+        )
+
+    def image(self, interval: ConcreteInterval) -> ConcreteInterval:
+        """Producer footprint of a consumer interval."""
+        if interval.is_empty():
+            return interval
+        lo = (self.num * interval.lb + self.omin) // self.den
+        hi = (self.num * interval.ub + self.omax) // self.den
+        return ConcreteInterval(lo, hi)
+
+    def scaling(self) -> tuple[int, int]:
+        return (self.num, self.den)
+
+    def halo(self) -> int:
+        """Width of the offset window (extra points read beyond a single
+        aligned point) — the per-step overlap contribution."""
+        return self.omax - self.omin
+
+    def __repr__(self) -> str:
+        scale = (
+            "" if (self.num, self.den) == (1, 1) else f"{self.num}/{self.den}*"
+        )
+        return f"<{scale}x+[{self.omin},{self.omax}]>"
+
+
+def identity_access(ndim: int) -> tuple[AccessRange, ...]:
+    return tuple(AccessRange() for _ in range(ndim))

@@ -1,0 +1,241 @@
+"""Parametric affine arithmetic.
+
+This module implements the scalar affine expressions used throughout the
+polyhedral-lite IR: quantities of the form
+
+    c0 + c1 * p1 + c2 * p2 + ...
+
+where ``p_i`` are named compile-time parameters (e.g. the problem size
+``N``) and the coefficients are exact rationals.  Domain bounds, array
+sizes, and ghost-zone offsets are all represented with :class:`Affine`, so
+passes such as inter-group storage classification (paper section 3.2.2)
+can reason about "arrays whose sizes differ only by constant offsets"
+without binding the parameters first.
+
+The design mirrors what PolyMG obtains from ISL's ``pw_aff`` for the
+restricted class of expressions geometric-multigrid pipelines need.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, Fraction]
+AffineLike = Union["Affine", int, Fraction, str]
+
+__all__ = ["Affine", "aff", "amax", "amin"]
+
+
+def _as_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class Affine:
+    """An affine expression ``const + sum(coeff[p] * p)`` over parameters.
+
+    Instances are immutable and hashable.  Parameters are identified by
+    their *names* (strings); the language layer maps ``Parameter`` objects
+    down to names before constructing IR.
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(
+        self,
+        const: Number = 0,
+        coeffs: Mapping[str, Number] | None = None,
+    ) -> None:
+        self._const = _as_fraction(const)
+        items = {}
+        if coeffs:
+            for name, c in coeffs.items():
+                frac = _as_fraction(c)
+                if frac != 0:
+                    items[str(name)] = frac
+        self._coeffs: tuple[tuple[str, Fraction], ...] = tuple(
+            sorted(items.items())
+        )
+        self._hash = hash((self._const, self._coeffs))
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def const(self) -> Fraction:
+        return self._const
+
+    @property
+    def coeffs(self) -> dict[str, Fraction]:
+        return dict(self._coeffs)
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def constant_value(self) -> Fraction:
+        if not self.is_constant():
+            raise ValueError(f"{self} is not constant")
+        return self._const
+
+    def coeff(self, name: str) -> Fraction:
+        for n, c in self._coeffs:
+            if n == name:
+                return c
+        return Fraction(0)
+
+    # -- algebra -----------------------------------------------------------
+    @staticmethod
+    def wrap(value: AffineLike) -> "Affine":
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, str):
+            return Affine(0, {value: 1})
+        return Affine(value)
+
+    def __add__(self, other: AffineLike) -> "Affine":
+        o = Affine.wrap(other)
+        coeffs = dict(self._coeffs)
+        for name, c in o._coeffs:
+            coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return Affine(self._const + o._const, coeffs)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self._const, {n: -c for n, c in self._coeffs})
+
+    def __sub__(self, other: AffineLike) -> "Affine":
+        return self + (-Affine.wrap(other))
+
+    def __rsub__(self, other: AffineLike) -> "Affine":
+        return Affine.wrap(other) + (-self)
+
+    def __mul__(self, factor: Number) -> "Affine":
+        f = _as_fraction(factor)
+        return Affine(
+            self._const * f, {n: c * f for n, c in self._coeffs}
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor: Number) -> "Affine":
+        f = _as_fraction(factor)
+        if f == 0:
+            raise ZeroDivisionError("affine division by zero")
+        return self * (Fraction(1) / f)
+
+    def floor_div(self, divisor: int, bindings: Mapping[str, int]) -> int:
+        """Evaluate ``floor(self / divisor)`` under ``bindings``."""
+        value = self.value(bindings)
+        num, den = value.numerator, value.denominator * divisor
+        return num // den
+
+    # -- evaluation --------------------------------------------------------
+    def subs(self, bindings: Mapping[str, Number]) -> "Affine":
+        """Substitute some parameters with numeric values."""
+        const = self._const
+        coeffs: dict[str, Fraction] = {}
+        for name, c in self._coeffs:
+            if name in bindings:
+                const += c * _as_fraction(bindings[name])
+            else:
+                coeffs[name] = c
+        return Affine(const, coeffs)
+
+    def value(self, bindings: Mapping[str, Number] | None = None) -> Fraction:
+        """Fully evaluate; raises if a parameter is unbound."""
+        result = self.subs(bindings or {})
+        if not result.is_constant():
+            missing = ", ".join(result.params)
+            raise ValueError(f"unbound parameters: {missing}")
+        return result._const
+
+    def int_value(self, bindings: Mapping[str, Number] | None = None) -> int:
+        v = self.value(bindings)
+        if v.denominator != 1:
+            raise ValueError(f"{self} does not evaluate to an integer: {v}")
+        return v.numerator
+
+    # -- comparisons -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Affine(other)
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self._const == other._const and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def same_shape(self, other: "Affine") -> bool:
+        """True when the parametric parts agree (differ by a constant only).
+
+        This is the classification predicate used by inter-group storage
+        allocation: arrays whose dimensions match up to ghost-zone
+        constants may share a storage class.
+        """
+        return self._coeffs == Affine.wrap(other)._coeffs
+
+    def diff_const(self, other: "Affine") -> Fraction:
+        """The constant gap ``self - other``; requires :meth:`same_shape`."""
+        o = Affine.wrap(other)
+        if not self.same_shape(o):
+            raise ValueError(f"{self} and {o} differ in parametric part")
+        return self._const - o._const
+
+    # -- misc ----------------------------------------------------------------
+    def __repr__(self) -> str:
+        parts = []
+        for name, c in self._coeffs:
+            if c == 1:
+                parts.append(name)
+            elif c == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{c}*{name}")
+        if self._const != 0 or not parts:
+            parts.append(str(self._const))
+        out = " + ".join(parts)
+        return out.replace("+ -", "- ")
+
+
+def aff(value: AffineLike) -> Affine:
+    """Coerce ``value`` (int, Fraction, parameter name, Affine) to Affine."""
+    return Affine.wrap(value)
+
+
+def amax(values: Iterable[AffineLike], bindings: Mapping[str, Number] | None = None):
+    """Maximum of affine expressions.
+
+    Symbolic max is only defined when all expressions share the same
+    parametric part (then the max is decided by constants); otherwise the
+    caller must provide ``bindings`` and a numeric max is returned.
+    """
+    items = [Affine.wrap(v) for v in values]
+    if not items:
+        raise ValueError("amax of empty sequence")
+    first = items[0]
+    if all(v.same_shape(first) for v in items[1:]):
+        return max(items, key=lambda v: v.const)
+    if bindings is None:
+        raise ValueError("incomparable affine expressions without bindings")
+    return max(items, key=lambda v: v.value(bindings))
+
+
+def amin(values: Iterable[AffineLike], bindings: Mapping[str, Number] | None = None):
+    """Minimum analogue of :func:`amax`."""
+    items = [Affine.wrap(v) for v in values]
+    if not items:
+        raise ValueError("amin of empty sequence")
+    first = items[0]
+    if all(v.same_shape(first) for v in items[1:]):
+        return min(items, key=lambda v: v.const)
+    if bindings is None:
+        raise ValueError("incomparable affine expressions without bindings")
+    return min(items, key=lambda v: v.value(bindings))

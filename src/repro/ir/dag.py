@@ -1,0 +1,137 @@
+"""Pipeline DAG construction and queries.
+
+The PolyMG compiler processes the Python-embedded specification as a
+directed acyclic graph of functions with instance-wise dependence
+summaries on the edges (paper section 2, Figure 2).  This module builds
+that graph from the output functions, performs validation (feed-forward,
+defined stages, rank-consistent accesses), and provides the queries used
+by every later pass: deterministic topological order, per-edge access
+summaries, consumer maps, and per-stage grid "level" annotation used in
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids lang<->ir cycle)
+    from ..lang.function import Function, FunctionAccess
+
+__all__ = ["PipelineDAG", "topological_order"]
+
+
+def topological_order(
+    roots: Sequence["Function"],
+) -> tuple[list["Function"], dict["Function", list["Function"]]]:
+    """Deterministic topological order (producers first) of all functions
+    reachable from ``roots`` through producer edges, plus the consumer
+    map.  Raises on cycles (which the language cannot express, but
+    defensive validation is cheap)."""
+    order: list["Function"] = []
+    consumers: dict["Function", list["Function"]] = {}
+    state: dict["Function", int] = {}  # 0 visiting, 1 done
+
+    def visit(func: "Function", stack: list["Function"]) -> None:
+        mark = state.get(func)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(f.name for f in stack + [func])
+            raise ValueError(f"cycle in pipeline: {cycle}")
+        state[func] = 0
+        producers = (
+            [] if func.is_input else sorted(func.producers(), key=lambda f: f.uid)
+        )
+        for prod in producers:
+            consumers.setdefault(prod, [])
+            if func not in consumers[prod]:
+                consumers[prod].append(func)
+            visit(prod, stack + [func])
+        state[func] = 1
+        order.append(func)
+
+    for root in sorted(roots, key=lambda f: f.uid):
+        visit(root, [])
+    return order, consumers
+
+
+class PipelineDAG:
+    """The compiler's view of one pipeline (e.g. one multigrid cycle)."""
+
+    def __init__(
+        self,
+        outputs: Sequence["Function"],
+        params: Mapping[str, int] | None = None,
+        name: str = "pipeline",
+    ) -> None:
+        self.name = name
+        self.outputs: tuple["Function", ...] = tuple(outputs)
+        self.param_bindings: dict[str, int] = dict(params or {})
+
+        order, consumers = topological_order(self.outputs)
+        self.all_functions: list["Function"] = order
+        self.inputs: list["Function"] = [f for f in order if f.is_input]
+        self.stages: list["Function"] = [f for f in order if not f.is_input]
+        self._consumers = consumers
+        self._access_cache: dict["Function", dict["Function", FunctionAccess]] = {}
+
+        for stage in self.stages:
+            if not stage.has_defn:
+                raise ValueError(f"stage {stage.name} has no definition")
+
+    # -- queries --------------------------------------------------------
+    def stage_count(self) -> int:
+        """Number of DAG nodes excluding inputs (paper Table 3 column)."""
+        return len(self.stages)
+
+    def consumers_of(self, func: "Function") -> list["Function"]:
+        return list(self._consumers.get(func, []))
+
+    def producers_of(self, func: "Function") -> list["Function"]:
+        if func.is_input:
+            return []
+        return sorted(func.producers(), key=lambda f: f.uid)
+
+    def accesses_of(self, func: "Function") -> dict["Function", FunctionAccess]:
+        if func.is_input:
+            return {}
+        if func not in self._access_cache:
+            self._access_cache[func] = func.accesses()
+        return self._access_cache[func]
+
+    def access(self, consumer: "Function", producer: "Function") -> FunctionAccess:
+        return self.accesses_of(consumer)[producer]
+
+    def is_output(self, func: "Function") -> bool:
+        return any(func is out for out in self.outputs)
+
+    def stage_index(self, func: "Function") -> int:
+        return self.stages.index(func)
+
+    # -- interop ----------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :mod:`networkx` DiGraph (tests, visual reports)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for func in self.all_functions:
+            g.add_node(
+                func.name,
+                kind=func.stage_kind(),
+                ndim=func.ndim,
+                dtype=func.dtype.name,
+                is_input=func.is_input,
+            )
+        for stage in self.stages:
+            for producer in self.producers_of(stage):
+                g.add_edge(producer.name, stage.name)
+        return g
+
+    def summary(self) -> str:
+        lines = [f"pipeline {self.name}: {self.stage_count()} stages"]
+        for stage in self.stages:
+            prods = ", ".join(p.name for p in self.producers_of(stage))
+            lines.append(
+                f"  {stage.name} [{stage.stage_kind()}] <- {prods or '(none)'}"
+            )
+        return "\n".join(lines)

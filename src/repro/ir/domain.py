@@ -1,0 +1,210 @@
+"""Hyperrectangular iteration domains (boxes).
+
+PolyMG's polyhedral representation, specialized to the domain class that
+geometric multigrid pipelines actually produce: products of integer
+intervals.  :class:`Box` is the concrete (bound) form used by executors
+and tiling; :class:`Domain` carries parametric bounds.
+
+Box subtraction (needed for piecewise/boundary ``Case`` lowering and for
+live-out boundary analysis) returns a disjoint decomposition, mirroring
+what PolyMG obtains from ISL set subtraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .affine import Affine
+from .interval import ConcreteInterval, Interval
+
+__all__ = ["Domain", "Box", "box_union_volume"]
+
+
+class Domain:
+    """Parametric hyperrectangular domain: a product of :class:`Interval`."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Sequence[Interval]) -> None:
+        self.intervals = tuple(intervals)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.intervals)
+
+    def bind(self, bindings: Mapping[str, int]) -> "Box":
+        return Box([iv.bind(bindings) for iv in self.intervals])
+
+    def sizes(self) -> tuple[Affine, ...]:
+        return tuple(iv.size() for iv in self.intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __repr__(self) -> str:
+        return "x".join(repr(iv) for iv in self.intervals)
+
+
+class Box:
+    """Concrete hyperrectangular domain: a product of concrete intervals."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Sequence[ConcreteInterval]) -> None:
+        self.intervals = tuple(intervals)
+
+    @classmethod
+    def from_bounds(cls, bounds: Iterable[tuple[int, int]]) -> "Box":
+        return cls([ConcreteInterval(lb, ub) for lb, ub in bounds])
+
+    @property
+    def ndim(self) -> int:
+        return len(self.intervals)
+
+    def is_empty(self) -> bool:
+        return any(iv.is_empty() for iv in self.intervals)
+
+    def volume(self) -> int:
+        vol = 1
+        for iv in self.intervals:
+            vol *= iv.size()
+        return vol
+
+    def shape(self) -> tuple[int, ...]:
+        return tuple(iv.size() for iv in self.intervals)
+
+    def lower(self) -> tuple[int, ...]:
+        return tuple(iv.lb for iv in self.intervals)
+
+    def upper(self) -> tuple[int, ...]:
+        return tuple(iv.ub for iv in self.intervals)
+
+    def intersect(self, other: "Box") -> "Box":
+        self._check_rank(other)
+        return Box([a.intersect(b) for a, b in zip(self.intervals, other.intervals)])
+
+    def union_hull(self, other: "Box") -> "Box":
+        self._check_rank(other)
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Box(
+            [a.union_hull(b) for a, b in zip(self.intervals, other.intervals)]
+        )
+
+    def covers(self, other: "Box") -> bool:
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        return all(
+            a.covers(b) for a, b in zip(self.intervals, other.intervals)
+        )
+
+    def contains(self, point: Sequence[int]) -> bool:
+        return not self.is_empty() and all(
+            iv.contains(p) for iv, p in zip(self.intervals, point)
+        )
+
+    def grow(self, lo: Sequence[int], hi: Sequence[int]) -> "Box":
+        return Box(
+            [
+                iv.grow(l, h)
+                for iv, l, h in zip(self.intervals, lo, hi)
+            ]
+        )
+
+    def shift(self, offsets: Sequence[int]) -> "Box":
+        return Box([iv.shift(o) for iv, o in zip(self.intervals, offsets)])
+
+    def subtract(self, other: "Box") -> list["Box"]:
+        """Disjoint decomposition of ``self \\ other``.
+
+        Standard sweep: peel off slabs dimension by dimension outside the
+        intersection; the pieces are pairwise disjoint and their union is
+        exactly the set difference.
+        """
+        if self.is_empty():
+            return []
+        inter = self.intersect(other)
+        if inter.is_empty():
+            return [self]
+        pieces: list[Box] = []
+        current = list(self.intervals)
+        for d in range(self.ndim):
+            for part in current[d].subtract(inter.intervals[d]):
+                slab = list(current)
+                slab[d] = part
+                pieces.append(Box(slab))
+            current[d] = inter.intervals[d]
+        return [p for p in pieces if not p.is_empty()]
+
+    def subtract_all(self, others: Iterable["Box"]) -> list["Box"]:
+        remaining = [self]
+        for other in others:
+            nxt: list[Box] = []
+            for piece in remaining:
+                nxt.extend(piece.subtract(other))
+            remaining = nxt
+        return [p for p in remaining if not p.is_empty()]
+
+    def slices(self, origin: Sequence[int] | None = None) -> tuple[slice, ...]:
+        """Numpy slices selecting this box out of an array whose element
+        ``origin`` sits at index 0 (defaults to the box's own lower corner
+        — useful for scratchpads)."""
+        if origin is None:
+            origin = self.lower()
+        return tuple(
+            slice(iv.lb - o, iv.ub - o + 1)
+            for iv, o in zip(self.intervals, origin)
+        )
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate lexicographically over all points (small boxes only)."""
+        if self.is_empty():
+            return
+        def rec(d: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if d == self.ndim:
+                yield prefix
+                return
+            for v in self.intervals[d]:
+                yield from rec(d + 1, prefix + (v,))
+        yield from rec(0, ())
+
+    def _check_rank(self, other: "Box") -> None:
+        if self.ndim != other.ndim:
+            raise ValueError(
+                f"rank mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        if self.is_empty():
+            return hash("empty-box")
+        return hash(self.intervals)
+
+    def __repr__(self) -> str:
+        return "x".join(repr(iv) for iv in self.intervals)
+
+
+def box_union_volume(boxes: Sequence[Box]) -> int:
+    """Volume of the union of ``boxes`` (inclusion by decomposition)."""
+    total = 0
+    seen: list[Box] = []
+    for box in boxes:
+        for piece in box.subtract_all(seen):
+            total += piece.volume()
+        seen.append(box)
+    return total

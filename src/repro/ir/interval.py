@@ -1,0 +1,123 @@
+"""Parametric integer intervals.
+
+An :class:`Interval` is an inclusive integer range ``[lb, ub]`` whose
+bounds are :class:`~repro.ir.affine.Affine` expressions.  Intervals are
+the one-dimensional building block of iteration domains
+(:mod:`repro.ir.domain`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .affine import Affine, AffineLike, aff
+
+__all__ = ["Interval", "ConcreteInterval"]
+
+
+class Interval:
+    """Inclusive parametric integer interval ``[lb, ub]``."""
+
+    __slots__ = ("lb", "ub")
+
+    def __init__(self, lb: AffineLike, ub: AffineLike) -> None:
+        self.lb = aff(lb)
+        self.ub = aff(ub)
+
+    def bind(self, bindings: Mapping[str, int]) -> "ConcreteInterval":
+        return ConcreteInterval(
+            self.lb.int_value(bindings), self.ub.int_value(bindings)
+        )
+
+    def subs(self, bindings: Mapping[str, int]) -> "Interval":
+        return Interval(self.lb.subs(bindings), self.ub.subs(bindings))
+
+    def shift(self, offset: AffineLike) -> "Interval":
+        return Interval(self.lb + offset, self.ub + offset)
+
+    def grow(self, lo: AffineLike, hi: AffineLike) -> "Interval":
+        """Extend the interval by ``lo`` below and ``hi`` above."""
+        return Interval(self.lb - lo, self.ub + hi)
+
+    def size(self) -> Affine:
+        """Number of points, as an affine expression."""
+        return self.ub - self.lb + 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.lb == other.lb and self.ub == other.ub
+
+    def __hash__(self) -> int:
+        return hash((self.lb, self.ub))
+
+    def __repr__(self) -> str:
+        return f"[{self.lb}, {self.ub}]"
+
+
+class ConcreteInterval:
+    """Inclusive integer interval with bound (plain ``int``) endpoints."""
+
+    __slots__ = ("lb", "ub")
+
+    def __init__(self, lb: int, ub: int) -> None:
+        self.lb = int(lb)
+        self.ub = int(ub)
+
+    def is_empty(self) -> bool:
+        return self.ub < self.lb
+
+    def size(self) -> int:
+        return max(0, self.ub - self.lb + 1)
+
+    def intersect(self, other: "ConcreteInterval") -> "ConcreteInterval":
+        return ConcreteInterval(max(self.lb, other.lb), min(self.ub, other.ub))
+
+    def union_hull(self, other: "ConcreteInterval") -> "ConcreteInterval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return ConcreteInterval(min(self.lb, other.lb), max(self.ub, other.ub))
+
+    def contains(self, point: int) -> bool:
+        return self.lb <= point <= self.ub
+
+    def covers(self, other: "ConcreteInterval") -> bool:
+        return other.is_empty() or (self.lb <= other.lb and other.ub <= self.ub)
+
+    def shift(self, offset: int) -> "ConcreteInterval":
+        return ConcreteInterval(self.lb + offset, self.ub + offset)
+
+    def grow(self, lo: int, hi: int) -> "ConcreteInterval":
+        return ConcreteInterval(self.lb - lo, self.ub + hi)
+
+    def subtract(self, other: "ConcreteInterval") -> list["ConcreteInterval"]:
+        """Set difference ``self \\ other`` as disjoint intervals."""
+        inter = self.intersect(other)
+        if inter.is_empty():
+            return [] if self.is_empty() else [self]
+        pieces = []
+        if self.lb < inter.lb:
+            pieces.append(ConcreteInterval(self.lb, inter.lb - 1))
+        if inter.ub < self.ub:
+            pieces.append(ConcreteInterval(inter.ub + 1, self.ub))
+        return pieces
+
+    def __iter__(self):
+        return iter(range(self.lb, self.ub + 1))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConcreteInterval):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return self.lb == other.lb and self.ub == other.ub
+
+    def __hash__(self) -> int:
+        if self.is_empty():
+            return hash("empty-interval")
+        return hash((self.lb, self.ub))
+
+    def __repr__(self) -> str:
+        return f"[{self.lb}, {self.ub}]"

@@ -1,0 +1,54 @@
+"""The PolyMG domain-specific language (paper section 2).
+
+Embedded in Python: ``Parameter``/``Variable``/``Interval`` symbols,
+``Function`` stages with piecewise ``Case`` definitions, ``Grid`` inputs,
+``Stencil`` weight-matrix expansion, the multigrid-specific ``TStencil``
+(time-iterated smoother), and the sampling constructs ``Restrict`` and
+``Interp``.
+"""
+
+from .expr import (
+    Case,
+    Condition,
+    Const,
+    Expr,
+    Maximum,
+    Minimum,
+    Ref,
+    Select,
+    collect_refs,
+    count_flops,
+)
+from .function import Function, Grid
+from .parameters import Interval, Parameter, Variable
+from .sampling import Interp, Restrict
+from .stencil import Stencil, TStencil
+from .types import Char, Double, Float, Int, Long, UInt
+
+__all__ = [
+    "Case",
+    "Condition",
+    "Const",
+    "Expr",
+    "Maximum",
+    "Minimum",
+    "Ref",
+    "Select",
+    "collect_refs",
+    "count_flops",
+    "Function",
+    "Grid",
+    "Interval",
+    "Parameter",
+    "Variable",
+    "Interp",
+    "Restrict",
+    "Stencil",
+    "TStencil",
+    "Char",
+    "Double",
+    "Float",
+    "Int",
+    "Long",
+    "UInt",
+]

@@ -1,0 +1,522 @@
+"""Expression AST of the PolyMG DSL.
+
+Function definitions are trees of :class:`Expr` nodes; reads of other
+functions are :class:`Ref` nodes whose subscripts are :class:`IndexExpr`
+— affine expressions over the stage's dimension variables.  Boundary
+handling uses :class:`Condition`/:class:`Case` piecewise definitions, as
+in PolyMage's ``Case`` construct.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+from ..ir.affine import Affine, aff
+from .parameters import Parameter, Variable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+__all__ = [
+    "Expr",
+    "Const",
+    "IndexExpr",
+    "VarExpr",
+    "Ref",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Select",
+    "Minimum",
+    "Maximum",
+    "Condition",
+    "Case",
+    "wrap_expr",
+    "walk",
+    "collect_refs",
+    "map_refs",
+    "count_flops",
+]
+
+
+# ---------------------------------------------------------------------------
+# index expressions
+# ---------------------------------------------------------------------------
+
+
+class IndexExpr:
+    """Affine subscript over dimension variables: ``sum(c_v * v) + const``.
+
+    Coefficients are exact rationals; the constant part may reference
+    parameters (rare, but e.g. mirrored boundary reads use ``N - x``).
+    Only integer-coefficient index expressions can be executed; rational
+    coefficients appear transiently inside the ``Interp`` construct and
+    are eliminated by parity expansion.
+    """
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(
+        self,
+        coeffs: dict[Variable, Fraction] | None = None,
+        const: Affine | int = 0,
+    ) -> None:
+        self.coeffs: dict[Variable, Fraction] = {
+            v: Fraction(c) for v, c in (coeffs or {}).items() if c != 0
+        }
+        self.const: Affine = aff(const)
+
+    @classmethod
+    def of_var(cls, var: Variable) -> "IndexExpr":
+        return cls({var: Fraction(1)})
+
+    @classmethod
+    def wrap(cls, value) -> "IndexExpr":
+        if isinstance(value, IndexExpr):
+            return value
+        if isinstance(value, Variable):
+            return cls.of_var(value)
+        if isinstance(value, Parameter):
+            return cls({}, value.affine)
+        if isinstance(value, (int, Affine)):
+            return cls({}, value)
+        raise TypeError(f"cannot use {value!r} as an index expression")
+
+    # -- algebra --------------------------------------------------------
+    def __add__(self, other) -> "IndexExpr":
+        o = IndexExpr.wrap(other)
+        coeffs = dict(self.coeffs)
+        for v, c in o.coeffs.items():
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return IndexExpr(coeffs, self.const + o.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "IndexExpr":
+        return IndexExpr({v: -c for v, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "IndexExpr":
+        return self + (-IndexExpr.wrap(other))
+
+    def __rsub__(self, other) -> "IndexExpr":
+        return IndexExpr.wrap(other) + (-self)
+
+    def __mul__(self, factor) -> "IndexExpr":
+        f = Fraction(factor)
+        return IndexExpr(
+            {v: c * f for v, c in self.coeffs.items()}, self.const * f
+        )
+
+    __rmul__ = __mul__
+
+    # -- conditions ------------------------------------------------------
+    def __le__(self, other) -> "Condition":
+        return Condition.atom(self, "<=", other)
+
+    def __lt__(self, other) -> "Condition":
+        return Condition.atom(self, "<", other)
+
+    def __ge__(self, other) -> "Condition":
+        return Condition.atom(self, ">=", other)
+
+    def __gt__(self, other) -> "Condition":
+        return Condition.atom(self, ">", other)
+
+    def equals(self, other) -> "Condition":
+        return Condition.atom(self, "==", other)
+
+    # -- queries ---------------------------------------------------------
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(self.coeffs)
+
+    def single_variable(self) -> Variable | None:
+        """The unique variable, if this index uses exactly one."""
+        if len(self.coeffs) == 1:
+            return next(iter(self.coeffs))
+        return None
+
+    def coeff_of(self, var: Variable) -> Fraction:
+        return self.coeffs.get(var, Fraction(0))
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def is_integral(self) -> bool:
+        return all(c.denominator == 1 for c in self.coeffs.values())
+
+    def substitute(self, mapping: dict[Variable, "IndexExpr"]) -> "IndexExpr":
+        out = IndexExpr({}, self.const)
+        for v, c in self.coeffs.items():
+            if v in mapping:
+                out = out + mapping[v] * c
+            else:
+                out = out + IndexExpr({v: c})
+        return out
+
+    def __repr__(self) -> str:
+        parts = []
+        for v, c in self.coeffs.items():
+            if c == 1:
+                parts.append(v.name)
+            elif c == -1:
+                parts.append(f"-{v.name}")
+            else:
+                parts.append(f"{c}*{v.name}")
+        if not parts or self.const != Affine(0):
+            parts.append(repr(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+# ---------------------------------------------------------------------------
+# scalar expressions
+# ---------------------------------------------------------------------------
+
+
+def wrap_expr(value) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, (Variable, IndexExpr)):
+        return VarExpr(IndexExpr.wrap(value))
+    raise TypeError(f"cannot use {value!r} as a DSL expression")
+
+
+class Expr:
+    """Base class of all scalar DSL expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other):
+        return BinOp("+", self, wrap_expr(other))
+
+    def __radd__(self, other):
+        return BinOp("+", wrap_expr(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, wrap_expr(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", wrap_expr(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, wrap_expr(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", wrap_expr(other), self)
+
+    def __truediv__(self, other):
+        return BinOp("/", self, wrap_expr(other))
+
+    def __rtruediv__(self, other):
+        return BinOp("/", wrap_expr(other), self)
+
+    def __neg__(self):
+        return UnOp("-", self)
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float | int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class VarExpr(Expr):
+    """An index expression used as a scalar value (e.g. ``x`` in an
+    initialization such as ``sin(pi * x * h)``)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: IndexExpr) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return repr(self.index)
+
+
+class Ref(Expr):
+    """A read of another function: ``f(ix0, ix1, ...)``."""
+
+    __slots__ = ("func", "indices")
+
+    def __init__(self, func: "Function", indices: Sequence) -> None:
+        self.func = func
+        self.indices: tuple[IndexExpr, ...] = tuple(
+            IndexExpr.wrap(ix) for ix in indices
+        )
+
+    def with_func(self, func: "Function") -> "Ref":
+        return Ref(func, self.indices)
+
+    def with_indices(self, indices: Sequence[IndexExpr]) -> "Ref":
+        return Ref(self.func, indices)
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(ix) for ix in self.indices)
+        return f"{self.func.name}({args})"
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("+", "-", "*", "/")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class UnOp(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op != "-":
+            raise ValueError(f"unsupported unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+class Call(Expr):
+    """Math intrinsic call (``sqrt``, ``exp``, ``sin``, ``cos``, ``abs``,
+    ``pow``)."""
+
+    __slots__ = ("fn", "args")
+
+    FNS = ("sqrt", "exp", "sin", "cos", "abs", "pow", "log")
+
+    def __init__(self, fn: str, *args) -> None:
+        if fn not in self.FNS:
+            raise ValueError(f"unsupported intrinsic {fn!r}")
+        self.fn = fn
+        self.args = tuple(wrap_expr(a) for a in args)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"{self.fn}({', '.join(map(repr, self.args))})"
+
+
+class Minimum(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right) -> None:
+        self.left = wrap_expr(left)
+        self.right = wrap_expr(right)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"min({self.left!r}, {self.right!r})"
+
+
+class Maximum(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right) -> None:
+        self.left = wrap_expr(left)
+        self.right = wrap_expr(right)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"max({self.left!r}, {self.right!r})"
+
+
+class Select(Expr):
+    """Conditional expression ``cond ? true_expr : false_expr``."""
+
+    __slots__ = ("condition", "true_expr", "false_expr")
+
+    def __init__(self, condition: "Condition", true_expr, false_expr) -> None:
+        self.condition = condition
+        self.true_expr = wrap_expr(true_expr)
+        self.false_expr = wrap_expr(false_expr)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.true_expr, self.false_expr)
+
+    def __repr__(self) -> str:
+        return (
+            f"select({self.condition!r}, {self.true_expr!r}, "
+            f"{self.false_expr!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# conditions and piecewise cases
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """A conjunction of affine comparisons over dimension variables.
+
+    GMG boundary conditions are axis-aligned (``x == 0``, ``y <= N``),
+    so conditions lower exactly to boxes; :meth:`constraint_box` performs
+    that lowering for the executor and code generator.
+    """
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[tuple[IndexExpr, str, IndexExpr]]):
+        self.atoms = tuple(atoms)
+
+    @classmethod
+    def atom(cls, lhs, op: str, rhs) -> "Condition":
+        lhs = IndexExpr.wrap(lhs)
+        rhs = IndexExpr.wrap(rhs)
+        # normalize strict ops on integers to inclusive ones
+        if op == "<":
+            return cls([(lhs, "<=", rhs - 1)])
+        if op == ">":
+            return cls([(lhs, ">=", rhs + 1)])
+        if op not in ("<=", ">=", "=="):
+            raise ValueError(f"unsupported comparison {op!r}")
+        return cls([(lhs, op, rhs)])
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Condition(self.atoms + other.atoms)
+
+    def constraint_bounds(
+        self, bindings: dict[str, int]
+    ) -> dict[Variable, tuple[float, float]]:
+        """Per-variable (lo, hi) bounds implied by the conjunction.
+
+        Raises if any atom is not of the single-variable unit-coefficient
+        form (the only form GMG pipelines produce).
+        """
+        bounds: dict[Variable, tuple[float, float]] = {}
+
+        def narrow(var: Variable, lo: float, hi: float) -> None:
+            cur = bounds.get(var, (float("-inf"), float("inf")))
+            bounds[var] = (max(cur[0], lo), min(cur[1], hi))
+
+        for lhs, op, rhs in self.atoms:
+            diff = lhs - rhs
+            var = diff.single_variable()
+            if var is None or diff.coeff_of(var) not in (1, -1):
+                raise ValueError(
+                    f"condition atom {lhs!r} {op} {rhs!r} is not "
+                    "box-representable"
+                )
+            c = diff.coeff_of(var)
+            k = -diff.const.value(bindings)  # var * c <= / >= / == k
+            k = float(k) / float(c)
+            effective = op
+            if c < 0 and op in ("<=", ">="):
+                effective = ">=" if op == "<=" else "<="
+            if effective == "<=":
+                narrow(var, float("-inf"), k)
+            elif effective == ">=":
+                narrow(var, k, float("inf"))
+            else:  # ==
+                narrow(var, k, k)
+        return bounds
+
+    def __repr__(self) -> str:
+        return " && ".join(
+            f"{lhs!r} {op} {rhs!r}" for lhs, op, rhs in self.atoms
+        )
+
+
+class Case:
+    """One branch of a piecewise definition: ``expr`` where ``condition``
+    holds.  A definition list is evaluated like an if/elif chain; a plain
+    trailing :class:`Expr` acts as the else-branch."""
+
+    __slots__ = ("condition", "expr")
+
+    def __init__(self, condition: Condition, expr) -> None:
+        self.condition = condition
+        self.expr = wrap_expr(expr)
+
+    def __repr__(self) -> str:
+        return f"Case({self.condition!r}, {self.expr!r})"
+
+
+# ---------------------------------------------------------------------------
+# tree utilities
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def collect_refs(expr: Expr) -> list[Ref]:
+    return [node for node in walk(expr) if isinstance(node, Ref)]
+
+
+def map_refs(expr: Expr, fn: Callable[[Ref], Expr]) -> Expr:
+    """Rebuild ``expr`` with every :class:`Ref` node replaced by
+    ``fn(ref)``."""
+    if isinstance(expr, Ref):
+        return fn(expr)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, map_refs(expr.left, fn), map_refs(expr.right, fn))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, map_refs(expr.operand, fn))
+    if isinstance(expr, Call):
+        return Call(expr.fn, *[map_refs(a, fn) for a in expr.args])
+    if isinstance(expr, Minimum):
+        return Minimum(map_refs(expr.left, fn), map_refs(expr.right, fn))
+    if isinstance(expr, Maximum):
+        return Maximum(map_refs(expr.left, fn), map_refs(expr.right, fn))
+    if isinstance(expr, Select):
+        return Select(
+            expr.condition,
+            map_refs(expr.true_expr, fn),
+            map_refs(expr.false_expr, fn),
+        )
+    return expr
+
+
+def count_flops(expr: Expr) -> int:
+    """Floating-point operation count of one evaluation of ``expr``.
+
+    Used by the machine cost model to derive arithmetic intensity per
+    stage.  Intrinsics are charged a conventional weight.
+    """
+    flops = 0
+    for node in walk(expr):
+        if isinstance(node, BinOp):
+            flops += 1
+        elif isinstance(node, UnOp):
+            flops += 1
+        elif isinstance(node, (Minimum, Maximum)):
+            flops += 1
+        elif isinstance(node, Call):
+            flops += 10  # conventional transcendental cost
+        elif isinstance(node, Select):
+            flops += 1
+    return flops

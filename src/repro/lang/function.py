@@ -1,0 +1,323 @@
+"""``Function`` and ``Grid`` — the core PolyMage constructs.
+
+A :class:`Function` is an operation on a structured grid: a value defined
+at every point of a parametric hyperrectangular domain, computed by an
+expression (possibly piecewise via ``Case``) over reads of other
+functions.  A :class:`Grid` is a pipeline input (PolyMage's ``Image``).
+
+Each function exposes its *access summary* — per producer, per producer
+dimension, which consumer dimension drives the subscript and through
+which scaled-affine window (:class:`~repro.ir.access.AccessRange`).  The
+DAG construction, dependence analysis, grouping, and overlapped-tiling
+passes are all built on this summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..ir.access import AccessRange
+from ..ir.domain import Box, Domain
+from .expr import Case, Condition, Expr, Ref, collect_refs, wrap_expr
+from .parameters import Interval, Variable
+from .types import DType, dtype_of
+
+__all__ = ["Function", "Grid", "DimAccess", "FunctionAccess"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class DimAccess:
+    """How one producer dimension is subscripted by a consumer.
+
+    ``consumer_dim`` is the index (in the consumer's variable order) of
+    the dimension variable driving this subscript, or ``None`` for a
+    constant subscript (boundary reads), in which case ``const_lo/hi``
+    give the fixed coordinate window.
+    """
+
+    consumer_dim: int | None
+    rng: AccessRange | None = None
+    const_lo: int = 0
+    const_hi: int = 0
+
+    def image(self, consumer_box: Box):
+        from ..ir.interval import ConcreteInterval
+
+        if self.consumer_dim is None:
+            return ConcreteInterval(self.const_lo, self.const_hi)
+        assert self.rng is not None
+        return self.rng.image(consumer_box.intervals[self.consumer_dim])
+
+    def merge(self, other: "DimAccess") -> "DimAccess":
+        if (self.consumer_dim is None) != (other.consumer_dim is None):
+            raise ValueError(
+                "cannot merge constant and variable accesses on one dim"
+            )
+        if self.consumer_dim is None:
+            return DimAccess(
+                None,
+                None,
+                min(self.const_lo, other.const_lo),
+                max(self.const_hi, other.const_hi),
+            )
+        if self.consumer_dim != other.consumer_dim:
+            raise ValueError(
+                "producer dimension driven by two different consumer dims"
+            )
+        assert self.rng is not None and other.rng is not None
+        return DimAccess(self.consumer_dim, self.rng.union(other.rng))
+
+
+@dataclass(frozen=True)
+class FunctionAccess:
+    """Access summary of one consumer on one producer: a
+    :class:`DimAccess` per producer dimension."""
+
+    dims: tuple[DimAccess, ...]
+
+    def footprint(self, consumer_box: Box) -> Box:
+        """Producer box needed to evaluate ``consumer_box``."""
+        return Box([d.image(consumer_box) for d in self.dims])
+
+    def merge(self, other: "FunctionAccess") -> "FunctionAccess":
+        if len(self.dims) != len(other.dims):
+            raise ValueError("rank mismatch in access merge")
+        return FunctionAccess(
+            tuple(a.merge(b) for a, b in zip(self.dims, other.dims))
+        )
+
+    def scaling(self) -> tuple[tuple[int, int], ...]:
+        return tuple(
+            d.rng.scaling() if d.rng is not None else (1, 1)
+            for d in self.dims
+        )
+
+    def max_halo(self) -> int:
+        return max(
+            (d.rng.halo() for d in self.dims if d.rng is not None),
+            default=0,
+        )
+
+
+class Function:
+    """A PolyMage pipeline stage.
+
+    Parameters mirror the paper's usage::
+
+        f = Function(([y, x], [extent, extent]), Double, "residual")
+        f.defn = [ ...expression over other functions... ]
+    """
+
+    def __init__(
+        self,
+        varspec: tuple[Sequence[Variable], Sequence[Interval]],
+        dtype: DType,
+        name: str | None = None,
+    ) -> None:
+        variables, intervals = varspec
+        if len(variables) != len(intervals):
+            raise ValueError("variable/interval count mismatch")
+        self.uid = next(_ids)
+        self.name = name if name is not None else f"_f{self.uid}"
+        self.variables: tuple[Variable, ...] = tuple(variables)
+        self.intervals: tuple[Interval, ...] = tuple(intervals)
+        self.dtype = dtype_of(dtype)
+        self._defn: list[Case | Expr] | None = None
+
+    # -- identity ---------------------------------------------------------
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.variables)
+
+    @property
+    def is_input(self) -> bool:
+        return False
+
+    @property
+    def domain(self) -> Domain:
+        return Domain([iv.ir for iv in self.intervals])
+
+    def domain_box(self, bindings: Mapping[str, int]) -> Box:
+        return self.domain.bind(dict(bindings))
+
+    # -- definition ----------------------------------------------------------
+    @property
+    def defn(self) -> list[Case | Expr]:
+        if self._defn is None:
+            raise ValueError(f"{self.name} has no definition")
+        return self._defn
+
+    @defn.setter
+    def defn(self, pieces) -> None:
+        self._defn = self._normalize_defn(pieces)
+        self._validate_defn()
+
+    @property
+    def has_defn(self) -> bool:
+        return self._defn is not None
+
+    def _normalize_defn(self, pieces) -> list[Case | Expr]:
+        if not isinstance(pieces, (list, tuple)):
+            pieces = [pieces]
+        out: list[Case | Expr] = []
+        for piece in pieces:
+            if isinstance(piece, Case):
+                out.append(piece)
+            else:
+                out.append(wrap_expr(piece))
+        if not out:
+            raise ValueError("empty definition")
+        return out
+
+    def _validate_defn(self) -> None:
+        for ref in self.all_refs():
+            if ref.func is self:
+                raise ValueError(
+                    f"{self.name}: self-reference in definition "
+                    "(pipelines are feed-forward; use TStencil for "
+                    "time-iterated stencils)"
+                )
+            if len(ref.indices) != ref.func.ndim:
+                raise ValueError(
+                    f"{self.name}: reads {ref.func.name} with "
+                    f"{len(ref.indices)} subscripts, expected "
+                    f"{ref.func.ndim}"
+                )
+
+    def defn_exprs(self) -> list[Expr]:
+        """The expressions of all pieces (conditions stripped)."""
+        return [
+            piece.expr if isinstance(piece, Case) else piece
+            for piece in self.defn
+        ]
+
+    def all_refs(self) -> list[Ref]:
+        refs: list[Ref] = []
+        if self._defn is None:
+            return refs
+        for expr in self.defn_exprs():
+            refs.extend(collect_refs(expr))
+        return refs
+
+    def producers(self) -> list["Function"]:
+        seen: dict[int, Function] = {}
+        for ref in self.all_refs():
+            seen.setdefault(ref.func.uid, ref.func)
+        return list(seen.values())
+
+    # -- reads as values ----------------------------------------------------
+    def __call__(self, *indices) -> Ref:
+        if len(indices) != self.ndim:
+            raise ValueError(
+                f"{self.name} is {self.ndim}-dimensional, called with "
+                f"{len(indices)} subscripts"
+            )
+        return Ref(self, indices)
+
+    # -- access analysis ------------------------------------------------------
+    def _dim_access_of_index(self, index) -> DimAccess:
+        var = index.single_variable()
+        if var is None:
+            if not index.is_constant():
+                raise ValueError(
+                    f"{self.name}: subscript {index!r} mixes dimension "
+                    "variables"
+                )
+            c = index.const.int_value({})
+            return DimAccess(None, None, c, c)
+        coeff = index.coeff_of(var)
+        if coeff <= 0:
+            raise ValueError(
+                f"{self.name}: non-positive subscript coefficient in "
+                f"{index!r}"
+            )
+        const = index.const
+        if not const.is_constant():
+            raise ValueError(
+                f"{self.name}: parametric subscript offset in {index!r}"
+            )
+        off_frac = const.constant_value()
+        num, den = coeff.numerator, coeff.denominator
+        if den == 1:
+            off = off_frac
+            if off.denominator != 1:
+                raise ValueError(
+                    f"{self.name}: fractional offset in {index!r}"
+                )
+            rng = AccessRange(num, 1, int(off), int(off))
+        else:
+            # rational subscript (num*x + c*den) / den with floor
+            # semantics; exact per-congruence-class handling is done by
+            # the sampling constructs themselves.
+            scaled = off_frac * den
+            if scaled.denominator != 1:
+                raise ValueError(
+                    f"{self.name}: offset {off_frac} not representable "
+                    f"under denominator {den} in {index!r}"
+                )
+            rng = AccessRange(num, den, int(scaled), int(scaled))
+        try:
+            cdim = self.variables.index(var)
+        except ValueError:
+            raise ValueError(
+                f"{self.name}: subscript uses foreign variable {var!r}"
+            ) from None
+        return DimAccess(cdim, rng)
+
+    def accesses(self) -> dict["Function", FunctionAccess]:
+        """Merged access summary, keyed by producer function."""
+        summary: dict[Function, FunctionAccess] = {}
+        for ref in self.all_refs():
+            acc = FunctionAccess(
+                tuple(self._dim_access_of_index(ix) for ix in ref.indices)
+            )
+            if ref.func in summary:
+                summary[ref.func] = summary[ref.func].merge(acc)
+            else:
+                summary[ref.func] = acc
+        return summary
+
+    # -- metadata used by scheduling/codegen ----------------------------------
+    def stage_kind(self) -> str:
+        """A human-readable operator kind for reports (Figure 6)."""
+        return getattr(self, "kind", "pointwise")
+
+
+class Grid(Function):
+    """A pipeline input (PolyMage's ``Image``); paper usage::
+
+        V = Grid(Double, "V", [N + 2, N + 2])
+    """
+
+    def __init__(self, dtype: DType, name: str, sizes: Sequence) -> None:
+        variables = [Variable(f"_{name}_d{i}") for i in range(len(sizes))]
+        from .types import Int
+
+        intervals = [Interval(Int, 0, size - 1) for size in sizes]
+        super().__init__((variables, intervals), dtype, name)
+
+    @property
+    def is_input(self) -> bool:
+        return True
+
+    @Function.defn.setter
+    def defn(self, pieces) -> None:  # pragma: no cover - guard
+        raise ValueError(f"input grid {self.name} cannot have a definition")
+
+    def stage_kind(self) -> str:
+        return "input"

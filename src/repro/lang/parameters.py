@@ -1,0 +1,155 @@
+"""Core DSL symbols: ``Parameter``, ``Variable``, ``Interval``.
+
+These are the PolyMage/PolyMG front-end constructs retained by the paper
+(section 2): parameters are compile-time-bound problem sizes (``N``,
+``T``); variables index grid dimensions inside function definitions;
+intervals give parametric domain extents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from ..ir.affine import Affine, aff
+from ..ir.interval import Interval as IRInterval
+from .types import DType, Int, dtype_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .expr import IndexExpr
+
+__all__ = ["Parameter", "Variable", "Interval"]
+
+_counter = itertools.count()
+
+
+class Parameter:
+    """A named compile-time parameter (e.g. problem size ``N``).
+
+    Arithmetic on parameters yields :class:`~repro.ir.affine.Affine`
+    expressions usable as interval bounds: ``Interval(Int, 1, N + 1)``.
+    """
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, dtype: DType = Int, name: str | None = None) -> None:
+        self.dtype = dtype_of(dtype)
+        self.name = name if name is not None else f"_p{next(_counter)}"
+
+    @property
+    def affine(self) -> Affine:
+        return aff(self.name)
+
+    def __add__(self, other):
+        return self.affine + _coerce(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.affine - _coerce(other)
+
+    def __rsub__(self, other):
+        return _coerce(other) - self.affine
+
+    def __mul__(self, other):
+        return self.affine * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self.affine / other
+
+    def __neg__(self):
+        return -self.affine
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name})"
+
+
+def _coerce(value) -> Affine:
+    if isinstance(value, Parameter):
+        return value.affine
+    return aff(value)
+
+
+class Variable:
+    """A dimension variable of a DSL function (``x``, ``y``, ``z``).
+
+    Arithmetic produces :class:`~repro.lang.expr.IndexExpr` index
+    expressions, e.g. ``x + 1`` or ``2 * y - 1``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name if name is not None else f"_v{next(_counter)}"
+
+    def _index(self) -> "IndexExpr":
+        from .expr import IndexExpr
+
+        return IndexExpr.of_var(self)
+
+    def __add__(self, other):
+        return self._index() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._index() - other
+
+    def __rsub__(self, other):
+        return (-self._index()) + other
+
+    def __mul__(self, other):
+        return self._index() * other
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return -self._index()
+
+    # comparisons build boundary conditions (see expr.Condition)
+    def __le__(self, other):
+        return self._index() <= other
+
+    def __lt__(self, other):
+        return self._index() < other
+
+    def __ge__(self, other):
+        return self._index() >= other
+
+    def __gt__(self, other):
+        return self._index() > other
+
+    def equals(self, other):
+        """Equality condition ``self == other`` (method form, since
+        ``__eq__`` is kept as identity for hashing)."""
+        return self._index().equals(other)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Interval:
+    """DSL interval ``[lb, ub]`` (inclusive) with parametric bounds.
+
+    Matches PolyMage's ``Interval(Int, lb, ub)`` construct; lowers to
+    :class:`repro.ir.interval.Interval`.
+    """
+
+    __slots__ = ("dtype", "ir")
+
+    def __init__(self, dtype: DType, lb, ub) -> None:
+        self.dtype = dtype_of(dtype)
+        self.ir = IRInterval(_coerce(lb), _coerce(ub))
+
+    @property
+    def lb(self) -> Affine:
+        return self.ir.lb
+
+    @property
+    def ub(self) -> Affine:
+        return self.ir.ub
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lb}, {self.ub})"

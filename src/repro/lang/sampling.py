@@ -1,0 +1,164 @@
+"""``Restrict`` and ``Interp`` — the sampling constructs of PolyMG.
+
+Paper section 2: these constructs are derived from ``Function`` and carry
+default sampling factors (1/2 for ``Restrict``, 2 for ``Interp``).  The
+sampling factor decides the grid access index coefficients; the
+constructs take over the error-prone modulo/parity index arithmetic the
+programmer would otherwise write by hand.
+
+``Restrict``: the output point ``(y, x)`` reads its input around
+``(2y, 2x)`` — the construct scales the variable coefficients of every
+subscript in the definition by 2.
+
+``Interp``: the output grid is ``2**d`` times larger than the input; the
+definition is a nested parity table ``expr[ry][rx]`` (Figure 3's
+``interpolate``) giving, for each output-point parity class
+``(2q_y + r_y, 2q_x + r_x)``, an expression over the *coarse* index
+``q``.  Parity expansion keeps every executed subscript integral.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..ir.access import AccessRange
+from .expr import Case, Expr, Ref, collect_refs, wrap_expr
+from .function import DimAccess, Function, FunctionAccess
+from .parameters import Interval, Variable
+from .types import DType
+
+__all__ = ["Restrict", "Interp"]
+
+
+class Restrict(Function):
+    """Downsampling stage with implicit factor 1/2 (output is the coarse
+    grid; subscripts of the fine input are scaled by 2)."""
+
+    SAMPLING_FACTOR = 2  # consumer index is scaled up by 2 into the input
+
+    @Function.defn.setter
+    def defn(self, pieces) -> None:
+        normalized = self._normalize_defn(pieces)
+
+        def scale(ref: Ref) -> Expr:
+            from fractions import Fraction
+
+            from .expr import IndexExpr
+
+            new_indices = [
+                IndexExpr(
+                    {
+                        v: c * Fraction(self.SAMPLING_FACTOR)
+                        for v, c in ix.coeffs.items()
+                    },
+                    ix.const,
+                )
+                for ix in ref.indices
+            ]
+            return ref.with_indices(new_indices)
+
+        from .expr import map_refs
+
+        scaled: list[Case | Expr] = []
+        for piece in normalized:
+            if isinstance(piece, Case):
+                scaled.append(Case(piece.condition, map_refs(piece.expr, scale)))
+            else:
+                scaled.append(map_refs(piece, scale))
+        self._defn = scaled
+        self._validate_defn()
+
+    def stage_kind(self) -> str:
+        return "restrict"
+
+
+class Interp(Function):
+    """Upsampling stage with implicit factor 2.
+
+    The definition is assigned as ``[parity_table]`` where the table is
+    nested dicts/lists indexed by per-dimension parity (0 or 1), each
+    entry an expression over *coarse* subscripts — exactly the structure
+    built by Figure 3's ``interpolate``.
+    """
+
+    SAMPLING_FACTOR = 2
+
+    def __init__(
+        self,
+        varspec: tuple[Sequence[Variable], Sequence[Interval]],
+        dtype: DType,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(varspec, dtype, name)
+        self.parity_cases: dict[tuple[int, ...], Expr] = {}
+
+    @Function.defn.setter
+    def defn(self, pieces) -> None:
+        if isinstance(pieces, (list, tuple)) and len(pieces) == 1:
+            table = pieces[0]
+        else:
+            table = pieces
+        cases: dict[tuple[int, ...], Expr] = {}
+        for parity in itertools.product((0, 1), repeat=self.ndim):
+            node = table
+            for p in parity:
+                try:
+                    node = node[p]
+                except (KeyError, IndexError, TypeError):
+                    raise ValueError(
+                        f"{self.name}: parity table missing entry {parity}"
+                    ) from None
+            cases[parity] = wrap_expr(node)
+        self.parity_cases = cases
+        # the generic defn view: all parity expressions (used by flop
+        # counting, ref collection, and validation)
+        self._defn = list(cases.values())
+        self._validate_defn()
+
+    def all_refs(self):
+        refs = []
+        for expr in self.parity_cases.values():
+            refs.extend(collect_refs(expr))
+        return refs
+
+    def accesses(self) -> dict[Function, FunctionAccess]:
+        """Fine-to-coarse access summary.
+
+        A coarse subscript ``q + o`` used by parity class ``r`` reads,
+        for the fine window ``[a, b]``, the coarse points
+        ``[floor((a - 1) / 2) + o_min, floor(b / 2) + o_max]``; encoded
+        as ``AccessRange(1, 2, 2*o_min - 1, 2*o_max)``.
+        """
+        summary: dict[Function, FunctionAccess] = {}
+        for ref in self.all_refs():
+            dims: list[DimAccess] = []
+            for ix in ref.indices:
+                var = ix.single_variable()
+                if var is None:
+                    if not ix.is_constant():
+                        raise ValueError(
+                            f"{self.name}: bad interp subscript {ix!r}"
+                        )
+                    c = ix.const.int_value({})
+                    dims.append(DimAccess(None, None, c, c))
+                    continue
+                coeff = ix.coeff_of(var)
+                if coeff != 1:
+                    raise ValueError(
+                        f"{self.name}: interp subscripts must have unit "
+                        f"coefficient, got {ix!r}"
+                    )
+                off = ix.const.int_value({})
+                cdim = self.variables.index(var)
+                rng = AccessRange(1, 2, 2 * off - 1, 2 * off)
+                dims.append(DimAccess(cdim, rng))
+            acc = FunctionAccess(tuple(dims))
+            if ref.func in summary:
+                summary[ref.func] = summary[ref.func].merge(acc)
+            else:
+                summary[ref.func] = acc
+        return summary
+
+    def stage_kind(self) -> str:
+        return "interp"

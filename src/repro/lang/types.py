@@ -1,0 +1,57 @@
+"""Scalar element types of the PolyMG DSL.
+
+Mirrors PolyMage's type vocabulary (``Double``, ``Float``, ``Int`` ...);
+each type knows its numpy dtype (for the interpreter backend), its C
+rendering (for the code emitter), and its size in bytes (for the storage
+and cost models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "Double",
+    "Float",
+    "Int",
+    "UInt",
+    "Long",
+    "Char",
+    "dtype_of",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    name: str
+    np_dtype: np.dtype
+    c_name: str
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.np_dtype.itemsize)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Double = DType("Double", np.dtype(np.float64), "double")
+Float = DType("Float", np.dtype(np.float32), "float")
+Int = DType("Int", np.dtype(np.int32), "int")
+UInt = DType("UInt", np.dtype(np.uint32), "unsigned int")
+Long = DType("Long", np.dtype(np.int64), "long long")
+Char = DType("Char", np.dtype(np.int8), "char")
+
+_BY_NAME = {t.name: t for t in (Double, Float, Int, UInt, Long, Char)}
+
+
+def dtype_of(value) -> DType:
+    """Coerce a DType or its name to a DType."""
+    if isinstance(value, DType):
+        return value
+    if isinstance(value, str) and value in _BY_NAME:
+        return _BY_NAME[value]
+    raise TypeError(f"not a DSL type: {value!r}")

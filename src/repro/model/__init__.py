@@ -1,0 +1,15 @@
+"""Machine and cost model: the Table-1 Xeon spec and the analytic
+schedule evaluator that regenerates the paper's figures at paper scale
+(see DESIGN.md for the hardware-substitution rationale)."""
+
+from .costs import CostBreakdown, GroupCost, PipelineCostModel
+from .machine import LAPTOP_MACHINE, PAPER_MACHINE, MachineSpec
+
+__all__ = [
+    "CostBreakdown",
+    "GroupCost",
+    "PipelineCostModel",
+    "MachineSpec",
+    "PAPER_MACHINE",
+    "LAPTOP_MACHINE",
+]

@@ -1,0 +1,30 @@
+"""Geometric multigrid library: reference kernels/solver, the DSL cycle
+builder (Figure 3), problem definitions, and the NAS MG benchmark."""
+
+from .cycles import MultigridPipeline, build_poisson_cycle
+from .kernels import (
+    apply_operator,
+    correct,
+    interpolate,
+    jacobi_step,
+    norm_residual,
+    residual,
+    restrict_full_weighting,
+)
+from .reference import MultigridOptions, SolveResult, reference_cycle, solve
+
+__all__ = [
+    "MultigridPipeline",
+    "build_poisson_cycle",
+    "apply_operator",
+    "correct",
+    "interpolate",
+    "jacobi_step",
+    "norm_residual",
+    "residual",
+    "restrict_full_weighting",
+    "MultigridOptions",
+    "SolveResult",
+    "reference_cycle",
+    "solve",
+]

@@ -1,0 +1,168 @@
+"""Dimension-generic numpy kernels for geometric multigrid.
+
+These are the *reference* building blocks: weighted-Jacobi relaxation,
+residual (defect), full-weighting restriction, and bi/tri-linear
+interpolation for the discrete Poisson operator
+
+    A_h u = (2d * u - sum of face neighbours) / h**2      (A = -laplace)
+
+on grids of shape ``(N+2,)**d`` with one boundary layer (homogeneous
+Dirichlet unless the caller maintains other boundary values — every
+kernel preserves boundaries).
+
+Operation *order* inside each kernel deliberately mirrors the expression
+trees built by :mod:`repro.multigrid.cycles` so that the DSL executor
+and this reference agree bit-for-bit where floating-point allows; tests
+assert agreement to 1e-12 and exact agreement among compiled variants.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = [
+    "interior",
+    "apply_operator",
+    "jacobi_step",
+    "residual",
+    "restrict_full_weighting",
+    "interpolate",
+    "correct",
+    "norm_residual",
+]
+
+
+def interior(ndim: int) -> tuple[slice, ...]:
+    return (slice(1, -1),) * ndim
+
+
+def _shifted(u: np.ndarray, d: int, off: int) -> np.ndarray:
+    """Interior-shaped view of ``u`` shifted by ``off`` along dim ``d``."""
+    idx: list[slice] = [slice(1, -1)] * u.ndim
+    stop = u.shape[d] - 1 + off
+    idx[d] = slice(1 + off, stop if stop != 0 else None)
+    return u[tuple(idx)]
+
+
+def apply_operator(u: np.ndarray, h: float) -> np.ndarray:
+    """Interior values of ``A_h u`` (matching the DSL Stencil expansion
+    order: neighbours in lexicographic weight order around the centre)."""
+    d = u.ndim
+    c = u[interior(d)]
+    # lexicographic order of the (2d+1)-point stencil weight matrix:
+    # for each dim in order, the -1 neighbour comes before the centre,
+    # the +1 neighbour after.
+    total = None
+    pre = []
+    post = []
+    for dim in range(d):
+        pre.append(_shifted(u, dim, -1))
+        post.append(_shifted(u, dim, +1))
+    # order: -z, -y, -x, centre, +x, +y, +z (matches nested weight lists)
+    for term in pre:
+        total = -term if total is None else total + (-term)
+    total = total + (2.0 * d) * c
+    for term in reversed(post):
+        total = total + (-term)
+    return total * (1.0 / (h * h))
+
+
+def jacobi_step(
+    u: np.ndarray, f: np.ndarray, h: float, omega: float = 0.8
+) -> np.ndarray:
+    """One weighted-Jacobi relaxation of ``A_h u = f``; returns a new
+    grid with boundaries copied from ``u``."""
+    d = u.ndim
+    weight = omega * (h * h) / (2.0 * d)
+    out = u.copy()
+    out[interior(d)] = u[interior(d)] - weight * (
+        apply_operator(u, h) - f[interior(d)]
+    )
+    return out
+
+
+def residual(u: np.ndarray, f: np.ndarray, h: float) -> np.ndarray:
+    """Interior defect ``f - A_h u`` (shape ``(N,)**d``, no boundary)."""
+    d = u.ndim
+    return f[interior(d)] - apply_operator(u, h)
+
+
+def restrict_full_weighting(r: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction of an interior-only fine residual
+    (shape ``(N,)**d``) to an interior-only coarse grid (shape
+    ``(N//2,)**d``), with the 3**d kernel of weights 2**(d - |offset|)
+    normalized by 4**d — the paper's [1,2,1;2,4,2;1,2,1]/16 in 2-D."""
+    d = r.ndim
+    n = r.shape[0]
+    if n % 2 != 0:
+        raise ValueError("interior size must be even to restrict")
+    nc = n // 2
+    # pad so fine index 2q+off (q in 1..nc, off in -1..1) is in range:
+    # interior array index of fine point i is i-1; build padded view
+    pad = np.zeros(tuple(s + 2 for s in r.shape), dtype=r.dtype)
+    pad[interior(d)] = r
+    out = None
+    scale = 1.0 / (4.0**d)
+    for offsets in itertools.product((-1, 0, 1), repeat=d):
+        w = 1.0
+        for o in offsets:
+            w *= 2.0 if o == 0 else 1.0
+        sl = tuple(
+            slice(2 + o, 2 + o + 2 * (nc - 1) + 1, 2) for o in offsets
+        )
+        term = pad[sl] if w == 1.0 else w * pad[sl]
+        out = term if out is None else out + term
+    return out * scale
+
+
+def interpolate(e: np.ndarray, fine_n: int) -> np.ndarray:
+    """Bi/tri-linear interpolation of an interior-only coarse error
+    (shape ``(nc,)**d``) to an interior-only fine grid (shape
+    ``(fine_n,)**d``): fine point ``2q + parity`` averages the coarse
+    points ``q + {0, parity_d}`` per dimension (coarse boundary = 0)."""
+    d = e.ndim
+    nc = e.shape[0]
+    if fine_n != 2 * nc:
+        raise ValueError("fine interior must be twice the coarse interior")
+    # padded coarse grid with zero boundary, index q in 0..nc+1
+    pad = np.zeros(tuple(s + 2 for s in e.shape), dtype=e.dtype)
+    pad[interior(d)] = e
+    out = np.empty((fine_n,) * d, dtype=e.dtype)
+    for parity in itertools.product((0, 1), repeat=d):
+        # fine interior point x=2q+r for x in [1, fine_n]:
+        # q in [ceil((1-r)/2), (fine_n - r)//2]
+        q_lo = [-((-(1 - r)) // 2) for r in parity]
+        q_hi = [(fine_n - r) // 2 for r in parity]
+        total = None
+        weight = 0.5 ** sum(parity)
+        for deltas in itertools.product(*[(0, r) if r else (0,) for r in parity]):
+            sl = tuple(
+                slice(lo + dd, hi + dd + 1)
+                for lo, hi, dd in zip(q_lo, q_hi, deltas)
+            )
+            term = pad[sl]
+            total = term if total is None else total + term
+        if weight != 1.0:
+            total = total * weight
+        dst = tuple(
+            slice(2 * lo + r - 1, 2 * hi + r - 1 + 1, 2)
+            for lo, hi, r in zip(q_lo, q_hi, parity)
+        )
+        out[dst] = total
+    return out
+
+
+def correct(v: np.ndarray, e_interior: np.ndarray) -> np.ndarray:
+    """Coarse-grid correction ``v + e`` on the interior; boundaries kept
+    from ``v``."""
+    out = v.copy()
+    out[interior(v.ndim)] = v[interior(v.ndim)] + e_interior
+    return out
+
+
+def norm_residual(u: np.ndarray, f: np.ndarray, h: float) -> float:
+    """L2 norm of the interior defect (scaled by h**(d/2))."""
+    r = residual(u, f, h)
+    return float(np.sqrt(np.sum(r * r)) * h ** (u.ndim / 2.0))

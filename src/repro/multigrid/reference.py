@@ -1,0 +1,141 @@
+"""Independent reference multigrid solver (ground truth).
+
+A plain-numpy implementation of Algorithm 1 (V-cycle) and the W-cycle,
+written directly against :mod:`repro.multigrid.kernels` with no DSL or
+compiler involvement.  Every compiled variant's output is compared
+against this solver in the tests; it also provides convergence-factor
+measurements used by the example applications.
+
+Cycle conventions (matching the DSL builder and the paper's stage
+counts in Table 3):
+
+* smoothing configuration ``(n1, n2, n3)`` = pre-smoothing steps,
+  coarsest-level smoothing steps, post-smoothing steps;
+* the initial guess on every coarse level is zero;
+* the W-cycle recurses twice into every coarser level except that a
+  level directly above the coarsest recurses once (this reproduces the
+  paper's 100/98-stage W-cycle DAGs for 4-4-4/10-0-0 with 4 levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kernels import (
+    correct,
+    interior,
+    interpolate,
+    jacobi_step,
+    norm_residual,
+    residual,
+    restrict_full_weighting,
+)
+
+__all__ = ["MultigridOptions", "reference_cycle", "solve", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class MultigridOptions:
+    """Cycle structure options shared by reference, DSL, and baselines."""
+
+    cycle: str = "V"  # "V" or "W"
+    n1: int = 4
+    n2: int = 4
+    n3: int = 4
+    levels: int = 4
+    omega: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.cycle not in ("V", "W"):
+            raise ValueError(f"unknown cycle type {self.cycle!r}")
+        if self.levels < 2:
+            raise ValueError("need at least two levels")
+        if min(self.n1, self.n2, self.n3) < 0:
+            raise ValueError("negative smoothing step count")
+
+    def smoothing_label(self) -> str:
+        return f"{self.n1}-{self.n2}-{self.n3}"
+
+
+def _smooth(u, f, h, steps, omega):
+    for _ in range(steps):
+        u = jacobi_step(u, f, h, omega)
+    return u
+
+
+def reference_cycle(
+    v: np.ndarray,
+    f: np.ndarray,
+    h: float,
+    opts: MultigridOptions,
+    level: int | None = None,
+) -> np.ndarray:
+    """One multigrid cycle; ``level`` counts down to 0 (coarsest)."""
+    if level is None:
+        level = opts.levels - 1
+    if level == 0:
+        return _smooth(v, f, h, opts.n2, opts.omega)
+
+    v = _smooth(v, f, h, opts.n1, opts.omega)
+    r = residual(v, f, h)
+    r2 = restrict_full_weighting(r)
+
+    nc = r2.shape[0]
+    e2 = np.zeros(tuple(s + 2 for s in r2.shape), dtype=v.dtype)
+    f2 = np.zeros_like(e2)
+    f2[interior(v.ndim)] = r2
+
+    # coarse spacing convention: h_c = 1/(nc+1) — for even-interior
+    # grids this distributes the coarse/fine boundary mismatch
+    # symmetrically and converges markedly better than h_c = 2h
+    hc = 1.0 / (nc + 1)
+    e2 = reference_cycle(e2, f2, hc, opts, level - 1)
+    if opts.cycle == "W" and level - 1 > 0:
+        e2 = reference_cycle(e2, f2, hc, opts, level - 1)
+
+    e = interpolate(e2[interior(v.ndim)], 2 * nc)
+    v = correct(v, e)
+    return _smooth(v, f, h, opts.n3, opts.omega)
+
+
+@dataclass
+class SolveResult:
+    u: np.ndarray
+    residual_norms: list[float] = field(default_factory=list)
+    cycles: int = 0
+
+    def convergence_factors(self) -> list[float]:
+        return [
+            b / a if a > 0 else 0.0
+            for a, b in zip(self.residual_norms, self.residual_norms[1:])
+        ]
+
+
+def solve(
+    f: np.ndarray,
+    opts: MultigridOptions,
+    cycles: int = 10,
+    u0: np.ndarray | None = None,
+    tol: float | None = None,
+) -> SolveResult:
+    """Iterate multigrid cycles on ``A_h u = f`` (full-size grids with
+    boundary layer; homogeneous Dirichlet)."""
+    n = f.shape[0] - 2
+    if n % (1 << (opts.levels - 1)) != 0:
+        raise ValueError(
+            f"interior size {n} not divisible by 2**(levels-1)"
+        )
+    h = 1.0 / (n + 1)
+    u = np.zeros_like(f) if u0 is None else u0.copy()
+    result = SolveResult(u)
+    result.residual_norms.append(norm_residual(u, f, h))
+    for _ in range(cycles):
+        u = reference_cycle(u, f, h, opts)
+        result.cycles += 1
+        result.residual_norms.append(norm_residual(u, f, h))
+        if tol is not None and result.residual_norms[-1] < tol:
+            break
+    result.u = u
+    return result

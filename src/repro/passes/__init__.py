@@ -1,0 +1,23 @@
+"""Compiler passes: grouping/fusion, tile geometry, scheduling, and the
+storage optimizations that are the paper's central contribution."""
+
+from .grouping import GroupingResult, auto_group
+from .groups import Group
+from .schedule import PipelineSchedule
+from .storage import (
+    StoragePlan,
+    get_last_use_map,
+    plan_storage,
+    remap_storage,
+)
+
+__all__ = [
+    "GroupingResult",
+    "auto_group",
+    "Group",
+    "PipelineSchedule",
+    "StoragePlan",
+    "get_last_use_map",
+    "plan_storage",
+    "remap_storage",
+]

@@ -1,0 +1,274 @@
+"""Fused stage groups and their tile geometry.
+
+A :class:`Group` is a set of pipeline stages executed together under one
+overlapped tile loop (paper section 3.1).  The group knows
+
+* its **anchor** — the last stage in topological order; the tile loop
+  iterates over the anchor's domain and every other stage's per-tile
+  region is derived from it,
+* per-stage **scales** relative to the anchor (rational, per dimension:
+  a pre-smoothing stage fused below a ``Restrict`` anchor runs at scale
+  2, i.e. on a grid twice as fine),
+* per-tile **needs** — the hyper-trapezoidal footprints obtained by
+  propagating the anchor tile backwards through the access relations
+  (these size the scratchpads), and
+* per-tile **ownership** regions for live-out stages, guaranteeing that
+  the union over tiles covers each live-out's full domain even for
+  point-sampling accesses.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TYPE_CHECKING, Sequence
+
+from ..ir.domain import Box
+from ..ir.interval import ConcreteInterval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ir.dag import PipelineDAG
+    from ..lang.function import Function
+
+__all__ = ["Group"]
+
+
+class Group:
+    """A fused set of stages, scheduled and tiled as one unit."""
+
+    def __init__(self, dag: "PipelineDAG", stages: Sequence["Function"]) -> None:
+        self.dag = dag
+        members = set(stages)
+        # keep the DAG's deterministic topological order
+        self.stages: list["Function"] = [
+            s for s in dag.stages if s in members
+        ]
+        if len(self.stages) != len(members):
+            raise ValueError("group contains stages unknown to the DAG")
+        self._scales: dict["Function", tuple[Fraction, ...]] | None = None
+
+    # -- structure -------------------------------------------------------
+    @property
+    def anchor(self) -> "Function":
+        return self.stages[-1]
+
+    @property
+    def size(self) -> int:
+        return len(self.stages)
+
+    def __contains__(self, func: "Function") -> bool:
+        return any(func is s for s in self.stages)
+
+    def __repr__(self) -> str:
+        return f"Group({[s.name for s in self.stages]})"
+
+    # -- liveness ----------------------------------------------------------
+    def live_outs(self) -> list["Function"]:
+        """Stages whose values are used outside the group (or are
+        pipeline outputs); these require full-array storage."""
+        outs = []
+        for stage in self.stages:
+            if self.dag.is_output(stage) or any(
+                c not in self for c in self.dag.consumers_of(stage)
+            ):
+                outs.append(stage)
+        return outs
+
+    def internal_stages(self) -> list["Function"]:
+        """Stages storable as tile-local scratchpads."""
+        live = set(self.live_outs())
+        return [s for s in self.stages if s not in live]
+
+    # -- geometry ----------------------------------------------------------
+    def scales(self) -> dict["Function", tuple[Fraction, ...]]:
+        """Per-dimension scale of each stage relative to the anchor.
+
+        Scale ``s`` means the stage's grid coordinate corresponding to
+        anchor coordinate ``x`` is about ``s * x``.  Raises when two
+        producer-consumer paths disagree (such groups are rejected by
+        the grouping pass).
+        """
+        if self._scales is not None:
+            return self._scales
+        anchor = self.anchor
+        scales: dict["Function", tuple[Fraction, ...]] = {
+            anchor: tuple(Fraction(1) for _ in range(anchor.ndim))
+        }
+        # reverse topological sweep: consumers are resolved before
+        # producers
+        for consumer in reversed(self.stages):
+            if consumer not in scales:
+                continue
+            cscale = scales[consumer]
+            for producer, acc in self.dag.accesses_of(consumer).items():
+                if producer not in self:
+                    continue
+                pscale = [Fraction(1)] * producer.ndim
+                for j, dim in enumerate(acc.dims):
+                    if dim.consumer_dim is None:
+                        pscale[j] = Fraction(0)
+                        continue
+                    assert dim.rng is not None
+                    pscale[j] = (
+                        cscale[dim.consumer_dim]
+                        * dim.rng.num
+                        / dim.rng.den
+                    )
+                new = tuple(pscale)
+                old = scales.get(producer)
+                if old is not None and old != new:
+                    raise ValueError(
+                        f"inconsistent scales for {producer.name} in "
+                        f"group anchored at {anchor.name}: {old} vs {new}"
+                    )
+                scales[producer] = new
+        missing = [s.name for s in self.stages if s not in scales]
+        if missing:
+            raise ValueError(
+                f"stages {missing} unreachable from anchor "
+                f"{anchor.name} inside group"
+            )
+        self._scales = scales
+        return scales
+
+    def tile_needs(
+        self, anchor_box: Box, clamp: bool = True
+    ) -> dict["Function", Box]:
+        """Per-stage region needed to compute ``anchor_box`` of the
+        anchor (backward footprint propagation; paper Figure 5's
+        hyper-trapezoids)."""
+        bindings = self.dag.param_bindings
+        needs: dict["Function", Box] = {self.anchor: anchor_box}
+        for consumer in reversed(self.stages):
+            if consumer not in needs:
+                continue
+            cbox = needs[consumer]
+            for producer, acc in self.dag.accesses_of(consumer).items():
+                if producer not in self:
+                    continue
+                fp = acc.footprint(cbox)
+                if producer in needs:
+                    fp = fp.union_hull(needs[producer])
+                needs[producer] = fp
+        if clamp:
+            for stage, box in needs.items():
+                needs[stage] = box.intersect(stage.domain_box(bindings))
+        return needs
+
+    def ownership(
+        self,
+        stage: "Function",
+        anchor_tile: Box,
+        anchor_domain: Box,
+    ) -> Box:
+        """The sub-box of ``stage``'s domain owned by ``anchor_tile``.
+
+        Ownership partitions every live-out's domain across the tile
+        grid: per dimension, anchor coordinate range ``[a, b]`` owns
+        stage range ``[floor(s*a), floor(s*(b+1)) - 1]``, extended to the
+        stage's domain edges on boundary tiles.  Together with the
+        footprint needs this guarantees full coverage of live-outs.
+        """
+        scale = self.scales()[stage]
+        sdom = stage.domain_box(self.dag.param_bindings)
+        out = []
+        for d in range(stage.ndim):
+            s = scale[d]
+            a = anchor_tile.intervals[d].lb
+            b = anchor_tile.intervals[d].ub
+            if s == 0:
+                out.append(sdom.intervals[d])
+                continue
+            lo = int(s * a // 1)
+            hi = int(s * (b + 1) // 1) - 1
+            if a <= anchor_domain.intervals[d].lb:
+                lo = sdom.intervals[d].lb
+            if b >= anchor_domain.intervals[d].ub:
+                hi = sdom.intervals[d].ub
+            out.append(
+                ConcreteInterval(lo, hi).intersect(sdom.intervals[d])
+            )
+        return Box(out)
+
+    def tile_regions(self, anchor_tile: Box) -> dict["Function", Box]:
+        """Exact per-stage computation regions for one tile.
+
+        Like :meth:`tile_needs` but live-out stages additionally compute
+        their ownership region, so the union over the tile grid covers
+        every live-out's domain (redundant overlap-zone writes of the
+        same values are the price of communication-avoiding overlapped
+        tiling, paper section 3.1)."""
+        bindings = self.dag.param_bindings
+        anchor_dom = self.anchor.domain_box(bindings)
+        live = set(self.live_outs())
+        regions: dict["Function", Box] = {
+            self.anchor: anchor_tile.intersect(anchor_dom)
+        }
+        for stage in reversed(self.stages):
+            region = regions.get(stage)
+            if stage in live:
+                own = self.ownership(stage, anchor_tile, anchor_dom)
+                region = own if region is None else region.union_hull(own)
+            if region is None:
+                # not needed by this tile at all (possible for a live-out
+                # producer chain on interior tiles) -> empty region
+                continue
+            region = region.intersect(stage.domain_box(bindings))
+            regions[stage] = region
+            for producer, acc in self.dag.accesses_of(stage).items():
+                if producer not in self:
+                    continue
+                fp = acc.footprint(region)
+                if producer in regions:
+                    fp = fp.union_hull(regions[producer])
+                regions[producer] = fp
+        return regions
+
+    # -- cost estimation (used by the grouping heuristic) -----------------
+    def redundancy(self, tile_shape: Sequence[int]) -> float:
+        """Fraction of extra (redundant) computation introduced by
+        overlapped tiling at the given anchor tile shape."""
+        bindings = self.dag.param_bindings
+        anchor_dom = self.anchor.domain_box(bindings)
+        tile = Box.from_bounds(
+            [
+                (iv.lb, min(iv.ub, iv.lb + t - 1))
+                for iv, t in zip(anchor_dom.intervals, tile_shape)
+            ]
+        )
+        needs = self.tile_needs(tile, clamp=True)
+        scales = self.scales()
+        need_vol = 0
+        own_vol = 0
+        for stage in self.stages:
+            need_vol += needs.get(stage, tile).volume()
+            own = 1
+            sdom = stage.domain_box(bindings)
+            for d in range(stage.ndim):
+                s = scales[stage][d]
+                extent = (
+                    sdom.intervals[d].size()
+                    if s == 0
+                    else max(1, int(s * tile.intervals[d].size()))
+                )
+                own *= min(extent, sdom.intervals[d].size())
+            own_vol += own
+        if own_vol == 0:
+            return 0.0
+        return max(0.0, need_vol / own_vol - 1.0)
+
+    def scratch_bytes(self, tile_shape: Sequence[int]) -> int:
+        """Total scratchpad bytes per tile without any reuse (one buffer
+        per internal stage)."""
+        bindings = self.dag.param_bindings
+        anchor_dom = self.anchor.domain_box(bindings)
+        tile = Box.from_bounds(
+            [
+                (iv.lb, min(iv.ub, iv.lb + t - 1))
+                for iv, t in zip(anchor_dom.intervals, tile_shape)
+            ]
+        )
+        needs = self.tile_needs(tile, clamp=True)
+        total = 0
+        for stage in self.internal_stages():
+            total += needs[stage].volume() * stage.dtype.size_bytes
+        return total

@@ -1,0 +1,45 @@
+"""Scheduling: total order of groups and of stages within groups.
+
+The storage passes (paper section 3.2) require every function to have a
+timestamp under a fixed total order.  Groups execute in topological
+order; stages within a group execute in topological order under the
+group's tile loop.  A live-out function's schedule time is the time of
+the group it belongs to (paper 3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .grouping import GroupingResult
+from .groups import Group
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lang.function import Function
+
+__all__ = ["PipelineSchedule"]
+
+
+class PipelineSchedule:
+    """Timestamps for groups and stages."""
+
+    def __init__(self, grouping: GroupingResult) -> None:
+        self.grouping = grouping
+        self.group_time: dict[int, int] = {
+            id(g): t for t, g in enumerate(grouping.groups)
+        }
+        self.stage_time: dict["Function", int] = {}
+        for group in grouping.groups:
+            for t, stage in enumerate(group.stages):
+                self.stage_time[stage] = t
+
+    def time_of_group(self, group: Group) -> int:
+        return self.group_time[id(group)]
+
+    def time_of_stage(self, stage: "Function") -> int:
+        """Intra-group timestamp of a stage."""
+        return self.stage_time[stage]
+
+    def liveout_time(self, stage: "Function") -> int:
+        """Cross-group timestamp of a live-out (its group's time)."""
+        return self.time_of_group(self.grouping.group_of[stage])

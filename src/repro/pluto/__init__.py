@@ -1,0 +1,11 @@
+"""Diamond tiling for time-iterated stencils (libPluto substitute)."""
+
+from .diamond import DiamondTile, diamond_schedule, diamond_stats
+from .executor import execute_smoother_chain
+
+__all__ = [
+    "DiamondTile",
+    "diamond_schedule",
+    "diamond_stats",
+    "execute_smoother_chain",
+]

@@ -1,0 +1,135 @@
+"""Execution of diamond-tiled smoother chains.
+
+Runs a group consisting solely of consecutive ``TStencil`` steps under
+the :mod:`repro.pluto.diamond` schedule, with two full-grid ping-pong
+buffers (time-parity addressing): computing step ``t`` over an interval
+reads step ``t-1`` values from the other buffer, which the dependence
+structure of the two-phase decomposition guarantees are already in
+place.
+
+The ``conservative_copies`` flag reproduces the implementation issue the
+paper reports for ``polymg-dtile-opt+`` (section 4.2): conservative
+assumptions about reusing input/output arrays force extra whole-grid
+memory copies around the diamond-tiled segment — we perform those copies
+for real and report their byte volume so the cost model can charge them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from ..backend.evaluate import evaluate_stage
+from ..ir.domain import Box
+from .diamond import diamond_schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lang.function import Function
+    from ..passes.groups import Group
+
+__all__ = ["execute_smoother_chain", "diamond_width_for"]
+
+
+def diamond_width_for(extent_size: int, timesteps: int) -> int:
+    """Pick a diamond base width: wide enough for non-degenerate slabs
+    over all timesteps, narrow enough to produce parallelism."""
+    width = max(4, 2 * timesteps)
+    # aim for at least ~8 tiles across the extent when possible
+    while width > 2 * timesteps and extent_size // width < 8:
+        width //= 2
+    width = max(width, 2 * min(timesteps, max(1, extent_size // 4)))
+    return max(4, min(width, max(4, extent_size)))
+
+
+def _chain_of(group: "Group") -> list["Function"]:
+    stages = list(group.stages)
+    t0 = getattr(stages[0], "tstencil", None)
+    if t0 is None or not all(
+        getattr(s, "tstencil", None) is t0 for s in stages
+    ):
+        raise ValueError(
+            "diamond execution requires a group of same-TStencil steps"
+        )
+    stages.sort(key=lambda s: s.time_index)  # type: ignore[attr-defined]
+    times = [s.time_index for s in stages]  # type: ignore[attr-defined]
+    if times != list(range(times[0], times[0] + len(times))):
+        raise ValueError("non-contiguous smoother chain")
+    return stages
+
+
+def execute_smoother_chain(
+    group: "Group",
+    reader: Callable[["Function", Box], np.ndarray],
+    bindings: Mapping[str, int],
+    conservative_copies: bool = True,
+    width: int | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """Execute the chain; returns ``(result, points_computed,
+    copy_bytes)`` where ``result`` holds the final step over the stage
+    domain."""
+    stages = _chain_of(group)
+    timesteps = len(stages)
+    first = stages[0]
+    domain = first.domain_box(dict(bindings))
+    shape = domain.shape()
+    npdt = first.dtype.np_dtype
+
+    # previous-step sources: stage[i] reads prev_funcs[i]
+    prev_funcs: list["Function"] = []
+    tst = stages[0].tstencil  # type: ignore[attr-defined]
+    for s in stages:
+        prev_funcs.append(tst[s.time_index - 1])  # type: ignore[attr-defined]
+
+    buffers = [
+        np.empty(shape, dtype=npdt),
+        np.empty(shape, dtype=npdt),
+    ]
+    copy_bytes = 0
+    initial = reader(prev_funcs[0], domain)
+    if conservative_copies:
+        # conservative input copy (the polymg-dtile-opt+ issue)
+        buffers[0][...] = initial
+        src0: np.ndarray = buffers[0]
+        copy_bytes += buffers[0].nbytes
+    else:
+        src0 = np.asarray(initial)
+
+    origin = domain.lower()
+
+    def buffer_for(t: int) -> np.ndarray:
+        # step t (1-based within the chain) writes buffers[t % 2]
+        return buffers[t % 2]
+
+    def source_for(t: int) -> np.ndarray:
+        return src0 if t == 1 else buffers[(t - 1) % 2]
+
+    points = 0
+    if width is None:
+        width = diamond_width_for(domain.intervals[0].size(), timesteps)
+
+    phases = diamond_schedule(timesteps, domain.intervals[0], width)
+    for phase in phases:
+        for tile in phase:
+            for t, interval in tile.steps():
+                stage = stages[t - 1]
+                prev = prev_funcs[t - 1]
+                region = Box([interval] + list(domain.intervals[1:]))
+                src = source_for(t)
+                dst = buffer_for(t)
+
+                def step_reader(func: "Function", box: Box, _src=src, _prev=prev):
+                    if func is _prev:
+                        return _src[box.slices(origin=origin)]
+                    return reader(func, box)
+
+                points += evaluate_stage(
+                    stage, region, step_reader, dst, origin, bindings
+                )
+
+    result = buffer_for(timesteps)
+    if conservative_copies:
+        out = result.copy()
+        copy_bytes += out.nbytes
+        result = out
+    return result, points, copy_bytes

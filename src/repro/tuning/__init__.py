@@ -1,0 +1,21 @@
+"""Auto-tuning over the paper's tile-size x grouping-limit space."""
+
+from .autotuner import (
+    TunePoint,
+    TuneResult,
+    autotune_measured,
+    autotune_model,
+    config_space,
+    group_limit_space,
+    tile_space,
+)
+
+__all__ = [
+    "TunePoint",
+    "TuneResult",
+    "autotune_measured",
+    "autotune_model",
+    "config_space",
+    "group_limit_space",
+    "tile_space",
+]

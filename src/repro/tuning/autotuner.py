@@ -1,0 +1,153 @@
+"""Auto-tuning (paper section 3.2.4).
+
+Searches the paper's configuration space for the best-performing
+compiled variant:
+
+* 2-D: outermost tile size 8..64, innermost 64..512, powers of two
+  (16 tile-size points), five grouping-limit values -> 80 configurations;
+* 3-D: two outermost 8..32, innermost 64..256, powers of two (27 points),
+  five grouping limits -> 135 configurations.
+
+Each configuration is compiled and scored.  Two scoring backends exist:
+the machine cost model (used for paper-scale experiments — the paper's
+own tuner measures on the machine; ours evaluates the Table-1 model) and
+wall-clock execution of the numpy backend (used at laptop scale).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..config import PolyMgConfig
+from ..model.costs import PipelineCostModel
+from ..model.machine import MachineSpec
+
+__all__ = [
+    "TuneResult",
+    "TunePoint",
+    "tile_space",
+    "group_limit_space",
+    "config_space",
+    "autotune_model",
+    "autotune_measured",
+]
+
+GROUP_LIMITS = (1, 2, 4, 6, 8)  # five grouping-limit values
+
+
+def _pow2_range(lo: int, hi: int) -> list[int]:
+    out = []
+    v = lo
+    while v <= hi:
+        out.append(v)
+        v *= 2
+    return out
+
+
+def tile_space(ndim: int) -> list[tuple[int, ...]]:
+    """The paper's tile-size search space per dimensionality."""
+    if ndim == 2:
+        return [
+            (outer, inner)
+            for outer in _pow2_range(8, 64)
+            for inner in _pow2_range(64, 512)
+        ]
+    if ndim == 3:
+        return [
+            (o1, o2, inner)
+            for o1 in _pow2_range(8, 32)
+            for o2 in _pow2_range(8, 32)
+            for inner in _pow2_range(64, 256)
+        ]
+    raise ValueError(f"no tuning space for rank {ndim}")
+
+
+def group_limit_space() -> tuple[int, ...]:
+    return GROUP_LIMITS
+
+
+def config_space(
+    base: PolyMgConfig, ndim: int
+) -> Iterable[tuple[PolyMgConfig, tuple[int, ...], int]]:
+    """All (config, tile_shape, group_limit) tuning points."""
+    for limit in GROUP_LIMITS:
+        for tiles in tile_space(ndim):
+            cfg = base.with_(
+                tile_sizes={**base.tile_sizes, ndim: tiles},
+                group_size_limit=limit,
+            )
+            yield cfg, tiles, limit
+
+
+@dataclass
+class TunePoint:
+    tile_shape: tuple[int, ...]
+    group_limit: int
+    score: float  # seconds (lower is better)
+
+
+@dataclass
+class TuneResult:
+    best: TunePoint
+    points: list[TunePoint]
+    configurations: int
+
+    def best_config(self, base: PolyMgConfig, ndim: int) -> PolyMgConfig:
+        return base.with_(
+            tile_sizes={**base.tile_sizes, ndim: self.best.tile_shape},
+            group_size_limit=self.best.group_limit,
+        )
+
+
+def _tune(
+    pipe,
+    base: PolyMgConfig,
+    score: Callable[[PolyMgConfig], float],
+) -> TuneResult:
+    points: list[TunePoint] = []
+    for cfg, tiles, limit in config_space(base, pipe.ndim):
+        points.append(TunePoint(tiles, limit, score(cfg)))
+    best = min(points, key=lambda p: p.score)
+    return TuneResult(best, points, len(points))
+
+
+def autotune_model(
+    pipe,
+    base: PolyMgConfig,
+    machine: MachineSpec,
+    threads: int,
+    cycles: int = 10,
+) -> TuneResult:
+    """Tune against the machine cost model (paper-scale problems)."""
+
+    def score(cfg: PolyMgConfig) -> float:
+        compiled = pipe.compile(cfg)
+        return PipelineCostModel(compiled, machine).run_time(
+            threads, cycles
+        )
+
+    return _tune(pipe, base, score)
+
+
+def autotune_measured(
+    pipe,
+    base: PolyMgConfig,
+    inputs_factory: Callable[[], dict],
+    repeats: int = 1,
+) -> TuneResult:
+    """Tune by wall-clock execution of the numpy backend (laptop-scale
+    problems; the paper's 'minimum of five runs' protocol, scaled)."""
+
+    def score(cfg: PolyMgConfig) -> float:
+        compiled = pipe.compile(cfg)
+        inputs = inputs_factory()
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            compiled.execute(inputs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    return _tune(pipe, base, score)

@@ -1,0 +1,134 @@
+"""The evaluation variants of paper section 4.1.
+
+Each PolyMG variant is a :class:`~repro.config.PolyMgConfig` preset:
+
+* ``polymg-naive`` — straightforward parallel code: no fusion, no
+  tiling, no storage optimization (one full array per stage, fresh
+  allocation each cycle); OpenMP on the outermost loop of each stage.
+* ``polymg-opt`` — the stock PolyMage optimizer adapted to multigrid:
+  grouping/fusion + overlapped tiling with per-stage scratchpads, but
+  one-to-one buffer allocation (no scratch reuse, no array reuse, no
+  pooling).
+* ``polymg-opt+`` — this paper: all of the above plus intra-group
+  scratchpad reuse, inter-group full-array reuse, pooled allocation.
+* ``polymg-dtile-opt+`` — ``opt+`` with pre-/post-smoothing chains
+  diamond-tiled via the libPluto-style backend (with its
+  conservative-copy implementation issue modeled for real).
+
+``handopt`` and ``handopt+pluto`` (the Ghysels & Vanroose reference
+codes) are separate hand-written implementations in
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from .config import PolyMgConfig
+
+__all__ = [
+    "POLYMG_VARIANTS",
+    "polymg_naive",
+    "polymg_opt",
+    "polymg_opt_plus",
+    "polymg_dtile_opt_plus",
+    "handopt_model",
+    "handopt_pluto_model",
+    "variant_config",
+]
+
+
+def polymg_naive(**overrides) -> PolyMgConfig:
+    base = dict(
+        fuse=False,
+        tile=False,
+        intra_group_reuse=False,
+        inter_group_reuse=False,
+        pooled_allocation=False,
+    )
+    base.update(overrides)
+    return PolyMgConfig(**base)
+
+
+def polymg_opt(**overrides) -> PolyMgConfig:
+    base = dict(
+        fuse=True,
+        tile=True,
+        intra_group_reuse=False,
+        inter_group_reuse=False,
+        pooled_allocation=False,
+    )
+    base.update(overrides)
+    return PolyMgConfig(**base)
+
+
+def polymg_opt_plus(**overrides) -> PolyMgConfig:
+    base = dict(
+        fuse=True,
+        tile=True,
+        intra_group_reuse=True,
+        inter_group_reuse=True,
+        pooled_allocation=True,
+    )
+    base.update(overrides)
+    return PolyMgConfig(**base)
+
+
+def polymg_dtile_opt_plus(**overrides) -> PolyMgConfig:
+    base = dict(diamond_smoothing=True)
+    base.update(overrides)
+    return polymg_opt_plus(**base)
+
+
+def handopt_model(**overrides) -> PolyMgConfig:
+    """``handopt`` expressed as a compiler configuration for the machine
+    cost model: straightforward per-stage loops (no fusion/tiling) with
+    modulo-buffer-style array reuse and pooled allocation.  Wall-clock
+    execution uses the real hand-written
+    :class:`repro.baselines.HandOptSolver` instead."""
+    base = dict(
+        fuse=False,
+        tile=False,
+        intra_group_reuse=False,
+        inter_group_reuse=True,
+        pooled_allocation=True,
+    )
+    base.update(overrides)
+    return PolyMgConfig(**base)
+
+
+def handopt_pluto_model(**overrides) -> PolyMgConfig:
+    """``handopt+pluto``: handopt with the pre/post-smoothing chains
+    diamond-tiled (and nothing else fused)."""
+    base = dict(
+        fuse=True,
+        tile=False,
+        intra_group_reuse=False,
+        inter_group_reuse=True,
+        pooled_allocation=True,
+        diamond_smoothing=True,
+        dtile_conservative_copies=False,
+        fuse_smoother_chains_only=True,
+        group_size_limit=99,
+        overlap_threshold=99.0,
+    )
+    base.update(overrides)
+    return PolyMgConfig(**base)
+
+
+POLYMG_VARIANTS = {
+    "polymg-naive": polymg_naive,
+    "polymg-opt": polymg_opt,
+    "polymg-opt+": polymg_opt_plus,
+    "polymg-dtile-opt+": polymg_dtile_opt_plus,
+    "handopt": handopt_model,
+    "handopt+pluto": handopt_pluto_model,
+}
+
+
+def variant_config(name: str, **overrides) -> PolyMgConfig:
+    try:
+        factory = POLYMG_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; known: {sorted(POLYMG_VARIANTS)}"
+        ) from None
+    return factory(**overrides)

@@ -1,0 +1,127 @@
+"""Tests for the pooled memory allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backend.buffers import DirectAllocator, MemoryPool
+
+
+class TestMemoryPool:
+    def test_fresh_then_reuse(self):
+        pool = MemoryPool()
+        a = pool.allocate((8, 8), np.float64)
+        assert pool.stats.fresh_allocations == 1
+        pool.deallocate(a)
+        b = pool.allocate((8, 8), np.float64)
+        assert pool.stats.pool_hits == 1
+        assert pool.stats.fresh_allocations == 1
+
+    def test_bigger_buffer_serves_smaller_request(self):
+        pool = MemoryPool()
+        big = pool.allocate((100,), np.float64)
+        pool.deallocate(big)
+        small = pool.allocate((10,), np.float64)
+        assert pool.stats.pool_hits == 1
+        assert small.shape == (10,)
+
+    def test_smaller_buffer_cannot_serve_bigger(self):
+        pool = MemoryPool()
+        small = pool.allocate((10,), np.float64)
+        pool.deallocate(small)
+        big = pool.allocate((100,), np.float64)
+        assert pool.stats.fresh_allocations == 2
+
+    def test_best_fit_choice(self):
+        pool = MemoryPool()
+        a = pool.allocate((100,), np.float64)
+        b = pool.allocate((20,), np.float64)
+        pool.deallocate(a)
+        pool.deallocate(b)
+        c = pool.allocate((15,), np.float64)
+        pool.deallocate(c)
+        # c should have reused the 20-element buffer (best fit), so the
+        # 100-element buffer is still free for a big request
+        d = pool.allocate((90,), np.float64)
+        assert pool.stats.fresh_allocations == 2
+
+    def test_no_double_lend(self):
+        pool = MemoryPool()
+        a = pool.allocate((4,), np.float64)
+        b = pool.allocate((4,), np.float64)
+        a[...] = 1.0
+        b[...] = 2.0
+        assert a[0] == 1.0  # distinct backings while both live
+
+    def test_deallocate_foreign_rejected(self):
+        pool = MemoryPool()
+        with pytest.raises(ValueError):
+            pool.deallocate(np.zeros(3))
+
+    def test_peak_resident_tracking(self):
+        pool = MemoryPool()
+        a = pool.allocate((1000,), np.float64)
+        b = pool.allocate((1000,), np.float64)
+        assert pool.stats.peak_resident_bytes == 16000
+        pool.deallocate(a)
+        c = pool.allocate((500,), np.float64)
+        assert pool.stats.peak_resident_bytes == 16000  # reuse, no growth
+
+    def test_release_all(self):
+        pool = MemoryPool()
+        a = pool.allocate((4,), np.float64)
+        pool.deallocate(a)
+        pool.release_all()
+        pool.allocate((4,), np.float64)
+        assert pool.stats.fresh_allocations == 2
+
+    def test_outstanding(self):
+        pool = MemoryPool()
+        a = pool.allocate((4,), np.float64)
+        assert pool.outstanding == 1
+        pool.deallocate(a)
+        assert pool.outstanding == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 200), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_never_lends_one_backing_twice(self, ops):
+        """Property: at no point do two outstanding views share bytes."""
+        pool = MemoryPool()
+        live: list[np.ndarray] = []
+        for size, free_one in ops:
+            if free_one and live:
+                pool.deallocate(live.pop())
+            else:
+                arr = pool.allocate((size,), np.float64)
+                arr[...] = len(live)
+                live.append(arr)
+            for i, a in enumerate(live):
+                assert np.all(a == i)
+
+    def test_dtype_views(self):
+        pool = MemoryPool()
+        a = pool.allocate((4, 4), np.float32)
+        assert a.dtype == np.float32 and a.shape == (4, 4)
+
+
+class TestDirectAllocator:
+    def test_always_fresh(self):
+        alloc = DirectAllocator()
+        a = alloc.allocate((8,), np.float64)
+        alloc.deallocate(a)
+        b = alloc.allocate((8,), np.float64)
+        assert alloc.stats.fresh_allocations == 2
+        assert alloc.stats.pool_hits == 0
+
+    def test_resident_decreases_on_free(self):
+        alloc = DirectAllocator()
+        a = alloc.allocate((100,), np.float64)
+        assert alloc.stats.resident_bytes == 800
+        alloc.deallocate(a)
+        assert alloc.stats.resident_bytes == 0

@@ -1,0 +1,34 @@
+"""Tests for collapse-depth analysis in the C emitter (section 3.2.5)."""
+
+from repro.backend.codegen_c import _Emitter, generate_c
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.multigrid.nas_mg import build_nas_mg_cycle
+from repro.variants import polymg_naive, polymg_opt_plus
+
+
+class TestCollapseDepth:
+    def test_pointwise_full_collapse(self):
+        pipe = build_poisson_cycle(
+            2, 16, MultigridOptions(cycle="V", n1=1, n2=1, n3=1, levels=2)
+        )
+        compiled = pipe.compile(polymg_naive())
+        emitter = _Emitter(compiled)
+        # the restrict stage is a single unconditional definition:
+        # perfect nest, collapse over every dimension
+        restrict = next(
+            s
+            for s in compiled.dag.stages
+            if s.stage_kind() == "restrict"
+        )
+        assert emitter.collapse_depth(restrict) == 2
+        # piecewise (Case) stages leave only the outer loop perfect
+        smooth = next(
+            s for s in compiled.dag.stages if s.stage_kind() == "smooth"
+        )
+        assert emitter.collapse_depth(smooth) == 1
+
+    def test_3d_tiled_collapse_three(self):
+        pipe = build_nas_mg_cycle(16, levels=3)
+        compiled = pipe.compile(polymg_opt_plus(tile_sizes={3: (4, 8, 8)}))
+        code = generate_c(compiled)
+        assert "collapse(3)" in code

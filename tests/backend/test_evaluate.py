@@ -1,0 +1,212 @@
+"""Tests for vectorized stage evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.ir.domain import Box
+from repro.lang.expr import Call, Case, Maximum, Minimum, Select, VarExpr
+from repro.lang.function import Function, Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.sampling import Interp
+from repro.lang.stencil import Stencil
+from repro.lang.types import Double, Int
+from repro.backend.evaluate import condition_mask, eval_expr, evaluate_stage
+
+
+@pytest.fixture
+def env():
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    g = Grid(Double, "G", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    return n, y, x, g, ext
+
+
+def make_reader(arrays):
+    def read(func, box):
+        arr = arrays[func.name]
+        return arr[box.slices(origin=(0,) * box.ndim)]
+
+    return read
+
+
+N = 8
+BINDINGS = {"N": N}
+
+
+def full_box():
+    return Box.from_bounds([(0, N + 1), (0, N + 1)])
+
+
+class TestEvalExpr:
+    def _eval(self, env, expr, data):
+        n, y, x, g, ext = env
+        reader = make_reader({"G": data})
+        return eval_expr(expr, full_box(), (y, x), reader, BINDINGS)
+
+    def test_constant(self, env):
+        assert self._eval(env, __import__("repro.lang.expr", fromlist=["Const"]).Const(3.5), None) == 3.5
+
+    def test_pointwise_ref(self, env, rng):
+        n, y, x, g, ext = env
+        data = rng.standard_normal((N + 2, N + 2))
+        out = self._eval(env, g(y, x) * 2.0, data)
+        assert np.array_equal(out, data * 2.0)
+
+    def test_shifted_ref_inner_box(self, env, rng):
+        n, y, x, g, ext = env
+        data = rng.standard_normal((N + 2, N + 2))
+        box = Box.from_bounds([(1, N), (1, N)])
+        reader = make_reader({"G": data})
+        out = eval_expr(g(y - 1, x + 1), box, (y, x), reader, BINDINGS)
+        assert np.array_equal(out, data[0:N, 2 : N + 2])
+
+    def test_transposed_ref(self, env, rng):
+        n, y, x, g, ext = env
+        data = rng.standard_normal((N + 2, N + 2))
+        out = self._eval(env, g(x, y), data)
+        assert np.array_equal(out, data.T)
+
+    def test_strided_ref(self, env, rng):
+        n, y, x, g, ext = env
+        data = rng.standard_normal((N + 2, N + 2))
+        box = Box.from_bounds([(1, 4), (1, 4)])
+        reader = make_reader({"G": data})
+        out = eval_expr(g(2 * y, 2 * x - 1), box, (y, x), reader, BINDINGS)
+        assert np.array_equal(out, data[2:9:2, 1:8:2])
+
+    def test_constant_subscript_broadcast(self, env, rng):
+        n, y, x, g, ext = env
+        data = rng.standard_normal((N + 2, N + 2))
+        out = self._eval(env, g(0, x), data)
+        # result is broadcastable to the box shape (size-1 leading axis)
+        full = np.broadcast_to(out, (N + 2, N + 2))
+        expected = np.broadcast_to(data[0, :], (N + 2, N + 2))
+        assert np.array_equal(full, expected)
+
+    def test_var_expr_grid(self, env):
+        n, y, x, g, ext = env
+        out = self._eval(env, VarExpr((2 * y + 1) + 0), None)
+        assert out.shape == (N + 2, 1)
+        assert out[3, 0] == 7
+
+    def test_min_max_call_select(self, env, rng):
+        n, y, x, g, ext = env
+        data = np.abs(rng.standard_normal((N + 2, N + 2))) + 1.0
+        expr = Select(
+            (y >= 1) & (y <= n),
+            Call("sqrt", Minimum(g(y, x), Maximum(g(y, x), 2.0))),
+            0.0,
+        )
+        out = self._eval(env, expr, data)
+        inner = np.sqrt(np.minimum(data, np.maximum(data, 2.0)))
+        assert np.array_equal(out[1 : N + 1], inner[1 : N + 1])
+        assert np.all(out[0] == 0.0) and np.all(out[-1] == 0.0)
+
+    def test_fractional_coeff_rejected(self, env, rng):
+        from fractions import Fraction
+
+        n, y, x, g, ext = env
+        data = rng.standard_normal((N + 2, N + 2))
+        box = Box.from_bounds([(0, 3), (0, 3)])
+        reader = make_reader({"G": data})
+        with pytest.raises(ValueError):
+            eval_expr(
+                g(y * Fraction(1, 2), x), box, (y, x), reader, BINDINGS
+            )
+
+
+class TestEvaluateStage:
+    def test_piecewise_if_elif_else(self, env, rng):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "pw")
+        f.defn = [
+            Case(y.equals(0), 7.0),
+            Case((x >= 1) & (x <= n), g(y, x) + 1.0),
+            -1.0,
+        ]
+        data = rng.standard_normal((N + 2, N + 2))
+        out = np.full((N + 2, N + 2), np.nan)
+        pts = evaluate_stage(
+            f,
+            full_box(),
+            make_reader({"G": data}),
+            out,
+            (0, 0),
+            BINDINGS,
+        )
+        assert pts == (N + 2) ** 2
+        assert np.all(out[0] == 7.0)
+        assert np.array_equal(out[1:, 1 : N + 1], data[1:, 1 : N + 1] + 1.0)
+        assert np.all(out[1:, 0] == -1.0) and np.all(out[1:, -1] == -1.0)
+
+    def test_partial_region(self, env, rng):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "p")
+        f.defn = [g(y, x) * 3.0]
+        data = rng.standard_normal((N + 2, N + 2))
+        out = np.zeros((4, 5))
+        region = Box.from_bounds([(2, 5), (3, 7)])
+        evaluate_stage(
+            f, region, make_reader({"G": data}), out, (2, 3), BINDINGS
+        )
+        assert np.array_equal(out, data[2:6, 3:8] * 3.0)
+
+    def test_empty_region(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "e")
+        f.defn = [g(y, x)]
+        out = np.zeros((2, 2))
+        pts = evaluate_stage(
+            f,
+            Box.from_bounds([(3, 2), (0, 1)]),
+            make_reader({}),
+            out,
+            (0, 0),
+            BINDINGS,
+        )
+        assert pts == 0
+
+    def test_interp_parity(self, env, rng):
+        n, y, x, g, ext = env
+        nc = N // 2
+        coarse = Grid(Double, "C", [n / 2 + 2, n / 2 + 2])
+        p = Interp(
+            ([y, x], [Interval(Int, 1, n), Interval(Int, 1, n)]),
+            Double,
+            "P",
+        )
+        o = (0, 0)
+        table = [
+            {
+                0: Stencil(coarse, (y, x), [1], origin=o),
+                1: Stencil(coarse, (y, x), [1, 1], origin=o) * 0.5,
+            },
+            {
+                0: Stencil(coarse, (y, x), [[1], [1]], origin=o) * 0.5,
+                1: Stencil(coarse, (y, x), [[1, 1], [1, 1]], origin=o)
+                * 0.25,
+            },
+        ]
+        p.defn = [table]
+        cdata = np.zeros((nc + 2, nc + 2))
+        cdata[1:-1, 1:-1] = rng.standard_normal((nc, nc))
+        out = np.full((N, N), np.nan)
+        region = Box.from_bounds([(1, N), (1, N)])
+        evaluate_stage(
+            p, region, make_reader({"C": cdata}), out, (1, 1), BINDINGS
+        )
+        from repro.multigrid.kernels import interpolate
+
+        expected = interpolate(cdata[1:-1, 1:-1], N)
+        assert np.array_equal(out, expected)
+
+
+class TestConditionMask:
+    def test_mask_shapes(self, env):
+        n, y, x, g, ext = env
+        box = Box.from_bounds([(0, 3), (0, 4)])
+        mask = condition_mask((y >= 1) & (x <= 2), box, (y, x), BINDINGS)
+        assert mask.shape == (4, 5)
+        assert mask[0].sum() == 0
+        assert mask[1].sum() == 3

@@ -1,0 +1,100 @@
+"""Tests for the hand-optimized baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HandOptPlutoSolver, HandOptSolver
+from repro.multigrid.reference import (
+    MultigridOptions,
+    reference_cycle,
+    solve,
+)
+from tests.conftest import make_rhs
+
+CASES = [
+    (2, 32, "V", (4, 4, 4), 4),
+    (2, 32, "W", (4, 4, 4), 4),
+    (2, 32, "V", (10, 0, 0), 4),
+    (3, 16, "V", (4, 4, 4), 3),
+    (3, 16, "W", (2, 2, 2), 3),
+]
+
+
+@pytest.mark.parametrize("ndim,n,cycle,smoothing,levels", CASES)
+def test_handopt_bitexact_vs_reference(rng, ndim, n, cycle, smoothing, levels):
+    opts = MultigridOptions(
+        cycle=cycle,
+        n1=smoothing[0],
+        n2=smoothing[1],
+        n3=smoothing[2],
+        levels=levels,
+    )
+    f = make_rhs(rng, ndim, n)
+    u = np.zeros_like(f)
+    ref = reference_cycle(u, f, 1.0 / (n + 1), opts)
+    assert np.array_equal(HandOptSolver(ndim, n, opts).cycle(u, f), ref)
+
+
+@pytest.mark.parametrize("ndim,n,cycle,smoothing,levels", CASES)
+def test_handopt_pluto_bitexact(rng, ndim, n, cycle, smoothing, levels):
+    opts = MultigridOptions(
+        cycle=cycle,
+        n1=smoothing[0],
+        n2=smoothing[1],
+        n3=smoothing[2],
+        levels=levels,
+    )
+    f = make_rhs(rng, ndim, n)
+    u = np.zeros_like(f)
+    ref = reference_cycle(u, f, 1.0 / (n + 1), opts)
+    out = HandOptPlutoSolver(ndim, n, opts).cycle(u, f)
+    assert np.array_equal(out, ref)
+
+
+def test_diamond_width_override(rng):
+    opts = MultigridOptions(cycle="V", n1=6, n2=2, n3=6, levels=3)
+    n = 32
+    f = make_rhs(rng, 2, n)
+    u = np.zeros_like(f)
+    ref = reference_cycle(u, f, 1.0 / (n + 1), opts)
+    for width in (4, 8, 16):
+        out = HandOptPlutoSolver(2, n, opts, diamond_width=width).cycle(u, f)
+        assert np.array_equal(out, ref), f"width={width}"
+
+
+def test_preallocated_pool_is_stable(rng):
+    """handopt never allocates after construction: repeated cycles keep
+    using the same level buffers."""
+    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+    n = 16
+    solver = HandOptSolver(2, n, opts)
+    before = [id(b) for lv in solver.levels for b in lv.u]
+    f = make_rhs(rng, 2, n)
+    u = np.zeros_like(f)
+    for _ in range(3):
+        u = solver.cycle(u, f)
+    after = [id(b) for lv in solver.levels for b in lv.u]
+    assert before == after
+
+
+def test_modulo_buffer_count(rng):
+    opts = MultigridOptions(cycle="V", n1=10, n2=10, n3=10, levels=4)
+    solver = HandOptSolver(2, 32, opts)
+    # exactly two smoothing buffers per level regardless of step count
+    for lv in solver.levels:
+        assert len(lv.u) == 2
+
+
+def test_solver_driver_matches_reference_solve(rng):
+    opts = MultigridOptions(cycle="V", n1=3, n2=3, n3=3, levels=4)
+    n = 32
+    f = make_rhs(rng, 2, n)
+    ref = solve(f, opts, cycles=4)
+    got = HandOptSolver(2, n, opts).solve(f, cycles=4)
+    assert np.array_equal(got.u, ref.u)
+    assert got.residual_norms == ref.residual_norms
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        HandOptSolver(2, 30, MultigridOptions(levels=5))

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multigrid.reference import MultigridOptions
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_rhs(rng: np.random.Generator, ndim: int, n: int) -> np.ndarray:
+    """Full-size rhs grid with random interior and zero boundary."""
+    f = np.zeros((n + 2,) * ndim)
+    f[(slice(1, -1),) * ndim] = rng.standard_normal((n,) * ndim)
+    return f
+
+
+def small_opts(cycle: str = "V", smoothing=(2, 2, 2), levels: int = 3):
+    n1, n2, n3 = smoothing
+    return MultigridOptions(
+        cycle=cycle, n1=n1, n2=n2, n3=n3, levels=levels
+    )

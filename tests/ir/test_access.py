@@ -1,0 +1,110 @@
+"""Tests for scaled affine access relations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.access import AccessDim, AccessRange, identity_access
+from repro.ir.interval import ConcreteInterval
+
+
+class TestAccessDim:
+    def test_identity(self):
+        a = AccessDim()
+        assert a.is_identity()
+        assert a.apply(7) == 7
+
+    def test_stencil_offset(self):
+        a = AccessDim(off=-1)
+        assert a.image(ConcreteInterval(1, 4)) == ConcreteInterval(0, 3)
+
+    def test_restrict_scaling(self):
+        a = AccessDim(num=2, off=1)
+        assert a.apply(3) == 7
+        assert a.image(ConcreteInterval(1, 4)) == ConcreteInterval(3, 9)
+
+    def test_interp_scaling_floor(self):
+        a = AccessDim(num=1, den=2)
+        assert a.apply(5) == 2
+        assert a.apply(-1) == -1
+
+    def test_reduction(self):
+        a = AccessDim(num=4, den=2)
+        assert (a.num, a.den) == (2, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AccessDim(num=0)
+
+    def test_to_range(self):
+        r = AccessDim(off=3).to_range()
+        assert (r.omin, r.omax) == (3, 3)
+
+
+class TestAccessRange:
+    def test_union(self):
+        a = AccessRange(1, 1, -1, 0)
+        b = AccessRange(1, 1, 0, 2)
+        u = a.union(b)
+        assert (u.omin, u.omax) == (-1, 2)
+        assert u.halo() == 3
+
+    def test_union_scaling_mismatch(self):
+        with pytest.raises(ValueError):
+            AccessRange(1, 1).union(AccessRange(2, 1))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            AccessRange(1, 1, 2, 1)
+
+    def test_image_stencil(self):
+        r = AccessRange(1, 1, -1, 1)
+        assert r.image(ConcreteInterval(1, 8)) == ConcreteInterval(0, 9)
+
+    def test_image_restrict(self):
+        # full weighting: fine = 2c + [-1, 1]
+        r = AccessRange(2, 1, -1, 1)
+        assert r.image(ConcreteInterval(1, 4)) == ConcreteInterval(1, 9)
+
+    def test_image_interp(self):
+        # interp footprint encoding from sampling.Interp
+        r = AccessRange(1, 2, -1, 0)
+        assert r.image(ConcreteInterval(1, 6)) == ConcreteInterval(0, 3)
+
+    def test_image_empty(self):
+        e = ConcreteInterval(3, 1)
+        assert AccessRange().image(e).is_empty()
+
+    def test_identity_access(self):
+        assert len(identity_access(3)) == 3
+        assert all(r.halo() == 0 for r in identity_access(3))
+
+
+class TestImageProperties:
+    ranges = st.builds(
+        lambda num, den, o, w: AccessRange(num, den, o, o + w),
+        st.sampled_from([1, 2]),
+        st.sampled_from([1, 2]),
+        st.integers(-3, 3),
+        st.integers(0, 4),
+    )
+    ivals = st.builds(
+        lambda a, n: ConcreteInterval(a, a + n),
+        st.integers(-20, 20),
+        st.integers(0, 25),
+    )
+
+    @given(ranges, ivals)
+    def test_image_covers_pointwise(self, rng, iv):
+        """The interval image contains every pointwise access."""
+        img = rng.image(iv)
+        for x in iv:
+            for off in range(rng.omin, rng.omax + 1):
+                p = (rng.num * x + off) // rng.den
+                assert img.contains(p)
+
+    @given(ranges, ivals, ivals)
+    def test_image_monotone(self, rng, a, b):
+        hull = a.union_hull(b)
+        assert rng.image(hull).covers(rng.image(a))
+        assert rng.image(hull).covers(rng.image(b))

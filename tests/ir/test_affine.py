@@ -1,0 +1,157 @@
+"""Unit and property tests for parametric affine arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.affine import Affine, aff, amax, amin
+
+
+def affines(params=("N", "M")):
+    coeff = st.fractions(
+        min_value=-8, max_value=8, max_denominator=4
+    )
+    return st.builds(
+        Affine,
+        coeff,
+        st.dictionaries(st.sampled_from(params), coeff, max_size=2),
+    )
+
+
+class TestConstruction:
+    def test_constant(self):
+        a = Affine(3)
+        assert a.is_constant()
+        assert a.constant_value() == 3
+
+    def test_param(self):
+        a = aff("N")
+        assert not a.is_constant()
+        assert a.coeff("N") == 1
+        assert a.params == ("N",)
+
+    def test_zero_coeffs_dropped(self):
+        a = Affine(1, {"N": 0})
+        assert a.is_constant()
+
+    def test_wrap_fraction(self):
+        assert aff(Fraction(1, 2)).constant_value() == Fraction(1, 2)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            Affine(1.5)
+
+
+class TestAlgebra:
+    def test_add_params(self):
+        a = aff("N") + 2
+        b = a + aff("N")
+        assert b.coeff("N") == 2
+        assert b.const == 2
+
+    def test_sub(self):
+        a = (aff("N") + 5) - (aff("N") + 3)
+        assert a == Affine(2)
+
+    def test_rsub(self):
+        a = 10 - aff("N")
+        assert a.coeff("N") == -1
+        assert a.const == 10
+
+    def test_scale(self):
+        a = aff("N") * Fraction(1, 2)
+        assert a.coeff("N") == Fraction(1, 2)
+
+    def test_div(self):
+        assert (aff("N") / 2).coeff("N") == Fraction(1, 2)
+        with pytest.raises(ZeroDivisionError):
+            aff("N") / 0
+
+    def test_neg(self):
+        assert (-(aff("N") + 1)).const == -1
+
+
+class TestEvaluation:
+    def test_subs_partial(self):
+        a = aff("N") + aff("M") + 1
+        b = a.subs({"N": 4})
+        assert b.coeff("M") == 1
+        assert b.const == 5
+
+    def test_value(self):
+        assert (aff("N") * 2 + 1).int_value({"N": 3}) == 7
+
+    def test_unbound_raises(self):
+        with pytest.raises(ValueError):
+            aff("N").value({})
+
+    def test_non_integer_raises(self):
+        with pytest.raises(ValueError):
+            (aff("N") / 2).int_value({"N": 3})
+
+    def test_floor_div(self):
+        a = aff("N") + 1
+        assert a.floor_div(2, {"N": 4}) == 2
+        assert a.floor_div(2, {"N": 5}) == 3
+
+
+class TestClassification:
+    def test_same_shape(self):
+        a = aff("N") + 2
+        b = aff("N") - 1
+        assert a.same_shape(b)
+        assert a.diff_const(b) == 3
+
+    def test_different_shape(self):
+        a = aff("N")
+        b = aff("N") * Fraction(1, 2)
+        assert not a.same_shape(b)
+        with pytest.raises(ValueError):
+            a.diff_const(b)
+
+    def test_amax_symbolic(self):
+        a, b = aff("N") + 2, aff("N") + 5
+        assert amax([a, b]) == b
+        assert amin([a, b]) == a
+
+    def test_amax_needs_bindings(self):
+        with pytest.raises(ValueError):
+            amax([aff("N"), aff("M")])
+        assert amax([aff("N"), aff("M")], {"N": 1, "M": 2}) == aff("M")
+
+
+class TestProperties:
+    @given(affines(), affines())
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(affines(), affines(), affines())
+    def test_add_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(affines())
+    def test_neg_involution(self, a):
+        assert -(-a) == a
+
+    @given(affines(), st.integers(-5, 5))
+    def test_scale_distributes(self, a, k):
+        assert (a + a) * k == a * k + a * k
+
+    @given(affines(), st.integers(1, 7), st.integers(1, 7))
+    def test_eval_homomorphism(self, a, n, m):
+        bindings = {"N": n, "M": m}
+        assert (a + a).value(bindings) == 2 * a.value(bindings)
+
+    @given(affines(), affines())
+    def test_same_shape_iff_diff_constant(self, a, b):
+        if a.same_shape(b):
+            assert (a - b).is_constant()
+        else:
+            assert not (a - b).is_constant()
+
+    @given(affines())
+    def test_hash_consistent(self, a):
+        b = Affine(a.const, a.coeffs)
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,106 @@
+"""Tests for pipeline DAG construction."""
+
+import pytest
+
+from repro.ir.dag import PipelineDAG, topological_order
+from repro.lang.expr import Case
+from repro.lang.function import Function, Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.types import Double, Int
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+
+
+@pytest.fixture
+def chain():
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    g = Grid(Double, "G", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    a = Function(([y, x], [ext, ext]), Double, "a")
+    a.defn = [g(y, x) * 2]
+    b = Function(([y, x], [ext, ext]), Double, "b")
+    b.defn = [a(y, x) + 1]
+    c = Function(([y, x], [ext, ext]), Double, "c")
+    c.defn = [a(y, x) + b(y, x)]
+    return g, a, b, c
+
+
+class TestTopology:
+    def test_order_and_consumers(self, chain):
+        g, a, b, c = chain
+        order, consumers = topological_order([c])
+        names = [f.name for f in order]
+        assert names.index("a") < names.index("b") < names.index("c")
+        assert consumers[a] == [b, c] or consumers[a] == [c, b]
+        assert consumers[b] == [c]
+
+    def test_dag_queries(self, chain):
+        g, a, b, c = chain
+        dag = PipelineDAG([c], params={"N": 4}, name="chain")
+        assert dag.stage_count() == 3
+        assert dag.inputs == [g]
+        assert dag.is_output(c) and not dag.is_output(a)
+        assert dag.producers_of(c) == [a, b]
+        assert set(dag.consumers_of(a)) == {b, c}
+        assert dag.access(b, a).max_halo() == 0
+
+    def test_unreached_stage_excluded(self, chain):
+        g, a, b, c = chain
+        dag = PipelineDAG([b], params={"N": 4})
+        assert dag.stage_count() == 2  # a, b — c not reachable
+
+    def test_missing_defn_rejected(self, chain):
+        g, a, b, c = chain
+        n = Parameter(Int, "M")
+        y, x = Variable("y"), Variable("x")
+        ext = Interval(Int, 0, n + 1)
+        hollow = Function(([y, x], [ext, ext]), Double, "hollow")
+        with pytest.raises(ValueError):
+            PipelineDAG([hollow], params={"M": 2})
+
+    def test_networkx_export(self, chain):
+        g, a, b, c = chain
+        dag = PipelineDAG([c], params={"N": 4})
+        nxg = dag.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.has_edge("a", "c")
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(nxg)
+
+    def test_summary_text(self, chain):
+        g, a, b, c = chain
+        dag = PipelineDAG([c], params={"N": 4})
+        text = dag.summary()
+        assert "3 stages" in text and "c [pointwise]" in text
+
+
+class TestPaperStageCounts:
+    """Table 3 stage counts (# DAG nodes as specified, 4 levels)."""
+
+    @pytest.mark.parametrize(
+        "cycle,smoothing,expected",
+        [
+            ("V", (4, 4, 4), 40),
+            ("V", (10, 0, 0), 42),
+            ("W", (4, 4, 4), 100),
+            ("W", (10, 0, 0), 98),
+        ],
+    )
+    def test_specified_stage_counts(self, cycle, smoothing, expected):
+        opts = MultigridOptions(
+            cycle=cycle,
+            n1=smoothing[0],
+            n2=smoothing[1],
+            n3=smoothing[2],
+            levels=4,
+        )
+        pipe = build_poisson_cycle(2, 32, opts)
+        assert pipe.stage_count_ == expected
+
+    def test_dag_prunes_dead_coarse_solve(self):
+        # with n2 = 0 the coarsest defect/restrict pair is dead code
+        opts = MultigridOptions(cycle="V", n1=10, n2=0, n3=0, levels=4)
+        pipe = build_poisson_cycle(2, 32, opts)
+        dag = PipelineDAG([pipe.output], params=pipe.params)
+        assert dag.stage_count() == 40  # 42 specified - dead pair

@@ -1,0 +1,115 @@
+"""Tests for hyperrectangular domains and box subtraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.affine import aff
+from repro.ir.domain import Box, Domain, box_union_volume
+from repro.ir.interval import ConcreteInterval, Interval
+
+
+def boxes(ndim=2, lo=-8, hi=8):
+    iv = st.builds(ConcreteInterval, st.integers(lo, hi), st.integers(lo, hi))
+    return st.builds(Box, st.lists(iv, min_size=ndim, max_size=ndim))
+
+
+class TestDomain:
+    def test_bind(self):
+        d = Domain([Interval(0, aff("N") + 1)] * 2)
+        b = d.bind({"N": 4})
+        assert b.shape() == (6, 6)
+
+    def test_sizes(self):
+        d = Domain([Interval(1, aff("N"))])
+        assert d.sizes()[0].int_value({"N": 7}) == 7
+
+
+class TestBox:
+    def test_basics(self):
+        b = Box.from_bounds([(0, 3), (1, 2)])
+        assert b.ndim == 2
+        assert b.volume() == 8
+        assert b.shape() == (4, 2)
+        assert b.lower() == (0, 1)
+        assert b.upper() == (3, 2)
+
+    def test_empty(self):
+        assert Box.from_bounds([(2, 1), (0, 5)]).is_empty()
+        assert Box.from_bounds([(2, 1), (0, 5)]).volume() == 0
+
+    def test_intersect(self):
+        a = Box.from_bounds([(0, 5), (0, 5)])
+        b = Box.from_bounds([(3, 9), (2, 4)])
+        assert a.intersect(b) == Box.from_bounds([(3, 5), (2, 4)])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Box.from_bounds([(0, 1)]).intersect(
+                Box.from_bounds([(0, 1), (0, 1)])
+            )
+
+    def test_grow_shift(self):
+        b = Box.from_bounds([(1, 2)]).grow([1], [2]).shift([10])
+        assert b == Box.from_bounds([(10, 14)])
+
+    def test_slices_default_origin(self):
+        b = Box.from_bounds([(2, 4), (1, 1)])
+        assert b.slices() == (slice(0, 3), slice(0, 1))
+        assert b.slices((0, 0)) == (slice(2, 5), slice(1, 2))
+
+    def test_points(self):
+        b = Box.from_bounds([(0, 1), (5, 6)])
+        assert list(b.points()) == [(0, 5), (0, 6), (1, 5), (1, 6)]
+
+    def test_covers(self):
+        outer = Box.from_bounds([(0, 9), (0, 9)])
+        assert outer.covers(Box.from_bounds([(1, 2), (3, 3)]))
+        assert not outer.covers(Box.from_bounds([(0, 10), (0, 3)]))
+        assert outer.covers(Box.from_bounds([(5, 1), (0, 3)]))  # empty
+
+
+class TestSubtraction:
+    def test_hole_decomposition(self):
+        outer = Box.from_bounds([(0, 9), (0, 9)])
+        hole = Box.from_bounds([(3, 5), (4, 6)])
+        pieces = outer.subtract(hole)
+        assert sum(p.volume() for p in pieces) == 100 - 9
+        # pairwise disjoint
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert a.intersect(b).is_empty()
+
+    def test_disjoint(self):
+        a = Box.from_bounds([(0, 1), (0, 1)])
+        b = Box.from_bounds([(5, 6), (5, 6)])
+        assert a.subtract(b) == [a]
+
+    def test_covered(self):
+        a = Box.from_bounds([(3, 4), (3, 4)])
+        assert a.subtract(Box.from_bounds([(0, 9), (0, 9)])) == []
+
+    @given(boxes(), boxes())
+    def test_subtract_partition_property(self, a, b):
+        inter = a.intersect(b)
+        pieces = a.subtract(b)
+        assert inter.volume() + sum(p.volume() for p in pieces) == a.volume()
+        for i, p in enumerate(pieces):
+            assert a.covers(p)
+            assert p.intersect(b).is_empty()
+            for q in pieces[i + 1 :]:
+                assert p.intersect(q).is_empty()
+
+    @given(boxes(1, -5, 5), st.lists(boxes(1, -5, 5), max_size=4))
+    def test_subtract_all_disjoint_from_all(self, a, others):
+        for piece in a.subtract_all(others):
+            for o in others:
+                assert piece.intersect(o).is_empty()
+
+    @given(st.lists(boxes(2, -6, 6), min_size=1, max_size=5))
+    def test_union_volume_vs_pointset(self, bs):
+        points = set()
+        for b in bs:
+            if not b.is_empty():
+                points |= set(b.points())
+        assert box_union_volume(bs) == len(points)

@@ -1,0 +1,99 @@
+"""Tests for parametric and concrete intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.affine import aff
+from repro.ir.interval import ConcreteInterval, Interval
+
+
+def intervals():
+    return st.builds(
+        ConcreteInterval, st.integers(-30, 30), st.integers(-30, 30)
+    )
+
+
+class TestParametricInterval:
+    def test_bind(self):
+        iv = Interval(1, aff("N") + 1)
+        c = iv.bind({"N": 8})
+        assert (c.lb, c.ub) == (1, 9)
+
+    def test_size_affine(self):
+        iv = Interval(0, aff("N") + 1)
+        assert iv.size().int_value({"N": 8}) == 10
+
+    def test_shift_grow(self):
+        iv = Interval(1, aff("N")).shift(2).grow(1, 3)
+        c = iv.bind({"N": 4})
+        assert (c.lb, c.ub) == (2, 9)
+
+    def test_eq_hash(self):
+        assert Interval(0, aff("N")) == Interval(0, aff("N"))
+        assert hash(Interval(0, 3)) == hash(Interval(0, 3))
+
+
+class TestConcreteInterval:
+    def test_empty(self):
+        assert ConcreteInterval(3, 2).is_empty()
+        assert ConcreteInterval(3, 2).size() == 0
+
+    def test_intersect(self):
+        a = ConcreteInterval(0, 10).intersect(ConcreteInterval(5, 20))
+        assert (a.lb, a.ub) == (5, 10)
+
+    def test_union_hull(self):
+        a = ConcreteInterval(0, 2).union_hull(ConcreteInterval(8, 9))
+        assert (a.lb, a.ub) == (0, 9)
+
+    def test_union_hull_empty(self):
+        e = ConcreteInterval(5, 1)
+        a = ConcreteInterval(0, 2)
+        assert e.union_hull(a) == a
+        assert a.union_hull(e) == a
+
+    def test_covers_contains(self):
+        a = ConcreteInterval(0, 10)
+        assert a.covers(ConcreteInterval(3, 5))
+        assert not a.covers(ConcreteInterval(3, 11))
+        assert a.contains(0) and not a.contains(11)
+
+    def test_subtract_middle(self):
+        pieces = ConcreteInterval(0, 10).subtract(ConcreteInterval(3, 5))
+        assert [(p.lb, p.ub) for p in pieces] == [(0, 2), (6, 10)]
+
+    def test_subtract_disjoint(self):
+        pieces = ConcreteInterval(0, 2).subtract(ConcreteInterval(5, 9))
+        assert pieces == [ConcreteInterval(0, 2)]
+
+    def test_subtract_covering(self):
+        assert ConcreteInterval(3, 5).subtract(ConcreteInterval(0, 10)) == []
+
+    def test_iteration(self):
+        assert list(ConcreteInterval(2, 4)) == [2, 3, 4]
+
+
+class TestConcreteProperties:
+    @given(intervals(), intervals())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_subtract_partition(self, a, b):
+        """a = (a ∩ b) ∪ (a \\ b), disjointly."""
+        inter = a.intersect(b)
+        pieces = a.subtract(b)
+        total = inter.size() + sum(p.size() for p in pieces)
+        assert total == a.size()
+        values = set(inter) if not inter.is_empty() else set()
+        for p in pieces:
+            chunk = set(p)
+            assert not (chunk & values)
+            values |= chunk
+        assert values == set(a)
+
+    @given(intervals(), intervals())
+    def test_hull_covers_both(self, a, b):
+        h = a.union_hull(b)
+        assert h.covers(a) and h.covers(b)

@@ -1,0 +1,178 @@
+"""Tests for the DSL expression AST."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.affine import aff
+from repro.lang.expr import (
+    BinOp,
+    Call,
+    Case,
+    Condition,
+    Const,
+    IndexExpr,
+    Maximum,
+    Minimum,
+    Ref,
+    Select,
+    UnOp,
+    VarExpr,
+    collect_refs,
+    count_flops,
+    map_refs,
+    walk,
+    wrap_expr,
+)
+from repro.lang.function import Grid
+from repro.lang.parameters import Parameter, Variable
+from repro.lang.types import Double, Int
+
+
+@pytest.fixture
+def xy():
+    return Variable("x"), Variable("y")
+
+
+@pytest.fixture
+def grid():
+    n = Parameter(Int, "N")
+    return Grid(Double, "G", [n + 2, n + 2])
+
+
+class TestIndexExpr:
+    def test_var_arithmetic(self, xy):
+        x, y = xy
+        ix = x + 1
+        assert isinstance(ix, IndexExpr)
+        assert ix.coeff_of(x) == 1
+        assert ix.const == aff(1)
+
+    def test_combined(self, xy):
+        x, y = xy
+        ix = 2 * x - 3
+        assert ix.coeff_of(x) == 2
+        assert ix.const == aff(-3)
+
+    def test_mixed_vars_detected(self, xy):
+        x, y = xy
+        ix = (x + 0) + (y + 0)
+        assert ix.single_variable() is None
+        assert set(ix.variables()) == {x, y}
+
+    def test_substitute(self, xy):
+        x, y = xy
+        ix = (2 * x + 1).substitute({x: IndexExpr.of_var(y) + 5})
+        assert ix.coeff_of(y) == 2
+        assert ix.const == aff(11)
+
+    def test_fractional_coeff(self, xy):
+        x, _ = xy
+        ix = x * Fraction(1, 2)
+        assert not ix.is_integral()
+
+    def test_param_const(self, xy):
+        x, _ = xy
+        n = Parameter(Int, "N")
+        ix = x + n
+        assert ix.const == aff("N")
+
+
+class TestExprConstruction:
+    def test_operators_build_tree(self, grid, xy):
+        x, y = xy
+        e = grid(x, y) * 2 + 1 - grid(x + 1, y) / 4
+        kinds = [type(n).__name__ for n in walk(e)]
+        assert "BinOp" in kinds and "Ref" in kinds and "Const" in kinds
+
+    def test_neg(self, grid, xy):
+        x, y = xy
+        e = -grid(x, y)
+        assert isinstance(e, UnOp)
+
+    def test_wrap_rejects_junk(self):
+        with pytest.raises(TypeError):
+            wrap_expr(object())
+
+    def test_ref_arity_checked(self, grid, xy):
+        x, _ = xy
+        with pytest.raises(ValueError):
+            grid(x)
+
+    def test_call_validation(self, grid, xy):
+        x, y = xy
+        Call("sqrt", grid(x, y))
+        with pytest.raises(ValueError):
+            Call("frobnicate", grid(x, y))
+
+    def test_min_max_select(self, grid, xy):
+        x, y = xy
+        cond = (x >= 1) & (x <= 4)
+        s = Select(cond, Minimum(grid(x, y), 0.0), Maximum(grid(x, y), 1.0))
+        assert len(list(walk(s))) >= 5
+
+
+class TestConditions:
+    def test_atom_normalization(self, xy):
+        x, _ = xy
+        c = x < 5
+        (lhs, op, rhs), = c.atoms
+        assert op == "<=" and rhs.const == aff(4)
+
+    def test_conjunction(self, xy):
+        x, y = xy
+        c = (x >= 1) & (y <= 7)
+        assert len(c.atoms) == 2
+
+    def test_constraint_bounds(self, xy):
+        x, y = xy
+        c = (x >= 1) & (x <= 6) & (y.equals(3))
+        bounds = c.constraint_bounds({})
+        assert bounds[x] == (1, 6)
+        assert bounds[y] == (3, 3)
+
+    def test_constraint_bounds_parametric(self, xy):
+        x, _ = xy
+        n = Parameter(Int, "N")
+        c = x <= n
+        assert c.constraint_bounds({"N": 9})[x] == (float("-inf"), 9)
+
+    def test_non_box_condition_rejected(self, xy):
+        x, y = xy
+        c = Condition.atom((x + 0) + (y + 0), "<=", 3)
+        with pytest.raises(ValueError):
+            c.constraint_bounds({})
+
+
+class TestTreeUtilities:
+    def test_collect_refs(self, grid, xy):
+        x, y = xy
+        e = grid(x, y) + grid(x + 1, y) * grid(x, y + 1)
+        assert len(collect_refs(e)) == 3
+
+    def test_map_refs_substitutes(self, grid, xy):
+        x, y = xy
+        n = Parameter(Int, "N")
+        other = Grid(Double, "H", [n + 2, n + 2])
+        e = grid(x, y) + 2 * grid(x + 1, y)
+        e2 = map_refs(e, lambda r: r.with_func(other))
+        assert all(r.func is other for r in collect_refs(e2))
+        # original untouched
+        assert all(r.func is grid for r in collect_refs(e))
+
+    def test_map_refs_preserves_structure(self, grid, xy):
+        x, y = xy
+        e = Select((x >= 1), Call("sqrt", grid(x, y)), Minimum(1.0, 2.0))
+        e2 = map_refs(e, lambda r: r)
+        assert repr(e2) == repr(e)
+
+    def test_count_flops(self, grid, xy):
+        x, y = xy
+        assert count_flops(grid(x, y) + grid(x + 1, y)) == 1
+        assert count_flops(grid(x, y) * 2 + 1) == 2
+        assert count_flops(Call("sqrt", grid(x, y))) == 10
+
+    def test_case_repr(self, grid, xy):
+        x, y = xy
+        c = Case((x >= 1), grid(x, y))
+        assert "Case" in repr(c)

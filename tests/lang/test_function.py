@@ -1,0 +1,142 @@
+"""Tests for Function/Grid and access-summary analysis."""
+
+import pytest
+
+from repro.ir.domain import Box
+from repro.lang.expr import Case
+from repro.lang.function import Function, Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.stencil import Stencil
+from repro.lang.types import Double, Int
+
+
+@pytest.fixture
+def env():
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    g = Grid(Double, "G", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    return n, y, x, g, ext
+
+
+class TestFunctionBasics:
+    def test_grid_is_input(self, env):
+        *_, g, _ = env
+        assert g.is_input
+        assert g.ndim == 2
+        with pytest.raises(ValueError):
+            g.defn = [1.0]
+
+    def test_domain_binding(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "f")
+        box = f.domain_box({"N": 6})
+        assert box.shape() == (8, 8)
+
+    def test_defn_required(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "f")
+        assert not f.has_defn
+        with pytest.raises(ValueError):
+            f.defn
+
+    def test_self_reference_rejected(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "f")
+        with pytest.raises(ValueError):
+            f.defn = [f(y, x)]
+
+    def test_wrong_arity_ref_rejected(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y], [ext]), Double, "f")
+        g1 = Grid(Double, "g1", [n + 2])
+        f2 = Function(([y, x], [ext, ext]), Double, "f2")
+        with pytest.raises(ValueError):
+            f2.defn = [Case((y >= 1), g1(y, x))]
+
+    def test_varspec_mismatch(self, env):
+        n, y, x, g, ext = env
+        with pytest.raises(ValueError):
+            Function(([y, x], [ext]), Double)
+
+    def test_identity_semantics(self, env):
+        n, y, x, g, ext = env
+        f1 = Function(([y, x], [ext, ext]), Double, "same")
+        f2 = Function(([y, x], [ext, ext]), Double, "same")
+        assert f1 != f2
+        assert f1 == f1
+        assert len({f1, f2}) == 2
+
+
+class TestAccessAnalysis:
+    def test_pointwise(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "f")
+        f.defn = [g(y, x) * 2]
+        acc = f.accesses()[g]
+        assert acc.scaling() == ((1, 1), (1, 1))
+        assert acc.max_halo() == 0
+
+    def test_stencil_window(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "f")
+        f.defn = [g(y - 1, x) + g(y + 1, x) + g(y, x - 2)]
+        acc = f.accesses()[g]
+        fp = acc.footprint(Box.from_bounds([(4, 6), (4, 6)]))
+        assert fp == Box.from_bounds([(3, 7), (2, 6)])
+        assert acc.max_halo() == 2
+
+    def test_transposed_access(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "t")
+        f.defn = [g(x, y)]
+        acc = f.accesses()[g]
+        fp = acc.footprint(Box.from_bounds([(0, 1), (5, 9)]))
+        assert fp == Box.from_bounds([(5, 9), (0, 1)])
+
+    def test_constant_subscript(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "edge")
+        f.defn = [g(0, x)]
+        acc = f.accesses()[g]
+        fp = acc.footprint(Box.from_bounds([(3, 5), (2, 8)]))
+        assert fp == Box.from_bounds([(0, 0), (2, 8)])
+
+    def test_mixed_var_subscript_rejected(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "bad")
+        f.defn = [g((y + 0) + (x + 0), x)]
+        with pytest.raises(ValueError):
+            f.accesses()
+
+    def test_foreign_variable_rejected(self, env):
+        n, y, x, g, ext = env
+        z = Variable("z")
+        f = Function(([y, x], [ext, ext]), Double, "bad2")
+        f.defn = [g(z, x)]
+        with pytest.raises(ValueError):
+            f.accesses()
+
+    def test_case_pieces_unioned(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "pw")
+        f.defn = [
+            Case((y >= 1) & (y <= n), g(y - 1, x)),
+            g(y + 1, x),
+        ]
+        acc = f.accesses()[g]
+        assert acc.dims[0].rng.omin == -1
+        assert acc.dims[0].rng.omax == 1
+
+    def test_producers_deduped(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "p")
+        f.defn = [g(y, x) + g(y + 1, x)]
+        assert f.producers() == [g]
+
+    def test_stage_kind_attribute(self, env):
+        n, y, x, g, ext = env
+        f = Function(([y, x], [ext, ext]), Double, "k")
+        assert f.stage_kind() == "pointwise"
+        f.kind = "defect"
+        assert f.stage_kind() == "defect"

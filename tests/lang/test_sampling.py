@@ -1,0 +1,114 @@
+"""Tests for the Restrict and Interp sampling constructs."""
+
+import pytest
+
+from repro.ir.domain import Box
+from repro.lang.expr import collect_refs
+from repro.lang.function import Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.sampling import Interp, Restrict
+from repro.lang.stencil import Stencil
+from repro.lang.types import Double, Int
+
+
+@pytest.fixture
+def env():
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    fine = Grid(Double, "fine", [n + 2, n + 2])
+    ext_c = Interval(Int, 1, n / 2)
+    return n, y, x, fine, ext_c
+
+
+class TestRestrict:
+    def test_subscripts_scaled(self, env):
+        n, y, x, fine, ext_c = env
+        r = Restrict(([y, x], [ext_c, ext_c]), Double, "R")
+        r.defn = [
+            Stencil(fine, (y, x), [[1, 2, 1], [2, 4, 2], [1, 2, 1]], 1 / 16)
+        ]
+        for ref in collect_refs(r.defn_exprs()[0]):
+            for ix in ref.indices:
+                var = ix.single_variable()
+                assert ix.coeff_of(var) == 2
+
+    def test_footprint(self, env):
+        n, y, x, fine, ext_c = env
+        r = Restrict(([y, x], [ext_c, ext_c]), Double, "R")
+        r.defn = [
+            Stencil(fine, (y, x), [[1, 2, 1], [2, 4, 2], [1, 2, 1]], 1 / 16)
+        ]
+        acc = r.accesses()[fine]
+        fp = acc.footprint(Box.from_bounds([(1, 4), (2, 3)]))
+        assert fp == Box.from_bounds([(1, 9), (3, 7)])
+
+    def test_sampling_factor(self, env):
+        n, y, x, fine, ext_c = env
+        r = Restrict(([y, x], [ext_c, ext_c]), Double, "R")
+        assert r.SAMPLING_FACTOR == 2
+        assert r.stage_kind() == "restrict"
+
+
+class TestInterp:
+    def _make(self, env):
+        n, y, x, fine, ext_c = env
+        coarse = Grid(Double, "coarse", [n / 2 + 2, n / 2 + 2])
+        ext_f = Interval(Int, 1, n)
+        p = Interp(([y, x], [ext_f, ext_f]), Double, "P")
+        expr = [{}, {}]
+        o = (0, 0)
+        expr[0][0] = Stencil(coarse, (y, x), [1], origin=o)
+        expr[0][1] = Stencil(coarse, (y, x), [1, 1], origin=o) * 0.5
+        expr[1][0] = Stencil(coarse, (y, x), [[1], [1]], origin=o) * 0.5
+        expr[1][1] = (
+            Stencil(coarse, (y, x), [[1, 1], [1, 1]], origin=o) * 0.25
+        )
+        p.defn = [expr]
+        return p, coarse
+
+    def test_parity_table_complete(self, env):
+        p, _ = self._make(env)
+        assert set(p.parity_cases) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_missing_parity_rejected(self, env):
+        n, y, x, fine, ext_c = env
+        p = Interp(([y, x], [ext_c, ext_c]), Double, "Q")
+        with pytest.raises(ValueError):
+            p.defn = [[{0: 1.0}]]
+
+    def test_refs_per_parity(self, env):
+        p, coarse = self._make(env)
+        assert len(collect_refs(p.parity_cases[(0, 0)])) == 1
+        assert len(collect_refs(p.parity_cases[(1, 1)])) == 4
+
+    def test_access_footprint_covers_reads(self, env):
+        p, coarse = self._make(env)
+        acc = p.accesses()[coarse]
+        fine_box = Box.from_bounds([(1, 8), (1, 8)])
+        fp = acc.footprint(fine_box)
+        # every parity read q = (x - r)//2 + off must land inside fp
+        for xval in range(1, 9):
+            for r in (0, 1):
+                if (xval - r) % 2:
+                    continue
+                q = (xval - r) // 2
+                for off in (0, 1):
+                    if r == 0 and off == 1:
+                        continue
+                    assert fp.intervals[0].contains(q + off)
+
+    def test_non_unit_interp_subscript_rejected(self, env):
+        n, y, x, fine, ext_c = env
+        coarse = Grid(Double, "c2", [n + 2, n + 2])
+        p = Interp(([y, x], [ext_c, ext_c]), Double, "Q2")
+        table = [
+            {0: coarse(2 * y, x), 1: coarse(y, x)},
+            {0: coarse(y, x), 1: coarse(y, x)},
+        ]
+        p.defn = [table]
+        with pytest.raises(ValueError):
+            p.accesses()
+
+    def test_stage_kind(self, env):
+        p, _ = self._make(env)
+        assert p.stage_kind() == "interp"

@@ -1,0 +1,142 @@
+"""Tests for the Stencil and TStencil constructs."""
+
+import pytest
+
+from repro.ir.dag import PipelineDAG
+from repro.lang.expr import Case, collect_refs
+from repro.lang.function import Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.stencil import Stencil, TStencil, stencil_weights_shape
+from repro.lang.types import Double, Int
+
+
+@pytest.fixture
+def env():
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    g = Grid(Double, "G", [n + 2, n + 2])
+    f = Grid(Double, "F", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    return n, y, x, g, f, ext
+
+
+class TestStencilExpansion:
+    def test_weight_shape_padding(self):
+        assert stencil_weights_shape([1, 2, 1], 2) == (1, 3)
+        assert stencil_weights_shape([[1], [1]], 2) == (2, 1)
+        assert stencil_weights_shape([1], 2) == (1, 1)
+        assert stencil_weights_shape([[0, 1], [2, 3]], 2) == (2, 2)
+
+    def test_too_deep_rejected(self, env):
+        n, y, x, g, f, ext = env
+        with pytest.raises(ValueError):
+            Stencil(g, (y, x), [[[1]]])
+
+    def test_laplacian_offsets(self, env):
+        n, y, x, g, f, ext = env
+        e = Stencil(g, (y, x), [[0, -1, 0], [-1, 4, -1], [0, -1, 0]])
+        refs = collect_refs(e)
+        assert len(refs) == 5  # zeros skipped
+        offsets = set()
+        for r in refs:
+            oy = int(r.indices[0].const.constant_value())
+            ox = int(r.indices[1].const.constant_value())
+            offsets.add((oy, ox))
+        assert offsets == {(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)}
+
+    def test_custom_origin(self, env):
+        n, y, x, g, f, ext = env
+        e = Stencil(g, (y, x), [1, 1], origin=(0, 0))
+        refs = collect_refs(e)
+        offs = sorted(
+            int(r.indices[1].const.constant_value()) for r in refs
+        )
+        assert offs == [0, 1]
+
+    def test_factor_applied(self, env):
+        n, y, x, g, f, ext = env
+        e = Stencil(g, (y, x), [[2]], 0.25)
+        assert "0.25" in repr(e)
+
+    def test_all_zero_weights(self, env):
+        n, y, x, g, f, ext = env
+        e = Stencil(g, (y, x), [[0]])
+        assert collect_refs(e) == []
+
+    def test_rank_mismatch_rejected(self, env):
+        n, y, x, g, f, ext = env
+        with pytest.raises(ValueError):
+            Stencil(g, (y,), [[1]])
+
+
+class TestTStencil:
+    def _make(self, env, steps):
+        n, y, x, g, f, ext = env
+        w = TStencil(
+            ([y, x], [ext, ext]), Double, steps, evolving=g, name="S"
+        )
+        interior = (y >= 1) & (y <= n) & (x >= 1) & (x <= n)
+        w.defn = [
+            Case(
+                interior,
+                g(y, x)
+                - 0.25
+                * (
+                    Stencil(
+                        g, (y, x), [[0, -1, 0], [-1, 4, -1], [0, -1, 0]]
+                    )
+                    - f(y, x)
+                ),
+            ),
+            g(y, x),
+        ]
+        return w
+
+    def test_expansion_count(self, env):
+        w = self._make(env, 4)
+        assert len(w.steps) == 4
+        assert [s.name for s in w.steps] == [f"S.t{i}" for i in range(1, 5)]
+
+    def test_chaining(self, env):
+        n, y, x, g, f, ext = env
+        w = self._make(env, 3)
+        # step 1 reads the evolving grid; step 2 reads step 1
+        assert g in w.steps[0].producers()
+        assert w.steps[0] in w.steps[1].producers()
+        assert g not in w.steps[1].producers()
+        # non-evolving producer is untouched
+        assert f in w.steps[1].producers()
+
+    def test_indexing(self, env):
+        n, y, x, g, f, ext = env
+        w = self._make(env, 2)
+        assert w[0] is g
+        assert w[1] is w.steps[0]
+        assert w.last is w.steps[1]
+        with pytest.raises(IndexError):
+            w[3]
+
+    def test_zero_steps_passthrough(self, env):
+        n, y, x, g, f, ext = env
+        w = TStencil(([y, x], [ext, ext]), Double, 0, evolving=g)
+        w.defn = [g(y, x)]
+        assert w.last is g
+
+    def test_step_metadata(self, env):
+        w = self._make(env, 2)
+        for i, s in enumerate(w.steps, start=1):
+            assert s.stage_kind() == "smooth"
+            assert s.time_index == i
+            assert s.tstencil is w
+
+    def test_dag_contains_all_steps(self, env):
+        w = self._make(env, 5)
+        dag = PipelineDAG([w.last], params={"N": 8})
+        assert dag.stage_count() == 5
+
+    def test_invalid_steps(self, env):
+        n, y, x, g, f, ext = env
+        with pytest.raises(ValueError):
+            TStencil(([y, x], [ext, ext]), Double, -1, evolving=g)
+        with pytest.raises(ValueError):
+            TStencil(([y, x], [ext, ext]), Double, 1.5, evolving=g)

@@ -1,0 +1,135 @@
+"""Tests for the analytic cost model over compiled schedules.
+
+These test the *relativities* the paper's figures depend on — fusion
+reduces traffic, storage reuse reduces spill and allocation, thread and
+problem-size scaling behave — not absolute seconds.
+"""
+
+import pytest
+
+from repro.model import PAPER_MACHINE, PipelineCostModel
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.multigrid.cycles import build_smoother_chain
+from repro.variants import (
+    handopt_model,
+    handopt_pluto_model,
+    polymg_naive,
+    polymg_opt,
+    polymg_opt_plus,
+)
+
+
+@pytest.fixture(scope="module")
+def pipe2d():
+    opts = MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=4)
+    return build_poisson_cycle(2, 8192, opts)
+
+
+def model_for(pipe, cfg):
+    return PipelineCostModel(pipe.compile(cfg), PAPER_MACHINE)
+
+
+class TestRooflineBasics:
+    def test_positive_costs(self, pipe2d):
+        m = model_for(pipe2d, polymg_opt_plus())
+        bd = m.cycle_breakdown(24)
+        assert bd.total() > 0
+        assert bd.memory_s > 0 or bd.compute_s > 0
+
+    def test_thread_scaling(self, pipe2d):
+        m = model_for(pipe2d, polymg_naive())
+        t1 = m.run_time(1, 10)
+        t24 = m.run_time(24, 10)
+        assert 3 < t1 / t24 < 24  # sublinear (bandwidth saturates)
+
+    def test_more_cycles_cost_more(self, pipe2d):
+        m = model_for(pipe2d, polymg_opt_plus())
+        assert m.run_time(24, 20) > m.run_time(24, 10)
+        assert m.run_time(24, 0) == 0.0
+
+    def test_first_cycle_pays_allocation(self, pipe2d):
+        m = model_for(pipe2d, polymg_opt_plus())
+        cold = m.cycle_time(24, steady=False)
+        warm = m.cycle_time(24, steady=True)
+        assert cold > warm
+
+    def test_group_costs_cover_all_groups(self, pipe2d):
+        compiled = pipe2d.compile(polymg_opt_plus())
+        m = PipelineCostModel(compiled, PAPER_MACHINE)
+        costs = m.group_costs(24)
+        assert len(costs) == len(compiled.grouping.groups)
+        assert all(c.time_s > 0 for c in costs)
+
+
+class TestOptimizationRelativities:
+    def test_fusion_reduces_traffic(self, pipe2d):
+        naive = model_for(pipe2d, polymg_naive())
+        fused = model_for(pipe2d, polymg_opt_plus())
+        t_naive = sum(c.traffic_bytes for c in naive.group_costs(24))
+        t_fused = sum(c.traffic_bytes for c in fused.group_costs(24))
+        assert t_fused < 0.6 * t_naive
+
+    def test_storage_opts_never_hurt(self, pipe2d):
+        opt = model_for(pipe2d, polymg_opt()).run_time(24, 10)
+        optp = model_for(pipe2d, polymg_opt_plus()).run_time(24, 10)
+        assert optp < opt
+
+    def test_pool_removes_steady_state_allocation(self, pipe2d):
+        pooled = model_for(pipe2d, polymg_opt_plus())
+        direct = model_for(pipe2d, polymg_opt())
+        assert pooled.alloc_cost(24, steady=True) < 0.1 * direct.alloc_cost(
+            24, steady=True
+        )
+
+    def test_baseline_ordering(self, pipe2d):
+        naive = model_for(pipe2d, polymg_naive()).run_time(24, 10)
+        hand = model_for(pipe2d, handopt_model()).run_time(24, 10)
+        pluto = model_for(pipe2d, handopt_pluto_model()).run_time(24, 10)
+        assert hand < naive
+        assert pluto <= hand * 1.05  # diamond never loses much
+
+    def test_redundancy_grows_with_dim(self):
+        opts = MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=4)
+        p2 = build_poisson_cycle(2, 8192, opts)
+        p3 = build_poisson_cycle(3, 256, opts)
+        cfg = polymg_opt_plus()
+        g2 = next(
+            g
+            for g in p2.compile(cfg).grouping.groups
+            if g.size > 1
+        )
+        g3 = next(
+            g
+            for g in p3.compile(cfg).grouping.groups
+            if g.size > 1
+        )
+        assert g3.redundancy(cfg.tile_shape(3)) > g2.redundancy(
+            cfg.tile_shape(2)
+        )
+
+
+class TestSmootherCrossover:
+    """The Figure 11a shape, as a unit test of the model."""
+
+    def smoother_times(self, ndim, n, steps):
+        pipe = build_smoother_chain(ndim, n, steps)
+        over = model_for(
+            pipe,
+            polymg_opt_plus(
+                tile_sizes={2: (64, 512), 3: (32, 32, 128)},
+                group_size_limit=8,
+            ),
+        ).run_time(24, 10)
+        dia = model_for(pipe, handopt_pluto_model()).run_time(24, 10)
+        return over, dia
+
+    def test_3d_crossover(self):
+        over4, dia4 = self.smoother_times(3, 512, 4)
+        over10, dia10 = self.smoother_times(3, 512, 10)
+        assert over4 < dia4  # overlapped wins shallow
+        assert dia10 < over10  # diamond wins deep
+
+    def test_2d_overlapped_always(self):
+        for steps in (4, 10):
+            over, dia = self.smoother_times(2, 8192, steps)
+            assert over < dia, steps

@@ -1,0 +1,68 @@
+"""Tests for the machine specification."""
+
+import pytest
+
+from repro.model.machine import LAPTOP_MACHINE, PAPER_MACHINE, MachineSpec
+
+
+class TestPaperSpec:
+    def test_table1_parameters(self):
+        m = PAPER_MACHINE
+        assert m.cores == 24
+        assert m.sockets == 2
+        assert m.freq_hz == 2.6e9
+        assert m.l1_per_core == 64 * 1024
+        assert m.l2_per_core == 512 * 1024
+        assert m.l3_per_socket == 30720 * 1024
+
+    def test_peak_scales_with_threads(self):
+        assert PAPER_MACHINE.peak_flops(24) == 24 * PAPER_MACHINE.peak_flops(1)
+
+    def test_thread_clamp(self):
+        assert PAPER_MACHINE.peak_flops(48) == PAPER_MACHINE.peak_flops(24)
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.dram_bw(0)
+
+    def test_bandwidth_saturates(self):
+        m = PAPER_MACHINE
+        assert m.dram_bw(1) == m.dram_bw_core
+        assert m.dram_bw(24) == m.dram_bw_total
+        assert m.dram_bw(24) < 24 * m.dram_bw_core
+
+
+class TestEffectiveBandwidth:
+    def test_l3_resident_boost(self):
+        m = PAPER_MACHINE
+        small = m.effective_bw(24, m.l3_total // 2)
+        big = m.effective_bw(24, m.l3_total * 4)
+        assert small == pytest.approx(big * m.l3_bw_factor, rel=0.01)
+
+    def test_tlb_degradation_monotone(self):
+        m = PAPER_MACHINE
+        ws = m.l3_total * 4
+        bws = [
+            m.effective_bw(24, ws, resident)
+            for resident in (m.l3_total, m.l3_total * 8, m.l3_total * 64)
+        ]
+        assert bws[0] >= bws[1] >= bws[2]
+
+    def test_row_efficiency(self):
+        m = PAPER_MACHINE
+        assert m.row_efficiency(10_000) > 0.99
+        assert m.row_efficiency(64) < m.row_efficiency(512)
+        assert m.row_efficiency(0) == 1.0
+
+    def test_diamond_efficiency_dimension(self):
+        m = PAPER_MACHINE
+        assert m.diamond_stream_efficiency(2) < m.diamond_stream_efficiency(3)
+
+    def test_barrier_grows_with_threads(self):
+        m = PAPER_MACHINE
+        assert m.barrier_s(24) > m.barrier_s(2)
+
+    def test_with_override(self):
+        m = PAPER_MACHINE.with_(cores=12)
+        assert m.cores == 12 and PAPER_MACHINE.cores == 24
+
+    def test_laptop_is_single_core(self):
+        assert LAPTOP_MACHINE.cores == 1

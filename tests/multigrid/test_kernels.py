@@ -1,0 +1,167 @@
+"""Tests for the reference numpy multigrid kernels."""
+
+import numpy as np
+import pytest
+
+from repro.multigrid.kernels import (
+    apply_operator,
+    correct,
+    interior,
+    interpolate,
+    jacobi_step,
+    norm_residual,
+    residual,
+    restrict_full_weighting,
+)
+
+
+def poisson_exact_2d(n):
+    """Manufactured solution u = sin(pi x) sin(pi y) on the unit square;
+    f = A u for the discrete operator (so u is the exact discrete
+    solution)."""
+    h = 1.0 / (n + 1)
+    coords = np.arange(n + 2) * h
+    X, Y = np.meshgrid(coords, coords, indexing="ij")
+    u = np.sin(np.pi * X) * np.sin(np.pi * Y)
+    f = np.zeros_like(u)
+    f[1:-1, 1:-1] = apply_operator(u, h)
+    return u, f, h
+
+
+class TestOperator:
+    def test_laplacian_of_linear_is_zero(self):
+        n = 16
+        h = 1.0 / (n + 1)
+        coords = np.arange(n + 2) * h
+        X, Y = np.meshgrid(coords, coords, indexing="ij")
+        u = 3.0 * X + 2.0 * Y + 1.0
+        a = apply_operator(u, h)
+        assert np.allclose(a, 0.0, atol=1e-9)
+
+    def test_quadratic(self):
+        n = 16
+        h = 1.0 / (n + 1)
+        coords = np.arange(n + 2) * h
+        X, Y = np.meshgrid(coords, coords, indexing="ij")
+        u = X * X
+        a = apply_operator(u, h)  # A = -laplace -> -2
+        assert np.allclose(a, -2.0, atol=1e-8)
+
+    def test_3d_operator(self):
+        n = 8
+        h = 1.0 / (n + 1)
+        c = np.arange(n + 2) * h
+        X, Y, Z = np.meshgrid(c, c, c, indexing="ij")
+        u = X * X + Y * Y + Z * Z
+        assert np.allclose(apply_operator(u, h), -6.0, atol=1e-7)
+
+
+class TestJacobi:
+    def test_fixed_point_is_solution(self):
+        u, f, h = poisson_exact_2d(16)
+        stepped = jacobi_step(u, f, h)
+        assert np.allclose(stepped, u, atol=1e-12)
+
+    def test_boundary_preserved(self, rng):
+        n = 8
+        u = rng.standard_normal((n + 2, n + 2))
+        f = rng.standard_normal((n + 2, n + 2))
+        out = jacobi_step(u, f, 0.1)
+        assert np.array_equal(out[0], u[0])
+        assert np.array_equal(out[-1], u[-1])
+        assert np.array_equal(out[:, 0], u[:, 0])
+
+    def test_error_decreases(self, rng):
+        u, f, h = poisson_exact_2d(16)
+        guess = u + 0.0
+        guess[1:-1, 1:-1] += rng.standard_normal((16, 16))
+        for _ in range(20):
+            guess = jacobi_step(guess, f, h)
+        assert np.abs(guess - u).max() < np.abs(
+            guess * 0 + 1.0
+        ).max()  # bounded
+        assert norm_residual(guess, f, h) < norm_residual(
+            u + (guess - u) * 4, f, h
+        )
+
+
+class TestResidual:
+    def test_zero_at_solution(self):
+        u, f, h = poisson_exact_2d(16)
+        r = residual(u, f, h)
+        assert np.abs(r).max() < 1e-10
+
+    def test_shape_interior_only(self, rng):
+        n = 8
+        u = rng.standard_normal((n + 2, n + 2))
+        f = rng.standard_normal((n + 2, n + 2))
+        assert residual(u, f, 0.1).shape == (n, n)
+
+
+class TestTransfer:
+    def test_restrict_constant(self):
+        r = np.ones((8, 8))
+        rc = restrict_full_weighting(r)
+        assert rc.shape == (4, 4)
+        # interior coarse points average to 1; edge points see zero
+        # padding outside the fine interior
+        assert np.allclose(rc[1:-1, 1:-1], 1.0)
+
+    def test_restrict_odd_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.ones((7, 7)))
+
+    def test_restrict_weights_sum(self, rng):
+        r = rng.standard_normal((16, 16))
+        rc = restrict_full_weighting(r)
+        # spot-check one interior coarse point against the 9-point rule
+        q = (3, 5)
+        fy, fx = 2 * (q[0] + 1), 2 * (q[1] + 1)  # fine point index
+        window = r[fy - 2 : fy + 1, fx - 2 : fx + 1]
+        w = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]]) / 16.0
+        assert np.isclose(rc[q], (window * w).sum())
+
+    def test_interp_even_points_copy(self, rng):
+        nc = 4
+        e = rng.standard_normal((nc, nc))
+        fine = interpolate(e, 2 * nc)
+        # fine point 2q (array index 2q-1) copies coarse q
+        for qy in range(1, nc + 1):
+            for qx in range(1, nc + 1):
+                assert fine[2 * qy - 1, 2 * qx - 1] == e[qy - 1, qx - 1]
+
+    def test_interp_odd_points_average(self, rng):
+        nc = 4
+        e = rng.standard_normal((nc, nc))
+        fine = interpolate(e, 2 * nc)
+        # fine x = 2q+1 along one dim averages neighbours
+        assert np.isclose(
+            fine[2 * 2 - 1, 2 * 2], 0.5 * (e[1, 1] + e[1, 2])
+        )
+
+    def test_interp_shape_check(self):
+        with pytest.raises(ValueError):
+            interpolate(np.ones((4, 4)), 10)
+
+    def test_interp_restrict_3d_roundtrip_smooth(self):
+        """Restriction after interpolation roughly preserves a smooth
+        coarse function (transfer operators are consistent)."""
+        nc = 8
+        h = 1.0 / (nc + 1)
+        c = (np.arange(nc) + 1) * h
+        X, Y, Z = np.meshgrid(c, c, c, indexing="ij")
+        e = np.sin(np.pi * X) * np.sin(np.pi * Y) * np.sin(np.pi * Z)
+        fine = interpolate(e, 2 * nc)
+        back = restrict_full_weighting(fine)
+        interior_err = np.abs(back[1:-1, 1:-1, 1:-1] - e[1:-1, 1:-1, 1:-1])
+        assert interior_err.max() < 0.05
+
+
+class TestCorrect:
+    def test_interior_added_boundary_kept(self, rng):
+        n = 6
+        v = rng.standard_normal((n + 2, n + 2))
+        e = rng.standard_normal((n, n))
+        out = correct(v, e)
+        assert np.array_equal(out[1:-1, 1:-1], v[1:-1, 1:-1] + e)
+        assert np.array_equal(out[0], v[0])

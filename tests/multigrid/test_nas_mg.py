@@ -1,0 +1,124 @@
+"""Tests for the NAS MG implementation."""
+
+import numpy as np
+import pytest
+
+from repro.multigrid.nas_mg import (
+    NAS_A,
+    NAS_C,
+    NasMgSolver,
+    apply_27pt,
+    build_nas_mg_cycle,
+    nas_rhs,
+)
+from repro.variants import (
+    polymg_dtile_opt_plus,
+    polymg_naive,
+    polymg_opt,
+    polymg_opt_plus,
+)
+
+
+class TestOperators:
+    def test_apply_27pt_constant_annihilation(self):
+        """The A operator coefficients sum to zero: constants map to 0."""
+        u = np.ones((10, 10, 10))
+        out = apply_27pt(u, NAS_A)
+        total = NAS_A[0] + 6 * NAS_A[1] + 12 * NAS_A[2] + 8 * NAS_A[3]
+        assert np.allclose(out, total)
+        assert abs(total) < 1e-12
+
+    def test_apply_27pt_matches_direct_sum(self, rng):
+        u = rng.standard_normal((6, 6, 6))
+        out = apply_27pt(u, NAS_C)
+        # direct computation at one interior point
+        p = (2, 3, 1 + 1)
+        acc = 0.0
+        for dz in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    acc += (
+                        NAS_C[abs(dz) + abs(dy) + abs(dx)]
+                        * u[p[0] + dz, p[1] + dy, p[2] + dx]
+                    )
+        assert np.isclose(out[p[0] - 1, p[1] - 1, p[2] - 1], acc)
+
+    def test_rhs_structure(self):
+        v = nas_rhs(16)
+        assert v.shape == (18, 18, 18)
+        assert (v == 1.0).sum() == 10
+        assert (v == -1.0).sum() == 10
+        assert np.abs(v).sum() == 20
+        # deterministic
+        assert np.array_equal(v, nas_rhs(16))
+
+    def test_resid_zero_boundary(self, rng):
+        u = rng.standard_normal((10, 10, 10))
+        v = rng.standard_normal((10, 10, 10))
+        r = NasMgSolver.resid(u, v)
+        assert np.all(r[0] == 0) and np.all(r[-1] == 0)
+
+    def test_rprj3_shapes(self, rng):
+        r = np.zeros((18, 18, 18))
+        r[1:-1, 1:-1, 1:-1] = rng.standard_normal((16, 16, 16))
+        rc = NasMgSolver.rprj3(r)
+        assert rc.shape == (10, 10, 10)
+        assert np.all(rc[0] == 0)
+
+
+class TestSolver:
+    def test_residual_decreases(self):
+        solver = NasMgSolver(32, levels=4)
+        v = nas_rhs(32)
+        _, norms = solver.solve(v, 4)
+        assert norms[-1] < norms[0]
+        assert all(b < a for a, b in zip(norms, norms[1:]))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            NasMgSolver(30, levels=4)
+
+
+class TestPipeline:
+    def test_all_variants_bitexact(self):
+        n = 16
+        solver = NasMgSolver(n, levels=3)
+        v = nas_rhs(n)
+        u0 = np.zeros_like(v)
+        ref = solver.mg3p(u0, v)
+        pipe = build_nas_mg_cycle(n, levels=3)
+        tiles = {3: (4, 8, 8)}
+        for factory in (
+            polymg_naive,
+            polymg_opt,
+            polymg_opt_plus,
+            polymg_dtile_opt_plus,
+        ):
+            compiled = pipe.compile(factory(tile_sizes=tiles))
+            out = compiled.execute(pipe.make_inputs(u0, v))[
+                pipe.output.name
+            ]
+            assert np.array_equal(out, ref), factory.__name__
+
+    def test_iterated_cycles_bitexact(self):
+        n = 16
+        solver = NasMgSolver(n, levels=3)
+        v = nas_rhs(n)
+        pipe = build_nas_mg_cycle(n, levels=3)
+        compiled = pipe.compile(polymg_opt_plus(tile_sizes={3: (4, 8, 8)}))
+        u_np = np.zeros_like(v)
+        u_dsl = np.zeros_like(v)
+        for _ in range(3):
+            u_np = solver.mg3p(u_np, v)
+            u_dsl = compiled.execute(pipe.make_inputs(u_dsl, v))[
+                pipe.output.name
+            ]
+        assert np.array_equal(u_np, u_dsl)
+
+    def test_stage_count_structure(self):
+        pipe = build_nas_mg_cycle(32, levels=4)
+        # 1 resid + (L-1) rprj3 + zero+psinv + (L-2)*(zero+interp+correct
+        # +resid+psinv) + top (interp+correct+resid+psinv)
+        L = 4
+        expected = 1 + (L - 1) + 2 + (L - 2) * 5 + 4
+        assert pipe.stage_count_ == expected

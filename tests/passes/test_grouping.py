@@ -1,0 +1,169 @@
+"""Tests for greedy auto-grouping (fusion) and group geometry."""
+
+import pytest
+
+from repro.config import PolyMgConfig
+from repro.ir.dag import PipelineDAG
+from repro.ir.domain import Box
+from repro.lang.expr import Case
+from repro.lang.function import Function, Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.stencil import Stencil, TStencil
+from repro.lang.types import Double, Int
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.passes.grouping import auto_group
+from repro.passes.groups import Group
+
+
+def smooth_chain(steps=4, n_val=32):
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    v = Grid(Double, "V", [n + 2, n + 2])
+    f = Grid(Double, "F", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    w = TStencil(([y, x], [ext, ext]), Double, steps, evolving=v)
+    interior = (y >= 1) & (y <= n) & (x >= 1) & (x <= n)
+    w.defn = [
+        Case(
+            interior,
+            v(y, x)
+            - 0.2
+            * (
+                Stencil(v, (y, x), [[0, -1, 0], [-1, 4, -1], [0, -1, 0]])
+                - f(y, x)
+            ),
+        ),
+        v(y, x),
+    ]
+    dag = PipelineDAG([w.last], params={"N": n_val})
+    return dag, w
+
+
+class TestAutoGroup:
+    def test_no_fuse_one_group_per_stage(self):
+        dag, w = smooth_chain(4)
+        res = auto_group(dag, PolyMgConfig(fuse=False))
+        assert len(res.groups) == 4
+        res.validate()
+
+    def test_chain_fuses_up_to_limit(self):
+        dag, w = smooth_chain(6)
+        cfg = PolyMgConfig(group_size_limit=3, tile_sizes={2: (16, 16)})
+        res = auto_group(dag, cfg)
+        assert all(g.size <= 3 for g in res.groups)
+        assert len(res.groups) == 2
+        res.validate()
+
+    def test_full_fusion_when_allowed(self):
+        dag, w = smooth_chain(4)
+        cfg = PolyMgConfig(
+            group_size_limit=10,
+            overlap_threshold=5.0,
+            tile_sizes={2: (16, 16)},
+        )
+        res = auto_group(dag, cfg)
+        assert len(res.groups) == 1
+        assert res.groups[0].anchor is w.last
+
+    def test_overlap_threshold_blocks_merging(self):
+        dag, w = smooth_chain(8, n_val=64)
+        tight = PolyMgConfig(
+            group_size_limit=20,
+            overlap_threshold=0.01,
+            tile_sizes={2: (8, 8)},
+        )
+        res = auto_group(dag, tight)
+        assert len(res.groups) == 8  # every merge exceeds 1% redundancy
+
+    def test_group_order_topological(self):
+        opts = MultigridOptions(cycle="W", n1=2, n2=2, n3=2, levels=3)
+        pipe = build_poisson_cycle(2, 16, opts)
+        dag = PipelineDAG([pipe.output], params=pipe.params)
+        res = auto_group(dag, PolyMgConfig(tile_sizes={2: (8, 8)}))
+        res.validate()
+        seen = set()
+        for g in res.groups:
+            for pg in res.producers_of_group(g):
+                assert id(pg) in seen
+            seen.add(id(g))
+
+    def test_diamond_isolation(self):
+        opts = MultigridOptions(cycle="V", n1=3, n2=2, n3=3, levels=3)
+        pipe = build_poisson_cycle(2, 16, opts)
+        dag = PipelineDAG([pipe.output], params=pipe.params)
+        cfg = PolyMgConfig(
+            diamond_smoothing=True, tile_sizes={2: (8, 8)}
+        )
+        res = auto_group(dag, cfg)
+        for g in res.groups:
+            chains = {
+                id(getattr(s, "tstencil", None)) for s in g.stages
+            }
+            has_smooth = any(
+                getattr(s, "tstencil", None) is not None
+                for s in g.stages
+            )
+            if has_smooth:
+                assert len(chains) == 1
+
+
+class TestGroupGeometry:
+    def test_scales_through_restrict(self):
+        opts = MultigridOptions(cycle="V", n1=2, n2=1, n3=2, levels=2)
+        pipe = build_poisson_cycle(2, 16, opts)
+        dag = PipelineDAG([pipe.output], params=pipe.params)
+        defect = next(s for s in dag.stages if s.stage_kind() == "defect")
+        restrict = next(
+            s for s in dag.stages if s.stage_kind() == "restrict"
+        )
+        g = Group(dag, [defect, restrict])
+        scales = g.scales()
+        assert scales[restrict] == (1, 1)
+        assert scales[defect] == (2, 2)
+
+    def test_tile_needs_grow_backwards(self):
+        dag, w = smooth_chain(4)
+        g = Group(dag, w.steps)
+        tile = Box.from_bounds([(8, 15), (8, 15)])
+        needs = g.tile_needs(tile, clamp=False)
+        # each earlier step needs one more halo cell per side
+        for i, s in enumerate(reversed(w.steps)):
+            box = needs[s]
+            assert box.intervals[0].lb == 8 - i
+            assert box.intervals[0].ub == 15 + i
+
+    def test_tile_regions_cover_domain(self):
+        dag, w = smooth_chain(3, n_val=16)
+        g = Group(dag, w.steps)
+        dom = w.last.domain_box({"N": 16})
+        covered = []
+        from repro.ir.interval import ConcreteInterval
+
+        for ylo in range(0, 18, 6):
+            for xlo in range(0, 18, 6):
+                tile = Box.from_bounds(
+                    [
+                        (ylo, min(ylo + 5, 17)),
+                        (xlo, min(xlo + 5, 17)),
+                    ]
+                )
+                regions = g.tile_regions(tile)
+                covered.append(regions[w.last])
+        from repro.ir.domain import box_union_volume
+
+        assert box_union_volume(covered) == dom.volume()
+
+    def test_redundancy_monotone_in_depth(self):
+        dag4, w4 = smooth_chain(4)
+        dag8, w8 = smooth_chain(8)
+        g4 = Group(dag4, w4.steps)
+        g8 = Group(dag8, w8.steps)
+        r4 = g4.redundancy((8, 8))
+        r8 = g8.redundancy((8, 8))
+        assert 0 < r4 < r8
+
+    def test_live_outs(self):
+        dag, w = smooth_chain(4)
+        g = Group(dag, w.steps)
+        assert g.live_outs() == [w.last]
+        assert set(g.internal_stages()) == set(w.steps[:-1])

@@ -1,0 +1,60 @@
+"""Tests for the scheduling pass (timestamps)."""
+
+from repro.config import PolyMgConfig
+from repro.ir.dag import PipelineDAG
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.passes.grouping import auto_group
+from repro.passes.schedule import PipelineSchedule
+
+
+def make_schedule(cycle="V", fuse=True):
+    opts = MultigridOptions(cycle=cycle, n1=2, n2=2, n3=2, levels=3)
+    pipe = build_poisson_cycle(2, 16, opts)
+    dag = PipelineDAG([pipe.output], params=pipe.params)
+    cfg = PolyMgConfig(fuse=fuse, tile_sizes={2: (8, 8)})
+    grouping = auto_group(dag, cfg)
+    return grouping, PipelineSchedule(grouping)
+
+
+class TestPipelineSchedule:
+    def test_group_times_are_topological(self):
+        grouping, sched = make_schedule()
+        times = [sched.time_of_group(g) for g in grouping.groups]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_stage_times_respect_dependences(self):
+        grouping, sched = make_schedule()
+        dag = grouping.dag
+        for group in grouping.groups:
+            for stage in group.stages:
+                for producer in dag.producers_of(stage):
+                    if producer in group:
+                        assert sched.time_of_stage(producer) < (
+                            sched.time_of_stage(stage)
+                        )
+
+    def test_liveout_time_is_group_time(self):
+        grouping, sched = make_schedule()
+        for group in grouping.groups:
+            for out in group.live_outs():
+                assert sched.liveout_time(out) == sched.time_of_group(
+                    group
+                )
+
+    def test_unfused_schedule_is_stage_order(self):
+        grouping, sched = make_schedule(fuse=False)
+        assert all(g.size == 1 for g in grouping.groups)
+        for group in grouping.groups:
+            assert sched.time_of_stage(group.stages[0]) == 0
+
+    def test_consumers_scheduled_after_producers_across_groups(self):
+        grouping, sched = make_schedule(cycle="W")
+        dag = grouping.dag
+        for stage in dag.stages:
+            sg = grouping.group_of[stage]
+            for producer in dag.producers_of(stage):
+                if producer.is_input:
+                    continue
+                pg = grouping.group_of[producer]
+                assert sched.time_of_group(pg) <= sched.time_of_group(sg)

@@ -1,0 +1,274 @@
+"""Tests for the storage passes: Algorithms 2/3, scratch and array
+classes, and the paper's Figure 7 scenario."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PolyMgConfig
+from repro.ir.dag import PipelineDAG
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.passes.grouping import auto_group
+from repro.passes.schedule import PipelineSchedule
+from repro.passes.storage import (
+    classify_arrays,
+    classify_scratch_shapes,
+    get_last_use_map,
+    plan_storage,
+    remap_storage,
+)
+
+
+class FakeFunc:
+    """Minimal stand-in for Function in algorithm-level tests."""
+
+    _uid = 0
+
+    def __init__(self, name, dtype="Double"):
+        FakeFunc._uid += 1
+        self.uid = FakeFunc._uid
+        self.name = name
+        self.dtype = type("D", (), {"name": dtype})()
+
+    def __repr__(self):
+        return self.name
+
+    def __hash__(self):
+        return hash(self.uid)
+
+
+def linear_chain(n):
+    """f0 -> f1 -> ... -> f(n-1), each consumed only by the next."""
+    funcs = [FakeFunc(f"f{i}") for i in range(n)]
+    ts = {f: i for i, f in enumerate(funcs)}
+    users = {
+        f: [funcs[i + 1]] if i + 1 < n else []
+        for i, f in enumerate(funcs)
+    }
+    return funcs, ts, users
+
+
+class TestLastUseMap:
+    def test_chain(self):
+        funcs, ts, users = linear_chain(4)
+        m = get_last_use_map(funcs, ts, lambda f: users[f])
+        assert m[1] == [funcs[0]]
+        assert m[3] == [funcs[2], funcs[3]]  # f3 unused -> dies at 3
+
+    def test_fanout(self):
+        a, b, c = FakeFunc("a"), FakeFunc("b"), FakeFunc("c")
+        ts = {a: 0, b: 1, c: 2}
+        users = {a: [b, c], b: [c], c: []}
+        m = get_last_use_map([a, b, c], ts, lambda f: users[f])
+        assert m[2] == [a, b, c]
+
+    def test_user_outside_timestamps_ignored(self):
+        a, b = FakeFunc("a"), FakeFunc("b")
+        ghost = FakeFunc("ghost")
+        ts = {a: 0, b: 1}
+        m = get_last_use_map([a, b], ts, lambda f: [ghost])
+        assert m[0] == [a] and m[1] == [b]
+
+
+class TestRemapStorage:
+    def test_chain_uses_two_buffers(self):
+        """A dependence chain where each value dies after its single use
+        needs exactly two alternating buffers — the paper's Figure 7
+        observation."""
+        funcs, ts, users = linear_chain(6)
+        cls = {f: "same" for f in funcs}
+        storage = remap_storage(funcs, ts, cls, lambda f: users[f])
+        assert len(set(storage.values())) == 2
+        # consecutive stages must not share (producer read by consumer)
+        for i in range(5):
+            assert storage[funcs[i]] != storage[funcs[i + 1]]
+
+    def test_classes_do_not_mix(self):
+        funcs, ts, users = linear_chain(4)
+        cls = {f: ("A" if i % 2 else "B") for i, f in enumerate(funcs)}
+        storage = remap_storage(funcs, ts, cls, lambda f: users[f])
+        a_ids = {storage[f] for f in funcs if cls[f] == "A"}
+        b_ids = {storage[f] for f in funcs if cls[f] == "B"}
+        assert not (a_ids & b_ids)
+
+    def test_long_liveness_blocks_reuse(self):
+        a, b, c = FakeFunc("a"), FakeFunc("b"), FakeFunc("c")
+        ts = {a: 0, b: 1, c: 2}
+        users = {a: [c], b: [c], c: []}  # a live until t=2
+        storage = remap_storage(
+            [a, b, c], ts, {f: "s" for f in (a, b, c)}, lambda f: users[f]
+        )
+        assert storage[a] != storage[b]
+        assert storage[c] != storage[a] and storage[c] != storage[b]
+
+    def test_equal_timestamps_no_same_time_reuse(self):
+        """Two live-outs scheduled at their group's (equal) time must
+        not recycle an array that dies at that same time."""
+        a = FakeFunc("a")
+        b1, b2 = FakeFunc("b1"), FakeFunc("b2")
+        ts = {a: 0, b1: 1, b2: 1}
+        users = {a: [b1], b1: [], b2: []}
+        storage = remap_storage(
+            [a, b1, b2], ts, {f: "s" for f in (a, b1, b2)}, lambda f: users[f]
+        )
+        assert storage[b1] != storage[a]
+        assert storage[b2] != storage[a]
+        assert storage[b1] != storage[b2]
+
+    @given(st.integers(2, 24), st.data())
+    def test_no_two_live_funcs_share_property(self, n, data):
+        """Random DAG liveness: any two functions whose live ranges
+        overlap must get different arrays (within a class)."""
+        funcs = [FakeFunc(f"g{i}") for i in range(n)]
+        ts = {f: i for i, f in enumerate(funcs)}
+        users_map = {}
+        for i, f in enumerate(funcs):
+            later = funcs[i + 1 :]
+            users_map[f] = (
+                data.draw(
+                    st.lists(st.sampled_from(later), max_size=3, unique=True)
+                )
+                if later
+                else []
+            )
+        cls = {f: "c" for f in funcs}
+        storage = remap_storage(funcs, ts, cls, lambda f: users_map[f])
+        last_use = {
+            f: max([ts[f]] + [ts[u] for u in users_map[f]]) for f in funcs
+        }
+        for i, f in enumerate(funcs):
+            for g in funcs[i + 1 :]:
+                if storage[f] == storage[g]:
+                    # g defined at ts[g]; f must be dead strictly before
+                    assert last_use[f] < ts[g]
+
+
+class TestClassification:
+    def test_scratch_slack_bucketing(self):
+        a, b, c = FakeFunc("a"), FakeFunc("b"), FakeFunc("c")
+        shapes = {a: (40, 520), b: (42, 522), c: (80, 520)}
+        assignment, classes = classify_scratch_shapes(shapes, slack=4)
+        assert assignment[a] is assignment[b]
+        assert assignment[c] is not assignment[a]
+        assert assignment[a].shape == (42, 522)  # per-dim max
+
+    def test_scratch_dtype_separation(self):
+        a = FakeFunc("a", "Double")
+        b = FakeFunc("b", "Float")
+        assignment, _ = classify_scratch_shapes(
+            {a: (8, 8), b: (8, 8)}, slack=0
+        )
+        assert assignment[a] is not assignment[b]
+
+    def test_array_classes_parametric(self):
+        opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+        pipe = build_poisson_cycle(2, 16, opts)
+        dag = PipelineDAG([pipe.output], params=pipe.params)
+        smooths = [s for s in dag.stages if s.stage_kind() == "smooth"]
+        assignment, classes = classify_arrays(smooths)
+        # same level -> same class; different level -> different class
+        by_class: dict[int, set] = {}
+        for s in smooths:
+            by_class.setdefault(id(assignment[s]), set()).add(
+                s.domain_box(pipe.params).shape()
+            )
+        for shapes in by_class.values():
+            assert len(shapes) == 1
+
+
+class TestPlanStorage:
+    def _plan(self, config, smoothing=(4, 4, 4), cycle="V"):
+        opts = MultigridOptions(
+            cycle=cycle,
+            n1=smoothing[0],
+            n2=smoothing[1],
+            n3=smoothing[2],
+            levels=3,
+        )
+        pipe = build_poisson_cycle(2, 32, opts)
+        dag = PipelineDAG([pipe.output], params=pipe.params)
+        grouping = auto_group(dag, config)
+        schedule = PipelineSchedule(grouping)
+        return plan_storage(grouping, schedule, config), grouping
+
+    def test_intra_reuse_reduces_buffers(self):
+        cfg = PolyMgConfig(tile_sizes={2: (8, 32)})
+        plan, grouping = self._plan(cfg)
+        assert (
+            sum(p.buffer_count() for p in plan.scratch.values())
+            < plan.scratch_buffers_without_reuse
+        )
+
+    def test_figure7_two_scratchpads(self):
+        """Figure 7: an interpolation and a correction step fused with
+        four post-smoothing steps (same level) need only two scratch
+        buffers, because no node's value is consumed by more than one
+        in-group node."""
+        from repro.multigrid.cycles import _CycleBuilder
+        from repro.lang.function import Grid
+        from repro.lang.types import Double
+        from repro.passes.groups import Group
+        from repro.passes.storage import (
+            _scratch_shapes_for_group,
+            classify_scratch_shapes,
+        )
+
+        opts = MultigridOptions(cycle="V", n1=0, n2=2, n3=4, levels=2)
+        b = _CycleBuilder(2, 32, opts)
+        V = Grid(Double, "V", [b.param + 2, b.param + 2])
+        E = Grid(Double, "E", [b.param / 2 + 2, b.param / 2 + 2])
+        p = b.interpolate(E, 1)
+        c = b.correct(V, p, 1)
+        F = Grid(Double, "F", [b.param + 2, b.param + 2])
+        s = b.smoother(c, F, 1, 4, "post")
+        dag = PipelineDAG([s], params={"N": 32})
+        group = Group(dag, dag.stages)  # interp, correct, 4 smooths
+        assert group.size == 6
+
+        cfg = PolyMgConfig(tile_sizes={2: (8, 32)})
+        shapes = _scratch_shapes_for_group(group, cfg)
+        internal = list(shapes)  # everything but the final smooth
+        assert len(internal) == 5
+        cls_map, _ = classify_scratch_shapes(shapes, slack=2 * group.size)
+        schedule_ts = {st: i for i, st in enumerate(group.stages)}
+        storage = remap_storage(
+            internal,
+            schedule_ts,
+            {f: (cls_map[f].dtype_name, cls_map[f].key) for f in internal},
+            lambda f: [u for u in dag.consumers_of(f) if u in group],
+        )
+        assert len(set(storage.values())) == 2
+
+    def test_inter_reuse_reduces_arrays(self):
+        with_reuse = PolyMgConfig(tile_sizes={2: (8, 32)})
+        without = PolyMgConfig(
+            tile_sizes={2: (8, 32)}, inter_group_reuse=False
+        )
+        p1, _ = self._plan(with_reuse, cycle="W")
+        p2, _ = self._plan(without, cycle="W")
+        assert p1.full_arrays_with_reuse < p2.full_arrays_with_reuse
+        assert (
+            p1.full_array_bytes_with_reuse
+            < p2.full_array_bytes_without_reuse
+        )
+
+    def test_outputs_never_reused(self):
+        cfg = PolyMgConfig(tile_sizes={2: (8, 32)})
+        plan, grouping = self._plan(cfg)
+        dag = grouping.dag
+        out_stage = dag.outputs[0]
+        out_id = plan.array_of[out_stage]
+        sharers = [
+            s for s, aid in plan.array_of.items() if aid == out_id
+        ]
+        assert sharers == [out_stage]
+
+    def test_every_liveout_has_array(self):
+        cfg = PolyMgConfig(tile_sizes={2: (8, 32)})
+        plan, grouping = self._plan(cfg, cycle="W")
+        for group in grouping.groups:
+            for stage in group.live_outs():
+                aid = plan.array_of[stage]
+                shape = plan.array_shapes[aid]
+                need = stage.domain_box(grouping.dag.param_bindings).shape()
+                assert all(a >= b for a, b in zip(shape, need))

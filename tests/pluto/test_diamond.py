@@ -1,0 +1,119 @@
+"""Tests for the diamond-tile schedule: coverage, disjointness, and
+dependence validity — the properties that substitute for Pluto's
+correctness guarantees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.interval import ConcreteInterval
+from repro.pluto.diamond import diamond_schedule, diamond_stats
+
+
+def flatten(phases):
+    for phase in phases:
+        for tile in phase:
+            yield tile
+
+
+class TestScheduleStructure:
+    def test_empty_for_zero_steps(self):
+        assert diamond_schedule(0, ConcreteInterval(0, 9), 4) == []
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            diamond_schedule(2, ConcreteInterval(0, 9), 1)
+
+    def test_phases_alternate(self):
+        phases = diamond_schedule(4, ConcreteInterval(0, 31), 8)
+        assert len(phases) % 2 == 0
+        for i, phase in enumerate(phases):
+            assert all(t.phase == i % 2 for t in phase)
+
+    def test_slab_decomposition(self):
+        stats = diamond_stats(10, ConcreteInterval(0, 63), 8)
+        # slab height = width // 2 = 4 -> ceil(10/4) = 3 slabs
+        assert stats.slabs == 3
+        assert stats.barriers == 6
+
+    def test_concurrency(self):
+        stats = diamond_stats(3, ConcreteInterval(0, 255), 8)
+        assert stats.max_concurrency >= 256 // 8
+
+
+class TestCoverageProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 12),
+        st.integers(0, 5),
+        st.integers(4, 80),
+        st.integers(2, 16).map(lambda w: 2 * w),
+    )
+    def test_exactly_once_coverage(self, steps, lo, size, width):
+        """Every (t, x) point is computed exactly once — diamond tiling
+        has no redundant computation (unlike overlapped tiling)."""
+        extent = ConcreteInterval(lo, lo + size - 1)
+        phases = diamond_schedule(steps, extent, width)
+        seen: dict[tuple[int, int], int] = {}
+        for tile in flatten(phases):
+            for t, iv in tile.steps():
+                for x in iv:
+                    seen[(t, x)] = seen.get((t, x), 0) + 1
+        expected = {
+            (t, x)
+            for t in range(1, steps + 1)
+            for x in extent
+        }
+        assert set(seen) == expected
+        assert all(v == 1 for v in seen.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 8),
+        st.integers(4, 60),
+        st.integers(2, 12).map(lambda w: 2 * w),
+    )
+    def test_dependences_respected(self, steps, size, width):
+        """When a point (t, x) is computed, (t-1, x-1..x+1) must already
+        have been computed (or lie outside the domain)."""
+        extent = ConcreteInterval(0, size - 1)
+        phases = diamond_schedule(steps, extent, width)
+        done: set[tuple[int, int]] = set()
+        for phase in phases:
+            # all tiles of a phase execute concurrently: their reads
+            # must be satisfied by *previous* phases or by earlier steps
+            # of the same tile
+            phase_writes: set[tuple[int, int]] = set()
+            for tile in phase:
+                local: set[tuple[int, int]] = set()
+                for t, iv in tile.steps():
+                    for x in iv:
+                        if t > 1:
+                            for dx in (-1, 0, 1):
+                                p = (t - 1, x + dx)
+                                if extent.contains(x + dx):
+                                    assert p in done or p in local, (
+                                        f"point {(t, x)} reads {p} "
+                                        "before it is computed"
+                                    )
+                        local.add((t, x))
+                phase_writes |= local
+            done |= phase_writes
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(8, 60))
+    def test_intra_phase_tiles_disjoint(self, steps, size):
+        extent = ConcreteInterval(0, size - 1)
+        phases = diamond_schedule(steps, extent, 8)
+        for phase in phases:
+            per_step: dict[int, set[int]] = {}
+            for tile in phase:
+                for t, iv in tile.steps():
+                    pts = set(iv)
+                    assert not (pts & per_step.get(t, set()))
+                    per_step.setdefault(t, set()).update(pts)
+
+    def test_stats_points(self):
+        extent = ConcreteInterval(0, 99)
+        stats = diamond_stats(5, extent, 10)
+        assert stats.points == 5 * 100

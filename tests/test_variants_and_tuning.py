@@ -1,0 +1,125 @@
+"""Tests for the variant registry and the auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.config import PolyMgConfig
+from repro.model import PAPER_MACHINE
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.tuning import (
+    autotune_measured,
+    autotune_model,
+    config_space,
+    group_limit_space,
+    tile_space,
+)
+from repro.variants import (
+    POLYMG_VARIANTS,
+    polymg_dtile_opt_plus,
+    polymg_naive,
+    polymg_opt,
+    polymg_opt_plus,
+    variant_config,
+)
+
+
+class TestVariants:
+    def test_naive_disables_everything(self):
+        cfg = polymg_naive()
+        assert not cfg.fuse and not cfg.tile
+        assert not cfg.intra_group_reuse
+        assert not cfg.inter_group_reuse
+        assert not cfg.pooled_allocation
+
+    def test_opt_is_stock_polymage(self):
+        cfg = polymg_opt()
+        assert cfg.fuse and cfg.tile
+        assert not cfg.intra_group_reuse
+        assert not cfg.pooled_allocation
+
+    def test_opt_plus_enables_storage(self):
+        cfg = polymg_opt_plus()
+        assert cfg.intra_group_reuse
+        assert cfg.inter_group_reuse
+        assert cfg.pooled_allocation
+        assert not cfg.diamond_smoothing
+
+    def test_dtile_variant(self):
+        cfg = polymg_dtile_opt_plus()
+        assert cfg.diamond_smoothing
+        assert cfg.dtile_conservative_copies
+
+    def test_registry_and_overrides(self):
+        cfg = variant_config("polymg-opt+", group_size_limit=3)
+        assert cfg.group_size_limit == 3
+        with pytest.raises(KeyError):
+            variant_config("polymg-imaginary")
+        assert set(POLYMG_VARIANTS) >= {
+            "polymg-naive",
+            "polymg-opt",
+            "polymg-opt+",
+            "polymg-dtile-opt+",
+            "handopt",
+            "handopt+pluto",
+        }
+
+    def test_config_tile_shape_fallback(self):
+        cfg = PolyMgConfig()
+        assert len(cfg.tile_shape(2)) == 2
+        assert len(cfg.tile_shape(3)) == 3
+        with pytest.raises(ValueError):
+            PolyMgConfig(tile_sizes={}).tile_shape(2)
+
+
+class TestTuningSpaces:
+    def test_paper_space_sizes(self):
+        # paper section 3.2.4: 80 configurations in 2-D, 135 in 3-D
+        assert len(tile_space(2)) * len(group_limit_space()) == 80
+        assert len(tile_space(3)) * len(group_limit_space()) == 135
+
+    def test_tile_ranges(self):
+        for outer, inner in tile_space(2):
+            assert 8 <= outer <= 64 and 64 <= inner <= 512
+        for o1, o2, inner in tile_space(3):
+            assert 8 <= o1 <= 32 and 8 <= o2 <= 32 and 64 <= inner <= 256
+
+    def test_config_space_yields_configs(self):
+        base = polymg_opt_plus()
+        pts = list(config_space(base, 2))
+        assert len(pts) == 80
+        cfg, tiles, limit = pts[0]
+        assert cfg.tile_sizes[2] == tiles
+        assert cfg.group_size_limit == limit
+
+
+class TestAutotune:
+    def test_model_tuning_finds_minimum(self):
+        opts = MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=4)
+        pipe = build_poisson_cycle(2, 1024, opts)
+        res = autotune_model(
+            pipe, polymg_opt_plus(), PAPER_MACHINE, threads=24, cycles=2
+        )
+        assert res.configurations == 80
+        assert res.best.score == min(p.score for p in res.points)
+        cfg = res.best_config(polymg_opt_plus(), 2)
+        assert cfg.tile_sizes[2] == res.best.tile_shape
+
+    def test_measured_tuning_runs(self, monkeypatch):
+        import repro.tuning.autotuner as at
+
+        monkeypatch.setattr(at, "GROUP_LIMITS", (4,))
+        monkeypatch.setattr(
+            at, "tile_space", lambda ndim: [(8, 16), (16, 32)]
+        )
+        opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+        pipe = build_poisson_cycle(2, 32, opts)
+        rng = np.random.default_rng(0)
+        f = np.zeros((34, 34))
+        f[1:-1, 1:-1] = rng.standard_normal((32, 32))
+        res = autotune_measured(
+            pipe,
+            polymg_opt_plus(),
+            lambda: pipe.make_inputs(np.zeros_like(f), f),
+        )
+        assert res.configurations == 2
+        assert res.best.score > 0

@@ -1,0 +1,68 @@
+"""Tests for the benchmark workload definitions (paper Table 2)."""
+
+import pytest
+
+from repro.bench.workloads import (
+    NAS_WORKLOADS,
+    POISSON_WORKLOADS,
+    VARIANT_ORDER,
+    geomean,
+    workload,
+)
+
+
+class TestTable2:
+    def test_eight_poisson_benchmarks(self):
+        assert len(POISSON_WORKLOADS) == 8
+        names = {w.name for w in POISSON_WORKLOADS}
+        assert names == {
+            "V-2D-4-4-4",
+            "V-2D-10-0-0",
+            "W-2D-4-4-4",
+            "W-2D-10-0-0",
+            "V-3D-4-4-4",
+            "V-3D-10-0-0",
+            "W-3D-4-4-4",
+            "W-3D-10-0-0",
+        }
+
+    def test_paper_sizes_and_iterations(self):
+        for w in POISSON_WORKLOADS:
+            if w.ndim == 2:
+                assert w.size["B"] == 8192 and w.size["C"] == 16384
+                assert w.iters["B"] == 10 and w.iters["C"] == 10
+            else:
+                assert w.size["B"] == 256 and w.size["C"] == 512
+                assert w.iters["B"] == 25 and w.iters["C"] == 10
+
+    def test_nas_sizes(self):
+        assert NAS_WORKLOADS["B"][:2] == (256, 20)
+        assert NAS_WORKLOADS["C"][:2] == (512, 20)
+
+    def test_levels_match_table3_stage_counts(self):
+        for w in POISSON_WORKLOADS:
+            assert w.levels == 4
+
+    def test_workload_lookup(self):
+        w = workload("V-2D-4-4-4")
+        assert w.cycle == "V" and w.ndim == 2
+        with pytest.raises(KeyError):
+            workload("Z-9D")
+
+    def test_options_roundtrip(self):
+        w = workload("W-3D-10-0-0")
+        opts = w.options()
+        assert (opts.n1, opts.n2, opts.n3) == (10, 0, 0)
+        assert opts.cycle == "W"
+
+    def test_pipeline_builds(self):
+        pipe = workload("V-2D-4-4-4").pipeline("laptop")
+        assert pipe.stage_count_ == 40
+
+    def test_variant_order_complete(self):
+        assert "polymg-opt+" in VARIANT_ORDER
+        assert "handopt+pluto" in VARIANT_ORDER
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
