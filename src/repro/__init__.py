@@ -17,14 +17,26 @@ Quickstart::
 See README.md, DESIGN.md, and EXPERIMENTS.md.
 """
 
+from .backend.guards import GuardedPipeline, ResidualMonitor
 from .compiler import compile_pipeline
 from .config import PolyMgConfig
+from .errors import (
+    CompileError,
+    NumericalDivergenceError,
+    ReproError,
+    ScheduleLegalityError,
+    StorageSoundnessError,
+    TileCoverageError,
+    TrialFailure,
+)
 from .multigrid import (
     MultigridOptions,
     build_poisson_cycle,
     reference_cycle,
     solve,
+    solve_compiled,
 )
+from .verify import verify_compiled
 from .multigrid.cycles import build_smoother_chain
 from .multigrid.nas_mg import NasMgSolver, build_nas_mg_cycle
 from .variants import (
@@ -48,6 +60,17 @@ __all__ = [
     "build_smoother_chain",
     "reference_cycle",
     "solve",
+    "solve_compiled",
+    "verify_compiled",
+    "GuardedPipeline",
+    "ResidualMonitor",
+    "ReproError",
+    "CompileError",
+    "ScheduleLegalityError",
+    "StorageSoundnessError",
+    "TileCoverageError",
+    "NumericalDivergenceError",
+    "TrialFailure",
     "NasMgSolver",
     "build_nas_mg_cycle",
     "POLYMG_VARIANTS",

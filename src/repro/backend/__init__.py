@@ -2,6 +2,12 @@
 
 from .buffers import DirectAllocator, MemoryPool, PoolStats
 from .executor import CompiledPipeline, ExecutionStats
+from .guards import (
+    GuardedPipeline,
+    GuardIncident,
+    ResidualMonitor,
+    scan_nonfinite,
+)
 
 __all__ = [
     "DirectAllocator",
@@ -9,4 +15,8 @@ __all__ = [
     "PoolStats",
     "CompiledPipeline",
     "ExecutionStats",
+    "GuardedPipeline",
+    "GuardIncident",
+    "ResidualMonitor",
+    "scan_nonfinite",
 ]

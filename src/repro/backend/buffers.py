@@ -75,7 +75,13 @@ class MemoryPool:
     def deallocate(self, view: np.ndarray) -> None:
         backing = self._lent.pop(id(view), None)
         if backing is None:
-            raise ValueError("deallocate of a buffer not lent by this pool")
+            from ..errors import AllocatorError
+
+            raise AllocatorError(
+                "deallocate of a buffer not lent by this pool",
+                shape=tuple(view.shape),
+                outstanding=len(self._lent),
+            )
         self.stats.deallocations += 1
         self._free.append(backing)
 

@@ -22,10 +22,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import PolyMgConfig
+from ..errors import InputShapeError, MissingInputError
 from ..ir.domain import Box
 from ..ir.interval import ConcreteInterval
 from .buffers import DirectAllocator, MemoryPool
 from .evaluate import evaluate_stage
+from .guards import scan_nonfinite
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..ir.dag import PipelineDAG
@@ -78,6 +80,9 @@ class CompiledPipeline:
             MemoryPool() if config.pooled_allocation else DirectAllocator()
         )
         self.stats = ExecutionStats()
+        # fault-injection hook (repro.verify.faults): when set, called
+        # as ``hook(stage, out_array)`` after every stage evaluation
+        self.fault_injector = None
         self._plan_array_lifetimes()
         self._plan_diamond_segments()
 
@@ -130,13 +135,18 @@ class CompiledPipeline:
         input_arrays: dict["Function", np.ndarray] = {}
         for grid in dag.inputs:
             if grid.name not in inputs:
-                raise KeyError(f"missing input {grid.name!r}")
+                raise MissingInputError(
+                    f"missing input {grid.name!r}",
+                    pipeline=dag.name,
+                    provided=sorted(inputs),
+                )
             arr = np.asarray(inputs[grid.name])
             expected = grid.domain_box(self.bindings).shape()
             if arr.shape != expected:
-                raise ValueError(
+                raise InputShapeError(
                     f"input {grid.name!r} has shape {arr.shape}, expected "
-                    f"{expected}"
+                    f"{expected}",
+                    pipeline=dag.name,
                 )
             input_arrays[grid] = arr
 
@@ -189,6 +199,12 @@ class CompiledPipeline:
                 self._execute_group_straight(
                     group, stage_arrays, input_arrays, arrays
                 )
+
+            if self.config.runtime_guards:
+                for stage, view in stage_arrays.items():
+                    scan_nonfinite(
+                        stage.name, view, pipeline=dag.name, group=gi
+                    )
 
             # free arrays whose last consumer group has completed
             for aid, last in self._free_after.items():
@@ -253,6 +269,8 @@ class CompiledPipeline:
             self.stats.points_computed += evaluate_stage(
                 stage, dom, reader, out, origin, bindings
             )
+            if self.fault_injector is not None:
+                self.fault_injector(stage, out)
 
     # -- overlapped-tile execution ------------------------------------------
     def _tile_grid(self, anchor_dom: Box, tile_shape) -> list[Box]:
@@ -370,6 +388,8 @@ class CompiledPipeline:
             points += evaluate_stage(
                 stage, region, reader, out, origin, bindings
             )
+            if self.fault_injector is not None:
+                self.fault_injector(stage, out)
         return points, tile_scratch_bytes
 
     # -- diamond-tiled smoother groups (polymg-dtile-opt+) -------------------

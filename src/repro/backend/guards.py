@@ -1,0 +1,183 @@
+"""Runtime sentinels and fault-tolerant execution.
+
+Verification at compile time (``repro.verify.invariants``) cannot catch
+everything: a numerically unstable smoother, a corrupted buffer, or a
+latent backend bug only shows up in the data.  This module provides
+
+* :func:`scan_nonfinite` — NaN/Inf scan over an array, raising
+  :class:`~repro.errors.NumericalDivergenceError` with structured
+  context.  The executor calls it on every group's live-outs when
+  ``PolyMgConfig.runtime_guards`` is on.
+* :class:`ResidualMonitor` — residual-divergence detection across
+  multigrid cycle invocations: raises when the residual norm turns
+  non-finite or grows past ``growth_factor`` times the best norm seen.
+* :class:`GuardedPipeline` — graceful degradation.  Wraps a
+  :class:`~repro.multigrid.cycles.MultigridPipeline`: executes the
+  optimized compiled variant under verifiers + sentinels and, on any
+  detected fault, re-executes the invocation with the trusted
+  ``polymg-naive`` fallback variant, recording a
+  :class:`GuardIncident` instead of returning garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ReproError, NumericalDivergenceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import PolyMgConfig
+    from .executor import CompiledPipeline
+
+__all__ = [
+    "scan_nonfinite",
+    "ResidualMonitor",
+    "GuardIncident",
+    "GuardedPipeline",
+]
+
+
+def scan_nonfinite(
+    name: str,
+    array: np.ndarray,
+    *,
+    pipeline: str | None = None,
+    group: int | None = None,
+) -> None:
+    """Raise :class:`NumericalDivergenceError` if ``array`` contains any
+    NaN or Inf entries."""
+    if np.isfinite(array).all():
+        return
+    bad = int(array.size - np.count_nonzero(np.isfinite(array)))
+    raise NumericalDivergenceError(
+        "non-finite values detected in live-out",
+        pipeline=pipeline,
+        group=group,
+        stage=name,
+        nonfinite_count=bad,
+        total=int(array.size),
+    )
+
+
+class ResidualMonitor:
+    """Detects residual divergence across multigrid cycle iterations.
+
+    Feed each cycle's residual norm to :meth:`observe`; raises
+    :class:`NumericalDivergenceError` when the norm is non-finite or
+    exceeds ``growth_factor`` times the smallest norm observed so far
+    (a converging solver shrinks monotonically up to stagnation, so a
+    100x blow-up is unambiguous divergence).
+    """
+
+    def __init__(
+        self,
+        growth_factor: float = 100.0,
+        *,
+        pipeline: str | None = None,
+    ) -> None:
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1")
+        self.growth_factor = growth_factor
+        self.pipeline = pipeline
+        self.history: list[float] = []
+
+    def observe(self, norm: float) -> None:
+        norm = float(norm)
+        self.history.append(norm)
+        if not np.isfinite(norm):
+            raise NumericalDivergenceError(
+                "residual norm is non-finite",
+                pipeline=self.pipeline,
+                cycle=len(self.history) - 1,
+                norm=norm,
+            )
+        best = min(self.history)
+        if best > 0 and norm > self.growth_factor * best:
+            raise NumericalDivergenceError(
+                "residual norm diverged",
+                pipeline=self.pipeline,
+                cycle=len(self.history) - 1,
+                norm=norm,
+                best=best,
+                growth_factor=self.growth_factor,
+            )
+
+
+@dataclass
+class GuardIncident:
+    """Record of one detected fault and the recovery taken."""
+
+    invocation: int
+    error: ReproError
+    fallback: str
+
+    def __str__(self) -> str:
+        return (
+            f"invocation {self.invocation}: "
+            f"{type(self.error).__name__}: {self.error} "
+            f"-> fell back to {self.fallback}"
+        )
+
+
+class GuardedPipeline:
+    """Fault-tolerant wrapper around a compiled multigrid pipeline.
+
+    The primary variant runs with runtime guards enabled and is
+    verified (``repro.verify``) before its first execution.  Any
+    :class:`~repro.errors.ReproError` — a verifier rejection or a
+    sentinel firing mid-execution — triggers re-execution of the same
+    invocation with the ``polymg-naive`` fallback variant, whose output
+    is bit-identical to the reference execution path.  Every fault is
+    recorded in :attr:`incidents`.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        config: "PolyMgConfig | None" = None,
+        *,
+        verify_level: str = "full",
+    ) -> None:
+        from ..variants import polymg_naive, polymg_opt_plus
+
+        self.pipeline = pipeline
+        base = config or polymg_opt_plus()
+        self.config = base.with_(runtime_guards=True)
+        self.compiled: "CompiledPipeline" = pipeline.compile(self.config)
+        self.verify_level = verify_level
+        self.fallback_name = "polymg-naive"
+        self._fallback_config = polymg_naive()
+        self._fallback: "CompiledPipeline | None" = None
+        self._verified = False
+        self.incidents: list[GuardIncident] = []
+        self.invocations = 0
+
+    # -- internals -----------------------------------------------------
+    def _fallback_compiled(self) -> "CompiledPipeline":
+        if self._fallback is None:
+            self._fallback = self.pipeline.compile(self._fallback_config)
+        return self._fallback
+
+    # -- API -----------------------------------------------------------
+    def execute(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run one invocation; falls back transparently on any fault."""
+        self.invocations += 1
+        try:
+            if not self._verified:
+                from ..verify import verify_compiled
+
+                verify_compiled(self.compiled, self.verify_level)
+                self._verified = True
+            return self.compiled.execute(inputs)
+        except ReproError as error:
+            self.incidents.append(
+                GuardIncident(self.invocations, error, self.fallback_name)
+            )
+            return self._fallback_compiled().execute(inputs)
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self.incidents)

@@ -14,6 +14,13 @@ generator on a DSL specification:
 6. backend construction — here the numpy interpreter
    (:class:`~repro.backend.executor.CompiledPipeline`); the C/OpenMP
    emitter consumes the same compiled object.
+
+When ``PolyMgConfig.verify_level`` is not ``"off"``, each phase is
+followed by its independent verifier (:mod:`repro.verify.invariants`):
+schedule legality after scheduling, storage soundness after the
+storage passes, tile-coverage after backend construction.  ``"cheap"``
+runs the algebraic cross-checks; ``"full"`` additionally proves exact
+tile coverage of every live-out.
 """
 
 from __future__ import annotations
@@ -54,8 +61,28 @@ def compile_pipeline(
     if isinstance(outputs, Function):
         outputs = [outputs]
     config = config or PolyMgConfig()
+    verify = config.verify_level != "off"
     dag = PipelineDAG(outputs, params=params, name=name)
     grouping = auto_group(dag, config)
     schedule = PipelineSchedule(grouping)
+    if verify:
+        from .verify.invariants import verify_schedule
+
+        verify_schedule(grouping, schedule, pipeline=name)
     storage = plan_storage(grouping, schedule, config)
-    return CompiledPipeline(dag, config, grouping, schedule, storage)
+    if verify:
+        from .verify.invariants import verify_storage
+
+        verify_storage(grouping, schedule, storage, config, pipeline=name)
+    compiled = CompiledPipeline(dag, config, grouping, schedule, storage)
+    if verify:
+        from .verify.invariants import verify_tiling
+
+        verify_tiling(
+            grouping,
+            config,
+            level=config.verify_level,
+            skip_groups=compiled._diamond_groups,
+            pipeline=name,
+        )
+    return compiled

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES"]
+__all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES", "VERIFY_LEVELS"]
+
+#: Self-verification levels (see :mod:`repro.verify.invariants`):
+#: ``off`` — no checking; ``cheap`` — algebraic invariants after each
+#: compile phase (schedule legality, storage liveness cross-check);
+#: ``full`` — additionally prove tile coverage of every live-out by
+#: exact region enumeration.
+VERIFY_LEVELS = ("off", "cheap", "full")
 
 # Paper section 3.2.4 default mid-range tile sizes: 2-D outermost 8:64,
 # innermost 64:512; 3-D two outermost 8:32, innermost 64:256.
@@ -66,6 +73,15 @@ class PolyMgConfig:
         as a compiler configuration for the machine cost model.
     num_threads:
         Threads used by the interpreter backend when executing tiles.
+    verify_level:
+        Self-verification level run inside ``compile_pipeline``:
+        ``"off"`` (default, zero overhead), ``"cheap"`` (schedule
+        legality + storage-soundness cross-checks), or ``"full"``
+        (additionally exact tile-coverage proofs).
+    runtime_guards:
+        Enable the runtime numerical sentinels: NaN/Inf scans over each
+        group's live-outs during execution (raises
+        :class:`~repro.errors.NumericalDivergenceError`).
     """
 
     fuse: bool = True
@@ -83,6 +99,17 @@ class PolyMgConfig:
     dtile_conservative_copies: bool = True
     fuse_smoother_chains_only: bool = False
     num_threads: int = 1
+    verify_level: str = "off"
+    runtime_guards: bool = False
+
+    def __post_init__(self) -> None:
+        if self.verify_level not in VERIFY_LEVELS:
+            from .errors import CompileError
+
+            raise CompileError(
+                f"unknown verify_level {self.verify_level!r}",
+                expected=VERIFY_LEVELS,
+            )
 
     def tile_shape(self, ndim: int) -> tuple[int, ...]:
         if ndim in self.tile_sizes:

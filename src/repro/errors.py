@@ -1,0 +1,129 @@
+"""Typed error taxonomy for the PolyMG compiler and runtime.
+
+Every invariant failure in the compiler passes, the execution backend,
+and the tuning loop raises a :class:`ReproError` subclass carrying
+*structured context* (pipeline name, group index, stage/buffer names,
+measured values), so a failure is diagnosable from the message alone —
+no debugger required.  The hierarchy:
+
+``ReproError``
+    root of everything this package raises deliberately.
+``CompileError``
+    a compiler pass produced (or was given) an ill-formed artifact.
+    Specialized into ``ScheduleLegalityError`` (ordering violations),
+    ``StorageSoundnessError`` (illegal scratchpad / full-array
+    remapping, mis-sized buffers), and ``TileCoverageError`` (the
+    overlapped-tile grid leaves a gap in a live-out's domain).
+``ExecutionError``
+    a runtime fault.  ``MissingInputError`` / ``InputShapeError`` also
+    subclass ``KeyError`` / ``ValueError`` so pre-existing callers keep
+    working; ``AllocatorError`` flags pool misuse;
+    ``NumericalDivergenceError`` is raised by the runtime sentinels
+    (NaN/Inf live-outs, residual blow-up across cycles).
+``TrialFailure``
+    one autotuning trial failed (compile error, runtime fault, or
+    wall-clock timeout); the search quarantines it and continues.
+
+These checks guard production behaviour, so none of them hide behind
+``assert`` — they survive ``python -O``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CompileError",
+    "ScheduleLegalityError",
+    "StorageSoundnessError",
+    "TileCoverageError",
+    "ExecutionError",
+    "MissingInputError",
+    "InputShapeError",
+    "AllocatorError",
+    "NumericalDivergenceError",
+    "TrialFailure",
+]
+
+
+class ReproError(Exception):
+    """Root error; keyword arguments become structured context.
+
+    ``None``-valued context entries are dropped, the rest are appended
+    to the message as a sorted ``[key=value, ...]`` suffix and kept in
+    ``self.context`` for programmatic inspection.
+    """
+
+    def __init__(self, message: str, **context) -> None:
+        self.context = {
+            k: v for k, v in context.items() if v is not None
+        }
+        if self.context:
+            suffix = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(self.context.items())
+            )
+            message = f"{message} [{suffix}]"
+        super().__init__(message)
+        self.message = message
+
+
+# ---------------------------------------------------------------------------
+# compile-time
+# ---------------------------------------------------------------------------
+
+
+class CompileError(ReproError):
+    """A compiler pass produced or received an ill-formed artifact."""
+
+
+class ScheduleLegalityError(CompileError):
+    """Producer/consumer ordering violated at group or stage level."""
+
+
+class StorageSoundnessError(CompileError):
+    """Illegal storage remapping: a slot reassigned while its previous
+    tenant is still live, a buffer smaller than a tenant's footprint,
+    or a dtype mismatch."""
+
+
+class TileCoverageError(CompileError):
+    """The overlapped-tile decomposition does not cover a live-out's
+    domain (a gap would leave uninitialized points in the output)."""
+
+
+# ---------------------------------------------------------------------------
+# runtime
+# ---------------------------------------------------------------------------
+
+
+class ExecutionError(ReproError):
+    """A fault while executing a compiled pipeline."""
+
+
+class MissingInputError(ExecutionError, KeyError):
+    """An input grid required by the pipeline was not provided."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.message
+
+
+class InputShapeError(ExecutionError, ValueError):
+    """An input array's shape does not match its grid's domain."""
+
+
+class AllocatorError(ExecutionError, ValueError):
+    """Pooled-allocator protocol violation (e.g. foreign deallocate)."""
+
+
+class NumericalDivergenceError(ExecutionError):
+    """A runtime sentinel detected numerical divergence: non-finite
+    values in a group's live-outs, or residual blow-up across cycles."""
+
+
+# ---------------------------------------------------------------------------
+# tuning
+# ---------------------------------------------------------------------------
+
+
+class TrialFailure(ReproError):
+    """One autotuning trial failed; carries the configuration point and
+    the underlying cause so the search can quarantine it."""

@@ -1,7 +1,7 @@
 """Geometric multigrid library: reference kernels/solver, the DSL cycle
 builder (Figure 3), problem definitions, and the NAS MG benchmark."""
 
-from .cycles import MultigridPipeline, build_poisson_cycle
+from .cycles import MultigridPipeline, build_poisson_cycle, solve_compiled
 from .kernels import (
     apply_operator,
     correct,
@@ -16,6 +16,7 @@ from .reference import MultigridOptions, SolveResult, reference_cycle, solve
 __all__ = [
     "MultigridPipeline",
     "build_poisson_cycle",
+    "solve_compiled",
     "apply_operator",
     "correct",
     "interpolate",

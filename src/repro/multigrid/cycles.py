@@ -35,6 +35,7 @@ __all__ = [
     "MultigridPipeline",
     "build_poisson_cycle",
     "build_smoother_chain",
+    "solve_compiled",
     "laplacian_weights",
     "full_weighting_weights",
 ]
@@ -108,6 +109,65 @@ class MultigridPipeline:
 
     def grid_shape(self) -> tuple[int, ...]:
         return (self.N + 2,) * self.ndim
+
+
+def solve_compiled(
+    pipeline: MultigridPipeline,
+    f: np.ndarray,
+    *,
+    config: PolyMgConfig | None = None,
+    compiled=None,
+    cycles: int = 10,
+    u0: np.ndarray | None = None,
+    tol: float | None = None,
+    guards: bool = False,
+    growth_factor: float = 100.0,
+):
+    """Iterate compiled multigrid cycles on ``A_h u = f``.
+
+    The executable analogue of :func:`repro.multigrid.reference.solve`:
+    each V-/W-cycle invocation runs the compiled pipeline (``compiled``
+    may be any object with ``execute``, e.g. a
+    :class:`~repro.backend.guards.GuardedPipeline`; otherwise
+    ``pipeline`` is compiled under ``config``).
+
+    With ``guards=True`` a
+    :class:`~repro.backend.guards.ResidualMonitor` watches the residual
+    norm after every cycle and raises
+    :class:`~repro.errors.NumericalDivergenceError` on blow-up — an
+    unstable smoother diverges loudly instead of silently returning
+    garbage.
+    """
+    from ..backend.guards import ResidualMonitor
+    from .kernels import norm_residual
+    from .reference import SolveResult
+
+    if compiled is None:
+        compiled = pipeline.compile(config)
+    h = 1.0 / (pipeline.N + 1)
+    u = np.zeros_like(f) if u0 is None else u0.copy()
+    monitor = (
+        ResidualMonitor(growth_factor, pipeline=pipeline.name)
+        if guards
+        else None
+    )
+    result = SolveResult(u)
+    norm = norm_residual(u, f, h)
+    result.residual_norms.append(norm)
+    if monitor is not None:
+        monitor.observe(norm)
+    for _ in range(cycles):
+        out = compiled.execute(pipeline.make_inputs(u, f))
+        u = np.array(out[pipeline.output.name], copy=True)
+        result.u = u
+        result.cycles += 1
+        norm = norm_residual(u, f, h)
+        result.residual_norms.append(norm)
+        if monitor is not None:
+            monitor.observe(norm)
+        if tol is not None and norm < tol:
+            break
+    return result
 
 
 class _CycleBuilder:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..config import PolyMgConfig
+from ..errors import CompileError, ScheduleLegalityError
 from .groups import Group
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,14 +76,22 @@ class GroupingResult:
         if len(covered) != len(set(covered)) or set(covered) != set(
             self.dag.stages
         ):
-            raise AssertionError("groups do not partition the stage set")
+            raise CompileError(
+                "groups do not partition the stage set",
+                pipeline=self.dag.name,
+                covered=len(set(covered)),
+                stages=len(self.dag.stages),
+            )
         seen: set[int] = set()
         for group in self.groups:
             for producer_group in self.producers_of_group(group):
                 if id(producer_group) not in seen:
-                    raise AssertionError(
+                    raise ScheduleLegalityError(
                         "group order is not topological (cycle in "
-                        "condensed graph?)"
+                        "condensed graph?)",
+                        pipeline=self.dag.name,
+                        consumer_anchor=group.anchor.name,
+                        producer_anchor=producer_group.anchor.name,
                     )
             seen.add(id(group))
 
@@ -198,7 +207,7 @@ def auto_group(dag: "PipelineDAG", config: PolyMgConfig) -> GroupingResult:
                 return None
             try:
                 merged.scales()
-            except ValueError:
+            except CompileError:
                 return None
             if config.tile and merged.size > 1:
                 tile = config.tile_shape(merged.anchor.ndim)

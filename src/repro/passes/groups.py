@@ -22,6 +22,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import TYPE_CHECKING, Sequence
 
+from ..errors import CompileError
 from ..ir.domain import Box
 from ..ir.interval import ConcreteInterval
 
@@ -43,7 +44,11 @@ class Group:
             s for s in dag.stages if s in members
         ]
         if len(self.stages) != len(members):
-            raise ValueError("group contains stages unknown to the DAG")
+            raise CompileError(
+                "group contains stages unknown to the DAG",
+                pipeline=dag.name,
+                stages=sorted(s.name for s in members),
+            )
         self._scales: dict["Function", tuple[Fraction, ...]] | None = None
 
     # -- structure -------------------------------------------------------
@@ -107,7 +112,14 @@ class Group:
                     if dim.consumer_dim is None:
                         pscale[j] = Fraction(0)
                         continue
-                    assert dim.rng is not None
+                    if dim.rng is None:
+                        raise CompileError(
+                            "access dimension has neither consumer "
+                            "dimension nor sampling rate",
+                            stage=consumer.name,
+                            producer=producer.name,
+                            dim=j,
+                        )
                     pscale[j] = (
                         cscale[dim.consumer_dim]
                         * dim.rng.num
@@ -116,16 +128,20 @@ class Group:
                 new = tuple(pscale)
                 old = scales.get(producer)
                 if old is not None and old != new:
-                    raise ValueError(
+                    raise CompileError(
                         f"inconsistent scales for {producer.name} in "
-                        f"group anchored at {anchor.name}: {old} vs {new}"
+                        f"group anchored at {anchor.name}: {old} vs {new}",
+                        stage=producer.name,
+                        anchor=anchor.name,
                     )
                 scales[producer] = new
         missing = [s.name for s in self.stages if s not in scales]
         if missing:
-            raise ValueError(
+            raise CompileError(
                 f"stages {missing} unreachable from anchor "
-                f"{anchor.name} inside group"
+                f"{anchor.name} inside group",
+                anchor=anchor.name,
+                stages=missing,
             )
         self._scales = scales
         return scales

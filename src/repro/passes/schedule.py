@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..errors import ScheduleLegalityError
 from .grouping import GroupingResult
 from .groups import Group
 
@@ -34,12 +35,31 @@ class PipelineSchedule:
                 self.stage_time[stage] = t
 
     def time_of_group(self, group: Group) -> int:
-        return self.group_time[id(group)]
+        try:
+            return self.group_time[id(group)]
+        except KeyError:
+            raise ScheduleLegalityError(
+                "group is not part of this schedule",
+                anchor=group.anchor.name,
+            ) from None
 
     def time_of_stage(self, stage: "Function") -> int:
         """Intra-group timestamp of a stage."""
-        return self.stage_time[stage]
+        try:
+            return self.stage_time[stage]
+        except KeyError:
+            raise ScheduleLegalityError(
+                "stage has no timestamp in this schedule",
+                stage=stage.name,
+            ) from None
 
     def liveout_time(self, stage: "Function") -> int:
         """Cross-group timestamp of a live-out (its group's time)."""
-        return self.time_of_group(self.grouping.group_of[stage])
+        try:
+            group = self.grouping.group_of[stage]
+        except KeyError:
+            raise ScheduleLegalityError(
+                "stage belongs to no scheduled group",
+                stage=stage.name,
+            ) from None
+        return self.time_of_group(group)

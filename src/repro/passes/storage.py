@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
 
 from ..config import PolyMgConfig
+from ..errors import StorageSoundnessError
 from ..ir.affine import Affine
 from ..ir.domain import Box
 from .grouping import GroupingResult
@@ -91,6 +92,17 @@ def remap_storage(
     their pools.  Returning *after* allocation keeps a consumer from
     writing into the buffer it is still reading (paper Algorithm 3).
     """
+    for func in funcs:
+        if func not in timestamp:
+            raise StorageSoundnessError(
+                "function has no timestamp for storage remapping",
+                stage=func.name,
+            )
+        if func not in storage_class:
+            raise StorageSoundnessError(
+                "function has no storage class for remapping",
+                stage=func.name,
+            )
     last_use_map = get_last_use_map(funcs, timestamp, users)
     ordered = sorted(funcs, key=lambda f: (timestamp[f], f.uid))
     array_pool: dict[Hashable, list[int]] = {}

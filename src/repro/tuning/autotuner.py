@@ -8,7 +8,12 @@ compiled variant:
 * 3-D: two outermost 8..32, innermost 64..256, powers of two (27 points),
   five grouping limits -> 135 configurations.
 
-Each configuration is compiled and scored.  Two scoring backends exist:
+Each configuration is compiled and scored.  Trials are fault-isolated:
+a configuration that raises (or exceeds the optional per-trial
+wall-clock timeout) is quarantined into ``TuneResult.failed`` as a
+:class:`~repro.errors.TrialFailure` and the search continues — one bad
+candidate never aborts the space sweep (the regime evolutionary/search
+-based generators like ExaStencils rely on).  Two scoring backends exist:
 the machine cost model (used for paper-scale experiments — the paper's
 own tuner measures on the machine; ours evaluates the Table-1 model) and
 wall-clock execution of the numpy backend (used at laptop scale).
@@ -17,10 +22,13 @@ wall-clock execution of the numpy backend (used at laptop scale).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..config import PolyMgConfig
+from ..errors import TrialFailure
 from ..model.costs import PipelineCostModel
 from ..model.machine import MachineSpec
 
@@ -93,6 +101,7 @@ class TuneResult:
     best: TunePoint
     points: list[TunePoint]
     configurations: int
+    failed: list[TrialFailure] = field(default_factory=list)
 
     def best_config(self, base: PolyMgConfig, ndim: int) -> PolyMgConfig:
         return base.with_(
@@ -101,16 +110,78 @@ class TuneResult:
         )
 
 
+def _run_trial(
+    score: Callable[[PolyMgConfig], float],
+    cfg: PolyMgConfig,
+    tiles: tuple[int, ...],
+    limit: int,
+    trial_timeout: float | None,
+) -> float:
+    """One compile+measure trial; every failure mode (exception or
+    wall-clock timeout) surfaces as :class:`TrialFailure`."""
+    start = time.perf_counter()
+    if trial_timeout is None:
+        try:
+            return score(cfg)
+        except Exception as exc:
+            raise TrialFailure(
+                "trial raised",
+                tile_shape=tiles,
+                group_limit=limit,
+                cause=f"{type(exc).__name__}: {exc}",
+                elapsed=round(time.perf_counter() - start, 3),
+            ) from exc
+
+    # run the trial on a worker thread so a hung configuration cannot
+    # stall the search; on timeout the worker is abandoned (daemonized
+    # by shutdown(wait=False)) and the config quarantined
+    pool = ThreadPoolExecutor(1)
+    future = pool.submit(score, cfg)
+    try:
+        return future.result(timeout=trial_timeout)
+    except FutureTimeout:
+        raise TrialFailure(
+            "trial exceeded wall-clock timeout",
+            tile_shape=tiles,
+            group_limit=limit,
+            timeout=trial_timeout,
+        ) from None
+    except Exception as exc:
+        raise TrialFailure(
+            "trial raised",
+            tile_shape=tiles,
+            group_limit=limit,
+            cause=f"{type(exc).__name__}: {exc}",
+            elapsed=round(time.perf_counter() - start, 3),
+        ) from exc
+    finally:
+        pool.shutdown(wait=False)
+
+
 def _tune(
     pipe,
     base: PolyMgConfig,
     score: Callable[[PolyMgConfig], float],
+    trial_timeout: float | None = None,
 ) -> TuneResult:
+    """Search the space; a failing configuration is quarantined into
+    ``TuneResult.failed`` and never aborts the search."""
     points: list[TunePoint] = []
+    failed: list[TrialFailure] = []
     for cfg, tiles, limit in config_space(base, pipe.ndim):
-        points.append(TunePoint(tiles, limit, score(cfg)))
+        try:
+            value = _run_trial(score, cfg, tiles, limit, trial_timeout)
+        except TrialFailure as failure:
+            failed.append(failure)
+            continue
+        points.append(TunePoint(tiles, limit, value))
+    if not points:
+        raise TrialFailure(
+            "every configuration in the search space failed",
+            attempted=len(failed),
+        )
     best = min(points, key=lambda p: p.score)
-    return TuneResult(best, points, len(points))
+    return TuneResult(best, points, len(points) + len(failed), failed)
 
 
 def autotune_model(
@@ -119,6 +190,7 @@ def autotune_model(
     machine: MachineSpec,
     threads: int,
     cycles: int = 10,
+    trial_timeout: float | None = None,
 ) -> TuneResult:
     """Tune against the machine cost model (paper-scale problems)."""
 
@@ -128,7 +200,7 @@ def autotune_model(
             threads, cycles
         )
 
-    return _tune(pipe, base, score)
+    return _tune(pipe, base, score, trial_timeout)
 
 
 def autotune_measured(
@@ -136,6 +208,7 @@ def autotune_measured(
     base: PolyMgConfig,
     inputs_factory: Callable[[], dict],
     repeats: int = 1,
+    trial_timeout: float | None = None,
 ) -> TuneResult:
     """Tune by wall-clock execution of the numpy backend (laptop-scale
     problems; the paper's 'minimum of five runs' protocol, scaled)."""
@@ -150,4 +223,4 @@ def autotune_measured(
             best = min(best, time.perf_counter() - t0)
         return best
 
-    return _tune(pipe, base, score)
+    return _tune(pipe, base, score, trial_timeout)

@@ -1,0 +1,23 @@
+"""Self-checking infrastructure: pass-level verifiers and the
+fault-injection harness that proves they fire.
+
+``invariants`` re-derives the legality conditions of the scheduling and
+storage passes *independently* of the pass implementations and
+cross-checks the compiled artifact against them; ``faults``
+deliberately corrupts compiled artifacts so the tests can demonstrate
+that every checker catches its fault class.
+"""
+
+from .invariants import (
+    verify_compiled,
+    verify_schedule,
+    verify_storage,
+    verify_tiling,
+)
+
+__all__ = [
+    "verify_compiled",
+    "verify_schedule",
+    "verify_storage",
+    "verify_tiling",
+]

@@ -1,0 +1,88 @@
+"""Residual-divergence sentinels: an unstable smoother must fail loudly
+under guards and is demonstrably silent without them."""
+
+import numpy as np
+import pytest
+
+from repro import MultigridOptions, build_poisson_cycle, solve_compiled
+from repro.backend.guards import ResidualMonitor
+from repro.errors import NumericalDivergenceError
+from repro.variants import polymg_opt_plus
+from tests.conftest import make_rhs
+
+N = 16
+
+
+def unstable_pipe():
+    # weighted Jacobi requires 0 < omega < 1 for the high-frequency
+    # modes; omega=1.9 amplifies them by ~|1 - 2*omega| = 2.8 per step
+    opts = MultigridOptions(
+        cycle="V", n1=2, n2=2, n3=2, levels=3, omega=1.9
+    )
+    return build_poisson_cycle(2, N, opts)
+
+
+def stable_pipe():
+    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+    return build_poisson_cycle(2, N, opts)
+
+
+class TestDivergenceDetection:
+    def test_unstable_smoother_raises_under_guards(self, rng):
+        f = make_rhs(rng, 2, N)
+        with pytest.raises(NumericalDivergenceError) as exc:
+            solve_compiled(
+                unstable_pipe(),
+                f,
+                config=polymg_opt_plus(),
+                cycles=10,
+                guards=True,
+            )
+        assert "diverged" in str(exc.value)
+        assert exc.value.context["cycle"] < 10
+
+    def test_unstable_smoother_silently_diverges_without_guards(
+        self, rng
+    ):
+        f = make_rhs(rng, 2, N)
+        result = solve_compiled(
+            unstable_pipe(), f, config=polymg_opt_plus(), cycles=6
+        )
+        norms = result.residual_norms
+        assert norms[-1] > 100 * norms[0]  # garbage, and no exception
+
+    def test_stable_smoother_passes_under_guards(self, rng):
+        f = make_rhs(rng, 2, N)
+        result = solve_compiled(
+            stable_pipe(),
+            f,
+            config=polymg_opt_plus(),
+            cycles=6,
+            guards=True,
+        )
+        norms = result.residual_norms
+        assert norms[-1] < norms[0]
+
+
+class TestResidualMonitor:
+    def test_flags_growth(self):
+        monitor = ResidualMonitor(growth_factor=10.0, pipeline="p")
+        monitor.observe(1.0)
+        monitor.observe(0.5)
+        with pytest.raises(NumericalDivergenceError):
+            monitor.observe(5.1)  # > 10 * best (0.5)
+
+    def test_flags_nonfinite(self):
+        monitor = ResidualMonitor()
+        monitor.observe(1.0)
+        with pytest.raises(NumericalDivergenceError):
+            monitor.observe(float("nan"))
+
+    def test_tolerates_convergence_and_stagnation(self):
+        monitor = ResidualMonitor(growth_factor=100.0)
+        for norm in [1.0, 0.3, 0.1, 0.09, 0.11, 0.1]:
+            monitor.observe(norm)
+
+    def test_rejects_trivial_growth_factor(self):
+        with pytest.raises(ValueError):
+            ResidualMonitor(growth_factor=1.0)

@@ -1,0 +1,144 @@
+"""Fault-injection harness: every fault class is caught, and the
+guarded executor degrades to the reference answer instead of returning
+garbage."""
+
+import numpy as np
+import pytest
+
+from repro import MultigridOptions, build_poisson_cycle, verify_compiled
+from repro.backend.guards import GuardedPipeline
+from repro.errors import (
+    NumericalDivergenceError,
+    ReproError,
+    ScheduleLegalityError,
+    StorageSoundnessError,
+)
+from repro.multigrid.reference import reference_cycle
+from repro.variants import polymg_naive, polymg_opt_plus
+from repro.verify.faults import (
+    FAULT_INJECTORS,
+    inject_ghost_shrink,
+    inject_group_reorder,
+    inject_nan_poison,
+    inject_slot_swap,
+)
+
+from tests.conftest import make_rhs
+
+N = 32
+CFG = polymg_opt_plus(tile_sizes={2: (8, 16)})
+
+
+@pytest.fixture
+def pipe():
+    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+    return build_poisson_cycle(2, N, opts)
+
+
+@pytest.fixture
+def problem(pipe, rng):
+    f = make_rhs(rng, 2, N)
+    return pipe.make_inputs(np.zeros_like(f), f), f
+
+
+class TestEachFaultIsCaught:
+    def test_slot_swap_caught_by_storage_verifier(self, pipe):
+        compiled = pipe.compile(CFG)
+        record = inject_slot_swap(compiled)
+        assert record.kind == "slot-swap"
+        with pytest.raises(StorageSoundnessError) as exc:
+            verify_compiled(compiled, "cheap")
+        assert "still live" in str(exc.value)
+
+    def test_ghost_shrink_caught_by_storage_verifier(self, pipe):
+        compiled = pipe.compile(CFG)
+        record = inject_ghost_shrink(compiled)
+        assert record.kind == "ghost-shrink"
+        with pytest.raises(StorageSoundnessError) as exc:
+            verify_compiled(compiled, "cheap")
+        assert "cover" in str(exc.value)
+
+    def test_group_reorder_caught_by_schedule_verifier(self, pipe):
+        compiled = pipe.compile(CFG)
+        record = inject_group_reorder(compiled)
+        assert record.kind == "group-reorder"
+        with pytest.raises(ScheduleLegalityError):
+            verify_compiled(compiled, "cheap")
+
+    def test_nan_poison_caught_by_runtime_sentinel(self, pipe, problem):
+        inputs, _ = problem
+        compiled = pipe.compile(CFG.with_(runtime_guards=True))
+        record = inject_nan_poison(compiled)
+        assert record.kind == "nan-poison"
+        # the artifact itself is clean: compile-time verifiers pass
+        verify_compiled(compiled, "full")
+        with pytest.raises(NumericalDivergenceError) as exc:
+            compiled.execute(inputs)
+        assert "non-finite" in str(exc.value)
+
+    def test_nan_poison_silent_without_guards(self, pipe, problem):
+        """The sentinel is what fires — with guards off the poisoned
+        pipeline silently returns garbage."""
+        inputs, _ = problem
+        compiled = pipe.compile(CFG)  # runtime_guards=False
+        inject_nan_poison(compiled)
+        out = compiled.execute(inputs)[pipe.output.name]
+        assert np.isnan(out).any()
+
+
+class TestGuardedFallback:
+    @pytest.mark.parametrize("kind", sorted(FAULT_INJECTORS))
+    def test_fallback_matches_reference(self, pipe, problem, kind):
+        inputs, f = problem
+        guarded = GuardedPipeline(pipe, CFG)
+        FAULT_INJECTORS[kind](guarded.compiled)
+
+        out = guarded.execute(inputs)[pipe.output.name]
+
+        assert guarded.faulted
+        assert len(guarded.incidents) == 1
+        incident = guarded.incidents[0]
+        assert isinstance(incident.error, ReproError)
+        assert incident.fallback == "polymg-naive"
+
+        # bit-identical to the trusted naive variant (the reference
+        # execution path of the compiled system) ...
+        naive = pipe.compile(polymg_naive())
+        assert np.array_equal(out, naive.execute(inputs)[pipe.output.name])
+        # ... and to the independent (uncompiled) reference solver
+        ref = reference_cycle(
+            np.zeros_like(f), f, 1.0 / (N + 1), pipe.opts
+        )
+        assert np.array_equal(out, ref)
+
+    def test_clean_guarded_run_has_no_incidents(self, pipe, problem):
+        inputs, _ = problem
+        guarded = GuardedPipeline(pipe, CFG)
+        out = guarded.execute(inputs)[pipe.output.name]
+        assert not guarded.faulted
+        naive = pipe.compile(polymg_naive())
+        assert np.array_equal(out, naive.execute(inputs)[pipe.output.name])
+
+    def test_guarded_pipeline_keeps_serving_after_fault(
+        self, pipe, problem
+    ):
+        inputs, _ = problem
+        guarded = GuardedPipeline(pipe, CFG)
+        inject_nan_poison(guarded.compiled)
+        first = guarded.execute(inputs)[pipe.output.name].copy()
+        second = guarded.execute(inputs)[pipe.output.name]
+        assert np.array_equal(first, second)
+        assert len(guarded.incidents) == 2
+        assert guarded.invocations == 2
+
+
+class TestInjectorsRequireASite:
+    def test_slot_swap_needs_fused_scratch(self, pipe):
+        compiled = pipe.compile(polymg_naive())
+        with pytest.raises(ValueError):
+            inject_slot_swap(compiled)
+
+    def test_nan_poison_needs_internal_stages(self, pipe):
+        compiled = pipe.compile(polymg_naive())
+        with pytest.raises(ValueError):
+            inject_nan_poison(compiled)

@@ -1,0 +1,183 @@
+"""Pass-level verifiers: clean artifacts pass, the knob gates the cost."""
+
+import numpy as np
+import pytest
+
+from repro import MultigridOptions, build_poisson_cycle, verify_compiled
+from repro.config import PolyMgConfig, VERIFY_LEVELS
+from repro.errors import (
+    CompileError,
+    ReproError,
+    ScheduleLegalityError,
+    StorageSoundnessError,
+)
+from repro.variants import (
+    polymg_dtile_opt_plus,
+    polymg_naive,
+    polymg_opt,
+    polymg_opt_plus,
+)
+from repro.verify.invariants import (
+    verify_schedule,
+    verify_storage,
+    verify_tiling,
+)
+
+
+def small_pipe(ndim=2, n=32, levels=3):
+    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=levels)
+    return build_poisson_cycle(ndim, n, opts)
+
+
+class TestCleanPipelinesVerify:
+    @pytest.mark.parametrize(
+        "factory",
+        [polymg_naive, polymg_opt, polymg_opt_plus, polymg_dtile_opt_plus],
+    )
+    def test_every_variant_compiles_under_full_verification(self, factory):
+        pipe = small_pipe()
+        compiled = pipe.compile(
+            factory(verify_level="full", tile_sizes={2: (8, 16)})
+        )
+        # and the combined post-hoc entry point agrees
+        verify_compiled(compiled, "full")
+
+    def test_3d_pipeline_verifies(self):
+        pipe = small_pipe(ndim=3, n=16)
+        pipe.compile(
+            polymg_opt_plus(verify_level="full", tile_sizes={3: (4, 8, 8)})
+        )
+
+    def test_w_cycle_verifies(self):
+        opts = MultigridOptions(cycle="W", n1=2, n2=2, n3=2, levels=3)
+        pipe = build_poisson_cycle(2, 32, opts)
+        pipe.compile(polymg_opt_plus(verify_level="full"))
+
+    def test_verified_compile_executes_correctly(self, rng):
+        pipe = small_pipe()
+        n = 32
+        f = np.zeros((n + 2, n + 2))
+        f[1:-1, 1:-1] = rng.standard_normal((n, n))
+        inputs = pipe.make_inputs(np.zeros_like(f), f)
+        checked = pipe.compile(polymg_opt_plus(verify_level="full"))
+        unchecked = pipe.compile(polymg_opt_plus())
+        assert np.array_equal(
+            checked.execute(inputs)[pipe.output.name],
+            unchecked.execute(inputs)[pipe.output.name],
+        )
+
+
+class TestVerifyKnob:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(CompileError):
+            PolyMgConfig(verify_level="paranoid")
+        with pytest.raises(CompileError):
+            verify_compiled(
+                small_pipe().compile(polymg_opt_plus()), "paranoid"
+            )
+
+    def test_levels_are_ordered(self):
+        assert VERIFY_LEVELS == ("off", "cheap", "full")
+
+    def test_off_skips_verifiers_entirely(self, monkeypatch):
+        import repro.verify.invariants as inv
+
+        def boom(*args, **kwargs):
+            raise AssertionError("verifier ran at level=off")
+
+        monkeypatch.setattr(inv, "verify_schedule", boom)
+        monkeypatch.setattr(inv, "verify_storage", boom)
+        monkeypatch.setattr(inv, "verify_tiling", boom)
+        small_pipe().compile(polymg_opt_plus(verify_level="off"))
+
+    def test_cheap_and_full_invoke_verifiers(self, monkeypatch):
+        import repro.verify.invariants as inv
+
+        calls = []
+        real = inv.verify_schedule
+        monkeypatch.setattr(
+            inv,
+            "verify_schedule",
+            lambda *a, **k: (calls.append("schedule"), real(*a, **k)),
+        )
+        small_pipe().compile(polymg_opt_plus(verify_level="cheap"))
+        assert calls == ["schedule"]
+
+    def test_off_verify_compiled_is_noop_even_when_corrupt(self):
+        from repro.verify.faults import inject_ghost_shrink
+
+        compiled = small_pipe().compile(polymg_opt_plus())
+        inject_ghost_shrink(compiled)
+        verify_compiled(compiled, "off")  # must not raise
+        with pytest.raises(StorageSoundnessError):
+            verify_compiled(compiled, "cheap")
+
+
+class TestIndividualVerifiers:
+    def test_schedule_verifier_needs_consistent_artifacts(self):
+        compiled = small_pipe().compile(polymg_opt_plus())
+        verify_schedule(
+            compiled.grouping, compiled.schedule, pipeline="clean"
+        )
+        # stage timestamps shifted off their positions -> illegal
+        stage = compiled.grouping.groups[0].stages[0]
+        compiled.schedule.stage_time[stage] += 1
+        with pytest.raises(ScheduleLegalityError):
+            verify_schedule(compiled.grouping, compiled.schedule)
+
+    def test_storage_verifier_flags_missing_scratch_slot(self):
+        compiled = small_pipe().compile(polymg_opt_plus())
+        for gi, group in enumerate(compiled.grouping.groups):
+            internal = group.internal_stages()
+            if internal:
+                del compiled.storage.scratch[gi].buffer_of[internal[0]]
+                break
+        with pytest.raises(StorageSoundnessError):
+            verify_storage(
+                compiled.grouping,
+                compiled.schedule,
+                compiled.storage,
+                compiled.config,
+            )
+
+    def test_storage_verifier_flags_dtype_mismatch(self):
+        compiled = small_pipe().compile(polymg_opt_plus())
+        aid = next(iter(compiled.storage.array_shapes))
+        compiled.storage.array_dtypes[aid] = "float32"
+        with pytest.raises(StorageSoundnessError):
+            verify_storage(
+                compiled.grouping,
+                compiled.schedule,
+                compiled.storage,
+                compiled.config,
+            )
+
+    def test_tiling_verifier_flags_gapped_grid(self, monkeypatch):
+        import repro.verify.invariants as inv
+
+        compiled = small_pipe().compile(polymg_opt_plus())
+        real = inv._anchor_tile_grid
+
+        def gapped(anchor_dom, tile_shape):
+            tiles = real(anchor_dom, tile_shape)
+            return tiles[1:] if len(tiles) > 1 else tiles
+
+        monkeypatch.setattr(inv, "_anchor_tile_grid", gapped)
+        with pytest.raises(ReproError):
+            verify_tiling(
+                compiled.grouping, compiled.config, level="cheap"
+            )
+
+    def test_error_context_is_structured(self):
+        err = StorageSoundnessError(
+            "slot clash", group=3, stage="smooth.t1", slot=2
+        )
+        assert err.context == {
+            "group": 3,
+            "stage": "smooth.t1",
+            "slot": 2,
+        }
+        assert "group=3" in str(err)
+        assert "smooth.t1" in str(err)
+        assert isinstance(err, CompileError)
+        assert isinstance(err, ReproError)

@@ -1,0 +1,94 @@
+"""Autotuner fault isolation: a failing or hung trial is quarantined,
+never aborting the search."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import TrialFailure
+from repro.tuning.autotuner import (
+    _tune,
+    autotune_model,
+    config_space,
+    tile_space,
+)
+from repro.model.machine import PAPER_MACHINE
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.variants import polymg_opt_plus
+
+FAKE_PIPE = SimpleNamespace(ndim=2)
+SPACE_2D = 80  # 16 tile shapes x 5 group limits
+
+
+def test_full_space_completes_with_a_forced_failure():
+    poisoned = tile_space(2)[3]
+
+    def score(cfg):
+        if cfg.tile_sizes[2] == poisoned and cfg.group_size_limit == 4:
+            raise RuntimeError("synthetic compile explosion")
+        return float(sum(cfg.tile_sizes[2]) * cfg.group_size_limit)
+
+    res = _tune(FAKE_PIPE, polymg_opt_plus(), score)
+    assert res.configurations == SPACE_2D
+    assert len(res.points) == SPACE_2D - 1
+    assert len(res.failed) == 1
+    failure = res.failed[0]
+    assert isinstance(failure, TrialFailure)
+    assert failure.context["tile_shape"] == poisoned
+    assert failure.context["group_limit"] == 4
+    assert "synthetic compile explosion" in failure.context["cause"]
+    # the winner is still the true minimum of the surviving points
+    assert res.best.score == min(p.score for p in res.points)
+
+
+def test_hung_trial_times_out_and_search_continues():
+    import threading
+
+    release = threading.Event()
+    slow = tile_space(2)[0]
+
+    def score(cfg):
+        if cfg.tile_sizes[2] == slow and cfg.group_size_limit == 1:
+            release.wait(timeout=30)  # simulated hang
+        return 1.0
+
+    res = _tune(FAKE_PIPE, polymg_opt_plus(), score, trial_timeout=0.05)
+    release.set()
+    assert len(res.failed) == 1
+    assert res.failed[0].context["timeout"] == 0.05
+    assert res.configurations == SPACE_2D
+
+
+def test_all_failures_raises_aggregate():
+    def score(cfg):
+        raise ValueError("nothing works")
+
+    with pytest.raises(TrialFailure) as exc:
+        _tune(FAKE_PIPE, polymg_opt_plus(), score)
+    assert exc.value.context["attempted"] == SPACE_2D
+
+
+def test_model_autotune_survives_injected_compile_failure(monkeypatch):
+    opts = MultigridOptions(cycle="V", n1=1, n2=1, n3=1, levels=2)
+    pipe = build_poisson_cycle(2, 32, opts)
+    real_compile = pipe.compile
+    poisoned = tile_space(2)[-1]
+
+    def sabotaged(cfg):
+        if cfg.tile_sizes[2] == poisoned:
+            raise RuntimeError("injected backend fault")
+        return real_compile(cfg)
+
+    monkeypatch.setattr(pipe, "compile", sabotaged)
+    res = autotune_model(pipe, polymg_opt_plus(), PAPER_MACHINE, 1)
+    assert res.configurations == SPACE_2D
+    assert len(res.failed) == 5  # the poisoned shape x 5 group limits
+    assert all(
+        f.context["tile_shape"] == poisoned for f in res.failed
+    )
+    assert res.best.tile_shape != poisoned
+
+
+def test_config_space_size_matches_paper():
+    assert sum(1 for _ in config_space(polymg_opt_plus(), 2)) == 80
+    assert sum(1 for _ in config_space(polymg_opt_plus(), 3)) == 135
