@@ -21,7 +21,13 @@ from conftest import write_result
 from repro.bench import workload
 from repro.bench.workloads import full_tuning
 from repro.model import PAPER_MACHINE, PipelineCostModel
-from repro.tuning import autotune_measured, config_space, tile_space
+from repro.cache import cache_enabled
+from repro.tuning import (
+    autotune_measured,
+    autotune_model,
+    config_space,
+    tile_space,
+)
 from repro.variants import polymg_opt, polymg_opt_plus
 
 
@@ -77,6 +83,21 @@ def test_fig12_autotuning(benchmark, rng):
         f"best: opt {best_opt:.2f}s, opt+ {best_optp:.2f}s "
         f"({best_opt / best_optp:.2f}x)\n"
     )
+
+    # compile-time vs model-eval split: the autotuner walks the same
+    # space the sweep above already compiled, so every trial's compile
+    # is a cache hit and the compile column collapses to lookups
+    res = autotune_model(
+        pipe_paper, polymg_opt_plus(), PAPER_MACHINE, threads=24,
+        cycles=iters,
+    )
+    out.write(
+        f"autotune split: compile {res.compile_time_total:.3f}s "
+        f"(cache hits {res.cache_hit_count}/{len(res.points)}), "
+        f"model-eval {res.execute_time_total:.3f}s\n"
+    )
+    if cache_enabled():
+        assert res.cache_hit_count == len(res.points)
     write_result("fig12_autotune", out.getvalue())
 
     # paper: the opt+ variant always performs at least as well as the

@@ -30,7 +30,7 @@ def test_fig6_grouping_report(benchmark, rng):
     )
     cfg = tuned.best_config(polymg_opt_plus(), 2)
     compiled = pipe.compile(cfg)
-    report = compiled.report()
+    report = compiled.artifact_summary()
 
     # wall-clock: executing the tuned schedule at laptop scale
     lap = w.pipeline("laptop")
@@ -96,5 +96,5 @@ def test_fig6_grouping_report(benchmark, rng):
     w_pipe = workload("W-2D-4-4-4").pipeline("B")
     w_report = w_pipe.compile(
         polymg_opt_plus(tile_sizes={2: (32, 256)}, group_size_limit=6)
-    ).report()
+    ).artifact_summary()
     assert w_report["full_arrays"] < w_report["full_arrays_without_reuse"]

@@ -14,14 +14,13 @@ from __future__ import annotations
 import io
 
 import numpy as np
-import pytest
 
 from conftest import write_result
 from repro.backend.codegen_c import generated_loc
-from repro.bench import POISSON_WORKLOADS, SMALL_TILES, banner
+from repro.bench import POISSON_WORKLOADS
 from repro.model import PAPER_MACHINE, PipelineCostModel
 from repro.bench.workloads import NAS_WORKLOADS
-from repro.multigrid.nas_mg import build_nas_mg_cycle, nas_rhs
+from repro.multigrid.nas_mg import build_nas_mg_cycle
 from repro.variants import polymg_naive, polymg_opt, polymg_opt_plus
 
 # paper Table 3: name -> (stages, gen_loc_opt, gen_loc_opt+, naive B 1thr,

@@ -19,7 +19,7 @@ def main() -> None:
     compiled = pipe.compile(
         polymg_opt_plus(tile_sizes={2: (32, 512)}, group_size_limit=6)
     )
-    report = compiled.report()
+    report = compiled.artifact_summary()
 
     print(f"=== grouping for {pipe.name} ({report['stage_count']} stages) ===")
     for gi, g in enumerate(report["groups"]):

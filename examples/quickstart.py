@@ -31,7 +31,7 @@ def main() -> None:
     pipe = build_poisson_cycle(2, n, opts)
     compiled = pipe.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
     print(f"pipeline {pipe.name}: {pipe.stage_count_} stages,")
-    report = compiled.report()
+    report = compiled.artifact_summary()
     print(
         f"  fused into {report['group_count']} groups, "
         f"{report['full_arrays']} full arrays "

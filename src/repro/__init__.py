@@ -18,16 +18,25 @@ See README.md, DESIGN.md, and EXPERIMENTS.md.
 """
 
 from .backend.guards import GuardedPipeline, ResidualMonitor
+from .cache import CompileCache, compile_cache, compile_fingerprint
 from .compiler import compile_pipeline
 from .config import PolyMgConfig
 from .errors import (
     CompileError,
     NumericalDivergenceError,
+    PassOrderingError,
     ReproError,
     ScheduleLegalityError,
     StorageSoundnessError,
     TileCoverageError,
     TrialFailure,
+)
+from .passes.manager import (
+    CompilationContext,
+    CompileReport,
+    Pass,
+    PassManager,
+    default_passes,
 )
 from .multigrid import (
     MultigridOptions,
@@ -55,6 +64,15 @@ __version__ = "1.0.0"
 __all__ = [
     "compile_pipeline",
     "PolyMgConfig",
+    "CompilationContext",
+    "CompileReport",
+    "Pass",
+    "PassManager",
+    "default_passes",
+    "CompileCache",
+    "compile_cache",
+    "compile_fingerprint",
+    "PassOrderingError",
     "MultigridOptions",
     "build_poisson_cycle",
     "build_smoother_chain",

@@ -16,7 +16,7 @@ peak resident bytes) feed the machine cost model and Figure 11b.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -25,7 +25,6 @@ a reference pool allocator emitted alongside).
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import TYPE_CHECKING
 
 from ..ir.domain import Box

@@ -16,7 +16,7 @@ the machine cost model.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..lang.function import Function
     from ..passes.grouping import GroupingResult
     from ..passes.groups import Group
+    from ..passes.manager import CompileReport
     from ..passes.schedule import PipelineSchedule
     from ..passes.storage import StoragePlan
 
@@ -80,6 +81,9 @@ class CompiledPipeline:
             MemoryPool() if config.pooled_allocation else DirectAllocator()
         )
         self.stats = ExecutionStats()
+        # per-compile instrumentation, attached by ``compile_pipeline``
+        # (None only for hand-constructed pipelines)
+        self.report: "CompileReport | None" = None
         # fault-injection hook (repro.verify.faults): when set, called
         # as ``hook(stage, out_array)`` after every stage evaluation
         self.fault_injector = None
@@ -422,8 +426,17 @@ class CompiledPipeline:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def report(self) -> dict:
-        """Compile-time artifact summary for the cost model and docs."""
+    def summary_line(self) -> str:
+        """One-line artifact summary for pass records."""
+        return (
+            f"CompiledPipeline: {len(self.grouping.groups)} groups, "
+            f"{len(self._diamond_groups)} diamond"
+        )
+
+    def artifact_summary(self) -> dict:
+        """Compile-time artifact summary for the cost model and docs
+        (distinct from ``self.report``, the per-pass
+        :class:`~repro.passes.manager.CompileReport`)."""
         groups = []
         for gi, group in enumerate(self.grouping.groups):
             tile_shape = (

@@ -21,7 +21,7 @@ latent backend bug only shows up in the data.  This module provides
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -132,6 +132,12 @@ class GuardedPipeline:
     invocation with the ``polymg-naive`` fallback variant, whose output
     is bit-identical to the reference execution path.  Every fault is
     recorded in :attr:`incidents`.
+
+    Both the primary and the fallback compile route through the
+    content-addressed compile cache, so after the first guarded
+    instance over a specification, further instances (and the fallback
+    taken on an incident) are cache hits — graceful degradation costs
+    no recompile.
     """
 
     def __init__(
@@ -157,6 +163,13 @@ class GuardedPipeline:
 
     # -- internals -----------------------------------------------------
     def _fallback_compiled(self) -> "CompiledPipeline":
+        """The trusted ``polymg-naive`` fallback, compiled lazily.
+
+        The compile routes through the content-addressed compile cache
+        (:mod:`repro.cache`), so repeated incidents and multiple
+        guarded instances over the same specification share one
+        fallback compile; the per-instance memo only skips the
+        fingerprint lookup."""
         if self._fallback is None:
             self._fallback = self.pipeline.compile(self._fallback_config)
         return self._fallback

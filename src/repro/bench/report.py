@@ -4,13 +4,25 @@ Every ``benchmarks/bench_*.py`` regenerates one of the paper's tables or
 figures and prints the rows/series in the same layout the paper reports,
 with the paper's published value alongside ours where the paper states
 one.
+
+:func:`print_compile_report` and :func:`dump_compile_report` render a
+:class:`~repro.passes.manager.CompileReport` — the per-pass
+instrumentation attached to every compiled pipeline — as a table or a
+JSON file for offline analysis.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
 
-__all__ = ["print_table", "print_series", "banner"]
+__all__ = [
+    "print_table",
+    "print_series",
+    "banner",
+    "print_compile_report",
+    "dump_compile_report",
+]
 
 
 def banner(title: str) -> None:
@@ -47,3 +59,30 @@ def print_series(name: str, xs: Sequence, ys: Sequence[float]) -> None:
     for x, y in zip(xs, ys):
         bar = "#" * max(1, int(round(y * 8)))
         print(f"  {str(x):>10s}  {y:7.3f}  {bar}")
+
+
+def print_compile_report(report) -> None:
+    """Render a :class:`~repro.passes.manager.CompileReport` as a
+    per-pass timing table."""
+    banner(
+        f"compile report: {report.pipeline} "
+        f"({report.total_wall_time * 1e3:.2f} ms, "
+        f"{report.cache_hits} cache hits)"
+    )
+    rows = []
+    for record in report.passes:
+        produced = ", ".join(
+            record.outputs.get(key, key) for key in record.produces
+        )
+        rows.append(
+            [record.name, record.wall_time * 1e3, produced]
+        )
+    print_table(["pass", "ms", "produces"], rows, floatfmt="{:.3f}")
+
+
+def dump_compile_report(report, path) -> None:
+    """Write a compile report to ``path`` as JSON (the bench harness's
+    machine-readable sidecar)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
+        fh.write("\n")

@@ -13,6 +13,13 @@ per-figure benchmark files use:
 Environment knobs: ``REPRO_FULL_TUNE=0`` shrinks the tuning space for
 quick runs (default is the paper's full 80/135-point search);
 ``REPRO_CLASS_C=0`` skips class C rows.
+
+All compiles route through the content-addressed compile cache
+(:mod:`repro.cache`), so figures sharing workload rows pay the
+compiler passes once per distinct (spec, params, config) fingerprint.
+:func:`variant_compile_report` exposes the per-pass
+:class:`~repro.passes.manager.CompileReport` of one (workload, class,
+variant) cell for the harness to print or dump as JSON.
 """
 
 from __future__ import annotations
@@ -22,7 +29,6 @@ import os
 from dataclasses import dataclass
 from functools import lru_cache
 
-from ..config import PolyMgConfig
 from ..model import PAPER_MACHINE, PipelineCostModel
 from ..multigrid.cycles import build_poisson_cycle
 from ..multigrid.reference import MultigridOptions
@@ -45,6 +51,7 @@ __all__ = [
     "SMALL_TILES",
     "laptop_size",
     "model_speedups",
+    "variant_compile_report",
     "geomean",
     "full_tuning",
 ]
@@ -195,6 +202,17 @@ def model_speedups(
     return {
         name: base / t for name, t in times.items() if name != "polymg-naive"
     } | {"polymg-naive-time": base}
+
+
+def variant_compile_report(
+    workload: Workload, cls: str, variant: str = "polymg-opt+"
+):
+    """Compile one (workload, class, variant) cell and return its
+    per-pass :class:`~repro.passes.manager.CompileReport` — repeated
+    calls are compile-cache hits sharing one report."""
+    pipe = workload.pipeline(cls)
+    compiled = pipe.compile(POLYMG_VARIANTS[variant]())
+    return compiled.report
 
 
 def geomean(values) -> float:

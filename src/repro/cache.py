@@ -1,0 +1,301 @@
+"""Content-addressed compile cache.
+
+The autotuner sweeps 80/135-point configuration spaces per workload,
+the benchmark harness re-compiles the same variants figure after
+figure, and every :class:`~repro.backend.guards.GuardedPipeline`
+instance used to compile its own ``polymg-naive`` fallback.  All of
+those are *pure* recompilations: the compile pipeline is deterministic
+in (DSL specification, parameter bindings, configuration), so its
+result can be memoized under a stable content fingerprint.
+
+Keying
+------
+:func:`compile_fingerprint` hashes three independent components:
+
+* the **specification**: every function reachable from the outputs, in
+  deterministic topological order — class, name, dtype, parametric
+  domain intervals, the full definition expression tree, and the
+  topological indices of its producers (so graph shape is captured
+  beyond names);
+* the **parameter bindings**, sorted;
+* the **configuration**: every :class:`~repro.config.PolyMgConfig`
+  field (via :meth:`~repro.config.PolyMgConfig.fingerprint`), so
+  changing *any* switch — including ``verify_level`` and
+  ``runtime_guards`` — busts the key.
+
+Serving
+-------
+A hit does **not** return the original ``CompiledPipeline`` object: it
+constructs a fresh executor over the *shared* immutable artifacts
+(DAG, grouping, schedule, storage plan) so every compile result has
+its own execution statistics, allocator pool, and fault-injection
+hook, exactly like a cold compile.  The artifacts themselves are
+protected by an **integrity seal** — a digest over group order,
+schedule timestamps, and the complete storage plan taken at insert
+time.  A fault injector (:mod:`repro.verify.faults`) that corrupts a
+cached artifact in place changes the seal; the next lookup detects the
+mismatch, evicts the tainted entry, and recompiles — corrupted
+artifacts are never served from cache.
+
+``REPRO_COMPILE_CACHE=0`` disables the cache process-wide;
+``REPRO_COMPILE_CACHE_SIZE`` overrides the LRU capacity (default 256).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .backend.executor import CompiledPipeline
+    from .config import PolyMgConfig
+    from .lang.function import Function
+    from .passes.manager import CompileReport
+
+__all__ = [
+    "spec_fingerprint",
+    "compile_fingerprint",
+    "CacheStats",
+    "CompileCache",
+    "compile_cache",
+    "cache_enabled",
+]
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+# uids are drawn from a process-global monotonically increasing counter
+# and never reused, so a uid tuple is a sound memo key even after the
+# original Function objects are garbage-collected.
+_spec_fp_memo: dict[tuple[int, ...], str] = {}
+
+
+def spec_fingerprint(outputs: Sequence["Function"]) -> str:
+    """Stable content hash of a DSL specification.
+
+    Two independently built, structurally identical specifications
+    (e.g. two calls to ``build_poisson_cycle`` with the same arguments)
+    produce the same fingerprint even though their ``Function`` objects
+    differ.
+    """
+    from .ir.dag import topological_order
+
+    memo_key = tuple(f.uid for f in outputs)
+    hit = _spec_fp_memo.get(memo_key)
+    if hit is not None:
+        return hit
+
+    order, _ = topological_order(outputs)
+    index = {f: i for i, f in enumerate(order)}
+    h = hashlib.sha256()
+    for i, f in enumerate(order):
+        h.update(
+            f"{i}|{type(f).__name__}|{f.name}|{f.dtype.name}|".encode()
+        )
+        h.update(repr(f.intervals).encode())
+        producers = (
+            [] if f.is_input else sorted(f.producers(), key=lambda p: p.uid)
+        )
+        h.update(repr([index[p] for p in producers]).encode())
+        if not f.is_input and f.has_defn:
+            h.update(repr(f.defn).encode())
+        timesteps = getattr(f, "timesteps", None)
+        if timesteps is not None:
+            h.update(f"|T{timesteps}".encode())
+        h.update(b"\n")
+    out_ids = [index[f] for f in outputs]
+    h.update(f"outputs={out_ids}".encode())
+    digest = h.hexdigest()
+    if len(_spec_fp_memo) > 4096:  # unbounded spec churn guard
+        _spec_fp_memo.clear()
+    _spec_fp_memo[memo_key] = digest
+    return digest
+
+
+def compile_fingerprint(
+    outputs: Sequence["Function"],
+    params: dict[str, int],
+    config: "PolyMgConfig",
+    name: str,
+) -> str:
+    """The compile cache key: hash of (spec, params, config, name)."""
+    h = hashlib.sha256()
+    h.update(spec_fingerprint(outputs).encode())
+    h.update(repr(sorted(params.items())).encode())
+    h.update(config.fingerprint().encode())
+    h.update(name.encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# artifact integrity seal
+# ---------------------------------------------------------------------------
+
+
+def artifact_seal(compiled: "CompiledPipeline") -> str:
+    """Digest of every artifact field a fault class can corrupt:
+    group order and membership, schedule timestamps, scratch slot
+    assignments, and full-array geometry.  Recomputed at lookup time to
+    detect in-place tampering with cached artifacts."""
+    h = hashlib.sha256()
+    grouping = compiled.grouping
+    schedule = compiled.schedule
+    storage = compiled.storage
+    for group in grouping.groups:
+        h.update(f"g|{group.anchor.uid}|".encode())
+        h.update(repr([s.uid for s in group.stages]).encode())
+        h.update(f"|t{schedule.time_of_group(group)}".encode())
+    h.update(b"#stages|")
+    h.update(
+        repr(
+            sorted(
+                (s.uid, t) for s, t in schedule.stage_time.items()
+            )
+        ).encode()
+    )
+    h.update(b"#arrays|")
+    h.update(
+        repr(
+            sorted((s.uid, aid) for s, aid in storage.array_of.items())
+        ).encode()
+    )
+    h.update(repr(sorted(storage.array_shapes.items())).encode())
+    h.update(repr(sorted(storage.array_dtypes.items())).encode())
+    for gi in sorted(storage.scratch):
+        splan = storage.scratch[gi]
+        h.update(f"#scratch{gi}|".encode())
+        h.update(
+            repr(
+                sorted((s.uid, b) for s, b in splan.buffer_of.items())
+            ).encode()
+        )
+        h.update(repr(sorted(splan.buffer_shapes.items())).encode())
+        h.update(repr(sorted(splan.buffer_dtypes.items())).encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    #: entries rejected (and evicted) because the integrity seal no
+    #: longer matched — i.e. a cached artifact was mutated in place
+    tainted_rejections: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "tainted_rejections": self.tainted_rejections,
+        }
+
+
+@dataclass
+class _CacheEntry:
+    compiled: "CompiledPipeline"
+    report: "CompileReport"
+    seal: str
+
+
+class CompileCache:
+    """LRU cache of compile results keyed by content fingerprint.
+
+    Thread-safe: the autotuner's timeout path runs trials on worker
+    threads.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> "CompiledPipeline | None":
+        """Return a fresh executor over the cached artifacts, or
+        ``None`` on miss or on a tainted (mutated-in-place) entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if artifact_seal(entry.compiled) != entry.seal:
+                # a fault injector (or any in-place mutation) corrupted
+                # the cached artifacts: never serve them
+                del self._entries[key]
+                self.stats.tainted_rejections += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            entry.report.cache_hits += 1
+            return self._clone(entry)
+
+    @staticmethod
+    def _clone(entry: _CacheEntry) -> "CompiledPipeline":
+        from .backend.executor import CompiledPipeline
+
+        src = entry.compiled
+        clone = CompiledPipeline(
+            src.dag, src.config, src.grouping, src.schedule, src.storage
+        )
+        clone.report = entry.report
+        return clone
+
+    def store(self, key: str, compiled: "CompiledPipeline") -> None:
+        if compiled.report is None:
+            raise ValueError("cannot cache a pipeline without a report")
+        with self._lock:
+            self._entries[key] = _CacheEntry(
+                compiled, compiled.report, artifact_seal(compiled)
+            )
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_COMPILE_CACHE", "1") != "0"
+
+
+def _default_maxsize() -> int:
+    try:
+        return int(os.environ.get("REPRO_COMPILE_CACHE_SIZE", "256"))
+    except ValueError:
+        return 256
+
+
+_GLOBAL_CACHE: CompileCache | None = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def compile_cache() -> CompileCache:
+    """The process-wide compile cache (lazily created)."""
+    global _GLOBAL_CACHE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_CACHE is None:
+            _GLOBAL_CACHE = CompileCache(_default_maxsize())
+        return _GLOBAL_CACHE

@@ -8,7 +8,7 @@ this structure (see :mod:`repro.variants`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 __all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES", "VERIFY_LEVELS"]
 
@@ -74,10 +74,12 @@ class PolyMgConfig:
     num_threads:
         Threads used by the interpreter backend when executing tiles.
     verify_level:
-        Self-verification level run inside ``compile_pipeline``:
-        ``"off"`` (default, zero overhead), ``"cheap"`` (schedule
-        legality + storage-soundness cross-checks), or ``"full"``
-        (additionally exact tile-coverage proofs).
+        Self-verification level: selects which verifier passes are
+        interleaved into the compile pipeline (see
+        :func:`repro.passes.manager.default_passes`): ``"off"``
+        (default, zero overhead), ``"cheap"`` (schedule legality +
+        storage-soundness cross-checks), or ``"full"`` (additionally
+        exact tile-coverage proofs).
     runtime_guards:
         Enable the runtime numerical sentinels: NaN/Inf scans over each
         group's live-outs during execution (raises
@@ -123,3 +125,17 @@ class PolyMgConfig:
     def with_(self, **kwargs) -> "PolyMgConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable, canonical serialization of every field — the
+        configuration component of the compile-cache key (see
+        :mod:`repro.cache`).  Two configs built independently with equal
+        field values fingerprint identically; changing *any* field
+        changes the fingerprint."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = sorted(value.items())
+            parts.append(f"{f.name}={value!r}")
+        return ";".join(parts)

@@ -10,7 +10,9 @@ no debugger required.  The hierarchy:
     root of everything this package raises deliberately.
 ``CompileError``
     a compiler pass produced (or was given) an ill-formed artifact.
-    Specialized into ``ScheduleLegalityError`` (ordering violations),
+    Specialized into ``PassOrderingError`` (a mis-wired pass pipeline:
+    requirements not produced by any earlier pass, duplicate artifact
+    producers), ``ScheduleLegalityError`` (ordering violations),
     ``StorageSoundnessError`` (illegal scratchpad / full-array
     remapping, mis-sized buffers), and ``TileCoverageError`` (the
     overlapped-tile grid leaves a gap in a live-out's domain).
@@ -33,6 +35,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "CompileError",
+    "PassOrderingError",
     "ScheduleLegalityError",
     "StorageSoundnessError",
     "TileCoverageError",
@@ -73,6 +76,12 @@ class ReproError(Exception):
 
 class CompileError(ReproError):
     """A compiler pass produced or received an ill-formed artifact."""
+
+
+class PassOrderingError(CompileError):
+    """The pass pipeline is mis-wired: a pass requires an artifact no
+    earlier pass produces, two passes claim the same artifact, or an
+    artifact was requested before any pass produced it."""
 
 
 class ScheduleLegalityError(CompileError):

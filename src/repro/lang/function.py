@@ -16,12 +16,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from ..ir.access import AccessRange
 from ..ir.domain import Box, Domain
-from .expr import Case, Condition, Expr, Ref, collect_refs, wrap_expr
+from .expr import Case, Expr, Ref, collect_refs, wrap_expr
 from .parameters import Interval, Variable
 from .types import DType, dtype_of
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .expr import Case, Const, Expr, Ref, map_refs, wrap_expr
+from .expr import Case, Const, Expr, Ref, map_refs
 from .function import Function
 from .parameters import Interval, Variable
 from .types import DType

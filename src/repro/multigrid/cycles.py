@@ -15,9 +15,8 @@ reference solver to floating-point round-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable
 
 import numpy as np
 
@@ -93,9 +92,28 @@ class MultigridPipeline:
     params: dict[str, int]
     stage_count_: int = 0
 
-    def compile(self, config: PolyMgConfig | None = None):
+    def compile(
+        self,
+        config: PolyMgConfig | None = None,
+        *,
+        cache: bool = True,
+        snapshot_ir: bool = False,
+    ):
+        """Compile this cycle under ``config``.
+
+        Routes through the content-addressed compile cache: repeated
+        compiles of an identical (spec, params, config) fingerprint —
+        autotuner trials, guarded fallbacks, benchmark reruns — skip
+        the compiler passes entirely.  The returned pipeline carries a
+        per-pass :class:`~repro.passes.manager.CompileReport` as
+        ``.report``."""
         return compile_pipeline(
-            self.output, self.params, config=config, name=self.name
+            self.output,
+            self.params,
+            config=config,
+            name=self.name,
+            cache=cache,
+            snapshot_ir=snapshot_ir,
         )
 
     def make_inputs(
@@ -137,6 +155,10 @@ def solve_compiled(
     :class:`~repro.errors.NumericalDivergenceError` on blow-up — an
     unstable smoother diverges loudly instead of silently returning
     garbage.
+
+    When ``compiled`` is not given, the compile routes through the
+    content-addressed compile cache, so repeated solves of the same
+    problem under the same configuration pay the compiler passes once.
     """
     from ..backend.guards import ResidualMonitor
     from .kernels import norm_residual

@@ -1,8 +1,18 @@
-"""Compiler passes: grouping/fusion, tile geometry, scheduling, and the
-storage optimizations that are the paper's central contribution."""
+"""Compiler passes: grouping/fusion, tile geometry, scheduling, the
+storage optimizations that are the paper's central contribution, and
+the pass-manager infrastructure that sequences them
+(:mod:`repro.passes.manager`)."""
 
 from .grouping import GroupingResult, auto_group
 from .groups import Group
+from .manager import (
+    CompilationContext,
+    CompileReport,
+    Pass,
+    PassManager,
+    PassRecord,
+    default_passes,
+)
 from .schedule import PipelineSchedule
 from .storage import (
     StoragePlan,
@@ -15,6 +25,12 @@ __all__ = [
     "GroupingResult",
     "auto_group",
     "Group",
+    "CompilationContext",
+    "CompileReport",
+    "Pass",
+    "PassManager",
+    "PassRecord",
+    "default_passes",
     "PipelineSchedule",
     "StoragePlan",
     "get_last_use_map",

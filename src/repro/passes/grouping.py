@@ -70,6 +70,14 @@ class GroupingResult:
                     seen.append(g)
         return seen
 
+    def summary_line(self) -> str:
+        """One-line artifact summary for pass records."""
+        sizes = [g.size for g in self.groups]
+        return (
+            f"GroupingResult: {len(self.groups)} groups over "
+            f"{sum(sizes)} stages (largest {max(sizes, default=0)})"
+        )
+
     def validate(self) -> None:
         """Invariant checks: partition, acyclicity, schedulability."""
         covered = [s for g in self.groups for s in g.stages]

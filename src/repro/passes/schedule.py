@@ -53,6 +53,13 @@ class PipelineSchedule:
                 stage=stage.name,
             ) from None
 
+    def summary_line(self) -> str:
+        """One-line artifact summary for pass records."""
+        return (
+            f"PipelineSchedule: {len(self.group_time)} group slots, "
+            f"{len(self.stage_time)} stage timestamps"
+        )
+
     def liveout_time(self, stage: "Function") -> int:
         """Cross-group timestamp of a live-out (its group's time)."""
         try:

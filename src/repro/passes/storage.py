@@ -303,6 +303,17 @@ class StoragePlan:
     def group_scratch(self, group_index: int) -> GroupScratchPlan:
         return self.scratch[group_index]
 
+    def summary_line(self) -> str:
+        """One-line artifact summary for pass records."""
+        scratch_buffers = sum(
+            p.buffer_count() for p in self.scratch.values()
+        )
+        return (
+            f"StoragePlan: {self.full_arrays_with_reuse} full arrays "
+            f"({self.full_arrays_without_reuse} before reuse), "
+            f"{scratch_buffers} scratch buffers"
+        )
+
 
 def _scratch_shapes_for_group(
     group: Group, config: PolyMgConfig

@@ -1,6 +1,7 @@
 """Auto-tuning over the paper's tile-size x grouping-limit space."""
 
 from .autotuner import (
+    TrialMeasurement,
     TunePoint,
     TuneResult,
     autotune_measured,
@@ -11,6 +12,7 @@ from .autotuner import (
 )
 
 __all__ = [
+    "TrialMeasurement",
     "TunePoint",
     "TuneResult",
     "autotune_measured",

@@ -17,6 +17,13 @@ candidate never aborts the space sweep (the regime evolutionary/search
 the machine cost model (used for paper-scale experiments — the paper's
 own tuner measures on the machine; ours evaluates the Table-1 model) and
 wall-clock execution of the numpy backend (used at laptop scale).
+
+Trial compiles route through the content-addressed compile cache
+(:mod:`repro.cache`): a configuration whose fingerprint already
+compiled successfully — in an earlier sweep, another scoring backend,
+or the bench harness — is a cache hit and skips every compiler pass.
+Each :class:`TunePoint` reports its compile-time vs. score-time split
+and whether the compile was served from cache.
 """
 
 from __future__ import annotations
@@ -25,14 +32,16 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
+from ..cache import compile_cache
 from ..config import PolyMgConfig
 from ..errors import TrialFailure
 from ..model.costs import PipelineCostModel
 from ..model.machine import MachineSpec
 
 __all__ = [
+    "TrialMeasurement",
     "TuneResult",
     "TunePoint",
     "tile_space",
@@ -90,10 +99,28 @@ def config_space(
 
 
 @dataclass
+class TrialMeasurement:
+    """What one trial's ``score`` callable measured.
+
+    Score callables may return a bare float (scored-only, no split) or
+    a ``TrialMeasurement`` to report the compile/score breakdown; the
+    built-in :func:`autotune_model` / :func:`autotune_measured` scorers
+    report the full split."""
+
+    score: float
+    compile_time: float = 0.0
+    execute_time: float = 0.0
+    cache_hit: bool = False
+
+
+@dataclass
 class TunePoint:
     tile_shape: tuple[int, ...]
     group_limit: int
     score: float  # seconds (lower is better)
+    compile_time: float = 0.0  # wall time spent compiling this config
+    execute_time: float = 0.0  # wall time spent scoring (model/exec)
+    cache_hit: bool = False  # compile served from the compile cache
 
 
 @dataclass
@@ -109,20 +136,52 @@ class TuneResult:
             group_size_limit=self.best.group_limit,
         )
 
+    # -- compile/execute split across the sweep -------------------------
+    @property
+    def compile_time_total(self) -> float:
+        return sum(p.compile_time for p in self.points)
+
+    @property
+    def execute_time_total(self) -> float:
+        return sum(p.execute_time for p in self.points)
+
+    @property
+    def cache_hit_count(self) -> int:
+        return sum(1 for p in self.points if p.cache_hit)
+
+
+def _measure(value: "TrialMeasurement | float") -> TrialMeasurement:
+    """Normalize a score callable's return value (bare floats carry no
+    compile/execute split)."""
+    if isinstance(value, TrialMeasurement):
+        return value
+    return TrialMeasurement(score=float(value))
+
+
+def _timed_compile(pipe, cfg: PolyMgConfig):
+    """Compile one trial configuration through the compile cache,
+    returning (compiled, wall_time, served_from_cache)."""
+    stats = compile_cache().stats
+    hits_before = stats.hits
+    t0 = time.perf_counter()
+    compiled = pipe.compile(cfg)
+    elapsed = time.perf_counter() - t0
+    return compiled, elapsed, stats.hits > hits_before
+
 
 def _run_trial(
-    score: Callable[[PolyMgConfig], float],
+    score: Callable[[PolyMgConfig], "TrialMeasurement | float"],
     cfg: PolyMgConfig,
     tiles: tuple[int, ...],
     limit: int,
     trial_timeout: float | None,
-) -> float:
+) -> TrialMeasurement:
     """One compile+measure trial; every failure mode (exception or
     wall-clock timeout) surfaces as :class:`TrialFailure`."""
     start = time.perf_counter()
     if trial_timeout is None:
         try:
-            return score(cfg)
+            return _measure(score(cfg))
         except Exception as exc:
             raise TrialFailure(
                 "trial raised",
@@ -138,7 +197,7 @@ def _run_trial(
     pool = ThreadPoolExecutor(1)
     future = pool.submit(score, cfg)
     try:
-        return future.result(timeout=trial_timeout)
+        return _measure(future.result(timeout=trial_timeout))
     except FutureTimeout:
         raise TrialFailure(
             "trial exceeded wall-clock timeout",
@@ -170,11 +229,20 @@ def _tune(
     failed: list[TrialFailure] = []
     for cfg, tiles, limit in config_space(base, pipe.ndim):
         try:
-            value = _run_trial(score, cfg, tiles, limit, trial_timeout)
+            m = _run_trial(score, cfg, tiles, limit, trial_timeout)
         except TrialFailure as failure:
             failed.append(failure)
             continue
-        points.append(TunePoint(tiles, limit, value))
+        points.append(
+            TunePoint(
+                tiles,
+                limit,
+                m.score,
+                compile_time=m.compile_time,
+                execute_time=m.execute_time,
+                cache_hit=m.cache_hit,
+            )
+        )
     if not points:
         raise TrialFailure(
             "every configuration in the search space failed",
@@ -194,10 +262,17 @@ def autotune_model(
 ) -> TuneResult:
     """Tune against the machine cost model (paper-scale problems)."""
 
-    def score(cfg: PolyMgConfig) -> float:
-        compiled = pipe.compile(cfg)
-        return PipelineCostModel(compiled, machine).run_time(
+    def score(cfg: PolyMgConfig) -> TrialMeasurement:
+        compiled, compile_time, hit = _timed_compile(pipe, cfg)
+        t0 = time.perf_counter()
+        value = PipelineCostModel(compiled, machine).run_time(
             threads, cycles
+        )
+        return TrialMeasurement(
+            score=value,
+            compile_time=compile_time,
+            execute_time=time.perf_counter() - t0,
+            cache_hit=hit,
         )
 
     return _tune(pipe, base, score, trial_timeout)
@@ -213,14 +288,22 @@ def autotune_measured(
     """Tune by wall-clock execution of the numpy backend (laptop-scale
     problems; the paper's 'minimum of five runs' protocol, scaled)."""
 
-    def score(cfg: PolyMgConfig) -> float:
-        compiled = pipe.compile(cfg)
+    def score(cfg: PolyMgConfig) -> TrialMeasurement:
+        compiled, compile_time, hit = _timed_compile(pipe, cfg)
         inputs = inputs_factory()
         best = float("inf")
+        total = 0.0
         for _ in range(repeats):
             t0 = time.perf_counter()
             compiled.execute(inputs)
-            best = min(best, time.perf_counter() - t0)
-        return best
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+            total += elapsed
+        return TrialMeasurement(
+            score=best,
+            compile_time=compile_time,
+            execute_time=total,
+            cache_hit=hit,
+        )
 
     return _tune(pipe, base, score, trial_timeout)

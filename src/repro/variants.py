@@ -18,6 +18,13 @@ Each PolyMG variant is a :class:`~repro.config.PolyMgConfig` preset:
 ``handopt`` and ``handopt+pluto`` (the Ghysels & Vanroose reference
 codes) are separate hand-written implementations in
 :mod:`repro.baselines`.
+
+Presets are plain value objects: two calls to the same factory produce
+configs with identical
+:meth:`~repro.config.PolyMgConfig.fingerprint` values, so compiles of
+the same specification under the same variant share one entry in the
+content-addressed compile cache (:mod:`repro.cache`) no matter where
+the config object was constructed.
 """
 
 from __future__ import annotations

@@ -23,9 +23,12 @@ and cross-check the compiled artifact:
   domain by exact region enumeration over a coverage mask.
 
 :func:`verify_compiled` runs all of the above on a
-:class:`~repro.backend.executor.CompiledPipeline`; ``compile_pipeline``
-wires the individual checks after their phases when
-``PolyMgConfig.verify_level`` is not ``"off"``.
+:class:`~repro.backend.executor.CompiledPipeline`.  Inside the
+compiler the same checks are registered as ordinary interleaved passes
+(``verify-schedule``, ``verify-storage``, ``verify-tiling``) by
+:func:`repro.passes.manager.default_passes` whenever
+``PolyMgConfig.verify_level`` is not ``"off"``, so they run (and are
+timed) under the pass manager right after the phase they check.
 """
 
 from __future__ import annotations

@@ -9,7 +9,6 @@ solver's output.
 import numpy as np
 import pytest
 
-from repro.config import PolyMgConfig
 from repro.multigrid import (
     MultigridOptions,
     build_poisson_cycle,
@@ -160,7 +159,7 @@ def test_report_structure(rng):
     opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
     pipe = build_poisson_cycle(2, 32, opts)
     compiled = pipe.compile(polymg_opt_plus(tile_sizes=SMALL_TILES))
-    report = compiled.report()
+    report = compiled.artifact_summary()
     assert report["stage_count"] == compiled.dag.stage_count()
     assert report["group_count"] == len(report["groups"])
     assert report["full_arrays"] <= report["full_arrays_without_reuse"]

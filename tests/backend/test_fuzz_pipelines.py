@@ -14,7 +14,6 @@ lifetime planning surfaces as a numeric mismatch on some random DAG.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -117,7 +116,7 @@ def test_optimized_equals_naive_on_random_pipelines(
 def test_report_consistent_on_random_pipelines(out_fn):
     cfg = polymg_opt_plus(tile_sizes={2: (8, 8)}, overlap_threshold=2.0)
     compiled = compile_pipeline(out_fn, {"N": N_VAL}, cfg)
-    report = compiled.report()
+    report = compiled.artifact_summary()
     assert report["group_count"] >= 1
     assert sum(len(g["stages"]) for g in report["groups"]) == (
         report["stage_count"]

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ir.dag import PipelineDAG, topological_order
-from repro.lang.expr import Case
 from repro.lang.function import Function, Grid
 from repro.lang.parameters import Interval, Parameter, Variable
 from repro.lang.types import Double, Int

@@ -1,6 +1,5 @@
 """Tests for parametric and concrete intervals."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ from repro.ir.domain import Box
 from repro.lang.expr import Case
 from repro.lang.function import Function, Grid
 from repro.lang.parameters import Interval, Parameter, Variable
-from repro.lang.stencil import Stencil
 from repro.lang.types import Double, Int
 
 

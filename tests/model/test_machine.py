@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model.machine import LAPTOP_MACHINE, PAPER_MACHINE, MachineSpec
+from repro.model.machine import LAPTOP_MACHINE, PAPER_MACHINE
 
 
 class TestPaperSpec:

@@ -1,7 +1,6 @@
 """Residual-divergence sentinels: an unstable smoother must fail loudly
 under guards and is demonstrably silent without them."""
 
-import numpy as np
 import pytest
 
 from repro import MultigridOptions, build_poisson_cycle, solve_compiled

@@ -1,12 +1,11 @@
 """Tests for greedy auto-grouping (fusion) and group geometry."""
 
-import pytest
 
 from repro.config import PolyMgConfig
 from repro.ir.dag import PipelineDAG
 from repro.ir.domain import Box
 from repro.lang.expr import Case
-from repro.lang.function import Function, Grid
+from repro.lang.function import Grid
 from repro.lang.parameters import Interval, Parameter, Variable
 from repro.lang.stencil import Stencil, TStencil
 from repro.lang.types import Double, Int
@@ -137,7 +136,6 @@ class TestGroupGeometry:
         g = Group(dag, w.steps)
         dom = w.last.domain_box({"N": 16})
         covered = []
-        from repro.ir.interval import ConcreteInterval
 
         for ylo in range(0, 18, 6):
             for xlo in range(0, 18, 6):

@@ -1,0 +1,163 @@
+"""Pass-manager tests: static ordering validation, per-pass
+instrumentation, verifier interleaving, and IR snapshots."""
+
+import json
+
+import pytest
+
+from repro import build_poisson_cycle
+from repro.errors import CompileError, PassOrderingError
+from repro.multigrid.reference import MultigridOptions
+from repro.passes.manager import (
+    BuildDagPass,
+    CompilationContext,
+    GroupingPass,
+    Pass,
+    PassManager,
+    default_passes,
+)
+from repro.variants import polymg_opt_plus
+
+N = 32
+CFG = polymg_opt_plus(tile_sizes={2: (8, 16)})
+
+PLAIN_SEQUENCE = ["build-dag", "grouping", "scheduling", "storage", "backend"]
+VERIFIED_SEQUENCE = [
+    "build-dag",
+    "grouping",
+    "scheduling",
+    "verify-schedule",
+    "storage",
+    "verify-storage",
+    "backend",
+    "verify-tiling",
+]
+
+
+@pytest.fixture
+def pipe():
+    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+    return build_poisson_cycle(2, N, opts)
+
+
+def _context(pipe, config=CFG):
+    return CompilationContext(
+        outputs=(pipe.output,),
+        params=dict(pipe.params),
+        config=config,
+        name=pipe.name,
+    )
+
+
+class _LazyPass(Pass):
+    """Declares an artifact but never produces it."""
+
+    name = "lazy"
+    produces = ("thing",)
+
+    def run(self, ctx):
+        pass
+
+
+class TestOrderingValidation:
+    def test_missing_producer_rejected_before_running(self):
+        # grouping requires "dag" and nothing earlier produces it
+        with pytest.raises(PassOrderingError) as exc:
+            PassManager([GroupingPass()])
+        assert "no earlier pass" in str(exc.value)
+
+    def test_duplicate_producer_rejected(self):
+        with pytest.raises(PassOrderingError) as exc:
+            PassManager([BuildDagPass(), BuildDagPass()])
+        assert "same artifact" in str(exc.value)
+
+    def test_default_pipelines_validate(self):
+        PassManager(default_passes(CFG))
+        PassManager(default_passes(CFG.with_(verify_level="full")))
+
+    def test_pass_must_produce_what_it_declares(self, pipe):
+        manager = PassManager([_LazyPass()])
+        with pytest.raises(CompileError) as exc:
+            manager.run(_context(pipe))
+        assert "without producing" in str(exc.value)
+
+    def test_context_get_before_produce(self, pipe):
+        ctx = _context(pipe)
+        with pytest.raises(PassOrderingError):
+            ctx.get("dag")
+        with pytest.raises(PassOrderingError):
+            ctx.grouping
+
+    def test_context_rejects_double_produce(self, pipe):
+        ctx = _context(pipe)
+        ctx.produce("dag", object(), by="a")
+        with pytest.raises(PassOrderingError) as exc:
+            ctx.produce("dag", object(), by="b")
+        assert "twice" in str(exc.value)
+        assert ctx.produced_by["dag"] == "a"
+
+
+class TestDefaultSequences:
+    def test_verifiers_off_by_default(self):
+        names = [p.name for p in default_passes(CFG)]
+        assert names == PLAIN_SEQUENCE
+
+    @pytest.mark.parametrize("level", ["cheap", "full"])
+    def test_verifiers_interleaved(self, level):
+        names = [p.name for p in default_passes(CFG.with_(verify_level=level))]
+        assert names == VERIFIED_SEQUENCE
+
+
+class TestReport:
+    def test_report_covers_every_pass(self, pipe):
+        compiled = pipe.compile(CFG)
+        assert compiled.report.pass_names() == PLAIN_SEQUENCE
+
+    def test_report_covers_verifier_passes_at_full(self, pipe):
+        compiled = pipe.compile(CFG.with_(verify_level="full"))
+        report = compiled.report
+        assert report.pass_names() == VERIFIED_SEQUENCE
+        assert all(r.wall_time >= 0.0 for r in report.passes)
+        assert report.total_wall_time >= sum(
+            r.wall_time for r in report.passes
+        )
+        assert report.fingerprint
+
+    def test_pass_time(self, pipe):
+        report = pipe.compile(CFG).report
+        assert report.pass_time("grouping") >= 0.0
+        with pytest.raises(KeyError):
+            report.pass_time("no-such-pass")
+
+    def test_artifact_summaries_recorded(self, pipe):
+        report = pipe.compile(CFG).report
+        by_name = {r.name: r for r in report.passes}
+        assert "stages" in by_name["build-dag"].outputs["dag"]
+        assert "groups" in by_name["grouping"].outputs["grouping"]
+        assert "arrays" in by_name["storage"].outputs["storage"]
+        # inputs of a later pass summarize what it consumed
+        assert "groups" in by_name["scheduling"].inputs["grouping"]
+
+    def test_to_json_roundtrip(self, pipe):
+        report = pipe.compile(CFG.with_(verify_level="cheap")).report
+        data = json.loads(report.to_json())
+        assert data["pipeline"] == pipe.name
+        assert data["fingerprint"] == report.fingerprint
+        assert [p["name"] for p in data["passes"]] == VERIFIED_SEQUENCE
+        assert data["cache_hits"] == report.cache_hits
+
+
+class TestSnapshots:
+    def test_snapshot_ir_records_dumps(self, pipe):
+        compiled = pipe.compile(CFG, snapshot_ir=True)
+        by_name = {r.name: r for r in compiled.report.passes}
+        assert by_name["build-dag"].snapshot  # dag.summary()
+        assert "group 0" in by_name["grouping"].snapshot
+        assert by_name["scheduling"].snapshot is None  # none defined
+        assert "snapshot" in json.loads(compiled.report.to_json())[
+            "passes"
+        ][0]
+
+    def test_snapshots_off_by_default(self, pipe):
+        compiled = pipe.compile(CFG, cache=False)
+        assert all(r.snapshot is None for r in compiled.report.passes)

@@ -1,7 +1,6 @@
 """Tests for the storage passes: Algorithms 2/3, scratch and array
 classes, and the paper's Figure 7 scenario."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -123,3 +123,35 @@ class TestAutotune:
         )
         assert res.configurations == 2
         assert res.best.score > 0
+        # every trial reports its compile/execute split
+        assert all(p.execute_time > 0 for p in res.points)
+
+    def test_compile_execute_split_and_cache_hit_skip(self, monkeypatch):
+        import repro.tuning.autotuner as at
+        from repro.cache import compile_cache
+
+        monkeypatch.setattr(at, "GROUP_LIMITS", (4,))
+        monkeypatch.setattr(
+            at, "tile_space", lambda ndim: [(8, 16), (16, 32)]
+        )
+        opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+        pipe = build_poisson_cycle(2, 32, opts)
+        compile_cache().clear()
+
+        cold = autotune_model(
+            pipe, polymg_opt_plus(), PAPER_MACHINE, threads=24, cycles=2
+        )
+        assert cold.cache_hit_count == 0
+        assert all(p.compile_time > 0 for p in cold.points)
+        assert all(p.execute_time > 0 for p in cold.points)
+        assert cold.compile_time_total == pytest.approx(
+            sum(p.compile_time for p in cold.points)
+        )
+
+        # re-tuning the same space: every fingerprint is known, so no
+        # trial recompiles — the compile column collapses to lookups
+        warm = autotune_model(
+            pipe, polymg_opt_plus(), PAPER_MACHINE, threads=24, cycles=2
+        )
+        assert warm.cache_hit_count == len(warm.points) == 2
+        assert warm.best.score == pytest.approx(cold.best.score)

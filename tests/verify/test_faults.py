@@ -1,6 +1,13 @@
 """Fault-injection harness: every fault class is caught, and the
 guarded executor degrades to the reference answer instead of returning
-garbage."""
+garbage.
+
+``REPRO_VERIFY_LEVEL`` selects the in-compiler verifier level for the
+suite's compiles (default ``off`` — the tests call the verifiers
+explicitly); CI runs this file once more at ``full`` to prove the
+interleaved verifier passes coexist with fault injection."""
+
+import os
 
 import numpy as np
 import pytest
@@ -26,7 +33,10 @@ from repro.verify.faults import (
 from tests.conftest import make_rhs
 
 N = 32
-CFG = polymg_opt_plus(tile_sizes={2: (8, 16)})
+CFG = polymg_opt_plus(
+    tile_sizes={2: (8, 16)},
+    verify_level=os.environ.get("REPRO_VERIFY_LEVEL", "off"),
+)
 
 
 @pytest.fixture
