@@ -25,8 +25,10 @@ from .errors import (
     CompileError,
     NumericalDivergenceError,
     PassOrderingError,
+    PoolExhaustedError,
     ReproError,
     ScheduleLegalityError,
+    SolveAbortedError,
     StorageSoundnessError,
     TileCoverageError,
     TrialFailure,
@@ -44,6 +46,15 @@ from .multigrid import (
     reference_cycle,
     solve,
     solve_compiled,
+)
+from .multigrid.cycles import solve_supervised
+from .resilience import (
+    DegradationLadder,
+    IncidentLog,
+    ResilientPipeline,
+    SolveSupervisor,
+    SupervisedSolveResult,
+    SupervisorPolicy,
 )
 from .verify import verify_compiled
 from .multigrid.cycles import build_smoother_chain
@@ -79,15 +90,24 @@ __all__ = [
     "reference_cycle",
     "solve",
     "solve_compiled",
+    "solve_supervised",
     "verify_compiled",
     "GuardedPipeline",
     "ResidualMonitor",
+    "DegradationLadder",
+    "IncidentLog",
+    "ResilientPipeline",
+    "SolveSupervisor",
+    "SupervisedSolveResult",
+    "SupervisorPolicy",
     "ReproError",
     "CompileError",
     "ScheduleLegalityError",
     "StorageSoundnessError",
     "TileCoverageError",
     "NumericalDivergenceError",
+    "PoolExhaustedError",
+    "SolveAbortedError",
     "TrialFailure",
     "NasMgSolver",
     "build_nas_mg_cycle",

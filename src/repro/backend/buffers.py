@@ -12,6 +12,16 @@ byte buffers, serves a request with the first free buffer of sufficient
 size (scanning the free list, as the paper describes), and returns a
 correctly-shaped view.  Statistics (fresh allocations vs. pool hits,
 peak resident bytes) feed the machine cost model and Figure 11b.
+
+Resource-pressure guards (see :mod:`repro.resilience`): an optional
+``byte_budget`` bounds the total backing bytes the pool may own,
+raising the typed :class:`~repro.errors.PoolExhaustedError` instead of
+letting the process OOM; every error path stays inside the
+:class:`~repro.errors.ReproError` taxonomy so guarded execution can
+demote on memory pressure; :meth:`MemoryPool.trim` releases the free
+list when a variant is demoted and sits in cooldown; and
+:meth:`MemoryPool.assert_no_leaks` turns outstanding-buffer accounting
+at solve end into a loud, typed failure.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..errors import AllocatorError, PoolExhaustedError
 
 __all__ = ["PoolStats", "MemoryPool", "DirectAllocator"]
 
@@ -31,6 +43,8 @@ class PoolStats:
     resident_bytes: int = 0
     peak_resident_bytes: int = 0
     requested_bytes: int = 0
+    trimmed_bytes: int = 0
+    budget_rejections: int = 0
 
     def record_alloc(self, nbytes: int, from_pool: bool) -> None:
         self.requested_bytes += nbytes
@@ -45,9 +59,23 @@ class PoolStats:
 
 
 class MemoryPool:
-    """First-fit pooled allocator over flat byte buffers."""
+    """First-fit pooled allocator over flat byte buffers.
 
-    def __init__(self) -> None:
+    ``byte_budget`` (``None`` = unbounded) caps the total backing bytes
+    the pool may own (free + lent).  A fresh allocation that would
+    breach the budget — after the free list has been searched — raises
+    :class:`~repro.errors.PoolExhaustedError`, as does a failed backing
+    allocation, so memory pressure surfaces as a typed runtime fault
+    that guarded/laddered execution can catch and demote on.
+    """
+
+    def __init__(self, byte_budget: int | None = None) -> None:
+        if byte_budget is not None and byte_budget < 0:
+            raise AllocatorError(
+                "pool byte budget must be non-negative",
+                byte_budget=byte_budget,
+            )
+        self.byte_budget = byte_budget
         self._free: list[np.ndarray] = []  # flat uint8 buffers
         self._lent: dict[int, np.ndarray] = {}  # id(view) -> backing buffer
         self.stats = PoolStats()
@@ -64,7 +92,27 @@ class MemoryPool:
                 backing, best_index = buf, i
         from_pool = backing is not None
         if backing is None:
-            backing = np.empty(nbytes, dtype=np.uint8)
+            if (
+                self.byte_budget is not None
+                and self.stats.resident_bytes + nbytes > self.byte_budget
+            ):
+                self.stats.budget_rejections += 1
+                raise PoolExhaustedError(
+                    "pool byte budget exceeded",
+                    requested=nbytes,
+                    resident=self.stats.resident_bytes,
+                    budget=self.byte_budget,
+                    outstanding=len(self._lent),
+                )
+            try:
+                backing = np.empty(nbytes, dtype=np.uint8)
+            except MemoryError as exc:
+                raise PoolExhaustedError(
+                    "backing allocation failed",
+                    requested=nbytes,
+                    resident=self.stats.resident_bytes,
+                    budget=self.byte_budget,
+                ) from exc
         else:
             self._free.pop(best_index)
         self.stats.record_alloc(nbytes, from_pool)
@@ -75,8 +123,6 @@ class MemoryPool:
     def deallocate(self, view: np.ndarray) -> None:
         backing = self._lent.pop(id(view), None)
         if backing is None:
-            from ..errors import AllocatorError
-
             raise AllocatorError(
                 "deallocate of a buffer not lent by this pool",
                 shape=tuple(view.shape),
@@ -84,6 +130,17 @@ class MemoryPool:
             )
         self.stats.deallocations += 1
         self._free.append(backing)
+
+    def trim(self) -> int:
+        """Release every free (un-lent) buffer back to the OS and
+        return the number of bytes released.  Called when a
+        degradation-ladder variant is demoted, so an idle pool does not
+        keep its high-water backing resident through the cooldown."""
+        released = sum(buf.nbytes for buf in self._free)
+        self._free.clear()
+        self.stats.resident_bytes -= released
+        self.stats.trimmed_bytes += released
+        return released
 
     def release_all(self) -> None:
         """Drop every buffer (end of the last multigrid cycle)."""
@@ -94,6 +151,20 @@ class MemoryPool:
     @property
     def outstanding(self) -> int:
         return len(self._lent)
+
+    @property
+    def outstanding_bytes(self) -> int:
+        return sum(b.nbytes for b in self._lent.values())
+
+    def assert_no_leaks(self) -> None:
+        """Raise :class:`~repro.errors.AllocatorError` if any lent
+        buffer was never deallocated (end-of-solve leak check)."""
+        if self._lent:
+            raise AllocatorError(
+                "pool buffers still outstanding at solve end",
+                outstanding=len(self._lent),
+                outstanding_bytes=self.outstanding_bytes,
+            )
 
 
 class DirectAllocator:
@@ -107,7 +178,14 @@ class DirectAllocator:
 
     def allocate(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         dtype = np.dtype(dtype)
-        array = np.empty(shape, dtype=dtype)
+        try:
+            array = np.empty(shape, dtype=dtype)
+        except MemoryError as exc:
+            raise PoolExhaustedError(
+                "backing allocation failed",
+                requested=int(np.prod(shape, dtype=np.int64))
+                * dtype.itemsize,
+            ) from exc
         self.stats.record_alloc(array.nbytes, from_pool=False)
         self._lent[id(array)] = array.nbytes
         return array
@@ -118,9 +196,24 @@ class DirectAllocator:
             self.stats.deallocations += 1
             self.stats.resident_bytes -= nbytes
 
+    def trim(self) -> int:
+        return 0  # nothing pooled, nothing to release
+
     def release_all(self) -> None:
         self._lent.clear()
 
     @property
     def outstanding(self) -> int:
         return len(self._lent)
+
+    @property
+    def outstanding_bytes(self) -> int:
+        return sum(self._lent.values())
+
+    def assert_no_leaks(self) -> None:
+        if self._lent:
+            raise AllocatorError(
+                "buffers still outstanding at solve end",
+                outstanding=len(self._lent),
+                outstanding_bytes=self.outstanding_bytes,
+            )

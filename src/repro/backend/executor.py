@@ -78,7 +78,9 @@ class CompiledPipeline:
         self.storage = storage
         self.bindings = dag.param_bindings
         self.allocator = (
-            MemoryPool() if config.pooled_allocation else DirectAllocator()
+            MemoryPool(byte_budget=config.pool_byte_budget)
+            if config.pooled_allocation
+            else DirectAllocator()
         )
         self.stats = ExecutionStats()
         # per-compile instrumentation, attached by ``compile_pipeline``
@@ -178,42 +180,52 @@ class CompiledPipeline:
                     arrays[aid] = self.allocator.allocate(shape, npdt)
             return arrays[aid]
 
-        for gi, group in enumerate(self.grouping.groups):
-            self.stats.groups_executed += 1
-            # materialize live-out arrays of this group
-            stage_arrays: dict["Function", np.ndarray] = {}
-            for stage in group.live_outs():
-                aid = self.storage.array_of[stage]
-                full = ensure_array(aid)
-                shape = stage.domain_box(self.bindings).shape()
-                view = full[tuple(slice(0, s) for s in shape)]
-                stage_arrays[stage] = view
-                if dag.is_output(stage):
-                    outputs[stage.name] = view
+        try:
+            for gi, group in enumerate(self.grouping.groups):
+                self.stats.groups_executed += 1
+                # materialize live-out arrays of this group
+                stage_arrays: dict["Function", np.ndarray] = {}
+                for stage in group.live_outs():
+                    aid = self.storage.array_of[stage]
+                    full = ensure_array(aid)
+                    shape = stage.domain_box(self.bindings).shape()
+                    view = full[tuple(slice(0, s) for s in shape)]
+                    stage_arrays[stage] = view
+                    if dag.is_output(stage):
+                        outputs[stage.name] = view
 
-            if gi in self._diamond_groups:
-                self._execute_group_diamond(
-                    group, stage_arrays, input_arrays, arrays
-                )
-            elif self.config.tile and group.size > 1:
-                self._execute_group_tiled(
-                    gi, group, stage_arrays, input_arrays, arrays
-                )
-            else:
-                self._execute_group_straight(
-                    group, stage_arrays, input_arrays, arrays
-                )
-
-            if self.config.runtime_guards:
-                for stage, view in stage_arrays.items():
-                    scan_nonfinite(
-                        stage.name, view, pipeline=dag.name, group=gi
+                if gi in self._diamond_groups:
+                    self._execute_group_diamond(
+                        group, stage_arrays, input_arrays, arrays
+                    )
+                elif self.config.tile and group.size > 1:
+                    self._execute_group_tiled(
+                        gi, group, stage_arrays, input_arrays, arrays
+                    )
+                else:
+                    self._execute_group_straight(
+                        group, stage_arrays, input_arrays, arrays
                     )
 
-            # free arrays whose last consumer group has completed
-            for aid, last in self._free_after.items():
-                if last == gi and aid in arrays:
+                if self.config.runtime_guards:
+                    for stage, view in stage_arrays.items():
+                        scan_nonfinite(
+                            stage.name, view, pipeline=dag.name, group=gi
+                        )
+
+                # free arrays whose last consumer group has completed
+                for aid, last in self._free_after.items():
+                    if last == gi and aid in arrays:
+                        self.allocator.deallocate(arrays.pop(aid))
+        except BaseException:
+            # an aborted invocation must not strand pooled arrays: every
+            # still-lent buffer goes back to the allocator so the
+            # resilience layer's end-of-solve leak accounting only
+            # flags genuine leaks
+            for aid in list(arrays):
+                if aid not in output_ids:
                     self.allocator.deallocate(arrays.pop(aid))
+            raise
 
         # ideal (non-redundant) work for redundancy accounting
         for stage in dag.stages:
@@ -422,6 +434,8 @@ class CompiledPipeline:
         final = group.stages[-1]
         out = stage_arrays[final]
         out[...] = result
+        if self.fault_injector is not None:
+            self.fault_injector(final, out)
 
     # ------------------------------------------------------------------
     # reporting

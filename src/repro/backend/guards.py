@@ -21,6 +21,7 @@ latent backend bug only shows up in the data.  This module provides
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -70,6 +71,12 @@ class ResidualMonitor:
     exceeds ``growth_factor`` times the smallest norm observed so far
     (a converging solver shrinks monotonically up to stagnation, so a
     100x blow-up is unambiguous divergence).
+
+    ``history`` is a ring buffer of the most recent ``history_limit``
+    norms (long-running service solves must not grow memory without
+    bound); the running best norm and the total observation count are
+    retained separately, so divergence is still judged against the
+    best norm *ever* seen even after it has left the window.
     """
 
     def __init__(
@@ -77,33 +84,46 @@ class ResidualMonitor:
         growth_factor: float = 100.0,
         *,
         pipeline: str | None = None,
+        history_limit: int = 512,
     ) -> None:
         if growth_factor <= 1.0:
             raise ValueError("growth_factor must exceed 1")
+        if history_limit < 1:
+            raise ValueError("history_limit must be positive")
         self.growth_factor = growth_factor
         self.pipeline = pipeline
-        self.history: list[float] = []
+        self.history: deque[float] = deque(maxlen=history_limit)
+        self.observed = 0
+        self.best = float("inf")
 
     def observe(self, norm: float) -> None:
         norm = float(norm)
+        self.observed += 1
         self.history.append(norm)
         if not np.isfinite(norm):
             raise NumericalDivergenceError(
                 "residual norm is non-finite",
                 pipeline=self.pipeline,
-                cycle=len(self.history) - 1,
+                cycle=self.observed - 1,
                 norm=norm,
             )
-        best = min(self.history)
-        if best > 0 and norm > self.growth_factor * best:
+        self.best = min(self.best, norm)
+        if self.best > 0 and norm > self.growth_factor * self.best:
             raise NumericalDivergenceError(
                 "residual norm diverged",
                 pipeline=self.pipeline,
-                cycle=len(self.history) - 1,
+                cycle=self.observed - 1,
                 norm=norm,
-                best=best,
+                best=self.best,
                 growth_factor=self.growth_factor,
             )
+
+    def reduction_factor(self) -> float | None:
+        """Most recent cycle's residual reduction factor (``None``
+        before two observations)."""
+        if len(self.history) < 2 or self.history[-2] == 0:
+            return None
+        return self.history[-1] / self.history[-2]
 
 
 @dataclass
@@ -158,6 +178,7 @@ class GuardedPipeline:
         self._fallback_config = polymg_naive()
         self._fallback: "CompiledPipeline | None" = None
         self._verified = False
+        self._verify_error: ReproError | None = None
         self.incidents: list[GuardIncident] = []
         self.invocations = 0
 
@@ -176,14 +197,30 @@ class GuardedPipeline:
 
     # -- API -----------------------------------------------------------
     def execute(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        """Run one invocation; falls back transparently on any fault."""
-        self.invocations += 1
-        try:
-            if not self._verified:
-                from ..verify import verify_compiled
+        """Run one invocation; falls back transparently on any fault.
 
+        The verification verdict is memoized whichever way it goes: a
+        passing artifact is never re-verified, and a failing one
+        records a *single* incident and routes every subsequent
+        invocation straight to the fallback without paying
+        ``verify_compiled`` again."""
+        self.invocations += 1
+        if self._verify_error is None and not self._verified:
+            from ..verify import verify_compiled
+
+            try:
                 verify_compiled(self.compiled, self.verify_level)
                 self._verified = True
+            except ReproError as error:
+                self._verify_error = error
+                self.incidents.append(
+                    GuardIncident(
+                        self.invocations, error, self.fallback_name
+                    )
+                )
+        if self._verify_error is not None:
+            return self._fallback_compiled().execute(inputs)
+        try:
             return self.compiled.execute(inputs)
         except ReproError as error:
             self.incidents.append(

@@ -22,6 +22,8 @@ __all__ = [
     "banner",
     "print_compile_report",
     "dump_compile_report",
+    "print_incident_log",
+    "dump_incident_log",
 ]
 
 
@@ -85,4 +87,49 @@ def dump_compile_report(report, path) -> None:
     machine-readable sidecar)."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report.to_dict(), fh, indent=2)
+        fh.write("\n")
+
+
+def _incident_dicts(log) -> list[dict]:
+    """Accept an IncidentLog, a SupervisedSolveResult, a CompileReport,
+    or a plain list of record dicts."""
+    if hasattr(log, "to_dicts"):  # IncidentLog
+        return log.to_dicts()
+    if hasattr(log, "incidents"):  # SupervisedSolveResult / CompileReport
+        inner = log.incidents
+        return inner.to_dicts() if hasattr(inner, "to_dicts") else list(inner)
+    return list(log)
+
+
+def print_incident_log(log, title: str = "incident log") -> None:
+    """Render a resilience incident trail
+    (:class:`~repro.resilience.incidents.IncidentLog`, a supervised
+    solve result, or a compile report carrying incidents) as a table."""
+    records = _incident_dicts(log)
+    banner(f"{title} ({len(records)} incidents)")
+    if not records:
+        print("(clean run)")
+        return
+    rows = []
+    for rec in records:
+        rows.append(
+            [
+                rec.get("seq", ""),
+                rec.get("kind", ""),
+                rec.get("variant", "") or "",
+                rec.get("cycle", "") if rec.get("cycle") is not None else "",
+                rec.get("action", "") or "",
+                (rec.get("error", "") or "")[:60],
+            ]
+        )
+    print_table(
+        ["#", "kind", "variant", "cycle", "action", "error"], rows
+    )
+
+
+def dump_incident_log(log, path) -> None:
+    """Write an incident trail to ``path`` as JSON (the chaos-CI
+    artifact format)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_incident_dicts(log), fh, indent=2)
         fh.write("\n")

@@ -272,6 +272,20 @@ class CompileCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def evict(self, key: str) -> bool:
+        """Drop one entry by fingerprint (returns whether it existed).
+
+        Used by the resilience layer when a compiled artifact fails
+        verification: a statically bad artifact must never be served
+        from cache again, so the next probe of that variant recompiles
+        from scratch."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.evictions += 1
+                return True
+            return False
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

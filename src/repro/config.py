@@ -55,6 +55,12 @@ class PolyMgConfig:
     pooled_allocation:
         Pooled allocator serving full-array requests across (and within)
         multigrid cycle invocations (paper 3.2.3).
+    pool_byte_budget:
+        Optional cap (bytes) on the pooled allocator's total backing
+        memory.  A fresh allocation that would breach it raises the
+        typed :class:`~repro.errors.PoolExhaustedError`, surfacing
+        memory pressure as a catchable runtime fault instead of an OOM
+        kill (``None`` = unbounded).
     scratch_class_slack:
         The "small +/- constant threshold" relaxing scratchpad storage
         class size equality (paper 3.2.1), in elements per dimension.
@@ -96,6 +102,7 @@ class PolyMgConfig:
     intra_group_reuse: bool = True
     inter_group_reuse: bool = True
     pooled_allocation: bool = True
+    pool_byte_budget: int | None = None
     scratch_class_slack: int = 4
     diamond_smoothing: bool = False
     dtile_conservative_copies: bool = True

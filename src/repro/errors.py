@@ -19,9 +19,14 @@ no debugger required.  The hierarchy:
 ``ExecutionError``
     a runtime fault.  ``MissingInputError`` / ``InputShapeError`` also
     subclass ``KeyError`` / ``ValueError`` so pre-existing callers keep
-    working; ``AllocatorError`` flags pool misuse;
-    ``NumericalDivergenceError`` is raised by the runtime sentinels
-    (NaN/Inf live-outs, residual blow-up across cycles).
+    working; ``AllocatorError`` flags pool misuse and
+    ``PoolExhaustedError`` (a subclass) a breached pool byte budget or
+    a failed backing allocation; ``NumericalDivergenceError`` is raised
+    by the runtime sentinels (NaN/Inf live-outs, residual blow-up
+    across cycles); ``SolveAbortedError`` is raised by the solve
+    supervisor (:mod:`repro.resilience`) when every remediation —
+    checkpoint restore, ladder demotion, stagnation remediation — is
+    exhausted.
 ``TrialFailure``
     one autotuning trial failed (compile error, runtime fault, or
     wall-clock timeout); the search quarantines it and continues.
@@ -43,7 +48,9 @@ __all__ = [
     "MissingInputError",
     "InputShapeError",
     "AllocatorError",
+    "PoolExhaustedError",
     "NumericalDivergenceError",
+    "SolveAbortedError",
     "TrialFailure",
 ]
 
@@ -120,12 +127,26 @@ class InputShapeError(ExecutionError, ValueError):
 
 
 class AllocatorError(ExecutionError, ValueError):
-    """Pooled-allocator protocol violation (e.g. foreign deallocate)."""
+    """Pooled-allocator protocol violation (e.g. foreign deallocate,
+    buffers still outstanding at solve end)."""
+
+
+class PoolExhaustedError(AllocatorError):
+    """The pooled allocator cannot serve a request: the configured byte
+    budget would be breached, or the backing allocation itself failed
+    (``MemoryError``).  Subclasses :class:`AllocatorError` so guarded
+    execution treats memory pressure like any other runtime fault."""
 
 
 class NumericalDivergenceError(ExecutionError):
     """A runtime sentinel detected numerical divergence: non-finite
     values in a group's live-outs, or residual blow-up across cycles."""
+
+
+class SolveAbortedError(ExecutionError):
+    """The solve supervisor gave up: the checkpoint-restore budget was
+    exhausted with every degradation-ladder rung faulting, so there is
+    no variant left to make progress on."""
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,7 @@ __all__ = [
     "build_poisson_cycle",
     "build_smoother_chain",
     "solve_compiled",
+    "solve_supervised",
     "laplacian_weights",
     "full_weighting_weights",
 ]
@@ -190,6 +191,46 @@ def solve_compiled(
         if tol is not None and norm < tol:
             break
     return result
+
+
+def solve_supervised(
+    pipeline: MultigridPipeline,
+    f: np.ndarray,
+    *,
+    u0: np.ndarray | None = None,
+    cycles: int = 30,
+    tol: float | None = None,
+    deadline: float | None = None,
+    supervisor=None,
+    **supervisor_kwargs,
+):
+    """Solve under the resilience subsystem's full supervision.
+
+    The service-grade analogue of :func:`solve_compiled`: cycles run on
+    the highest healthy rung of a degradation ladder
+    (``polymg-opt+`` -> ... -> ``polymg-naive``), a mid-solve fault
+    restores the last-known-good checkpoint and retries on the demoted
+    rung, residual stagnation triggers remediation (bump smoothing,
+    switch V->W, demote), and the solve respects a wall-clock
+    ``deadline`` and cycle budget.  Returns a
+    :class:`~repro.resilience.supervisor.SupervisedSolveResult` whose
+    ``report()`` carries the full incident/health trail.
+
+    Pass a prebuilt ``supervisor`` (ladder health then persists across
+    solves — service semantics); otherwise one is constructed with
+    ``supervisor_kwargs`` forwarded to
+    :class:`~repro.resilience.supervisor.SolveSupervisor`.
+    """
+    from ..resilience import SolveSupervisor, SupervisorPolicy
+
+    if supervisor is None:
+        policy = SupervisorPolicy(
+            max_cycles=cycles, tol=tol, deadline=deadline
+        )
+        supervisor = SolveSupervisor(
+            pipeline, policy, **supervisor_kwargs
+        )
+    return supervisor.solve(f, u0=u0)
 
 
 class _CycleBuilder:

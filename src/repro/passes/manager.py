@@ -209,6 +209,13 @@ class CompileReport:
     Attached to every compiled pipeline as ``compiled.report``.
     ``cache_hits`` counts how many times this compile's artifacts were
     served from the compile cache after the cold compile recorded here.
+
+    ``incidents`` collects structured runtime incident records (see
+    :mod:`repro.resilience.incidents`) involving executors built from
+    this compile — faults, ladder demotions/promotions, checkpoint
+    restores.  The report object is shared between cache clones, so
+    the incident trail is the history of the *fingerprint*, across
+    every executor served for it.
     """
 
     pipeline: str
@@ -216,6 +223,12 @@ class CompileReport:
     total_wall_time: float = 0.0
     passes: list[PassRecord] = field(default_factory=list)
     cache_hits: int = 0
+    incidents: list[dict] = field(default_factory=list)
+
+    def record_incident(self, incident: dict) -> None:
+        """Append one structured incident record (a plain dict, e.g.
+        :meth:`repro.resilience.incidents.IncidentRecord.to_dict`)."""
+        self.incidents.append(incident)
 
     def pass_names(self) -> list[str]:
         return [p.name for p in self.passes]
@@ -234,6 +247,7 @@ class CompileReport:
             "total_wall_time": self.total_wall_time,
             "cache_hits": self.cache_hits,
             "passes": [p.to_dict() for p in self.passes],
+            "incidents": list(self.incidents),
         }
 
     def to_json(self, indent: int | None = 2) -> str:

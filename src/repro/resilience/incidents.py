@@ -1,0 +1,100 @@
+"""Structured incident records shared by the resilience subsystem.
+
+Every noteworthy runtime event — a fault, a circuit-breaker demotion, a
+half-open probe, a re-promotion, a checkpoint restore, a stagnation
+remediation, a deadline abort, a leak detection — is appended to an
+:class:`IncidentLog` as an :class:`IncidentRecord`.  The log is the
+single audit trail of a supervised solve: the supervisor returns it on
+the solve result, mirrors each record onto the involved compiled
+pipeline's :class:`~repro.passes.manager.CompileReport`, and the bench
+report helpers (:func:`repro.bench.report.print_incident_log` /
+``dump_incident_log``) render or persist it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["IncidentRecord", "IncidentLog"]
+
+
+@dataclass
+class IncidentRecord:
+    """One resilience event.
+
+    ``kind`` is the event class (``fault``, ``demote``, ``probe``,
+    ``promote``, ``checkpoint-restore``, ``stagnation``, ``deadline``,
+    ``leak``, ...); ``variant`` the ladder rung involved; ``cycle`` the
+    multigrid cycle index (supervisor events) and ``invocation`` the
+    pipeline invocation count; ``action`` the remediation taken;
+    ``error`` the stringified fault, when one triggered the event.
+    """
+
+    seq: int
+    kind: str
+    variant: str | None = None
+    cycle: int | None = None
+    invocation: int | None = None
+    action: str | None = None
+    error: str | None = None
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        d: dict = {"seq": self.seq, "kind": self.kind}
+        for key in ("variant", "cycle", "invocation", "action", "error"):
+            value = getattr(self, key)
+            if value is not None:
+                d[key] = value
+        if self.details:
+            d["details"] = dict(self.details)
+        return d
+
+    def __str__(self) -> str:
+        parts = [f"#{self.seq} {self.kind}"]
+        if self.variant is not None:
+            parts.append(f"variant={self.variant}")
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        if self.action is not None:
+            parts.append(f"action={self.action}")
+        if self.error is not None:
+            parts.append(f"error={self.error}")
+        return " ".join(parts)
+
+
+class IncidentLog:
+    """Append-only, order-preserving record of resilience events."""
+
+    def __init__(self) -> None:
+        self.records: list[IncidentRecord] = []
+
+    def record(self, kind: str, **fields) -> IncidentRecord:
+        rec = IncidentRecord(seq=len(self.records), kind=kind, **fields)
+        self.records.append(rec)
+        return rec
+
+    def kinds(self) -> list[str]:
+        return [r.kind for r in self.records]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def of_kind(self, kind: str) -> list[IncidentRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.records]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[IncidentRecord]:
+        return iter(self.records)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.records)

@@ -1,0 +1,247 @@
+"""Graded degradation ladder with per-variant circuit breakers.
+
+PR 1's :class:`~repro.backend.guards.GuardedPipeline` is binary: any
+fault drops straight from the optimized variant to ``polymg-naive`` and
+every later invocation pays the slow path.  The ladder replaces that
+with *graded* degradation over the ordered variant list of
+:data:`repro.variants.LADDER_ORDER`:
+
+``polymg-opt+`` -> ``polymg-opt`` -> ``polymg-dtile-opt+`` ->
+``polymg-naive``
+
+Each rung carries a :class:`VariantHealth` record — sliding-window
+error rate, consecutive-failure count — and a circuit breaker with the
+classic three states:
+
+* **closed** — healthy, serves traffic;
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  skipped by :meth:`DegradationLadder.select` until its exponential
+  cooldown expires (``base_cooldown * cooldown_factor**(trips-1)``,
+  capped at ``max_cooldown``);
+* **half-open** — cooldown expired; the rung is *probed* with live
+  traffic.  ``promote_after`` consecutive probe successes close the
+  circuit again (automatic re-promotion); a single probe failure
+  re-trips it with an escalated cooldown.
+
+Selection always walks the ladder top-down, so a re-closed fast rung
+is preferred again immediately — one transient fault no longer pins a
+pipeline to the slow path.  The last rung is the degradation floor: if
+every circuit is open, it serves anyway (loud, recorded, but alive).
+
+The ladder is purely a control-plane object: it never compiles or
+executes anything itself (see
+:class:`~repro.resilience.pipeline.ResilientPipeline`), so it is
+trivially testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..variants import LADDER_ORDER
+from .incidents import IncidentLog
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "VariantHealth",
+    "DegradationLadder",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class VariantHealth:
+    """Health record of one ladder rung."""
+
+    name: str
+    state: str = CLOSED
+    window: deque = field(default_factory=lambda: deque(maxlen=16))
+    consecutive_failures: int = 0
+    invocations: int = 0
+    failures: int = 0
+    trips: int = 0
+    cooldown: float = 0.0
+    open_until: float = 0.0
+    half_open_successes: int = 0
+
+    def error_rate(self) -> float:
+        """Failure fraction over the sliding window (0.0 when empty)."""
+        if not self.window:
+            return 0.0
+        return sum(1 for ok in self.window if not ok) / len(self.window)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "error_rate": round(self.error_rate(), 4),
+            "consecutive_failures": self.consecutive_failures,
+            "invocations": self.invocations,
+            "failures": self.failures,
+            "trips": self.trips,
+            "cooldown": self.cooldown,
+        }
+
+
+class DegradationLadder:
+    """Ordered variants with circuit-breaker demotion and re-promotion.
+
+    Parameters
+    ----------
+    variants:
+        Rung names, fastest first (default
+        :data:`repro.variants.LADDER_ORDER`).
+    window:
+        Sliding-window length of each rung's error-rate record.
+    failure_threshold:
+        Consecutive failures that trip a closed circuit (1 = demote on
+        the first fault, the right default for mid-solve recovery).
+    base_cooldown / cooldown_factor / max_cooldown:
+        Exponential cooldown schedule (seconds) between trips.
+    promote_after:
+        Consecutive half-open probe successes required to re-close.
+    clock:
+        Monotonic time source (injectable for tests).
+    log:
+        Shared :class:`~repro.resilience.incidents.IncidentLog`; ladder
+        moves (``demote``/``probe``/``promote``) are recorded there.
+    """
+
+    def __init__(
+        self,
+        variants: tuple[str, ...] = LADDER_ORDER,
+        *,
+        window: int = 16,
+        failure_threshold: int = 1,
+        base_cooldown: float = 2.0,
+        cooldown_factor: float = 2.0,
+        max_cooldown: float = 300.0,
+        promote_after: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        log: IncidentLog | None = None,
+    ) -> None:
+        if len(variants) < 2:
+            raise ValueError("a ladder needs at least two rungs")
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if promote_after < 1:
+            raise ValueError("promote_after must be positive")
+        self.variants = tuple(variants)
+        self.failure_threshold = failure_threshold
+        self.base_cooldown = base_cooldown
+        self.cooldown_factor = cooldown_factor
+        self.max_cooldown = max_cooldown
+        self.promote_after = promote_after
+        self.clock = clock
+        self.log = log if log is not None else IncidentLog()
+        self.health: dict[str, VariantHealth] = {
+            name: VariantHealth(name, window=deque(maxlen=window))
+            for name in self.variants
+        }
+
+    # -- selection ------------------------------------------------------
+    def select(self) -> str:
+        """The rung to serve the next invocation: the highest variant
+        whose circuit admits traffic.  An open circuit whose cooldown
+        has expired transitions to half-open (a probe) here."""
+        now = self.clock()
+        for name in self.variants:
+            h = self.health[name]
+            if h.state == CLOSED:
+                return name
+            if h.state == OPEN and now >= h.open_until:
+                h.state = HALF_OPEN
+                h.half_open_successes = 0
+                self.log.record(
+                    "probe",
+                    variant=name,
+                    details={"after_cooldown": h.cooldown},
+                )
+                return name
+            if h.state == HALF_OPEN:
+                return name
+        # every circuit is open: the last rung is the degradation floor
+        return self.variants[-1]
+
+    def active(self) -> str:
+        """Like :meth:`select` but side-effect free (no probe
+        transition): the rung :meth:`select` would *currently* return
+        if every open cooldown were still running."""
+        for name in self.variants:
+            h = self.health[name]
+            if h.state in (CLOSED, HALF_OPEN):
+                return name
+        return self.variants[-1]
+
+    # -- outcome recording ----------------------------------------------
+    def record_success(self, name: str) -> None:
+        h = self.health[name]
+        h.invocations += 1
+        h.window.append(True)
+        if h.state == HALF_OPEN:
+            h.half_open_successes += 1
+            if h.half_open_successes >= self.promote_after:
+                h.state = CLOSED
+                h.consecutive_failures = 0
+                h.cooldown = 0.0
+                self.log.record(
+                    "promote",
+                    variant=name,
+                    details={"probe_successes": h.half_open_successes},
+                )
+        else:
+            h.consecutive_failures = 0
+
+    def record_failure(self, name: str, error: Exception | None = None) -> None:
+        h = self.health[name]
+        h.invocations += 1
+        h.failures += 1
+        h.window.append(False)
+        h.consecutive_failures += 1
+        if h.state == HALF_OPEN or (
+            h.state == CLOSED
+            and h.consecutive_failures >= self.failure_threshold
+        ):
+            self.trip(name, error=error)
+
+    def trip(self, name: str, *, error: Exception | None = None,
+             reason: str | None = None) -> None:
+        """Open ``name``'s circuit (demotion) with exponential cooldown.
+        Also callable directly, e.g. by the supervisor's stagnation
+        remediation."""
+        h = self.health[name]
+        h.trips += 1
+        if h.cooldown <= 0.0:
+            h.cooldown = self.base_cooldown
+        else:
+            h.cooldown = min(
+                h.cooldown * self.cooldown_factor, self.max_cooldown
+            )
+        h.open_until = self.clock() + h.cooldown
+        h.state = OPEN
+        h.half_open_successes = 0
+        self.log.record(
+            "demote",
+            variant=name,
+            error=(
+                f"{type(error).__name__}: {error}" if error is not None
+                else None
+            ),
+            action=reason or "circuit-open",
+            details={"cooldown": h.cooldown, "trips": h.trips},
+        )
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Health of every rung, for structured reports."""
+        return {
+            name: self.health[name].to_dict() for name in self.variants
+        }

@@ -1,0 +1,225 @@
+"""Ladder-driven fault-tolerant execution of a multigrid pipeline.
+
+:class:`ResilientPipeline` generalizes
+:class:`~repro.backend.guards.GuardedPipeline`'s binary fallback into
+graded degradation over a :class:`~repro.resilience.ladder.DegradationLadder`:
+each invocation is served by the highest healthy ladder rung, every
+rung's compile routes through the content-addressed compile cache (a
+ladder move costs no recompile), and every fault is recorded as a
+structured incident — on the shared
+:class:`~repro.resilience.incidents.IncidentLog` *and* on the involved
+compiled pipeline's :class:`~repro.passes.manager.CompileReport`.
+
+Fault handling per attempt:
+
+* **verify failure** (the compiled artifact is statically bad): the
+  verdict is memoized — the rung trips, its cached compile entry is
+  evicted, and the memoized executor is dropped, so the half-open
+  probe after cooldown compiles the variant *fresh* instead of
+  re-serving the corrupt artifact.
+* **runtime fault** (``ReproError`` during execution): the rung trips
+  and its allocator pool is trimmed (a demoted variant must not keep
+  its high-water backing resident through the cooldown), but the
+  executor is kept — a persistent executor-level fault will re-fire on
+  the probe and escalate the cooldown, while a transient one heals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cache import cache_enabled, compile_cache, compile_fingerprint
+from ..errors import ReproError
+from ..variants import variant_config
+from .incidents import IncidentLog, IncidentRecord
+from .ladder import DegradationLadder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backend.executor import CompiledPipeline
+    from ..multigrid.cycles import MultigridPipeline
+
+__all__ = ["ResilientPipeline"]
+
+
+class ResilientPipeline:
+    """Fault-tolerant, gradedly-degrading executor over ladder variants.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`~repro.multigrid.cycles.MultigridPipeline`
+        specification (anything with ``compile``/``output``/``params``).
+    ladder:
+        The shared :class:`DegradationLadder` (a default one over
+        :data:`repro.variants.LADDER_ORDER` is built if omitted).
+    verify_level:
+        ``verify_compiled`` level run once per compiled variant before
+        its first execution (verdict memoized, pass or fail).
+    config_overrides:
+        Extra :class:`~repro.config.PolyMgConfig` fields applied to
+        every rung's variant preset (e.g. small ``tile_sizes`` in
+        tests, a ``pool_byte_budget``).
+    log:
+        Incident log; defaults to the ladder's.
+    """
+
+    def __init__(
+        self,
+        pipeline: "MultigridPipeline",
+        ladder: DegradationLadder | None = None,
+        *,
+        verify_level: str = "cheap",
+        config_overrides: dict | None = None,
+        log: IncidentLog | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.ladder = ladder if ladder is not None else DegradationLadder()
+        self.log = log if log is not None else self.ladder.log
+        self.verify_level = verify_level
+        self.config_overrides = dict(config_overrides or {})
+        self.invocations = 0
+        self._compiled: dict[str, "CompiledPipeline"] = {}
+        #: memoized verification verdict per rung: absent = not yet
+        #: verified, None = passed, ReproError = failed
+        self._verdict: dict[str, ReproError | None] = {}
+
+    # -- compilation -----------------------------------------------------
+    def variant_configuration(self, name: str):
+        return variant_config(name, **self.config_overrides).with_(
+            runtime_guards=True
+        )
+
+    def compiled_for(self, name: str) -> "CompiledPipeline":
+        """The rung's executor, compiled lazily through the compile
+        cache (so ladder moves and probes cost no recompile)."""
+        if name not in self._compiled:
+            self._compiled[name] = self.pipeline.compile(
+                self.variant_configuration(name)
+            )
+        return self._compiled[name]
+
+    def _evict_compile(self, name: str) -> None:
+        """Drop the rung's executor and its cache entry (verify-failure
+        path: never re-serve a statically bad artifact)."""
+        self._compiled.pop(name, None)
+        self._verdict.pop(name, None)
+        if cache_enabled():
+            key = compile_fingerprint(
+                [self.pipeline.output],
+                self.pipeline.params,
+                self.variant_configuration(name),
+                self.pipeline.name,
+            )
+            compile_cache().evict(key)
+
+    # -- incident plumbing ----------------------------------------------
+    def _record(self, rec: IncidentRecord, name: str) -> None:
+        compiled = self._compiled.get(name)
+        if compiled is not None and compiled.report is not None:
+            compiled.report.record_incident(rec.to_dict())
+
+    def report_failure(self, name: str, error: ReproError) -> None:
+        """Register an externally-detected fault (e.g. the supervisor's
+        residual monitor fired *after* a cycle executed cleanly) with
+        the same demotion/trim semantics as an in-attempt fault."""
+        rec = self.log.record(
+            "fault",
+            variant=name,
+            invocation=self.invocations,
+            error=f"{type(error).__name__}: {error}",
+        )
+        self._record(rec, name)
+        self.ladder.record_failure(name, error)
+        self._trim_pool(name)
+
+    def _trim_pool(self, name: str) -> None:
+        compiled = self._compiled.get(name)
+        if compiled is not None:
+            compiled.allocator.trim()
+
+    # -- execution -------------------------------------------------------
+    def attempt(
+        self, inputs: dict[str, np.ndarray]
+    ) -> tuple[str, dict[str, np.ndarray] | None, ReproError | None]:
+        """One invocation attempt on the currently-selected rung.
+
+        Returns ``(variant, outputs, None)`` on success or
+        ``(variant, None, error)`` on a fault — after recording the
+        incident and demoting the rung.  Callers that want transparent
+        retry use :meth:`execute`; the solve supervisor calls this
+        directly so it can restore its checkpoint between attempts.
+        """
+        self.invocations += 1
+        name = self.ladder.select()
+        try:
+            compiled = self.compiled_for(name)
+        except ReproError as error:
+            self.log.record(
+                "fault",
+                variant=name,
+                invocation=self.invocations,
+                action="compile-failed",
+                error=f"{type(error).__name__}: {error}",
+            )
+            self.ladder.record_failure(name, error)
+            self._evict_compile(name)
+            return name, None, error
+
+        if name not in self._verdict:
+            from ..verify import verify_compiled
+
+            try:
+                verify_compiled(compiled, self.verify_level)
+                self._verdict[name] = None
+            except ReproError as error:
+                rec = self.log.record(
+                    "fault",
+                    variant=name,
+                    invocation=self.invocations,
+                    action="verify-failed",
+                    error=f"{type(error).__name__}: {error}",
+                )
+                self._record(rec, name)
+                self.ladder.record_failure(name, error)
+                self._evict_compile(name)
+                return name, None, error
+
+        try:
+            out = compiled.execute(inputs)
+        except ReproError as error:
+            rec = self.log.record(
+                "fault",
+                variant=name,
+                invocation=self.invocations,
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._record(rec, name)
+            self.ladder.record_failure(name, error)
+            self._trim_pool(name)
+            return name, None, error
+
+        self.ladder.record_success(name)
+        return name, out, None
+
+    def execute(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run one invocation, stepping down the ladder on faults until
+        a rung succeeds.  Raises the last fault only when every rung
+        (including the degradation floor) failed."""
+        last_error: ReproError | None = None
+        for _ in range(len(self.ladder.variants) + 1):
+            name, out, error = self.attempt(inputs)
+            if out is not None:
+                return out
+            last_error = error
+        assert last_error is not None
+        raise last_error
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def faulted(self) -> bool:
+        return self.log.count("fault") > 0
+
+    def health_snapshot(self) -> dict:
+        return self.ladder.snapshot()

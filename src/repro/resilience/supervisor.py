@@ -1,0 +1,390 @@
+"""Supervised multigrid solving: deadlines, checkpoints, remediation.
+
+:class:`SolveSupervisor` wraps the cycle iteration of
+:func:`repro.multigrid.cycles.solve_compiled` with the production
+concerns that a bare solve loop lacks:
+
+* **wall-clock deadline and cycle budget** — a solve that cannot finish
+  in time stops cleanly with its best-so-far iterate and a structured
+  ``deadline`` incident instead of running forever;
+* **checkpoint/restart** — after every accepted cycle the last-known-
+  good iterate and residual history are snapshotted
+  (:class:`SolveCheckpoint`); a mid-solve fault restores the checkpoint
+  and retries the *same* cycle on the demoted ladder rung, so converged
+  work is never discarded;
+* **stagnation detection** — divergence is already caught by
+  :class:`~repro.backend.guards.ResidualMonitor`; the supervisor
+  additionally watches the residual *reduction factor* over a sliding
+  window and, when its geometric mean rises above
+  ``stagnation_floor`` (the solver is no longer making progress),
+  applies the remediation ladder in order: bump the smoothing steps,
+  switch the cycle type V->W, then demote the serving variant;
+* **resource hygiene** — every rung's allocator is leak-checked at
+  solve end (outstanding-buffer accounting -> ``leak`` incidents) and
+  pools are trimmed on demotion (see
+  :class:`~repro.resilience.pipeline.ResilientPipeline`).
+
+Every event lands in one :class:`~repro.resilience.incidents.IncidentLog`
+— returned on the :class:`SupervisedSolveResult`, mirrored onto the
+involved compiled pipelines' :class:`~repro.passes.manager.CompileReport`
+— together with the final per-rung health snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from ..backend.guards import ResidualMonitor
+from ..errors import NumericalDivergenceError, ReproError, SolveAbortedError
+from .incidents import IncidentLog
+from .ladder import DegradationLadder
+from .pipeline import ResilientPipeline
+
+__all__ = [
+    "SolveCheckpoint",
+    "SupervisorPolicy",
+    "SupervisedSolveResult",
+    "SolveSupervisor",
+]
+
+REMEDIATION_ORDER = ("bump-smoothing", "switch-cycle", "demote")
+
+
+@dataclass
+class SolveCheckpoint:
+    """Last-known-good solve state, snapshotted after every accepted
+    cycle.  ``u`` is a private copy: a faulting invocation can never
+    corrupt it."""
+
+    u: np.ndarray
+    cycle: int
+    residual_norms: list[float]
+    variant: str | None
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "norm": self.residual_norms[-1],
+            "variant": self.variant,
+            "shape": list(self.u.shape),
+        }
+
+
+@dataclass
+class SupervisorPolicy:
+    """Budgets and thresholds of one supervised solve."""
+
+    max_cycles: int = 30
+    deadline: float | None = None  # seconds of wall clock
+    tol: float | None = None
+    growth_factor: float = 100.0  # ResidualMonitor divergence threshold
+    stagnation_window: int = 4
+    stagnation_floor: float = 0.95  # geo-mean reduction factor above
+    #                                 this over the window = stagnation
+    max_restores: int = 8  # checkpoint-restore budget per solve
+    smoothing_bump: int = 1  # extra pre/post steps per remediation
+    remediation_order: tuple[str, ...] = REMEDIATION_ORDER
+
+
+@dataclass
+class SupervisedSolveResult:
+    """Outcome of one supervised solve, with its full audit trail."""
+
+    u: np.ndarray
+    residual_norms: list[float]
+    cycles: int
+    status: str  # "converged" | "cycle-budget" | "deadline"
+    variant_trail: list[str] = field(default_factory=list)
+    restores: int = 0
+    remediations: list[str] = field(default_factory=list)
+    incidents: IncidentLog = field(default_factory=IncidentLog)
+    health: dict = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        return self.status == "converged"
+
+    def convergence_factors(self) -> list[float]:
+        return [
+            b / a if a > 0 else 0.0
+            for a, b in zip(self.residual_norms, self.residual_norms[1:])
+        ]
+
+    def report(self) -> dict:
+        """The structured report: outcome, incident trail, health."""
+        return {
+            "status": self.status,
+            "cycles": self.cycles,
+            "restores": self.restores,
+            "residual_norms": list(self.residual_norms),
+            "variant_trail": list(self.variant_trail),
+            "remediations": list(self.remediations),
+            "incidents": self.incidents.to_dicts(),
+            "health": dict(self.health),
+        }
+
+
+class SolveSupervisor:
+    """Runs supervised multigrid solves over a degradation ladder.
+
+    The supervisor owns a :class:`ResilientPipeline` (variant
+    compilation, verification, graded demotion) and drives it one cycle
+    at a time so it can checkpoint between cycles and restore on
+    faults.  It is reusable: ladder health persists across
+    :meth:`solve` calls, so a variant demoted in one solve is still in
+    cooldown for the next — service semantics, not per-call amnesia.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        policy: SupervisorPolicy | None = None,
+        ladder: DegradationLadder | None = None,
+        *,
+        verify_level: str = "cheap",
+        config_overrides: dict | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or SupervisorPolicy()
+        self.clock = clock
+        self.ladder = ladder if ladder is not None else DegradationLadder()
+        self.log = self.ladder.log
+        self.resilient = ResilientPipeline(
+            pipeline,
+            self.ladder,
+            verify_level=verify_level,
+            config_overrides=config_overrides,
+            log=self.log,
+        )
+
+    @property
+    def pipeline(self):
+        return self.resilient.pipeline
+
+    # -- stagnation ------------------------------------------------------
+    def _stagnating(self, norms: list[float], since: int) -> bool:
+        """Geometric-mean reduction factor over the last
+        ``stagnation_window`` accepted cycles (ignoring cycles before
+        ``since``, i.e. before the previous remediation) at or above
+        the floor."""
+        w = self.policy.stagnation_window
+        usable = norms[since:]
+        if len(usable) < w + 1:
+            return False
+        tail = usable[-(w + 1):]
+        if tail[-1] == 0.0:
+            return False  # exactly converged
+        factors = [
+            b / a for a, b in zip(tail, tail[1:]) if a > 0
+        ]
+        if len(factors) < w:
+            return False
+        geo = math.exp(sum(math.log(f) for f in factors if f > 0) / w)
+        return geo >= self.policy.stagnation_floor
+
+    def _remediate(self, step: int, variant: str, cycle: int) -> str:
+        """Apply the next remediation in order; returns the action."""
+        order = self.policy.remediation_order
+        action = order[step] if step < len(order) else "demote"
+        pipeline = self.resilient.pipeline
+        opts = getattr(pipeline, "opts", None)
+
+        if action == "bump-smoothing" and opts is not None:
+            bump = self.policy.smoothing_bump
+            new_opts = replace(
+                opts, n1=opts.n1 + bump, n3=opts.n3 + bump
+            )
+            self._rebuild(new_opts)
+        elif (
+            action == "switch-cycle"
+            and opts is not None
+            and opts.cycle == "V"
+            and opts.levels > 2
+        ):
+            self._rebuild(replace(opts, cycle="W"))
+        else:
+            action = "demote"
+            self.ladder.trip(variant, reason="stagnation")
+            self.resilient._trim_pool(variant)
+
+        self.log.record(
+            "stagnation",
+            variant=variant,
+            cycle=cycle,
+            action=action,
+            details={
+                "window": self.policy.stagnation_window,
+                "floor": self.policy.stagnation_floor,
+            },
+        )
+        return action
+
+    def _rebuild(self, new_opts) -> None:
+        """Swap in a rebuilt cycle specification (changed smoothing or
+        cycle type).  The compiled-variant memo is dropped — the new
+        spec has a new fingerprint — but ladder health survives."""
+        from ..multigrid.cycles import build_poisson_cycle
+
+        old = self.resilient.pipeline
+        rebuilt = build_poisson_cycle(old.ndim, old.N, new_opts)
+        self.resilient.pipeline = rebuilt
+        self.resilient._compiled.clear()
+        self.resilient._verdict.clear()
+
+    # -- the solve loop --------------------------------------------------
+    def solve(
+        self,
+        f: np.ndarray,
+        *,
+        u0: np.ndarray | None = None,
+    ) -> SupervisedSolveResult:
+        """Iterate supervised multigrid cycles on ``A_h u = f``.
+
+        Raises :class:`~repro.errors.SolveAbortedError` only when the
+        checkpoint-restore budget is exhausted (every ladder rung kept
+        faulting); deadline and cycle-budget exhaustion return the
+        best-so-far iterate with the corresponding ``status``.
+        """
+        from ..multigrid.kernels import norm_residual
+
+        policy = self.policy
+        pipeline = self.resilient.pipeline
+        h = 1.0 / (pipeline.N + 1)
+        u = np.zeros_like(f) if u0 is None else u0.copy()
+
+        norms = [float(norm_residual(u, f, h))]
+        monitor = ResidualMonitor(
+            policy.growth_factor, pipeline=pipeline.name
+        )
+        monitor.observe(norms[0])
+        checkpoint = SolveCheckpoint(u.copy(), 0, list(norms), None)
+
+        trail: list[str] = []
+        remediations: list[str] = []
+        restores = 0
+        remediation_step = 0
+        stagnation_since = 0
+        status = "cycle-budget"
+        start = self.clock()
+        last_error: ReproError | None = None
+
+        while checkpoint.cycle < policy.max_cycles:
+            if (
+                policy.deadline is not None
+                and self.clock() - start >= policy.deadline
+            ):
+                self.log.record(
+                    "deadline",
+                    cycle=checkpoint.cycle,
+                    details={
+                        "deadline": policy.deadline,
+                        "norm": norms[-1],
+                    },
+                )
+                status = "deadline"
+                break
+
+            pipeline = self.resilient.pipeline  # may have been rebuilt
+            inputs = pipeline.make_inputs(checkpoint.u, f)
+            variant, out, error = self.resilient.attempt(inputs)
+
+            if error is not None:
+                last_error = error
+                restores += 1
+                self.log.record(
+                    "checkpoint-restore",
+                    variant=variant,
+                    cycle=checkpoint.cycle,
+                    error=f"{type(error).__name__}: {error}",
+                    details=checkpoint.to_dict(),
+                )
+                if restores > policy.max_restores:
+                    raise SolveAbortedError(
+                        "checkpoint-restore budget exhausted",
+                        pipeline=pipeline.name,
+                        restores=restores,
+                        cycle=checkpoint.cycle,
+                        last_error=(
+                            f"{type(error).__name__}: {error}"
+                        ),
+                    ) from error
+                continue  # retry the same cycle from the checkpoint
+
+            u_new = np.array(out[pipeline.output.name], copy=True)
+            norm = float(norm_residual(u_new, f, h))
+            try:
+                monitor.observe(norm)
+            except NumericalDivergenceError as error:
+                # executed cleanly but the residual blew up: demote the
+                # serving variant and restore the checkpoint
+                last_error = error
+                self.resilient.report_failure(variant, error)
+                restores += 1
+                self.log.record(
+                    "checkpoint-restore",
+                    variant=variant,
+                    cycle=checkpoint.cycle,
+                    error=f"{type(error).__name__}: {error}",
+                    details=checkpoint.to_dict(),
+                )
+                if restores > policy.max_restores:
+                    raise SolveAbortedError(
+                        "checkpoint-restore budget exhausted",
+                        pipeline=pipeline.name,
+                        restores=restores,
+                        cycle=checkpoint.cycle,
+                        last_error=(
+                            f"{type(error).__name__}: {error}"
+                        ),
+                    ) from error
+                continue
+
+            # accepted: advance the checkpoint
+            cycle = checkpoint.cycle + 1
+            trail.append(variant)
+            norms.append(norm)
+            checkpoint = SolveCheckpoint(u_new, cycle, list(norms), variant)
+
+            if policy.tol is not None and norm < policy.tol:
+                status = "converged"
+                break
+
+            if self._stagnating(norms, stagnation_since):
+                action = self._remediate(remediation_step, variant, cycle)
+                remediations.append(action)
+                remediation_step += 1
+                stagnation_since = len(norms) - 1
+
+        self._check_leaks()
+        return SupervisedSolveResult(
+            u=checkpoint.u,
+            residual_norms=norms,
+            cycles=checkpoint.cycle,
+            status=status,
+            variant_trail=trail,
+            restores=restores,
+            remediations=remediations,
+            incidents=self.log,
+            health=self.ladder.snapshot(),
+        )
+
+    # -- resource hygiene ------------------------------------------------
+    def _check_leaks(self) -> None:
+        """Outstanding-buffer accounting at solve end: any rung whose
+        allocator still holds lent buffers is a leak incident."""
+        for name, compiled in self.resilient._compiled.items():
+            alloc = compiled.allocator
+            if alloc.outstanding:
+                self.log.record(
+                    "leak",
+                    variant=name,
+                    details={
+                        "outstanding": alloc.outstanding,
+                        "outstanding_bytes": alloc.outstanding_bytes,
+                    },
+                )

@@ -284,11 +284,21 @@ def autotune_measured(
     inputs_factory: Callable[[], dict],
     repeats: int = 1,
     trial_timeout: float | None = None,
+    trial_byte_budget: int | None = None,
 ) -> TuneResult:
     """Tune by wall-clock execution of the numpy backend (laptop-scale
-    problems; the paper's 'minimum of five runs' protocol, scaled)."""
+    problems; the paper's 'minimum of five runs' protocol, scaled).
+
+    ``trial_byte_budget`` caps each trial's pooled-allocator backing
+    memory (see :class:`~repro.config.PolyMgConfig.pool_byte_budget`):
+    a configuration whose execution would blow past the budget raises
+    the typed :class:`~repro.errors.PoolExhaustedError` and is
+    quarantined as a :class:`~repro.errors.TrialFailure` instead of
+    OOMing the whole sweep."""
 
     def score(cfg: PolyMgConfig) -> TrialMeasurement:
+        if trial_byte_budget is not None:
+            cfg = cfg.with_(pool_byte_budget=trial_byte_budget)
         compiled, compile_time, hit = _timed_compile(pipe, cfg)
         inputs = inputs_factory()
         best = float("inf")

@@ -33,6 +33,7 @@ from .config import PolyMgConfig
 
 __all__ = [
     "POLYMG_VARIANTS",
+    "LADDER_ORDER",
     "polymg_naive",
     "polymg_opt",
     "polymg_opt_plus",
@@ -120,6 +121,19 @@ def handopt_pluto_model(**overrides) -> PolyMgConfig:
     base.update(overrides)
     return PolyMgConfig(**base)
 
+
+#: Canonical graded-degradation order, fastest first, ending at the
+#: trusted reference execution path.  The resilience subsystem
+#: (:mod:`repro.resilience`) demotes along this ladder on faults and
+#: re-promotes as circuits heal; each rung is one of the compiled
+#: variants below, so every ladder move routes through the
+#: content-addressed compile cache and costs no recompile.
+LADDER_ORDER = (
+    "polymg-opt+",
+    "polymg-opt",
+    "polymg-dtile-opt+",
+    "polymg-naive",
+)
 
 POLYMG_VARIANTS = {
     "polymg-naive": polymg_naive,

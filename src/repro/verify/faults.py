@@ -22,6 +22,11 @@ scheduling transformations):
 ``nan-poison``     — a scratch buffer is overwritten with NaN during
                      execution (models an out-of-bounds write or a
                      numerically broken kernel).
+``nan-poison-once``— the transient flavour: NaN poison on exactly one
+                     pipeline invocation, clean before and after
+                     (models a single-event upset; the scenario the
+                     degradation ladder's demote -> probe -> re-promote
+                     path must survive end to end).
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ __all__ = [
     "inject_ghost_shrink",
     "inject_group_reorder",
     "inject_nan_poison",
+    "inject_transient_nan_poison",
     "FAULT_INJECTORS",
 ]
 
@@ -188,6 +194,44 @@ def inject_nan_poison(compiled: "CompiledPipeline") -> FaultRecord:
     compiled.fault_injector = poison
     return FaultRecord(
         "nan-poison", {"group": target_group, "stage": target.name}
+    )
+
+
+def inject_transient_nan_poison(
+    compiled: "CompiledPipeline", invocation: int = 1
+) -> FaultRecord:
+    """Arm a *transient* fault: NaN-poison one internal stage's scratch
+    buffer during exactly the ``invocation``-th ``execute`` call
+    (1-based), leaving every other invocation clean.  This is the
+    single-event-upset scenario the degradation ladder must recover
+    from without pinning the pipeline to a slow rung."""
+    target = None
+    for gi, group in enumerate(compiled.grouping.groups):
+        internal = group.internal_stages()
+        if internal:
+            target = internal[0]
+            target_group = gi
+            break
+    if target is None:
+        raise ValueError(
+            "no injectable scratch stage (pipeline has no fused group "
+            "with internal stages)"
+        )
+
+    def poison(stage, out: np.ndarray, _target=target) -> None:
+        # stats.executions increments at execute() entry, so it equals
+        # the 1-based invocation number while the hook runs
+        if compiled.stats.executions == invocation and stage is _target:
+            out.fill(np.nan)
+
+    compiled.fault_injector = poison
+    return FaultRecord(
+        "nan-poison-once",
+        {
+            "group": target_group,
+            "stage": target.name,
+            "invocation": invocation,
+        },
     )
 
 

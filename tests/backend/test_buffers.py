@@ -6,6 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.backend.buffers import DirectAllocator, MemoryPool
+from repro.errors import AllocatorError, PoolExhaustedError, ReproError
 
 
 class TestMemoryPool:
@@ -108,6 +109,88 @@ class TestMemoryPool:
         pool = MemoryPool()
         a = pool.allocate((4, 4), np.float32)
         assert a.dtype == np.float32 and a.shape == (4, 4)
+
+
+class TestByteBudget:
+    def test_budget_breach_raises_typed_error(self):
+        pool = MemoryPool(byte_budget=1000)
+        pool.allocate((100,), np.float64)  # 800 bytes
+        with pytest.raises(PoolExhaustedError) as exc:
+            pool.allocate((100,), np.float64)
+        # inside the ReproError taxonomy, with structured context
+        assert isinstance(exc.value, ReproError)
+        assert exc.value.context["requested"] == 800
+        assert exc.value.context["resident"] == 800
+        assert exc.value.context["budget"] == 1000
+        assert pool.stats.budget_rejections == 1
+
+    def test_free_list_is_searched_before_the_budget(self):
+        pool = MemoryPool(byte_budget=1000)
+        a = pool.allocate((100,), np.float64)
+        pool.deallocate(a)
+        b = pool.allocate((100,), np.float64)  # pool hit, no growth
+        assert pool.stats.pool_hits == 1
+
+    def test_budget_frees_up_after_trim(self):
+        pool = MemoryPool(byte_budget=1000)
+        a = pool.allocate((100,), np.float64)
+        pool.deallocate(a)
+        pool.trim()
+        pool.allocate((120,), np.float64)  # 960 bytes fit again
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(AllocatorError):
+            MemoryPool(byte_budget=-1)
+
+    def test_unbounded_by_default(self):
+        pool = MemoryPool()
+        assert pool.byte_budget is None
+        pool.allocate((10_000,), np.float64)
+
+
+class TestTrimAndLeaks:
+    def test_trim_releases_only_free_buffers(self):
+        pool = MemoryPool()
+        a = pool.allocate((100,), np.float64)
+        b = pool.allocate((50,), np.float64)
+        pool.deallocate(b)
+        released = pool.trim()
+        assert released == 400
+        assert pool.stats.resident_bytes == 800  # lent buffer stays
+        assert pool.stats.trimmed_bytes == 400
+        a[...] = 1.0  # lent view untouched by the trim
+        assert np.all(a == 1.0)
+
+    def test_trim_empty_pool_is_a_noop(self):
+        pool = MemoryPool()
+        assert pool.trim() == 0
+
+    def test_outstanding_bytes(self):
+        pool = MemoryPool()
+        a = pool.allocate((100,), np.float64)
+        assert pool.outstanding_bytes == 800
+        pool.deallocate(a)
+        assert pool.outstanding_bytes == 0
+
+    def test_assert_no_leaks(self):
+        pool = MemoryPool()
+        a = pool.allocate((4,), np.float64)
+        with pytest.raises(AllocatorError) as exc:
+            pool.assert_no_leaks()
+        assert exc.value.context["outstanding"] == 1
+        pool.deallocate(a)
+        pool.assert_no_leaks()  # clean
+
+    def test_direct_allocator_interface_parity(self):
+        alloc = DirectAllocator()
+        a = alloc.allocate((4,), np.float64)
+        assert alloc.outstanding == 1
+        assert alloc.outstanding_bytes == 32
+        assert alloc.trim() == 0
+        with pytest.raises(AllocatorError):
+            alloc.assert_no_leaks()
+        alloc.deallocate(a)
+        alloc.assert_no_leaks()
 
 
 class TestDirectAllocator:

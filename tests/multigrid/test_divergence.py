@@ -85,3 +85,49 @@ class TestResidualMonitor:
     def test_rejects_trivial_growth_factor(self):
         with pytest.raises(ValueError):
             ResidualMonitor(growth_factor=1.0)
+
+    def test_history_is_a_bounded_ring_buffer(self):
+        """Long-running service solves must not grow memory without
+        bound: history keeps only the most recent ``history_limit``
+        norms while the observation count keeps counting."""
+        monitor = ResidualMonitor(history_limit=8)
+        for i in range(100):
+            monitor.observe(1.0 / (i + 1))
+        assert len(monitor.history) == 8
+        assert monitor.observed == 100
+        assert list(monitor.history) == [
+            1.0 / (i + 1) for i in range(92, 100)
+        ]
+
+    def test_divergence_judged_against_best_outside_the_window(self):
+        """The running best norm is retained separately, so a blow-up
+        is still flagged after the best norm has left the window."""
+        monitor = ResidualMonitor(growth_factor=10.0, history_limit=4)
+        monitor.observe(0.01)  # the best — about to scroll out
+        for _ in range(10):
+            monitor.observe(0.05)
+        assert 0.01 not in monitor.history
+        assert monitor.best == 0.01
+        with pytest.raises(NumericalDivergenceError) as exc:
+            monitor.observe(0.2)  # > 10 * 0.01, but < 10 * min(window)
+        assert exc.value.context["best"] == 0.01
+
+    def test_cycle_context_survives_the_ring_buffer(self):
+        monitor = ResidualMonitor(history_limit=4)
+        for i in range(20):
+            monitor.observe(1.0)
+        with pytest.raises(NumericalDivergenceError) as exc:
+            monitor.observe(float("inf"))
+        assert exc.value.context["cycle"] == 20
+
+    def test_reduction_factor(self):
+        monitor = ResidualMonitor()
+        assert monitor.reduction_factor() is None
+        monitor.observe(1.0)
+        assert monitor.reduction_factor() is None
+        monitor.observe(0.25)
+        assert monitor.reduction_factor() == 0.25
+
+    def test_rejects_degenerate_history_limit(self):
+        with pytest.raises(ValueError):
+            ResidualMonitor(history_limit=0)

@@ -1,0 +1,183 @@
+"""Unit tests for the degradation ladder's circuit breakers.
+
+All time-dependent behaviour runs on an injected fake clock, so
+cooldowns, probes, and re-promotions are fully deterministic.
+"""
+
+import pytest
+
+from repro.errors import NumericalDivergenceError
+from repro.resilience import DegradationLadder, IncidentLog
+from repro.resilience.ladder import CLOSED, HALF_OPEN, OPEN
+from repro.variants import LADDER_ORDER
+
+RUNGS = ("fast", "medium", "slow")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_ladder(clock, **kw):
+    kw.setdefault("base_cooldown", 10.0)
+    kw.setdefault("promote_after", 2)
+    return DegradationLadder(RUNGS, clock=clock, **kw)
+
+
+class TestSelection:
+    def test_healthy_ladder_serves_the_top_rung(self, clock):
+        ladder = make_ladder(clock)
+        assert ladder.select() == "fast"
+        assert ladder.active() == "fast"
+
+    def test_default_order_is_the_variant_ladder(self, clock):
+        ladder = DegradationLadder(clock=clock)
+        assert ladder.variants == LADDER_ORDER
+        assert ladder.select() == "polymg-opt+"
+
+    def test_failure_demotes_to_the_next_rung(self, clock):
+        ladder = make_ladder(clock)
+        ladder.record_failure("fast", NumericalDivergenceError("boom"))
+        assert ladder.health["fast"].state == OPEN
+        assert ladder.select() == "medium"
+
+    def test_all_open_serves_the_degradation_floor(self, clock):
+        ladder = make_ladder(clock)
+        for name in RUNGS:
+            ladder.record_failure(name)
+        assert all(ladder.health[n].state == OPEN for n in RUNGS)
+        # nothing healthy: the last rung serves anyway
+        clock.advance(1.0)
+        assert ladder.active() == "slow"
+
+    def test_failure_threshold_tolerates_blips(self, clock):
+        ladder = make_ladder(clock, failure_threshold=3)
+        ladder.record_failure("fast")
+        ladder.record_failure("fast")
+        assert ladder.health["fast"].state == CLOSED
+        ladder.record_success("fast")  # resets the consecutive count
+        ladder.record_failure("fast")
+        ladder.record_failure("fast")
+        assert ladder.select() == "fast"
+        ladder.record_failure("fast")
+        assert ladder.health["fast"].state == OPEN
+
+
+class TestCooldownAndProbing:
+    def test_open_circuit_stays_open_until_cooldown(self, clock):
+        ladder = make_ladder(clock, base_cooldown=10.0)
+        ladder.record_failure("fast")
+        clock.advance(9.9)
+        assert ladder.select() == "medium"
+        clock.advance(0.2)
+        assert ladder.select() == "fast"  # probe
+        assert ladder.health["fast"].state == HALF_OPEN
+
+    def test_promotion_after_enough_probe_successes(self, clock):
+        ladder = make_ladder(clock, base_cooldown=10.0, promote_after=2)
+        ladder.record_failure("fast")
+        clock.advance(11.0)
+        assert ladder.select() == "fast"
+        ladder.record_success("fast")
+        assert ladder.health["fast"].state == HALF_OPEN
+        ladder.record_success("fast")
+        assert ladder.health["fast"].state == CLOSED
+        assert ladder.health["fast"].cooldown == 0.0
+        assert "promote" in ladder.log.kinds()
+
+    def test_probe_failure_retrips_with_escalated_cooldown(self, clock):
+        ladder = make_ladder(
+            clock, base_cooldown=10.0, cooldown_factor=2.0
+        )
+        ladder.record_failure("fast")
+        assert ladder.health["fast"].cooldown == 10.0
+        clock.advance(11.0)
+        assert ladder.select() == "fast"  # half-open probe
+        ladder.record_failure("fast")  # probe fails
+        assert ladder.health["fast"].state == OPEN
+        assert ladder.health["fast"].cooldown == 20.0
+        clock.advance(11.0)
+        assert ladder.select() == "medium"  # still cooling down
+
+    def test_cooldown_is_capped(self, clock):
+        ladder = make_ladder(
+            clock, base_cooldown=10.0, cooldown_factor=10.0,
+            max_cooldown=50.0,
+        )
+        for _ in range(4):
+            ladder.trip("fast")
+        assert ladder.health["fast"].cooldown == 50.0
+
+    def test_promotion_resets_the_escalation(self, clock):
+        ladder = make_ladder(clock, base_cooldown=10.0, promote_after=1)
+        ladder.record_failure("fast")
+        clock.advance(11.0)
+        ladder.select()
+        ladder.record_success("fast")  # promoted, cooldown reset
+        ladder.record_failure("fast")
+        assert ladder.health["fast"].cooldown == 10.0  # base again
+
+
+class TestHealthAccounting:
+    def test_error_rate_over_the_sliding_window(self, clock):
+        ladder = make_ladder(clock, window=4, failure_threshold=100)
+        h = ladder.health["fast"]
+        assert h.error_rate() == 0.0
+        ladder.record_failure("fast")
+        ladder.record_success("fast")
+        assert h.error_rate() == 0.5
+        for _ in range(4):  # failure scrolls out of the window
+            ladder.record_success("fast")
+        assert h.error_rate() == 0.0
+
+    def test_counters_and_snapshot(self, clock):
+        ladder = make_ladder(clock)
+        ladder.record_success("fast")
+        ladder.record_failure("fast")
+        snap = ladder.snapshot()
+        assert set(snap) == set(RUNGS)
+        assert snap["fast"]["invocations"] == 2
+        assert snap["fast"]["failures"] == 1
+        assert snap["fast"]["trips"] == 1
+        assert snap["fast"]["state"] == OPEN
+        assert snap["medium"]["state"] == CLOSED
+
+    def test_ladder_moves_land_in_the_incident_log(self, clock):
+        log = IncidentLog()
+        ladder = make_ladder(clock, log=log, promote_after=1)
+        ladder.record_failure("fast", ValueError("bad"))
+        clock.advance(11.0)
+        ladder.select()
+        ladder.record_success("fast")
+        assert log.kinds() == ["demote", "probe", "promote"]
+        demote = log.of_kind("demote")[0]
+        assert demote.variant == "fast"
+        assert "ValueError" in demote.error
+
+    def test_trip_reason_is_recorded(self, clock):
+        log = IncidentLog()
+        ladder = make_ladder(clock, log=log)
+        ladder.trip("medium", reason="stagnation")
+        assert log.of_kind("demote")[0].action == "stagnation"
+
+
+class TestValidation:
+    def test_rejects_degenerate_ladders(self, clock):
+        with pytest.raises(ValueError):
+            DegradationLadder(("only",), clock=clock)
+        with pytest.raises(ValueError):
+            make_ladder(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            make_ladder(clock, promote_after=0)

@@ -1,0 +1,395 @@
+"""Supervised solves: checkpoint/restart, remediation, budgets — and
+the end-to-end acceptance scenario of the resilience subsystem: a solve
+hit by a transient fault completes via checkpoint/restart on a demoted
+variant, and the ladder re-promotes the fast rung within the cooldown
+window, with the whole trail visible in the structured report.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MultigridOptions,
+    build_poisson_cycle,
+    solve_supervised,
+)
+from repro.errors import (
+    NumericalDivergenceError,
+    SolveAbortedError,
+)
+from repro.resilience import (
+    DegradationLadder,
+    ResilientPipeline,
+    SolveSupervisor,
+    SupervisorPolicy,
+)
+from repro.variants import LADDER_ORDER
+from repro.verify.faults import (
+    inject_ghost_shrink,
+    inject_nan_poison,
+    inject_transient_nan_poison,
+)
+
+from tests.conftest import make_rhs
+
+N = 16
+OVERRIDES = {"tile_sizes": {2: (8, 16)}}
+
+
+class TickingClock:
+    """Advances a fixed step per reading — deterministic cooldowns."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def pipe():
+    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+    return build_poisson_cycle(2, N, opts)
+
+
+@pytest.fixture
+def f(rng):
+    return make_rhs(rng, 2, N)
+
+
+def make_supervisor(pipe, policy=None, **ladder_kw):
+    ladder_kw.setdefault("clock", TickingClock())
+    ladder_kw.setdefault("base_cooldown", 3.0)
+    ladder_kw.setdefault("promote_after", 2)
+    ladder = DegradationLadder(**ladder_kw)
+    return SolveSupervisor(
+        pipe,
+        policy or SupervisorPolicy(max_cycles=25, tol=1e-5),
+        ladder=ladder,
+        config_overrides=OVERRIDES,
+    )
+
+
+class TestAcceptance:
+    def test_transient_fault_checkpoint_restart_and_repromotion(
+        self, pipe, f
+    ):
+        """The headline scenario: nan-poison on exactly one invocation
+        of ``polymg-opt+``; the solve completes via checkpoint/restart
+        on the demoted rung and the ladder re-promotes ``polymg-opt+``
+        within the cooldown window."""
+        sup = make_supervisor(pipe)
+        compiled = sup.resilient.compiled_for("polymg-opt+")
+        inject_transient_nan_poison(compiled, invocation=1)
+
+        result = sup.solve(f)
+
+        # the solve completed, and converged
+        assert result.converged
+        assert result.residual_norms[-1] < 1e-5
+        assert result.restores == 1
+
+        # one checkpoint restore after the fault, no lost cycles:
+        # cycle count equals accepted cycles, the faulted attempt
+        # retried from the last-known-good iterate
+        assert result.cycles == len(result.variant_trail)
+
+        # the first accepted cycles ran on the demoted rung ...
+        assert result.variant_trail[0] == "polymg-opt"
+        # ... and the ladder re-promoted the fast rung within cooldown
+        assert result.variant_trail[-1] == "polymg-opt+"
+        assert result.health["polymg-opt+"]["state"] == "closed"
+
+        # the full incident trail, in causal order
+        kinds = result.incidents.kinds()
+        for kind in (
+            "fault", "demote", "checkpoint-restore", "probe", "promote"
+        ):
+            assert kind in kinds, f"missing incident kind {kind!r}"
+        assert kinds.index("fault") < kinds.index("demote")
+        assert kinds.index("demote") < kinds.index("checkpoint-restore")
+        assert kinds.index("checkpoint-restore") < kinds.index("probe")
+        assert kinds.index("probe") < kinds.index("promote")
+
+        # no pool buffers were stranded by the faulted invocation
+        assert result.incidents.count("leak") == 0
+
+        # the trail is visible in the structured report ...
+        report = result.report()
+        assert report["status"] == "converged"
+        assert [r["kind"] for r in report["incidents"]] == kinds
+        assert report["health"]["polymg-opt+"]["trips"] == 1
+        # ... and mirrored onto the faulted variant's compile report
+        assert any(
+            r["kind"] == "fault" for r in compiled.report.incidents
+        )
+
+    def test_solution_matches_unsupervised_solve(self, pipe, f):
+        """Supervision must not change the mathematics: a clean
+        supervised solve converges like the plain solve loop."""
+        sup = make_supervisor(pipe)
+        result = sup.solve(f)
+        assert result.converged
+        assert result.restores == 0
+        assert len(result.incidents) == 0
+        assert set(result.variant_trail) == {"polymg-opt+"}
+
+        from repro.multigrid.kernels import norm_residual
+
+        h = 1.0 / (N + 1)
+        assert float(norm_residual(result.u, f, h)) < 1e-5
+
+
+class TestCheckpointRestart:
+    def test_persistent_fault_walks_down_the_ladder(self, pipe, f):
+        """A fault that re-fires on every ``polymg-opt+`` invocation
+        keeps the rung tripping; the solve still converges on lower
+        rungs."""
+        sup = make_supervisor(pipe, base_cooldown=1000.0)
+        compiled = sup.resilient.compiled_for("polymg-opt+")
+        inject_nan_poison(compiled)
+
+        result = sup.solve(f)
+        assert result.converged
+        assert result.restores == 1
+        assert "polymg-opt+" not in result.variant_trail
+        assert result.health["polymg-opt+"]["state"] == "open"
+
+    def test_restore_budget_exhaustion_aborts_loudly(self, pipe, f):
+        """When every rung keeps faulting, the supervisor gives up with
+        the typed abort error instead of looping forever."""
+        sup = make_supervisor(
+            pipe,
+            SupervisorPolicy(max_cycles=25, tol=1e-5, max_restores=2),
+            base_cooldown=1000.0,
+        )
+        for name in LADDER_ORDER:
+            # poison every stage output on every rung (naive has no
+            # internal scratch stages, so use the hook directly)
+            compiled = sup.resilient.compiled_for(name)
+            compiled.fault_injector = (
+                lambda stage, out: out.fill(np.nan)
+            )
+
+        with pytest.raises(SolveAbortedError) as exc:
+            sup.solve(f)
+        assert exc.value.context["restores"] == 3
+
+    def test_faulted_cycle_retries_from_checkpoint(self, pipe, f):
+        """The iterate accepted before the fault is what the retry
+        starts from — converged work is never discarded."""
+        sup = make_supervisor(pipe)
+        compiled = sup.resilient.compiled_for("polymg-opt+")
+        # fault on the 4th invocation: three cycles already accepted
+        inject_transient_nan_poison(compiled, invocation=4)
+
+        result = sup.solve(f)
+        assert result.converged
+        restore = result.incidents.of_kind("checkpoint-restore")[0]
+        assert restore.details["cycle"] == 3  # restored at cycle 3
+        assert restore.details["variant"] == "polymg-opt+"
+
+    def test_divergence_after_clean_cycle_restores_too(self, pipe, f):
+        """A cycle that executes cleanly but blows up the residual is
+        caught by the monitor and treated as a fault on the serving
+        variant."""
+        sup = make_supervisor(
+            pipe, SupervisorPolicy(max_cycles=25, tol=1e-5,
+                                   growth_factor=2.0)
+        )
+        compiled = sup.resilient.compiled_for("polymg-opt+")
+
+        # corrupt the output (finite, so runtime guards stay silent,
+        # but hugely wrong so the residual monitor fires) on one
+        # invocation only
+        def corrupt(stage, out):
+            if compiled.stats.executions == 2:
+                out *= 1e6
+
+        compiled.fault_injector = corrupt
+        result = sup.solve(f)
+        assert result.converged
+        assert result.restores >= 1
+        faults = result.incidents.of_kind("fault")
+        assert any(
+            "NumericalDivergenceError" in (r.error or "") for r in faults
+        )
+
+
+class TestBudgets:
+    def test_deadline_stops_with_best_iterate(self, pipe, f):
+        clock = TickingClock(step=1.0)
+        ladder = DegradationLadder(clock=clock)
+        sup = SolveSupervisor(
+            pipe,
+            SupervisorPolicy(max_cycles=1000, deadline=5.0),
+            ladder=ladder,
+            config_overrides=OVERRIDES,
+            clock=clock,
+        )
+        result = sup.solve(f)
+        assert result.status == "deadline"
+        assert not result.converged
+        assert result.cycles < 1000
+        assert result.incidents.count("deadline") == 1
+        # the iterate is the best-so-far, not garbage
+        assert result.residual_norms[-1] < result.residual_norms[0]
+
+    def test_cycle_budget_status(self, pipe, f):
+        sup = make_supervisor(
+            pipe, SupervisorPolicy(max_cycles=2, tol=1e-12)
+        )
+        result = sup.solve(f)
+        assert result.status == "cycle-budget"
+        assert result.cycles == 2
+
+
+class TestStagnationRemediation:
+    def test_remediation_ladder_applies_in_order(self, pipe, f):
+        """With the floor at 0 every window of cycles 'stagnates', so
+        the remediation ladder walks bump-smoothing -> switch-cycle ->
+        demote."""
+        policy = SupervisorPolicy(
+            max_cycles=14,
+            tol=None,
+            stagnation_window=3,
+            stagnation_floor=0.0,
+        )
+        sup = make_supervisor(pipe, policy)
+        result = sup.solve(f)
+
+        assert result.remediations[:3] == [
+            "bump-smoothing", "switch-cycle", "demote"
+        ]
+        stag = result.incidents.of_kind("stagnation")
+        assert [r.action for r in stag[:3]] == result.remediations[:3]
+
+        # bump-smoothing rebuilt the spec with more smoothing steps
+        assert sup.pipeline.opts.n1 == 3
+        # switch-cycle rebuilt it as a W-cycle
+        assert sup.pipeline.opts.cycle == "W"
+        # demote tripped the serving rung
+        assert result.health["polymg-opt+"]["trips"] >= 1
+
+    def test_true_stagnation_is_not_flagged_on_a_converging_solve(
+        self, pipe, f
+    ):
+        sup = make_supervisor(
+            pipe,
+            SupervisorPolicy(
+                max_cycles=20, tol=1e-5,
+                stagnation_window=4, stagnation_floor=0.95,
+            ),
+        )
+        result = sup.solve(f)
+        assert result.converged
+        assert result.remediations == []
+
+
+class TestResilientPipeline:
+    def test_execute_steps_down_the_ladder_transparently(self, pipe, f):
+        resilient = ResilientPipeline(
+            pipe,
+            DegradationLadder(clock=TickingClock(), base_cooldown=1000.0),
+            config_overrides=OVERRIDES,
+        )
+        inject_nan_poison(resilient.compiled_for("polymg-opt+"))
+        inputs = pipe.make_inputs(np.zeros_like(f), f)
+        out = resilient.execute(inputs)
+        assert np.isfinite(out[pipe.output.name]).all()
+        assert resilient.ladder.active() == "polymg-opt"
+        assert resilient.faulted
+
+    def test_verify_failure_evicts_the_cached_compile(self, pipe, f):
+        """A statically-bad artifact must never be re-served: its cache
+        entry is evicted and the post-cooldown probe compiles fresh."""
+        from repro.cache import compile_cache
+
+        resilient = ResilientPipeline(
+            pipe,
+            DegradationLadder(clock=TickingClock(), base_cooldown=2.0),
+            config_overrides=OVERRIDES,
+        )
+        bad = resilient.compiled_for("polymg-opt+")
+        inject_ghost_shrink(bad)
+        evictions_before = compile_cache().stats.evictions
+
+        inputs = pipe.make_inputs(np.zeros_like(f), f)
+        name, out, error = resilient.attempt(inputs)
+        assert name == "polymg-opt+" and out is None
+        assert compile_cache().stats.evictions == evictions_before + 1
+
+        # next attempt serves the healthy rung below while the tripped
+        # circuit cools down
+        name, out, error = resilient.attempt(inputs)
+        assert name == "polymg-opt" and error is None
+
+        # cooldown expires (ticking clock): the probe gets a *fresh*
+        # compile, which verifies clean and serves
+        name, out, error = resilient.attempt(inputs)
+        assert name == "polymg-opt+"
+        assert error is None and out is not None
+        assert resilient.compiled_for("polymg-opt+") is not bad
+
+    def test_runtime_fault_keeps_the_executor_for_the_probe(
+        self, pipe, f
+    ):
+        """Runtime faults keep the memoized executor, so a persistent
+        executor-level fault re-fires on the probe and escalates the
+        cooldown instead of silently healing."""
+        resilient = ResilientPipeline(
+            pipe,
+            DegradationLadder(clock=TickingClock(), base_cooldown=2.0),
+            config_overrides=OVERRIDES,
+        )
+        bad = resilient.compiled_for("polymg-opt+")
+        inject_nan_poison(bad)
+        inputs = pipe.make_inputs(np.zeros_like(f), f)
+        resilient.attempt(inputs)  # fault, trip
+        name, out, error = resilient.attempt(inputs)  # cooling down
+        assert name == "polymg-opt" and error is None
+        name, out, error = resilient.attempt(inputs)  # probe
+        assert name == "polymg-opt+"
+        assert error is not None  # same armed executor re-fired
+        assert resilient.ladder.health["polymg-opt+"].cooldown == 4.0
+
+    def test_demotion_trims_the_rung_pool(self, pipe, f):
+        resilient = ResilientPipeline(
+            pipe,
+            DegradationLadder(clock=TickingClock(), base_cooldown=1000.0),
+            config_overrides=OVERRIDES,
+        )
+        compiled = resilient.compiled_for("polymg-opt+")
+        inputs = pipe.make_inputs(np.zeros_like(f), f)
+        name, out, error = resilient.attempt(inputs)
+        assert error is None
+        assert compiled.allocator.stats.resident_bytes > 0
+
+        inject_nan_poison(compiled)
+        resilient.attempt(inputs)
+        assert compiled.allocator.stats.resident_bytes == 0
+        assert compiled.allocator.stats.trimmed_bytes > 0
+
+
+class TestSolveSupervisedEntryPoint:
+    def test_one_shot_wrapper(self, pipe, f):
+        result = solve_supervised(
+            pipe, f, cycles=25, tol=1e-5,
+            config_overrides=OVERRIDES,
+        )
+        assert result.converged
+        assert result.variant_trail[-1] == "polymg-opt+"
+
+    def test_reusing_a_supervisor_persists_ladder_health(self, pipe, f):
+        """Service semantics: a variant demoted in one solve is still
+        in cooldown for the next solve on the same supervisor."""
+        sup = make_supervisor(pipe, base_cooldown=10_000.0)
+        inject_nan_poison(sup.resilient.compiled_for("polymg-opt+"))
+        first = solve_supervised(pipe, f, supervisor=sup)
+        assert first.health["polymg-opt+"]["state"] == "open"
+
+        second = solve_supervised(pipe, f, supervisor=sup)
+        assert "polymg-opt+" not in second.variant_trail
+        assert second.health["polymg-opt+"]["state"] == "open"

@@ -132,6 +132,8 @@ class TestKeying:
         def bumped(name, value):
             if name == "verify_level":
                 return "cheap" if value != "cheap" else "full"
+            if value is None:  # optional fields (e.g. pool_byte_budget)
+                return 1 << 20
             if isinstance(value, bool):
                 return not value
             if isinstance(value, int):

@@ -2,6 +2,11 @@
 guarded executor degrades to the reference answer instead of returning
 garbage.
 
+The whole suite runs over a pipeline matrix — 2-D V-cycle, 2-D W-cycle,
+and a 3-D V-cycle — so the verifiers and sentinels are exercised on
+every cycle shape and rank the builder produces, not just the 2-D
+V-cycle happy path.
+
 ``REPRO_VERIFY_LEVEL`` selects the in-compiler verifier level for the
 suite's compiles (default ``off`` — the tests call the verifiers
 explicitly); CI runs this file once more at ``full`` to prove the
@@ -28,26 +33,33 @@ from repro.verify.faults import (
     inject_group_reorder,
     inject_nan_poison,
     inject_slot_swap,
+    inject_transient_nan_poison,
 )
 
 from tests.conftest import make_rhs
 
-N = 32
 CFG = polymg_opt_plus(
-    tile_sizes={2: (8, 16)},
+    tile_sizes={2: (8, 16), 3: (4, 4, 8)},
     verify_level=os.environ.get("REPRO_VERIFY_LEVEL", "off"),
 )
 
+# (ndim, N, opts): every cycle shape/rank the builder produces
+PIPELINES = {
+    "2d-V": (2, 32, MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)),
+    "2d-W": (2, 32, MultigridOptions(cycle="W", n1=2, n2=2, n3=2, levels=3)),
+    "3d-V": (3, 8, MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=2)),
+}
 
-@pytest.fixture
-def pipe():
-    opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
-    return build_poisson_cycle(2, N, opts)
+
+@pytest.fixture(params=sorted(PIPELINES), ids=sorted(PIPELINES))
+def pipe(request):
+    ndim, n, opts = PIPELINES[request.param]
+    return build_poisson_cycle(ndim, n, opts)
 
 
 @pytest.fixture
 def problem(pipe, rng):
-    f = make_rhs(rng, 2, N)
+    f = make_rhs(rng, pipe.ndim, pipe.N)
     return pipe.make_inputs(np.zeros_like(f), f), f
 
 
@@ -95,6 +107,30 @@ class TestEachFaultIsCaught:
         out = compiled.execute(inputs)[pipe.output.name]
         assert np.isnan(out).any()
 
+    def test_transient_nan_poison_fires_exactly_once(self, pipe, problem):
+        inputs, _ = problem
+        compiled = pipe.compile(CFG.with_(runtime_guards=True))
+        record = inject_transient_nan_poison(compiled, invocation=2)
+        assert record.kind == "nan-poison-once"
+        clean_before = compiled.execute(inputs)[pipe.output.name].copy()
+        with pytest.raises(NumericalDivergenceError):
+            compiled.execute(inputs)
+        clean_after = compiled.execute(inputs)[pipe.output.name]
+        assert np.array_equal(clean_before, clean_after)
+
+    def test_faulted_execution_strands_no_pool_buffers(
+        self, pipe, problem
+    ):
+        """A mid-execute fault must return every pooled array — the
+        resilience layer's leak accounting relies on it."""
+        inputs, _ = problem
+        compiled = pipe.compile(CFG.with_(runtime_guards=True))
+        inject_nan_poison(compiled)
+        with pytest.raises(NumericalDivergenceError):
+            compiled.execute(inputs)
+        assert compiled.allocator.outstanding == 0
+        compiled.allocator.assert_no_leaks()
+
 
 class TestGuardedFallback:
     @pytest.mark.parametrize("kind", sorted(FAULT_INJECTORS))
@@ -117,7 +153,7 @@ class TestGuardedFallback:
         assert np.array_equal(out, naive.execute(inputs)[pipe.output.name])
         # ... and to the independent (uncompiled) reference solver
         ref = reference_cycle(
-            np.zeros_like(f), f, 1.0 / (N + 1), pipe.opts
+            np.zeros_like(f), f, 1.0 / (pipe.N + 1), pipe.opts
         )
         assert np.array_equal(out, ref)
 
@@ -140,6 +176,55 @@ class TestGuardedFallback:
         assert np.array_equal(first, second)
         assert len(guarded.incidents) == 2
         assert guarded.invocations == 2
+
+    def test_verify_verdict_memoized_single_incident(
+        self, pipe, problem, monkeypatch
+    ):
+        """A statically-bad artifact is verified once: one incident,
+        every later invocation routes straight to the fallback without
+        paying ``verify_compiled`` again."""
+        import repro.verify as verify_mod
+
+        calls = {"n": 0}
+        real = verify_mod.verify_compiled
+
+        def counting(compiled, level="full"):
+            calls["n"] += 1
+            return real(compiled, level)
+
+        monkeypatch.setattr(verify_mod, "verify_compiled", counting)
+
+        inputs, _ = problem
+        guarded = GuardedPipeline(pipe, CFG)
+        inject_ghost_shrink(guarded.compiled)
+        first = guarded.execute(inputs)[pipe.output.name].copy()
+        second = guarded.execute(inputs)[pipe.output.name]
+        third = guarded.execute(inputs)[pipe.output.name]
+
+        assert calls["n"] == 1  # verdict memoized, not re-verified
+        assert len(guarded.incidents) == 1  # single incident, not 3
+        assert guarded.invocations == 3
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, third)
+
+    def test_passing_verdict_memoized_too(self, pipe, problem, monkeypatch):
+        import repro.verify as verify_mod
+
+        calls = {"n": 0}
+        real = verify_mod.verify_compiled
+
+        def counting(compiled, level="full"):
+            calls["n"] += 1
+            return real(compiled, level)
+
+        monkeypatch.setattr(verify_mod, "verify_compiled", counting)
+
+        inputs, _ = problem
+        guarded = GuardedPipeline(pipe, CFG)
+        guarded.execute(inputs)
+        guarded.execute(inputs)
+        assert calls["n"] == 1
+        assert not guarded.faulted
 
 
 class TestInjectorsRequireASite:

@@ -92,3 +92,59 @@ def test_model_autotune_survives_injected_compile_failure(monkeypatch):
 def test_config_space_size_matches_paper():
     assert sum(1 for _ in config_space(polymg_opt_plus(), 2)) == 80
     assert sum(1 for _ in config_space(polymg_opt_plus(), 3)) == 135
+
+
+class TestTrialByteBudget:
+    """``autotune_measured(trial_byte_budget=...)`` quarantines
+    memory-hog trials as :class:`TrialFailure` via the pool's typed
+    :class:`~repro.errors.PoolExhaustedError` instead of OOMing the
+    sweep."""
+
+    @pytest.fixture
+    def small_pipe(self, monkeypatch):
+        # one group limit -> 16 configurations, keeps the sweep fast;
+        # limit 1 (no fusion) so every stage lands in a pooled full
+        # array and a zero budget is guaranteed to trip
+        from repro.tuning import autotuner
+
+        monkeypatch.setattr(autotuner, "GROUP_LIMITS", (1,))
+        opts = MultigridOptions(cycle="V", n1=1, n2=1, n3=1, levels=2)
+        return build_poisson_cycle(2, 16, opts)
+
+    def test_zero_budget_quarantines_every_trial(self, small_pipe, rng):
+        from repro.tuning.autotuner import autotune_measured
+        from tests.conftest import make_rhs
+
+        f = make_rhs(rng, 2, 16)
+
+        def inputs_factory():
+            import numpy as np
+
+            return small_pipe.make_inputs(np.zeros_like(f), f)
+
+        with pytest.raises(TrialFailure) as exc:
+            autotune_measured(
+                small_pipe, polymg_opt_plus(), inputs_factory,
+                trial_byte_budget=0,
+            )
+        assert exc.value.context["attempted"] == 16
+
+    def test_generous_budget_leaves_the_sweep_intact(
+        self, small_pipe, rng
+    ):
+        from repro.tuning.autotuner import autotune_measured
+        from tests.conftest import make_rhs
+
+        f = make_rhs(rng, 2, 16)
+
+        def inputs_factory():
+            import numpy as np
+
+            return small_pipe.make_inputs(np.zeros_like(f), f)
+
+        res = autotune_measured(
+            small_pipe, polymg_opt_plus(), inputs_factory,
+            trial_byte_budget=1 << 30,
+        )
+        assert res.configurations == 16
+        assert not res.failed
