@@ -8,6 +8,7 @@ from .guards import (
     ResidualMonitor,
     scan_nonfinite,
 )
+from .kernels import KernelPlan, StageKernel, build_kernel_plan
 
 __all__ = [
     "DirectAllocator",
@@ -15,6 +16,9 @@ __all__ = [
     "PoolStats",
     "CompiledPipeline",
     "ExecutionStats",
+    "KernelPlan",
+    "StageKernel",
+    "build_kernel_plan",
     "GuardedPipeline",
     "GuardIncident",
     "ResidualMonitor",

@@ -1,16 +1,24 @@
 """Vectorized evaluation of stage definitions over box regions.
 
-This is the interpreter half of the backend: given a stage, a concrete
-region (:class:`~repro.ir.domain.Box`), and a *reader* that can produce
-the values of any producer function over any needed box (from an input
-array, a live-out full array, or a tile scratchpad), evaluate the
-stage's definition with numpy array operations — one vectorized
-expression evaluation per (piece, sub-box), never per point.
+This is the interpreter half of the backend, split into two halves:
 
-Handles piecewise ``Case`` definitions (if/elif chain semantics with box
-subtraction), parity-expanded ``Interp`` stages, strided reads for
-``Restrict``-scaled subscripts, constant subscripts, and dimension
-permutation/broadcast for refs that do not use every stage variable.
+* **plan-build**: region decomposition — :func:`stage_piece_targets`
+  lowers a piecewise ``Case`` definition over a region into concrete
+  ``(box, expr)`` targets (if/elif chain semantics with box
+  subtraction) and :func:`interp_parity_pieces` lowers a parity-expanded
+  ``Interp`` stage into per-parity-class coarse boxes.  These are pure
+  geometry and are reused by the ahead-of-time kernel planner
+  (:mod:`repro.backend.kernels`), which pays them once per compile;
+
+* **tape-exec fallback**: :func:`evaluate_stage` — the unplanned
+  tree-walking interpreter over those targets, one vectorized
+  expression evaluation per (piece, sub-box), never per point.  The
+  fault-injection and verification paths always run through this
+  fallback, so their semantics are independent of the kernel planner.
+
+Handles strided reads for ``Restrict``-scaled subscripts, constant
+subscripts, and dimension permutation/broadcast for refs that do not
+use every stage variable.
 """
 
 from __future__ import annotations
@@ -42,7 +50,15 @@ from ..lang.sampling import Interp
 if TYPE_CHECKING:  # pragma: no cover
     from ..lang.function import Function
 
-__all__ = ["Reader", "evaluate_stage", "eval_expr", "condition_mask"]
+__all__ = [
+    "Reader",
+    "evaluate_stage",
+    "eval_expr",
+    "condition_mask",
+    "stage_piece_targets",
+    "interp_parity_pieces",
+    "interp_write_slices",
+]
 
 # reader(func, box) -> ndarray of exactly box.shape() (a view is fine)
 Reader = Callable[["Function", Box], np.ndarray]
@@ -239,24 +255,24 @@ def _condition_box(
     return Box(intervals)
 
 
-def evaluate_stage(
+def stage_piece_targets(
     stage: "Function",
     region: Box,
-    reader: Reader,
-    out: np.ndarray,
-    out_origin: tuple[int, ...],
     bindings: Mapping[str, int],
-) -> int:
-    """Evaluate ``stage`` over ``region``, writing into ``out`` (whose
-    element ``out_origin`` is index 0).  Returns the number of points
-    computed (for statistics)."""
-    if region.is_empty():
-        return 0
-    if isinstance(stage, Interp):
-        return _evaluate_interp(stage, region, reader, out, out_origin, bindings)
+) -> list[tuple[Box, Expr]]:
+    """Lower a (non-``Interp``) stage's piecewise definition over
+    ``region`` into concrete ``(box, expr)`` targets.
 
+    Exactly the if/elif chain semantics of ``Case`` lists: each ``Case``
+    claims the sub-box of the still-unclaimed region where its condition
+    holds; a plain trailing expression claims everything left.  The
+    boxes are pairwise disjoint and their union is the subset of
+    ``region`` the definition covers.  Both the unplanned interpreter
+    and the kernel planner consume this decomposition, so planned and
+    fallback execution write the same boxes in the same order.
+    """
     variables = stage.variables
-    points = 0
+    out: list[tuple[Box, Expr]] = []
     remaining = [region]
     for piece in stage.defn:
         if not remaining:
@@ -278,25 +294,19 @@ def evaluate_stage(
             expr = piece
             remaining = []
         for tbox in targets:
-            value = eval_expr(expr, tbox, variables, reader, bindings)
-            out[tbox.slices(out_origin)] = value
-            points += tbox.volume()
-    return points
+            out.append((tbox, expr))
+    return out
 
 
-def _evaluate_interp(
+def interp_parity_pieces(
     stage: Interp,
     region: Box,
-    reader: Reader,
-    out: np.ndarray,
-    out_origin: tuple[int, ...],
-    bindings: Mapping[str, int],
-) -> int:
-    """Parity-expanded evaluation of an ``Interp`` stage: for each output
-    parity class ``x_d = 2 q_d + r_d``, the class expression is evaluated
-    over the coarse box of ``q`` and written through a stride-2 slice."""
-    variables = stage.variables
-    points = 0
+) -> list[tuple[tuple[int, ...], Expr, Box]]:
+    """Per-parity-class lowering of an ``Interp`` stage over ``region``:
+    for each output parity class ``x_d = 2 q_d + r_d``, the coarse box
+    of ``q`` whose stride-2 image lies in ``region`` (empty classes are
+    dropped)."""
+    pieces: list[tuple[tuple[int, ...], Expr, Box]] = []
     for parity, expr in stage.parity_cases.items():
         qiv: list[ConcreteInterval] = []
         for d, r in enumerate(parity):
@@ -307,15 +317,51 @@ def _evaluate_interp(
         qbox = Box(qiv)
         if qbox.is_empty():
             continue
-        value = eval_expr(expr, qbox, variables, reader, bindings)
-        slices = tuple(
-            slice(
-                2 * q.lb + r - o,
-                2 * q.ub + r - o + 1,
-                2,
-            )
-            for q, r, o in zip(qiv, parity, out_origin)
-        )
-        out[slices] = value
-        points += qbox.volume()
+        pieces.append((parity, expr, qbox))
+    return pieces
+
+
+def interp_write_slices(
+    qbox: Box,
+    parity: tuple[int, ...],
+    out_origin: tuple[int, ...],
+) -> tuple[slice, ...]:
+    """Stride-2 output slices of one interp parity class relative to an
+    array whose element ``out_origin`` is index 0."""
+    return tuple(
+        slice(2 * q.lb + r - o, 2 * q.ub + r - o + 1, 2)
+        for q, r, o in zip(qbox.intervals, parity, out_origin)
+    )
+
+
+def evaluate_stage(
+    stage: "Function",
+    region: Box,
+    reader: Reader,
+    out: np.ndarray,
+    out_origin: tuple[int, ...],
+    bindings: Mapping[str, int],
+) -> int:
+    """Evaluate ``stage`` over ``region``, writing into ``out`` (whose
+    element ``out_origin`` is index 0).  Returns the number of points
+    computed (for statistics).
+
+    This is the *unplanned* tree-walking path; the planned path
+    (:mod:`repro.backend.kernels`) precompiles the same targets into op
+    tapes.  Fault-injection and verification always run through here.
+    """
+    if region.is_empty():
+        return 0
+    variables = stage.variables
+    points = 0
+    if isinstance(stage, Interp):
+        for parity, expr, qbox in interp_parity_pieces(stage, region):
+            value = eval_expr(expr, qbox, variables, reader, bindings)
+            out[interp_write_slices(qbox, parity, out_origin)] = value
+            points += qbox.volume()
+        return points
+    for tbox, expr in stage_piece_targets(stage, region, bindings):
+        value = eval_expr(expr, tbox, variables, reader, bindings)
+        out[tbox.slices(out_origin)] = value
+        points += tbox.volume()
     return points

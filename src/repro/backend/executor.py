@@ -15,7 +15,9 @@ the machine cost model.
 
 from __future__ import annotations
 
-import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -24,10 +26,19 @@ import numpy as np
 from ..config import PolyMgConfig
 from ..errors import InputShapeError, MissingInputError
 from ..ir.domain import Box
-from ..ir.interval import ConcreteInterval
+from ..lang.types import dtype_of
 from .buffers import DirectAllocator, MemoryPool
 from .evaluate import evaluate_stage
 from .guards import scan_nonfinite
+from .kernels import (
+    ExecEnv,
+    KernelPlan,
+    Workspace,
+    build_group_tile_plan,
+    build_kernel_plan,
+    run_kernel,
+    tile_grid,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..ir.dag import PipelineDAG
@@ -37,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..passes.manager import CompileReport
     from ..passes.schedule import PipelineSchedule
     from ..passes.storage import StoragePlan
+    from .kernels import GroupPlan, GroupTilePlan
 
 __all__ = ["ExecutionStats", "CompiledPipeline"]
 
@@ -53,6 +65,16 @@ class ExecutionStats:
     scratch_bytes_peak: int = 0
     diamond_segments: int = 0
     copy_bytes: int = 0
+    #: wall time spent building the ahead-of-time kernel plan
+    plan_time_s: float = 0.0
+    #: times a kernel plan was inherited from a compile-cache clone
+    #: instead of being rebuilt
+    kernel_cache_hits: int = 0
+    #: bytes held by the persistent per-thread execution arenas (temp
+    #: slots + planned scratch buffers), high-water mark
+    temp_bytes_peak: int = 0
+    #: times the persistent worker pool was reused after creation
+    pool_reuse_count: int = 0
 
     def redundancy(self) -> float:
         if self.ideal_points == 0:
@@ -89,6 +111,17 @@ class CompiledPipeline:
         # fault-injection hook (repro.verify.faults): when set, called
         # as ``hook(stage, out_array)`` after every stage evaluation
         self.fault_injector = None
+        # ahead-of-time kernel plan (built by ``plan()``, possibly
+        # inherited from a compile-cache clone)
+        self._kernel_plan: KernelPlan | None = None
+        self._planned = False
+        # persistent worker pool + per-thread workspaces
+        self._pool: ThreadPoolExecutor | None = None
+        self._tls = threading.local()
+        self._temp_bytes = 0
+        self._temp_lock = threading.Lock()
+        # hoisted tiling geometry for the *unplanned* tiled path
+        self._tile_plans: dict[int, "GroupTilePlan"] = {}
         self._plan_array_lifetimes()
         self._plan_diamond_segments()
 
@@ -131,6 +164,117 @@ class CompiledPipeline:
                 self._diamond_groups.add(gi)
 
     # ------------------------------------------------------------------
+    # ahead-of-time kernel planning
+    # ------------------------------------------------------------------
+    def plan(self) -> "KernelPlan | None":
+        """Build (or return the already built/inherited) ahead-of-time
+        kernel plan.
+
+        Idempotent; called eagerly by ``compile_pipeline`` and lazily by
+        the first ``execute`` on hand-constructed pipelines.  Returns
+        ``None`` when planning is disabled (``config.kernel_plan``
+        False), the arena would exceed ``config.temp_arena_limit``, or
+        the pipeline uses a construct the planner cannot lower — in all
+        of which cases execution falls back to the unplanned
+        interpreter.
+        """
+        if self._planned:
+            return self._kernel_plan
+        t0 = time.perf_counter()
+        plan = None
+        if self.config.kernel_plan:
+            try:
+                plan = build_kernel_plan(self)
+            except Exception:
+                # any construct the planner cannot lower degrades to the
+                # (always correct) tree-walking interpreter; the
+                # construct's own errors still surface there
+                plan = None
+        elapsed = time.perf_counter() - t0
+        self._kernel_plan = plan
+        self._planned = True
+        self.stats.plan_time_s += elapsed
+        if self.report is not None:
+            self.report.plan_time_s += elapsed
+        return plan
+
+    def _inherit_plan(self, other: "CompiledPipeline") -> None:
+        """Adopt another executor's kernel plan (compile-cache clone
+        path).  The plan is immutable and safely shared; workspaces and
+        pools are per-executor."""
+        if not other._planned:
+            return
+        self._kernel_plan = other._kernel_plan
+        self._planned = True
+        if self._kernel_plan is not None:
+            self.stats.kernel_cache_hits += 1
+
+    def _workspace(self) -> Workspace:
+        """The calling thread's persistent execution arena."""
+        ws = getattr(self._tls, "ws", None)
+        if ws is None or ws.plan is not self._kernel_plan:
+            ws = Workspace(self._kernel_plan, self._account_temp_bytes)
+            self._tls.ws = ws
+        return ws
+
+    def _account_temp_bytes(self, nbytes: int) -> None:
+        with self._temp_lock:
+            self._temp_bytes += nbytes
+            if self._temp_bytes > self.stats.temp_bytes_peak:
+                self.stats.temp_bytes_peak = self._temp_bytes
+
+    # ------------------------------------------------------------------
+    # persistent worker pool
+    # ------------------------------------------------------------------
+    def _executor_pool(self) -> ThreadPoolExecutor:
+        """The pipeline's lazily created worker pool, reused across
+        groups and cycles (only ever acquired from the driving
+        thread)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.num_threads
+            )
+            return self._pool
+        self.stats.pool_reuse_count += 1
+        return self._pool
+
+    def _pool_map(self, pool: ThreadPoolExecutor, fn, items) -> list:
+        """``pool.map`` that never leaks stragglers: on any failure,
+        unstarted tasks are cancelled and running ones are awaited
+        *before* the exception propagates, so no worker can touch
+        pooled arrays after the caller's cleanup deallocates them."""
+        futures = [pool.submit(fn, item) for item in items]
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            futures_wait(futures)
+            raise
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool and drop the per-thread
+        execution arenas.  Idempotent; the pipeline remains usable (the
+        pool and arenas are recreated lazily on the next execute)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self._tls = threading.local()
+        with self._temp_lock:
+            self._temp_bytes = 0
+
+    def __enter__(self) -> "CompiledPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -156,6 +300,11 @@ class CompiledPipeline:
                 )
             input_arrays[grid] = arr
 
+        # the fault-injection and verification paths always run through
+        # the unplanned interpreter (per-stage hook points); everything
+        # else takes the planned kernels when a plan exists
+        plan = self.plan() if self.fault_injector is None else None
+
         arrays: dict[int, np.ndarray] = {}
         outputs: dict[str, np.ndarray] = {}
 
@@ -168,8 +317,6 @@ class CompiledPipeline:
         def ensure_array(aid: int) -> np.ndarray:
             if aid not in arrays:
                 shape = self.storage.array_shapes[aid]
-                from ..lang.types import dtype_of
-
                 npdt = dtype_of(self.storage.array_dtypes[aid]).np_dtype
                 if aid in output_ids:
                     # program outputs are owned by the caller, never by
@@ -197,6 +344,11 @@ class CompiledPipeline:
                 if gi in self._diamond_groups:
                     self._execute_group_diamond(
                         group, stage_arrays, input_arrays, arrays
+                    )
+                elif plan is not None and gi in plan.groups:
+                    self._execute_group_planned(
+                        plan.groups[gi], stage_arrays, input_arrays,
+                        arrays,
                     )
                 elif self.config.tile and group.size > 1:
                     self._execute_group_tiled(
@@ -288,18 +440,64 @@ class CompiledPipeline:
             if self.fault_injector is not None:
                 self.fault_injector(stage, out)
 
-    # -- overlapped-tile execution ------------------------------------------
+    # -- planned execution --------------------------------------------------
+    def _execute_group_planned(
+        self,
+        gp: "GroupPlan",
+        stage_arrays: dict["Function", np.ndarray],
+        input_arrays: dict["Function", np.ndarray],
+        arrays: dict[int, np.ndarray],
+    ) -> None:
+        if not gp.tiled:
+            env = ExecEnv(
+                input_arrays, arrays, stage_arrays, self._workspace()
+            )
+            for kernel in gp.kernels:
+                self.stats.points_computed += run_kernel(kernel, env)
+            return
+
+        tile_kernels = gp.tile_kernels
+
+        def run_tile(kernels) -> int:
+            env = ExecEnv(
+                input_arrays, arrays, stage_arrays, self._workspace()
+            )
+            return sum(run_kernel(k, env) for k in kernels)
+
+        if self.config.num_threads > 1 and len(tile_kernels) > 1:
+            # overlapped tiles are independent (communication-avoiding):
+            # writes to live-out overlap zones are redundant writes of
+            # identical values, so a thread pool over tiles is safe
+            pool = self._executor_pool()
+            points = self._pool_map(pool, run_tile, tile_kernels)
+        else:
+            points = [run_tile(kernels) for kernels in tile_kernels]
+        self.stats.tiles_executed += len(tile_kernels)
+        self.stats.points_computed += sum(points)
+        scratch_bytes = gp.tile_plan.tile_scratch_bytes
+        if scratch_bytes:
+            peak = max(scratch_bytes)
+            if peak > self.stats.scratch_bytes_peak:
+                self.stats.scratch_bytes_peak = peak
+
+    # -- overlapped-tile execution (unplanned fallback) ---------------------
     def _tile_grid(self, anchor_dom: Box, tile_shape) -> list[Box]:
-        per_dim: list[list[ConcreteInterval]] = []
-        for iv, t in zip(anchor_dom.intervals, tile_shape):
-            dim_tiles = []
-            lo = iv.lb
-            while lo <= iv.ub:
-                hi = min(lo + t - 1, iv.ub)
-                dim_tiles.append(ConcreteInterval(lo, hi))
-                lo = hi + 1
-            per_dim.append(dim_tiles)
-        return [Box(combo) for combo in itertools.product(*per_dim)]
+        return tile_grid(anchor_dom, tile_shape)
+
+    def _group_tile_plan(self, gi: int, group: "Group") -> "GroupTilePlan":
+        """Hoisted (and memoized) tiling geometry of one group: tile
+        grid, per-tile regions, and scratch shape reductions are paid
+        once per compile instead of once per cycle."""
+        tp = self._tile_plans.get(gi)
+        if tp is None:
+            anchor_dom = group.anchor.domain_box(self.bindings)
+            tile_shape = self.config.tile_shape(group.anchor.ndim)
+            tp = build_group_tile_plan(
+                group, self.storage.group_scratch(gi), anchor_dom,
+                tile_shape,
+            )
+            self._tile_plans[gi] = tp
+        return tp
 
     def _execute_group_tiled(
         self,
@@ -309,40 +507,25 @@ class CompiledPipeline:
         input_arrays: dict["Function", np.ndarray],
         arrays: dict[int, np.ndarray],
     ) -> None:
-        bindings = self.bindings
-        anchor_dom = group.anchor.domain_box(bindings)
-        tile_shape = self.config.tile_shape(group.anchor.ndim)
         live = set(group.live_outs())
         splan = self.storage.group_scratch(gi)
+        tp = self._group_tile_plan(gi, group)
 
-        tiles = self._tile_grid(anchor_dom, tile_shape)
-        if self.config.num_threads > 1 and len(tiles) > 1:
+        def run_tile(ti: int) -> tuple[int, int]:
+            return self._execute_one_tile(
+                group, tp, ti, splan, live, stage_arrays, input_arrays,
+                arrays,
+            )
+
+        if self.config.num_threads > 1 and len(tp.tiles) > 1:
             # overlapped tiles are independent (communication-avoiding):
             # writes to live-out overlap zones are redundant writes of
             # identical values, so a thread pool over tiles is safe
-            from concurrent.futures import ThreadPoolExecutor
-
-            def run_tile(tile):
-                return self._execute_one_tile(
-                    group, tile, splan, live, stage_arrays,
-                    input_arrays, arrays,
-                )
-
-            with ThreadPoolExecutor(self.config.num_threads) as pool:
-                results = list(pool.map(run_tile, tiles))
-            for points, scratch_bytes in results:
-                self.stats.tiles_executed += 1
-                self.stats.points_computed += points
-                self.stats.scratch_bytes_peak = max(
-                    self.stats.scratch_bytes_peak, scratch_bytes
-                )
-            return
-
-        for tile in tiles:
-            points, scratch_bytes = self._execute_one_tile(
-                group, tile, splan, live, stage_arrays, input_arrays,
-                arrays,
-            )
+            pool = self._executor_pool()
+            results = self._pool_map(pool, run_tile, range(len(tp.tiles)))
+        else:
+            results = [run_tile(ti) for ti in range(len(tp.tiles))]
+        for points, scratch_bytes in results:
             self.stats.tiles_executed += 1
             self.stats.points_computed += points
             self.stats.scratch_bytes_peak = max(
@@ -352,7 +535,8 @@ class CompiledPipeline:
     def _execute_one_tile(
         self,
         group: "Group",
-        tile: Box,
+        tp: "GroupTilePlan",
+        ti: int,
         splan,
         live: set,
         stage_arrays: dict,
@@ -361,28 +545,11 @@ class CompiledPipeline:
     ) -> tuple[int, int]:
         """Execute one overlapped tile; returns (points, scratch bytes)."""
         bindings = self.bindings
-        regions = group.tile_regions(tile)
-        # allocate logical scratch buffers for this tile
-        buf_shape: dict[int, tuple[int, ...]] = {}
-        buf_dtype: dict[int, np.dtype] = {}
-        for stage in group.internal_stages():
-            if stage not in regions:
-                continue
-            bid = splan.buffer_of[stage]
-            shape = regions[stage].shape()
-            old = buf_shape.get(bid)
-            if old is None:
-                buf_shape[bid] = shape
-                buf_dtype[bid] = stage.dtype.np_dtype
-            else:
-                buf_shape[bid] = tuple(
-                    max(a, b) for a, b in zip(old, shape)
-                )
+        regions = tp.regions[ti]
         buffers = {
-            bid: np.empty(shape, dtype=buf_dtype[bid])
-            for bid, shape in buf_shape.items()
+            bid: np.empty(shape, dtype=tp.buf_dtypes[bid])
+            for bid, shape in tp.buf_shapes[ti].items()
         }
-        tile_scratch_bytes = sum(b.nbytes for b in buffers.values())
 
         points = 0
         scratch: dict["Function", tuple[np.ndarray, tuple[int, ...]]] = {}
@@ -406,7 +573,7 @@ class CompiledPipeline:
             )
             if self.fault_injector is not None:
                 self.fault_injector(stage, out)
-        return points, tile_scratch_bytes
+        return points, tp.tile_scratch_bytes[ti]
 
     # -- diamond-tiled smoother groups (polymg-dtile-opt+) -------------------
     def _execute_group_diamond(

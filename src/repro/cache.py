@@ -257,6 +257,10 @@ class CompileCache:
             src.dag, src.config, src.grouping, src.schedule, src.storage
         )
         clone.report = entry.report
+        # the kernel plan is immutable and keyed by the same content
+        # address as the compile artifacts, so clones share it instead
+        # of re-lowering; workspaces and worker pools stay per-executor
+        clone._inherit_plan(src)
         return clone
 
     def store(self, key: str, compiled: "CompiledPipeline") -> None:

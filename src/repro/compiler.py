@@ -102,6 +102,10 @@ def compile_pipeline(
     report.fingerprint = key
     compiled: CompiledPipeline = ctx.compiled
     compiled.report = report
+    # build the ahead-of-time kernel plan now so it is stored (and
+    # served) alongside the compile artifacts: clones inherit the plan,
+    # and invalidation rides the content address for free
+    compiled.plan()
     if use_cache:
         compile_cache().store(key, compiled)
     return compiled

@@ -79,6 +79,19 @@ class PolyMgConfig:
         as a compiler configuration for the machine cost model.
     num_threads:
         Threads used by the interpreter backend when executing tiles.
+    kernel_plan:
+        Lower each (group, stage) into ahead-of-time
+        :class:`~repro.backend.kernels.StageKernel` op tapes after
+        parameter binding (precomputed Case/Interp target boxes, reader
+        hulls and strides, hoisted tile grids, zero-realloc temp
+        arenas).  The planned executor produces bitwise-identical
+        outputs to the unplanned interpreter; disable to force the
+        tree-walking fallback.
+    temp_arena_limit:
+        Optional cap (bytes) on the per-thread temporary-buffer arena
+        sized at plan time.  A plan whose arena requirement exceeds the
+        cap is abandoned and execution falls back to the unplanned
+        interpreter (``None`` = unbounded).
     verify_level:
         Self-verification level: selects which verifier passes are
         interleaved into the compile pipeline (see
@@ -108,6 +121,8 @@ class PolyMgConfig:
     dtile_conservative_copies: bool = True
     fuse_smoother_chains_only: bool = False
     num_threads: int = 1
+    kernel_plan: bool = True
+    temp_arena_limit: int | None = None
     verify_level: str = "off"
     runtime_guards: bool = False
 

@@ -221,6 +221,11 @@ class CompileReport:
     pipeline: str
     fingerprint: str = ""
     total_wall_time: float = 0.0
+    #: wall time spent building the ahead-of-time kernel plan
+    #: (:mod:`repro.backend.kernels`); recorded by
+    #: :meth:`~repro.backend.executor.CompiledPipeline.plan`, shared by
+    #: cache clones like the rest of the report
+    plan_time_s: float = 0.0
     passes: list[PassRecord] = field(default_factory=list)
     cache_hits: int = 0
     incidents: list[dict] = field(default_factory=list)
@@ -245,6 +250,7 @@ class CompileReport:
             "pipeline": self.pipeline,
             "fingerprint": self.fingerprint,
             "total_wall_time": self.total_wall_time,
+            "plan_time_s": self.plan_time_s,
             "cache_hits": self.cache_hits,
             "passes": [p.to_dict() for p in self.passes],
             "incidents": list(self.incidents),

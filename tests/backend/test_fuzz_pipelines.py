@@ -4,7 +4,10 @@ Generates random stencil pipelines — random chain/diamond DAG shapes,
 random weight matrices and offsets, random piecewise boundary handling,
 optional restriction/interpolation stages — and asserts that the fully
 optimized schedule (fusion + overlapped tiling + all storage reuse)
-computes bit-identical results to unoptimized stage-by-stage execution.
+computes bit-identical results to unoptimized stage-by-stage execution,
+with the ahead-of-time kernel planner both on and off (so planned op
+tapes are proven bitwise-equal to the tree-walking interpreter on the
+same random DAGs).
 
 This is the reproduction's strongest correctness net: any bug in
 footprint propagation, ownership regions, scratch remapping, or array
@@ -14,6 +17,7 @@ lifetime planning surfaces as a numeric mismatch on some random DAG.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -88,25 +92,34 @@ def pipelines(draw):
     return stages[-1]
 
 
+@pytest.mark.parametrize("kernel_plan", [False, True])
 @settings(max_examples=25, deadline=None)
 @given(pipelines(), st.sampled_from([(4, 8), (8, 8), (6, 10)]),
        st.integers(2, 5))
 def test_optimized_equals_naive_on_random_pipelines(
-    out_fn, tiles, group_limit
+    kernel_plan, out_fn, tiles, group_limit
 ):
     rng = np.random.default_rng(99)
     data = rng.standard_normal((N_VAL + 2, N_VAL + 2))
     inputs = {"G": data}
 
-    naive = compile_pipeline(out_fn, {"N": N_VAL}, polymg_naive())
+    # the reference is always the unplanned naive interpreter, so with
+    # kernel_plan=True this asserts planned-tape output is bitwise
+    # identical to tree-walking execution
+    naive = compile_pipeline(
+        out_fn, {"N": N_VAL}, polymg_naive(kernel_plan=False)
+    )
     expected = naive.execute(inputs)[out_fn.name]
 
     cfg = polymg_opt_plus(
         tile_sizes={2: tiles},
         group_size_limit=group_limit,
         overlap_threshold=2.0,
+        kernel_plan=kernel_plan,
     )
     optimized = compile_pipeline(out_fn, {"N": N_VAL}, cfg)
+    if kernel_plan:
+        assert optimized._kernel_plan is not None
     got = optimized.execute(inputs)[out_fn.name]
     assert np.array_equal(got, expected)
 
