@@ -1,15 +1,15 @@
 """Resilient solve: a supervised multigrid solve surviving a fault.
 
 Builds a 2-D Poisson V-cycle, arms a *transient* NaN poison on the
-fastest variant (``polymg-opt+`` misbehaves on exactly one invocation,
-modelling a single-event upset), and runs the solve under the full
-resilience subsystem (DESIGN.md section 10):
+fastest variant (``polymg-native`` misbehaves on exactly one
+invocation, modelling a single-event upset), and runs the solve under
+the full resilience subsystem (DESIGN.md sections 10 and 12):
 
-* the fault trips ``polymg-opt+``'s circuit breaker — the degradation
-  ladder demotes to ``polymg-opt``;
+* the fault trips ``polymg-native``'s circuit breaker — the
+  degradation ladder demotes to ``polymg-opt+``;
 * the supervisor restores the last-known-good checkpoint and retries
   the same cycle on the demoted rung, so no converged work is lost;
-* after the cooldown the ladder probes ``polymg-opt+`` with live
+* after the cooldown the ladder probes ``polymg-native`` with live
   traffic and re-promotes it — the solve finishes on the fast rung;
 * the whole trail lands in the structured incident log.
 
@@ -60,7 +60,7 @@ def main(argv=None) -> int:
     )
 
     # arm the single-event upset on the fastest rung's first invocation
-    compiled = supervisor.resilient.compiled_for("polymg-opt+")
+    compiled = supervisor.resilient.compiled_for("polymg-native")
     record = inject_transient_nan_poison(compiled, invocation=1)
     banner(f"solving with injected fault: {record}")
 
@@ -87,14 +87,14 @@ def main(argv=None) -> int:
 
     recovered = (
         result.variant_trail
-        and result.variant_trail[-1] == "polymg-opt+"
-        and result.health["polymg-opt+"]["state"] == "closed"
+        and result.variant_trail[-1] == "polymg-native"
+        and result.health["polymg-native"]["state"] == "closed"
     )
     if not result.converged:
         print("FAIL: solve did not converge", file=sys.stderr)
         return 1
     if not recovered:
-        print("FAIL: ladder did not re-promote polymg-opt+", file=sys.stderr)
+        print("FAIL: ladder did not re-promote polymg-native", file=sys.stderr)
         return 1
     print("\nOK: converged, fault survived, fast rung re-promoted")
     return 0

@@ -12,22 +12,26 @@ Emits, for a compiled pipeline, the C code PolyMG would generate:
 * constant-size scratchpad declarations sunk inside the tile loop (one
   per *reused* buffer, annotated with the users it serves — exactly the
   ``/* users: [...] */`` comments of Figure 8),
-* per-stage loop nests with clamped tile bounds and ``#pragma ivdep``
-  innermost loops.
+* per-stage loop nests with clamped tile bounds hoisted into ``const``
+  temporaries and ``PMG_IVDEP``-annotated innermost loops.
 
-The emitter exists for artifact parity: the generated-lines-of-code
-column of Table 3 is measured on its output, the structural tests assert
-Figure 8's shape, and when a C compiler is available the smoke test
-compiles a generated file (execution is interpreted by the numpy
-backend; the C output is a faithful rendering of the same schedule, with
-a reference pool allocator emitted alongside).
+Two emission modes share one emitter:
+
+* :func:`generate_c` — the Figure-8 artifact: the generated
+  lines-of-code column of Table 3 is measured on it, the structural
+  tests assert its shape, and the smoke test compiles it with
+  ``-Wall -Wextra -Werror``;
+* :func:`generate_native_c` — the same pipeline body plus a C ABI
+  entry point (``polymg_run``) taking pointer/shape/stride descriptors
+  for every input and live-out, validated against the geometry baked
+  at compile time.  :mod:`repro.backend.native` compiles this into a
+  shared object and invokes it zero-copy on numpy buffers.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..ir.domain import Box
 from ..lang.expr import (
     BinOp,
     Call,
@@ -49,7 +53,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..backend.executor import CompiledPipeline
     from ..lang.function import Function
 
-__all__ = ["generate_c", "generated_loc", "POOL_RUNTIME"]
+__all__ = [
+    "generate_c",
+    "generate_native_c",
+    "generated_loc",
+    "POOL_RUNTIME",
+    "NATIVE_ENTRY_NAME",
+]
+
+#: exported symbol name of the native ABI entry point
+NATIVE_ENTRY_NAME = "polymg_run"
 
 POOL_RUNTIME = """\
 /* pooled memory allocator (paper section 3.2.3) */
@@ -62,7 +75,7 @@ static size_t pool_sizes[POOL_MAX];
 static int pool_free[POOL_MAX];
 static int pool_count = 0;
 
-static void *pool_allocate(size_t bytes) {
+static inline void *pool_allocate(size_t bytes) {
   int best = -1;
   for (int i = 0; i < pool_count; i++) {
     if (pool_free[i] && pool_sizes[i] >= bytes &&
@@ -71,7 +84,7 @@ static void *pool_allocate(size_t bytes) {
   }
   if (best >= 0) { pool_free[best] = 0; return pool_ptrs[best]; }
   void *p = malloc(bytes);
-  if (pool_count < POOL_MAX) {
+  if (p && pool_count < POOL_MAX) {
     pool_ptrs[pool_count] = p;
     pool_sizes[pool_count] = bytes;
     pool_free[pool_count] = 0;
@@ -80,17 +93,46 @@ static void *pool_allocate(size_t bytes) {
   return p;
 }
 
-static void pool_deallocate(void *p) {
+static inline void pool_deallocate(void *p) {
   for (int i = 0; i < pool_count; i++)
     if (pool_ptrs[i] == p) { pool_free[i] = 1; return; }
   free(p);
 }
 """
 
+# portable innermost-loop vectorization hint: `#pragma ivdep` is an
+# unknown pragma under gcc -Wall -Werror, so the emitted code carries a
+# compiler-dispatched macro instead
+IVDEP_MACRO = """\
+#if defined(__clang__)
+#define PMG_IVDEP _Pragma("clang loop vectorize(enable)")
+#elif defined(__GNUC__)
+#define PMG_IVDEP _Pragma("GCC ivdep")
+#else
+#define PMG_IVDEP
+#endif
+"""
+
+# numpy expression functions whose C spelling differs (``abs`` on a
+# double operand must be ``fabs``; everything else matches <math.h>)
+_C_FN_NAMES = {"abs": "fabs"}
+
+
+def _offset(base: str, k: int) -> str:
+    """Render ``base + k`` with normalized sign."""
+    if k == 0:
+        return base
+    if k < 0:
+        return f"{base} - {-k}"
+    return f"{base} + {k}"
+
 
 class _Emitter:
-    def __init__(self, compiled: "CompiledPipeline") -> None:
+    def __init__(
+        self, compiled: "CompiledPipeline", native: bool = False
+    ) -> None:
         self.compiled = compiled
+        self.native = native
         self.lines: list[str] = []
         self.indent = 0
         self.array_names: dict[int, str] = {}
@@ -105,6 +147,10 @@ class _Emitter:
             self.lines.append("")
             return
         self.lines.append("  " * self.indent + text)
+
+    def emit_raw(self, text: str) -> None:
+        """Emit a preformatted multi-line block at column zero."""
+        self.lines.extend(text.splitlines())
 
     def block(self):
         emitter = self
@@ -153,17 +199,26 @@ class _Emitter:
             if k != 0 or not parts:
                 parts.append(str(int(k)))
         else:
-            rendered = str(int(const.coeff("N"))) + "*N"
-            if const.const:
-                rendered += f" + {int(const.const)}"
-            parts.append(rendered)
+            c = const.coeff("N")
+            if c.denominator == 1:
+                rendered = f"{int(c)}*N"
+                if const.const:
+                    rendered += f" + {int(const.const)}"
+                parts.append(rendered)
+            else:
+                # fractional parameter coefficients (coarse-level
+                # bounds like N/2) have no integral C rendering;
+                # bindings are concrete, so evaluate them exactly
+                parts.append(
+                    str(int(const.int_value(self.compiled.bindings)))
+                )
         return " + ".join(parts).replace("+ -", "- ")
 
-    def linearize(self, func: "Function", indices) -> str:
-        """Row-major linearized access into the stage's storage: full
-        arrays are subscripted with domain-relative coordinates,
-        scratchpads with tile-relative ones (Figure 8's
-        ``_buf[(-32*T_i + i)*530 + ...]`` form)."""
+    def linearize_subs(self, func: "Function", subs: list[str]) -> str:
+        """Row-major linearized access into the stage's storage given
+        already-rendered subscript strings: full arrays are subscripted
+        with domain-relative coordinates, scratchpads with tile-relative
+        ones (Figure 8's hoisted-origin form)."""
         name, kind = self.stage_store[func]
         if kind == "scratch":
             dims = list(self.scratch_shape[func])
@@ -176,8 +231,7 @@ class _Emitter:
             lower = func.domain_box(self.compiled.bindings).lower()
             origin = [str(l) if l else "" for l in lower]
         terms = []
-        for d, ix in enumerate(indices):
-            sub = self.index_c(ix)
+        for d, sub in enumerate(subs):
             if origin[d]:
                 sub = f"({sub} - {origin[d]})"
             else:
@@ -187,6 +241,11 @@ class _Emitter:
                 stride *= inner
             terms.append(sub if stride == 1 else f"{sub}*{stride}")
         return f"{name}[{' + '.join(terms)}]"
+
+    def linearize(self, func: "Function", indices) -> str:
+        return self.linearize_subs(
+            func, [self.index_c(ix) for ix in indices]
+        )
 
     def expr_c(self, expr: Expr) -> str:
         if isinstance(expr, Const):
@@ -211,7 +270,8 @@ class _Emitter:
             return f"fmax({self.expr_c(expr.left)}, {self.expr_c(expr.right)})"
         if isinstance(expr, Call):
             args = ", ".join(self.expr_c(a) for a in expr.args)
-            return f"{expr.fn}({args})"
+            fn = _C_FN_NAMES.get(expr.fn, expr.fn)
+            return f"{fn}({args})"
         if isinstance(expr, Select):
             return (
                 f"({self.cond_c(expr.condition)} ? "
@@ -238,7 +298,7 @@ class _Emitter:
         for d, var in enumerate(variables):
             lb, ub = bounds[d]
             if d == len(variables) - 1 and pragma_inner:
-                self.emit("#pragma ivdep")
+                self.emit("PMG_IVDEP")
             self.emit(
                 f"for (int {var.name} = {lb}; {var.name} <= {ub}; "
                 f"{var.name}++) {{"
@@ -304,20 +364,7 @@ class _Emitter:
                     if off:
                         term += f" + {off}"
                     halved.append(term)
-                name, _ = self.stage_store[e.func]
-                dims = [
-                    iv.size().int_value(self.compiled.bindings)
-                    for iv in e.func.domain.intervals
-                ]
-                terms = []
-                for d, sub in enumerate(halved):
-                    stride = 1
-                    for inner in dims[d + 1 :]:
-                        stride *= inner
-                    terms.append(
-                        f"({sub})" if stride == 1 else f"({sub})*{stride}"
-                    )
-                return f"{name}[{' + '.join(terms)}]"
+                return self.linearize_subs(e.func, halved)
             if isinstance(e, BinOp):
                 return f"({rewrite(e.left)} {e.op} {rewrite(e.right)})"
             if isinstance(e, UnOp):
@@ -335,32 +382,70 @@ class _Emitter:
         cfg = compiled.config
         bindings = compiled.bindings
         storage = compiled.storage
+        native = self.native
 
         self.emit(POOL_RUNTIME)
         self.emit("#include <math.h>")
+        if native:
+            self.emit("#include <stdint.h>")
+            self.emit("#ifdef _OPENMP")
+            self.emit("#include <omp.h>")
+            self.emit("#endif")
+        self.emit_raw(IVDEP_MACRO)
         self.emit("#define max(a, b) ((a) > (b) ? (a) : (b))")
         self.emit("#define min(a, b) ((a) < (b) ? (a) : (b))")
+        # floor division for the scaled access maps (C '/' truncates)
+        self.emit("static inline int pmg_fdiv(int a, int b) {")
+        self.emit("  int q = a / b;")
+        self.emit("  return (a % b != 0 && a < 0) ? q - 1 : q;")
+        self.emit("}")
         self.emit()
-        params = ", ".join(f"int {p}" for p in sorted(bindings))
-        inputs = ", ".join(
-            f"double *{self.cname(g.name)}" for g in dag.inputs
-        )
-        outs = ", ".join(
-            f"double **out_{self.cname(o.name)}" for o in dag.outputs
-        )
+        param_names = sorted(bindings)
+        sig_parts = [f"int {p}" for p in param_names]
+        sig_parts += [
+            f"const double *restrict {self.cname(g.name)}"
+            for g in dag.inputs
+        ]
+        if native:
+            sig_parts += [
+                f"double *restrict out_{self.cname(o.name)}"
+                for o in dag.outputs
+            ]
+            ret = "static int"
+        else:
+            sig_parts += [
+                f"double **restrict out_{self.cname(o.name)}"
+                for o in dag.outputs
+            ]
+            ret = "void"
         self.emit(
-            f"void pipeline_{self.cname(dag.name)}({params}, {inputs}, "
-            f"{outs})"
+            f"{ret} pipeline_{self.cname(dag.name)}"
+            f"({', '.join(sig_parts) or 'void'})"
         )
         self.emit("{")
         self.indent += 1
+        for p in param_names:
+            # parameters are baked into the emitted bounds; keep them in
+            # the signature for ABI parity but silence -Wunused-parameter
+            self.emit(f"(void) {p};")
 
         for grid in dag.inputs:
             self.stage_store[grid] = (self.cname(grid.name), "input")
 
+        # in native mode, pipeline outputs write directly into the
+        # caller-provided buffers (storage gives every output a
+        # dedicated exact-shape array, so the mapping is 1:1)
+        output_funcs = set(dag.outputs) if native else set()
+        for out in output_funcs:
+            self.stage_store[out] = (
+                f"out_{self.cname(out.name)}", "array"
+            )
+
         # plan array names for live-outs
         for gi, group in enumerate(compiled.grouping.groups):
             for stage in group.live_outs():
+                if stage in output_funcs:
+                    continue
                 aid = storage.array_of[stage]
                 self.stage_store[stage] = (self.array_name(aid), "array")
 
@@ -368,6 +453,8 @@ class _Emitter:
         for gi, group in enumerate(compiled.grouping.groups):
             self.emit(f"/* group {gi}: anchor {group.anchor.name} */")
             for stage in group.live_outs():
+                if stage in output_funcs:
+                    continue
                 aid = storage.array_of[stage]
                 if aid in emitted_alloc:
                     continue
@@ -387,6 +474,8 @@ class _Emitter:
                     f"double * {name} = (double *) (pool_allocate("
                     f"sizeof(double) * {elems}));"
                 )
+                if native:
+                    self.emit(f"if (!{name}) return -1;")
 
             if cfg.tile and group.size > 1 and gi not in getattr(
                 compiled, "_diamond_groups", set()
@@ -402,18 +491,26 @@ class _Emitter:
                     )
             self.emit()
 
-        for out in dag.outputs:
-            aid = storage.array_of[out]
-            self.emit(
-                f"*out_{self.cname(out.name)} = {self.array_name(aid)};"
-            )
+        if native:
+            self.emit("return 0;")
+        else:
+            for out in dag.outputs:
+                aid = storage.array_of[out]
+                self.emit(
+                    f"*out_{self.cname(out.name)} = "
+                    f"{self.array_name(aid)};"
+                )
         self.indent -= 1
         self.emit("}")
+        if native:
+            self.emit()
+            self.emit_native_entry()
         return "\n".join(self.lines) + "\n"
 
     def emit_straight_group(self, group) -> None:
         bindings = self.compiled.bindings
         live = set(group.live_outs())
+        temporaries: list[str] = []
         for stage in group.stages:
             dom = stage.domain_box(bindings)
             if stage not in live:
@@ -423,7 +520,10 @@ class _Emitter:
                     f"double * {name} = (double *) (pool_allocate("
                     f"sizeof(double) * {dom.volume()}));"
                 )
+                if self.native:
+                    self.emit(f"if (!{name}) return -1;")
                 self.stage_store[stage] = (name, "array")
+                temporaries.append(name)
             depth = self.collapse_depth(stage)
             self.emit(
                 "#pragma omp parallel for schedule(static)"
@@ -432,18 +532,122 @@ class _Emitter:
             bounds = [
                 (str(iv.lb), str(iv.ub)) for iv in dom.intervals
             ]
-            self.emit_stage_loops(stage, bounds)
+            # the ivdep hint must not separate an omp-for or collapsed
+            # loop from its successor, so it only applies to loops
+            # strictly inside the parallel nest
+            self.emit_stage_loops(
+                stage, bounds, pragma_inner=stage.ndim > depth
+            )
+        # internal temporaries die with the group: return them to the
+        # pool so repeated invocations recycle instead of growing it
+        for name in temporaries:
+            self.emit(f"pool_deallocate({name});")
+
+    @staticmethod
+    def _scaled_map(num: int, den: int, off: int, var: str) -> str:
+        """C rendering of ``floor((num*var + off) / den)``."""
+        scaled = var if num == 1 else f"{num}*{var}"
+        inner = _offset(scaled, off)
+        if den == 1:
+            return inner
+        return f"pmg_fdiv({inner}, {den})"
+
+    def _emit_region_fold(
+        self, lbs, ubs, nlo, nhi, kind: str, first: bool
+    ) -> None:
+        """Fold one region contribution (``nlo``/``nhi`` expressions per
+        dimension) into the accumulator variables ``lbs``/``ubs``,
+        mirroring ``Box.union_hull``'s empty-box identities.
+
+        ``kind`` picks the operand order: ``"footprint"`` is
+        ``new.union_hull(acc)`` (an empty new box keeps the
+        accumulator), ``"ownership"`` is ``acc.union_hull(new)`` (an
+        empty accumulator is replaced even by an empty new box).
+        """
+        nd = len(lbs)
+        if first:
+            for d in range(nd):
+                self.emit(f"{lbs[d]} = {nlo[d]};")
+                self.emit(f"{ubs[d]} = {nhi[d]};")
+            return
+        self.emit("{")
+        self.indent += 1
+        for d in range(nd):
+            self.emit(f"const int _nlo{d} = {nlo[d]};")
+            self.emit(f"const int _nhi{d} = {nhi[d]};")
+        ne = " || ".join(f"_nlo{d} > _nhi{d}" for d in range(nd))
+        ae = " || ".join(f"{lbs[d]} > {ubs[d]}" for d in range(nd))
+        assign = [
+            f"{lbs[d]} = _nlo{d}; {ubs[d]} = _nhi{d};" for d in range(nd)
+        ]
+        hull = [
+            f"{lbs[d]} = min({lbs[d]}, _nlo{d}); "
+            f"{ubs[d]} = max({ubs[d]}, _nhi{d});"
+            for d in range(nd)
+        ]
+        if kind == "footprint":
+            self.emit(f"if (!({ne})) {{")
+            self.indent += 1
+            self.emit(f"if ({ae}) {{")
+            self.indent += 1
+            for line in assign:
+                self.emit(line)
+            self.indent -= 1
+            self.emit("} else {")
+            self.indent += 1
+            for line in hull:
+                self.emit(line)
+            self.indent -= 1
+            self.emit("}")
+            self.indent -= 1
+            self.emit("}")
+        else:  # ownership
+            self.emit(f"if ({ae}) {{")
+            self.indent += 1
+            for line in assign:
+                self.emit(line)
+            self.indent -= 1
+            self.emit(f"}} else if (!({ne})) {{")
+            self.indent += 1
+            for line in hull:
+                self.emit(line)
+            self.indent -= 1
+            self.emit("}")
+        self.indent -= 1
+        self.emit("}")
 
     def emit_tiled_group(self, gi: int, group) -> None:
         compiled = self.compiled
         bindings = compiled.bindings
         cfg = compiled.config
-        anchor_dom = group.anchor.domain_box(bindings)
-        tile_shape = cfg.tile_shape(group.anchor.ndim)
+        anchor = group.anchor
+        anchor_dom = anchor.domain_box(bindings)
+        tile_shape = cfg.tile_shape(anchor.ndim)
         splan = compiled.storage.group_scratch(gi)
-        live = set(group.live_outs())
+        scales = group.scales()
+        tp = compiled._group_tile_plan(gi, group)
 
-        ndim = group.anchor.ndim
+        # Static mirror of Group.tile_regions' bookkeeping: which stages
+        # acquire a region at all (anchor, live-outs, and anything
+        # feeding one), and which consumer footprints fold into each
+        # producer's region, in the interpreter's processing order.
+        stages = list(group.stages)
+        sindex = {s: i for i, s in enumerate(stages)}
+        live = set(group.live_outs())
+        in_group = set(stages)
+        present: set = set()
+        contribs: dict = {}
+        for s in reversed(stages):
+            if s is anchor or s in live or s in present:
+                present.add(s)
+                for producer, acc in group.dag.accesses_of(s).items():
+                    if producer in in_group:
+                        present.add(producer)
+                        contribs.setdefault(producer, []).append(
+                            (sindex[s], acc)
+                        )
+
+        ndim = anchor.ndim
         depth = ndim  # perfect tile loops collapse over every dimension
         self.emit(
             f"#pragma omp parallel for schedule(static) collapse({depth})"
@@ -458,13 +662,15 @@ class _Emitter:
             )
             self.indent += 1
 
-        # scratchpads sunk to the innermost tile loop (section 3.2.5)
+        # scratchpads sunk to the innermost tile loop (section 3.2.5);
+        # sized to the exact per-tile region maxima hoisted by the
+        # executor's tile plan, so region writes can never overrun
         self.emit("/* Scratchpads */")
         by_buffer: dict[int, list[str]] = {}
         for stage, bid in splan.buffer_of.items():
             by_buffer.setdefault(bid, []).append(stage.name)
         for bid, users in sorted(by_buffer.items()):
-            shape = splan.buffer_shapes[bid]
+            shape = tp.max_buf_shapes.get(bid) or splan.buffer_shapes[bid]
             elems = " * ".join(str(s) for s in shape)
             self.emit(f"/* users : {users} */")
             self.emit(f"double _buf_{gi}_{bid}[({elems})];")
@@ -476,47 +682,102 @@ class _Emitter:
                     )
                     self.scratch_shape[stage] = shape
 
-        # per-stage clamped loop nests over the tile's needed regions;
-        # rendered with representative halo offsets
-        tile = Box.from_bounds(
-            [
-                (iv.lb, min(iv.ub, iv.lb + t - 1))
-                for iv, t in zip(anchor_dom.intervals, tile_shape)
-            ]
-        )
-        regions = group.tile_regions(tile)
-        scales = group.scales()
-        for stage in group.stages:
-            region = regions.get(stage)
-            if region is None:
+        # Per-stage tile regions, computed by replaying the backward
+        # footprint propagation of Group.tile_regions in C: consumers
+        # first (reverse topological order), each region the clamped
+        # union-hull of its consumers' footprints plus (for live-outs)
+        # the tile's ownership slice.  The lower bounds double as the
+        # scratchpad origins, exactly like the interpreter's.
+        self.emit("/* tile regions (backward footprint propagation) */")
+        for si in reversed(range(len(stages))):
+            stage = stages[si]
+            if stage not in present:
                 continue
+            nd = stage.ndim
             dom = stage.domain_box(bindings)
-            bounds = []
-            origin = []
-            for d in range(stage.ndim):
-                halo_lo = tile.intervals[d].lb - region.intervals[d].lb
-                halo_hi = region.intervals[d].ub - (
-                    tile.intervals[d].lb + tile_shape[d] - 1
+            lbs = [f"_s{gi}_{si}_lb{d}" for d in range(nd)]
+            ubs = [f"_s{gi}_{si}_ub{d}" for d in range(nd)]
+            decl = ", ".join(
+                f"{lb} = 0, {ub} = -1" for lb, ub in zip(lbs, ubs)
+            )
+            self.emit(f"/* region of {stage.name} */")
+            self.emit(f"int {decl};")
+            first = True
+            if stage is anchor:
+                nlo = [tvars[d] for d in range(nd)]
+                nhi = [
+                    f"min({tvars[d]} + {tile_shape[d] - 1}, "
+                    f"{anchor_dom.intervals[d].ub})"
+                    for d in range(nd)
+                ]
+                self._emit_region_fold(lbs, ubs, nlo, nhi, "footprint", first)
+                first = False
+            for csi, acc in contribs.get(stage, ()):
+                nlo, nhi = [], []
+                for j in range(nd):
+                    da = acc.dims[j]
+                    if da.consumer_dim is None:
+                        nlo.append(str(da.const_lo))
+                        nhi.append(str(da.const_hi))
+                        continue
+                    k = da.consumer_dim
+                    rng = da.rng
+                    clb = f"_s{gi}_{csi}_lb{k}"
+                    cub = f"_s{gi}_{csi}_ub{k}"
+                    lo_m = self._scaled_map(rng.num, rng.den, rng.omin, clb)
+                    hi_m = self._scaled_map(rng.num, rng.den, rng.omax, cub)
+                    # empty consumer intervals pass through unmapped
+                    # (ConcreteInterval semantics in AccessRange.image)
+                    nlo.append(f"({clb} > {cub} ? {clb} : {lo_m})")
+                    nhi.append(f"({clb} > {cub} ? {cub} : {hi_m})")
+                self._emit_region_fold(lbs, ubs, nlo, nhi, "footprint", first)
+                first = False
+            if stage in live:
+                nlo, nhi = [], []
+                for d in range(nd):
+                    s = scales[stage][d]
+                    slb = dom.intervals[d].lb
+                    sub = dom.intervals[d].ub
+                    if s == 0:
+                        nlo.append(str(slb))
+                        nhi.append(str(sub))
+                        continue
+                    num, den = s.numerator, s.denominator
+                    alb = anchor_dom.intervals[d].lb
+                    aub = anchor_dom.intervals[d].ub
+                    t = tile_shape[d]
+                    lo_val = self._scaled_map(num, den, 0, tvars[d])
+                    bp1 = f"min({tvars[d]} + {t}, {aub + 1})"
+                    hi_val = f"{self._scaled_map(num, den, 0, f'({bp1})')} - 1"
+                    lo = f"({tvars[d]} <= {alb} ? {slb} : {lo_val})"
+                    hi = (
+                        f"({tvars[d]} + {t - 1} >= {aub} ? {sub} : {hi_val})"
+                    )
+                    nlo.append(f"max({lo}, {slb})")
+                    nhi.append(f"min({hi}, {sub})")
+                self._emit_region_fold(lbs, ubs, nlo, nhi, "ownership", first)
+                first = False
+            for d in range(nd):
+                self.emit(
+                    f"{lbs[d]} = max({lbs[d]}, {dom.intervals[d].lb});"
                 )
-                scale = scales[stage][d]
-                if scale == 1:
-                    base = tvars[d]
-                elif scale.denominator == 1:
-                    base = f"{scale.numerator}*{tvars[d]}"
-                else:
-                    base = f"({tvars[d]})/{scale.denominator}"
-                lb = (
-                    f"max({dom.intervals[d].lb}, {base} - {halo_lo})"
+                self.emit(
+                    f"{ubs[d]} = min({ubs[d]}, {dom.intervals[d].ub});"
                 )
-                span = int(scale * tile_shape[d]) - 1 + halo_hi
-                ub = (
-                    f"min({dom.intervals[d].ub}, {base} + {span})"
-                )
-                bounds.append((lb, ub))
-                origin.append(f"{base} - {halo_lo}")
-            if self.stage_store.get(stage, ("", ""))[1] == "scratch":
-                self.scratch_origin[stage] = tuple(origin)
+
+        # per-stage loop nests over the computed regions
+        for si, stage in enumerate(stages):
+            if stage not in present:
+                continue
             self.emit(f"/* stage {stage.name} */")
+            bounds = [
+                (f"_s{gi}_{si}_lb{d}", f"_s{gi}_{si}_ub{d}")
+                for d in range(stage.ndim)
+            ]
+            if self.stage_store.get(stage, ("", ""))[1] == "scratch":
+                self.scratch_origin[stage] = tuple(
+                    f"_s{gi}_{si}_lb{d}" for d in range(stage.ndim)
+                )
             self.emit_stage_loops(stage, bounds)
 
         for _ in range(ndim):
@@ -531,10 +792,146 @@ class _Emitter:
             return stage.ndim
         return max(1, stage.ndim - 1)
 
+    # -- native ABI entry point ---------------------------------------------
+    def emit_native_entry(self) -> None:
+        """Emit the exported C ABI: a descriptor-validating entry point
+        plus pool introspection hooks."""
+        compiled = self.compiled
+        dag = compiled.dag
+        bindings = compiled.bindings
+        param_names = sorted(bindings)
+
+        self.emit_raw(
+            """\
+/* ---- native ABI (repro.backend.native) ---- */
+typedef struct {
+  double *data;
+  int64_t ndim;
+  const int64_t *shape;
+  const int64_t *strides; /* in elements, dense row-major expected */
+} pmg_buffer;
+
+static int pmg_check_buffer(const pmg_buffer *b, const int64_t *shape,
+                            int64_t ndim) {
+  int64_t stride = 1;
+  if (!b->data || b->ndim != ndim) return 1;
+  for (int64_t d = ndim - 1; d >= 0; d--) {
+    if (b->shape[d] != shape[d]) return 1;
+    if (b->strides[d] != stride) return 1;
+    stride *= shape[d];
+  }
+  return 0;
+}
+"""
+        )
+        if param_names:
+            values = ", ".join(str(bindings[p]) for p in param_names)
+            self.emit(
+                f"static const int64_t pmg_param_values[{len(param_names)}]"
+                f" = {{{values}}};"
+            )
+        in_shapes = []
+        for k, grid in enumerate(dag.inputs):
+            shape = grid.domain_box(bindings).shape()
+            dims = ", ".join(str(s) for s in shape)
+            self.emit(
+                f"static const int64_t pmg_in_shape_{k}[{len(shape)}] = "
+                f"{{{dims}}};"
+            )
+            in_shapes.append(len(shape))
+        out_shapes = []
+        for k, out in enumerate(dag.outputs):
+            shape = out.domain_box(bindings).shape()
+            dims = ", ".join(str(s) for s in shape)
+            self.emit(
+                f"static const int64_t pmg_out_shape_{k}[{len(shape)}] = "
+                f"{{{dims}}};"
+            )
+            out_shapes.append(len(shape))
+        self.emit()
+        self.emit(
+            f"int {NATIVE_ENTRY_NAME}(const int64_t *params, "
+            "int64_t n_params, int64_t nthreads,"
+        )
+        self.emit(
+            "               const pmg_buffer *inputs, int64_t n_inputs,"
+        )
+        self.emit(
+            "               const pmg_buffer *outputs, int64_t n_outputs)"
+        )
+        self.emit("{")
+        self.indent += 1
+        self.emit(f"if (n_params != {len(param_names)}) return 1;")
+        self.emit(f"if (n_inputs != {len(dag.inputs)}) return 2;")
+        self.emit(f"if (n_outputs != {len(dag.outputs)}) return 3;")
+        if param_names:
+            self.emit(f"for (int i = 0; i < {len(param_names)}; i++)")
+            with self.block():
+                self.emit(
+                    "if (params[i] != pmg_param_values[i]) return 10 + i;"
+                )
+        else:
+            self.emit("(void) params;")
+        for k, ndim in enumerate(in_shapes):
+            self.emit(
+                f"if (pmg_check_buffer(&inputs[{k}], pmg_in_shape_{k}, "
+                f"{ndim})) return {100 + k};"
+            )
+        for k, ndim in enumerate(out_shapes):
+            self.emit(
+                f"if (pmg_check_buffer(&outputs[{k}], pmg_out_shape_{k}, "
+                f"{ndim})) return {200 + k};"
+            )
+        self.emit("#ifdef _OPENMP")
+        self.emit("if (nthreads > 0) omp_set_num_threads((int) nthreads);")
+        self.emit("#else")
+        self.emit("(void) nthreads;")
+        self.emit("#endif")
+        args = (
+            [f"(int) params[{i}]" for i in range(len(param_names))]
+            + [f"inputs[{k}].data" for k in range(len(dag.inputs))]
+            + [f"outputs[{k}].data" for k in range(len(dag.outputs))]
+        )
+        self.emit(
+            f"if (pipeline_{self.cname(dag.name)}({', '.join(args)}) != 0)"
+        )
+        with self.block():
+            self.emit("return 500;")
+        self.emit("return 0;")
+        self.indent -= 1
+        self.emit("}")
+        self.emit_raw(
+            """\
+
+int64_t polymg_pool_bytes(void) {
+  int64_t total = 0;
+  for (int i = 0; i < pool_count; i++)
+    total += (int64_t) pool_sizes[i];
+  return total;
+}
+
+void polymg_pool_release(void) {
+  for (int i = 0; i < pool_count; i++) {
+    free(pool_ptrs[i]);
+    pool_ptrs[i] = 0;
+    pool_sizes[i] = 0;
+    pool_free[i] = 0;
+  }
+  pool_count = 0;
+}
+"""
+        )
+
 
 def generate_c(compiled: "CompiledPipeline") -> str:
     """Emit Figure-8-style C/OpenMP code for a compiled pipeline."""
     return _Emitter(compiled).generate()
+
+
+def generate_native_c(compiled: "CompiledPipeline") -> str:
+    """Emit the JIT-compilable translation unit: the Figure-8 pipeline
+    body plus the exported ``polymg_run`` descriptor ABI."""
+    return _Emitter(compiled, native=True).generate()
 
 
 def generated_loc(compiled: "CompiledPipeline") -> int:

@@ -75,6 +75,18 @@ class ExecutionStats:
     temp_bytes_peak: int = 0
     #: times the persistent worker pool was reused after creation
     pool_reuse_count: int = 0
+    #: wall time the native backend spent in the out-of-process C
+    #: compile (0.0 on artifact-store hits)
+    native_compile_time_s: float = 0.0
+    #: times a native shared object was served without compiling —
+    #: from the on-disk artifact store or inherited by a cache clone
+    native_cache_hits: int = 0
+    #: executes that ran through the native shared object
+    native_executions: int = 0
+    #: executes that wanted the native backend but degraded to the
+    #: planned numpy path (build pending/failed, unlowerable construct,
+    #: fault-injection hook, ABI rejection)
+    native_fallbacks: int = 0
 
     def redundancy(self) -> float:
         if self.ideal_points == 0:
@@ -115,6 +127,14 @@ class CompiledPipeline:
         # inherited from a compile-cache clone)
         self._kernel_plan: KernelPlan | None = None
         self._planned = False
+        # native JIT build state (repro.backend.native): the build
+        # handle, whether its outcome was folded into the stats, and a
+        # latch that permanently disables the native path after a
+        # runtime failure or verification mismatch
+        self._native_handle = None
+        self._native_accounted = False
+        self._native_disabled: str | None = None
+        self._native_incident_logged = False
         # persistent worker pool + per-thread workspaces
         self._pool: ThreadPoolExecutor | None = None
         self._tls = threading.local()
@@ -182,7 +202,7 @@ class CompiledPipeline:
             return self._kernel_plan
         t0 = time.perf_counter()
         plan = None
-        if self.config.kernel_plan:
+        if self.config.kernel_plan and self.config.backend != "interpreted":
             try:
                 plan = build_kernel_plan(self)
             except Exception:
@@ -208,6 +228,124 @@ class CompiledPipeline:
         self._planned = True
         if self._kernel_plan is not None:
             self.stats.kernel_cache_hits += 1
+
+    # ------------------------------------------------------------------
+    # native JIT backend plumbing
+    # ------------------------------------------------------------------
+    def start_native_build(self, background: bool = True):
+        """Kick off (once) the background JIT build when the config
+        selects the native backend; returns the build handle or
+        ``None``.  Called eagerly by ``compile_pipeline`` so the
+        toolchain overlaps the first numpy-executed cycles."""
+        if self.config.backend != "native":
+            return None
+        if self._native_handle is None:
+            from .native import start_native_build
+
+            self._native_handle = start_native_build(
+                self, background=background
+            )
+        return self._native_handle
+
+    def _inherit_native(self, other: "CompiledPipeline") -> None:
+        """Adopt another executor's native build (compile-cache clone
+        path).  The runner wraps an immutable shared object guarded by
+        a per-module lock, so sharing it is safe; a served build counts
+        as a native cache hit for the clone."""
+        if other._native_handle is None:
+            return
+        self._native_handle = other._native_handle
+        self._native_disabled = other._native_disabled
+        # the clone did not pay the compile, so only the hit is charged
+        self._native_accounted = True
+        if self._native_handle.ready_runner() is not None:
+            self.stats.native_cache_hits += 1
+
+    def ensure_native(self, timeout: float | None = None):
+        """Start the native build if needed, wait up to ``timeout`` for
+        it, and return the ready :class:`NativeRunner` or ``None``.
+        Used by benchmarks and the autotuner's timed compile region."""
+        handle = self.start_native_build()
+        if handle is None:
+            return None
+        handle.wait(timeout)
+        self._absorb_native_result()
+        if self._native_disabled is not None:
+            return None
+        return handle.ready_runner()
+
+    def _absorb_native_result(self) -> None:
+        """Fold a finished build's outcome into the stats/report
+        exactly once per executor."""
+        handle = self._native_handle
+        if handle is None or handle.state == "pending":
+            return
+        if self._native_accounted:
+            return
+        self._native_accounted = True
+        self.stats.native_compile_time_s += handle.compile_time_s
+        if self.report is not None:
+            self.report.native_compile_time_s += handle.compile_time_s
+        if handle.info.get("cache_hit"):
+            self.stats.native_cache_hits += 1
+        if handle.error is not None:
+            self._disable_native("build-failed", handle.error)
+
+    def _disable_native(self, action: str, error: Exception) -> None:
+        """Latch the native path off and log one structured incident —
+        the fallback must be visible, never a silent downgrade."""
+        self._native_disabled = f"{action}: {error}"
+        if not self._native_incident_logged:
+            self._native_incident_logged = True
+            if self.report is not None:
+                self.report.record_incident(
+                    {
+                        "kind": "native-fallback",
+                        "pipeline": self.dag.name,
+                        "action": action,
+                        "error": str(error),
+                        "fallback": "planned",
+                    }
+                )
+
+    def _native_runner_for_execute(self):
+        """The runner to use for this execute, or ``None`` (fall back
+        to the numpy backends).  Never blocks on a pending build."""
+        if self.config.backend != "native":
+            return None
+        if self.fault_injector is not None:
+            # per-stage hook points only exist in the interpreter
+            self.stats.native_fallbacks += 1
+            return None
+        handle = self.start_native_build()
+        if handle is None:  # pragma: no cover - guarded by backend check
+            return None
+        self._absorb_native_result()
+        if self._native_disabled is not None:
+            self.stats.native_fallbacks += 1
+            return None
+        runner = handle.ready_runner()
+        if runner is None:  # build still in flight
+            self.stats.native_fallbacks += 1
+            return None
+        return runner
+
+    def _execute_native(
+        self,
+        runner,
+        input_arrays: dict["Function", np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        """One zero-copy invocation of the shared object."""
+        outputs = runner.run(input_arrays, self.config.num_threads)
+        self.stats.native_executions += 1
+        if self.config.runtime_guards:
+            for name, arr in outputs.items():
+                scan_nonfinite(name, arr, pipeline=self.dag.name)
+        for stage in self.dag.stages:
+            self.stats.ideal_points += stage.domain_box(
+                self.bindings
+            ).volume()
+        return outputs
 
     def _workspace(self) -> Workspace:
         """The calling thread's persistent execution arena."""
@@ -300,10 +438,39 @@ class CompiledPipeline:
                 )
             input_arrays[grid] = arr
 
+        # native JIT path: use the compiled shared object when it is
+        # ready and healthy; under verify_level=full the first native
+        # result is cross-checked against the numpy backends below
+        # before the rung is marked verified
+        native_cross: dict[str, np.ndarray] | None = None
+        native_runner = self._native_runner_for_execute()
+        if native_runner is not None:
+            from ..errors import NativeBackendError
+
+            try:
+                native_out = self._execute_native(
+                    native_runner, input_arrays
+                )
+            except NativeBackendError as exc:
+                self.stats.native_fallbacks += 1
+                self._disable_native("runtime-rejected", exc)
+            else:
+                if (
+                    native_runner.verified
+                    or self.config.verify_level != "full"
+                ):
+                    return native_out
+                native_cross = native_out
+
         # the fault-injection and verification paths always run through
         # the unplanned interpreter (per-stage hook points); everything
         # else takes the planned kernels when a plan exists
-        plan = self.plan() if self.fault_injector is None else None
+        plan = (
+            self.plan()
+            if self.fault_injector is None
+            and self.config.backend != "interpreted"
+            else None
+        )
 
         arrays: dict[int, np.ndarray] = {}
         outputs: dict[str, np.ndarray] = {}
@@ -384,7 +551,45 @@ class CompiledPipeline:
             self.stats.ideal_points += stage.domain_box(
                 self.bindings
             ).volume()
+
+        if native_cross is not None:
+            self._finish_native_cross_check(
+                native_runner, native_cross, outputs
+            )
         return outputs
+
+    def _finish_native_cross_check(
+        self,
+        runner,
+        native_out: dict[str, np.ndarray],
+        reference: dict[str, np.ndarray],
+    ) -> None:
+        """``verify_level=full``: compare the native invocation against
+        the numpy backends' outputs; a match marks the runner healthy,
+        a mismatch latches the native path off with an incident."""
+        from ..errors import NativeVerificationError
+
+        for name, ref in reference.items():
+            nat = native_out.get(name)
+            if nat is None or nat.shape != ref.shape or not np.allclose(
+                nat, ref, rtol=1e-9, atol=1e-11, equal_nan=True
+            ):
+                delta = (
+                    float(np.max(np.abs(nat - ref)))
+                    if nat is not None and nat.shape == ref.shape
+                    else None
+                )
+                err = NativeVerificationError(
+                    "native output diverged from the numpy backend in "
+                    "the one-cycle cross-check",
+                    pipeline=self.dag.name,
+                    output=name,
+                    max_abs_delta=delta,
+                )
+                self.stats.native_fallbacks += 1
+                self._disable_native("verify-mismatch", err)
+                return
+        runner.verified = True
 
     # -- readers -----------------------------------------------------------
     def _make_reader(

@@ -1,7 +1,12 @@
 """Benchmark harness: Table-2 workload definitions, the shared
 model/measured runners, and table printers used by benchmarks/."""
 
-from .report import banner, print_series, print_table
+from .report import (
+    banner,
+    print_execution_stats,
+    print_series,
+    print_table,
+)
 from .workloads import (
     NAS_WORKLOADS,
     POISSON_WORKLOADS,
@@ -16,6 +21,7 @@ from .workloads import (
 
 __all__ = [
     "banner",
+    "print_execution_stats",
     "print_series",
     "print_table",
     "NAS_WORKLOADS",

@@ -22,6 +22,7 @@ __all__ = [
     "banner",
     "print_compile_report",
     "dump_compile_report",
+    "print_execution_stats",
     "print_incident_log",
     "dump_incident_log",
 ]
@@ -80,6 +81,26 @@ def print_compile_report(report) -> None:
             [record.name, record.wall_time * 1e3, produced]
         )
     print_table(["pass", "ms", "produces"], rows, floatfmt="{:.3f}")
+    if getattr(report, "native_compile_time_s", 0.0):
+        print(
+            f"native JIT: {report.native_compile_time_s * 1e3:.1f} ms "
+            "cc wall time"
+        )
+
+
+def print_execution_stats(stats, title: str = "execution stats") -> None:
+    """Render an :class:`~repro.backend.executor.ExecutionStats`,
+    including the native-backend counters (JIT wall time, artifact
+    cache hits, and planned-path fallbacks)."""
+    banner(title)
+    rows = [
+        ["executions", stats.executions],
+        ["native executions", stats.native_executions],
+        ["native compile (s)", float(stats.native_compile_time_s)],
+        ["native cache hits", stats.native_cache_hits],
+        ["native fallbacks", stats.native_fallbacks],
+    ]
+    print_table(["counter", "value"], rows, floatfmt="{:.3f}")
 
 
 def dump_compile_report(report, path) -> None:

@@ -39,15 +39,29 @@ artifacts are never served from cache.
 
 ``REPRO_COMPILE_CACHE=0`` disables the cache process-wide;
 ``REPRO_COMPILE_CACHE_SIZE`` overrides the LRU capacity (default 256).
+
+Native artifacts
+----------------
+The native JIT backend (:mod:`repro.backend.native`) keys its shared
+objects by a content address over (emitted C source, compiler flags,
+compiler identity) and stores them **on disk** in a
+:class:`NativeArtifactStore`: artifacts are renamed into place
+atomically (concurrent processes race benignly), a SHA-256 sidecar
+detects corrupt artifacts (they are deleted and recompiled, never
+loaded), and the store is size-bounded with LRU-by-mtime eviction.
+``REPRO_NATIVE_CACHE_DIR`` overrides the location,
+``REPRO_NATIVE_CACHE_BYTES`` the size bound (default 256 MiB).
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,6 +77,9 @@ __all__ = [
     "CompileCache",
     "compile_cache",
     "cache_enabled",
+    "NativeArtifactStats",
+    "NativeArtifactStore",
+    "native_artifact_store",
 ]
 
 
@@ -261,6 +278,10 @@ class CompileCache:
         # address as the compile artifacts, so clones share it instead
         # of re-lowering; workspaces and worker pools stay per-executor
         clone._inherit_plan(src)
+        # likewise the native build: the shared object is immutable and
+        # content-addressed, so clones share the loaded module (guarded
+        # by its per-module lock) instead of re-invoking the toolchain
+        clone._inherit_native(src)
         return clone
 
     def store(self, key: str, compiled: "CompiledPipeline") -> None:
@@ -293,6 +314,188 @@ class CompileCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# on-disk shared-object store for the native JIT backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NativeArtifactStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    #: artifacts whose on-disk bytes no longer matched their SHA-256
+    #: sidecar (deleted, reported as a miss, recompiled)
+    corrupt_rejections: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt_rejections": self.corrupt_rejections,
+        }
+
+
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+class NativeArtifactStore:
+    """Size-bounded on-disk cache of JIT-compiled shared objects.
+
+    Keys are content addresses (see
+    :func:`repro.backend.native.native_artifact_key`); values are
+    ``<key>.so`` files with a ``<key>.json`` sidecar recording the
+    artifact's SHA-256 digest and provenance.  Writers stage under a
+    unique temporary name and ``os.replace`` into place, so concurrent
+    processes compiling the same key race benignly (last writer wins
+    with an identical artifact).  A served artifact is re-hashed
+    against its sidecar first: corruption (truncated file, bit rot,
+    partial copy) deletes the entry instead of loading it.
+    """
+
+    def __init__(
+        self, root: str | Path, max_bytes: int = 256 * 1024 * 1024
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.stats = NativeArtifactStats()
+
+    def _so_path(self, key: str) -> Path:
+        return self.root / f"{key}.so"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Path | None:
+        """Return the artifact path for ``key``, or ``None`` on miss or
+        on a corrupt artifact (which is deleted)."""
+        with self._lock:
+            so = self._so_path(key)
+            meta = self._meta_path(key)
+            if not so.is_file() or not meta.is_file():
+                self.stats.misses += 1
+                return None
+            try:
+                recorded = json.loads(meta.read_text())["sha256"]
+                actual = _sha256_file(so)
+            except (OSError, KeyError, ValueError):
+                recorded, actual = "?", "!"
+            if actual != recorded:
+                for p in (so, meta):
+                    try:
+                        p.unlink()
+                    except OSError:
+                        pass
+                self.stats.corrupt_rejections += 1
+                self.stats.misses += 1
+                return None
+            now = None  # bump mtime for LRU eviction ordering
+            os.utime(so, now)
+            self.stats.hits += 1
+            return so
+
+    def put(self, key: str, built_so: Path, meta: dict | None = None) -> Path:
+        """Move a freshly built shared object into the store under
+        ``key`` (atomic rename-into-place) and return its final path."""
+        with self._lock:
+            self.root.mkdir(parents=True, exist_ok=True)
+            built_so = Path(built_so)
+            digest = _sha256_file(built_so)
+            so = self._so_path(key)
+            meta_path = self._meta_path(key)
+            record = dict(meta or {})
+            record["sha256"] = digest
+            record["size"] = built_so.stat().st_size
+            tmp_meta = self.root / f".{key}.json.tmp.{os.getpid()}"
+            tmp_meta.write_text(json.dumps(record, indent=2) + "\n")
+            os.replace(built_so, so)
+            os.replace(tmp_meta, meta_path)
+            self.stats.stores += 1
+            self._evict_over_budget(keep=key)
+            return so
+
+    def _evict_over_budget(self, keep: str | None = None) -> None:
+        """LRU-by-mtime eviction down to ``max_bytes`` (lock held)."""
+        entries = []
+        total = 0
+        for so in self.root.glob("*.so"):
+            try:
+                st = so.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            entries.append((st.st_mtime, st.st_size, so))
+        entries.sort()
+        for _mtime, size, so in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and so.stem == keep:
+                continue
+            for p in (so, so.with_suffix(".json")):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+            total -= size
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            if not self.root.is_dir():
+                return
+            for p in list(self.root.glob("*.so")) + list(
+                self.root.glob("*.json")
+            ):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+
+
+def _native_store_root() -> Path:
+    env = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~/.cache/polymg-native"))
+
+
+def _native_store_bytes() -> int:
+    try:
+        return int(
+            os.environ.get(
+                "REPRO_NATIVE_CACHE_BYTES", str(256 * 1024 * 1024)
+            )
+        )
+    except ValueError:
+        return 256 * 1024 * 1024
+
+
+_NATIVE_STORE: NativeArtifactStore | None = None
+_NATIVE_LOCK = threading.Lock()
+
+
+def native_artifact_store() -> NativeArtifactStore:
+    """The process-wide native artifact store.  Re-created when
+    ``REPRO_NATIVE_CACHE_DIR`` changes (test isolation)."""
+    global _NATIVE_STORE
+    with _NATIVE_LOCK:
+        root = _native_store_root()
+        if _NATIVE_STORE is None or _NATIVE_STORE.root != root:
+            _NATIVE_STORE = NativeArtifactStore(
+                root, _native_store_bytes()
+            )
+        return _NATIVE_STORE
 
 
 def cache_enabled() -> bool:

@@ -106,6 +106,10 @@ def compile_pipeline(
     # served) alongside the compile artifacts: clones inherit the plan,
     # and invalidation rides the content address for free
     compiled.plan()
+    # backend="native": start the out-of-process JIT build eagerly on a
+    # daemon thread — the toolchain overlaps the first numpy-executed
+    # cycles, and a warm artifact store resolves almost immediately
+    compiled.start_native_build()
     if use_cache:
         compile_cache().store(key, compiled)
     return compiled

@@ -10,7 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
-__all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES", "VERIFY_LEVELS"]
+__all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES", "VERIFY_LEVELS", "BACKENDS"]
+
+#: Execution backends selectable via :attr:`PolyMgConfig.backend`:
+#: ``planned`` — the PR-4 ahead-of-time kernel-plan numpy backend
+#: (default); ``interpreted`` — the tree-walking numpy interpreter
+#: (plans are never consulted); ``native`` — JIT-compile the emitted
+#: C/OpenMP code and run it zero-copy, falling back to ``planned``
+#: when no toolchain exists or the pipeline cannot be lowered.
+BACKENDS = ("planned", "interpreted", "native")
 
 #: Self-verification levels (see :mod:`repro.verify.invariants`):
 #: ``off`` — no checking; ``cheap`` — algebraic invariants after each
@@ -103,6 +111,18 @@ class PolyMgConfig:
         Enable the runtime numerical sentinels: NaN/Inf scans over each
         group's live-outs during execution (raises
         :class:`~repro.errors.NumericalDivergenceError`).
+    backend:
+        Execution backend (see :data:`BACKENDS`): ``"planned"``
+        (default), ``"interpreted"``, or ``"native"`` — the JIT path
+        that compiles the emitted C/OpenMP code out-of-process and
+        invokes it via ``ctypes``; unavailable constructs or a missing
+        toolchain degrade to ``planned`` with a structured incident.
+    native_cflags:
+        Override the native backend's compiler flags (a tuple of
+        argv tokens replacing the default
+        ``-O3 -march=native -fopenmp -fPIC -shared``).  ``None`` keeps
+        the defaults.  Part of the compile fingerprint and the on-disk
+        artifact key.
     """
 
     fuse: bool = True
@@ -125,6 +145,8 @@ class PolyMgConfig:
     temp_arena_limit: int | None = None
     verify_level: str = "off"
     runtime_guards: bool = False
+    backend: str = "planned"
+    native_cflags: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.verify_level not in VERIFY_LEVELS:
@@ -133,6 +155,19 @@ class PolyMgConfig:
             raise CompileError(
                 f"unknown verify_level {self.verify_level!r}",
                 expected=VERIFY_LEVELS,
+            )
+        if self.backend not in BACKENDS:
+            from .errors import CompileError
+
+            raise CompileError(
+                f"unknown backend {self.backend!r}", expected=BACKENDS
+            )
+        if self.native_cflags is not None and not isinstance(
+            self.native_cflags, tuple
+        ):
+            # keep the frozen dataclass hashable/fingerprintable
+            object.__setattr__(
+                self, "native_cflags", tuple(self.native_cflags)
             )
 
     def tile_shape(self, ndim: int) -> tuple[int, ...]:

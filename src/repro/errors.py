@@ -27,6 +27,18 @@ no debugger required.  The hierarchy:
     supervisor (:mod:`repro.resilience`) when every remediation —
     checkpoint restore, ladder demotion, stagnation remediation — is
     exhausted.
+``NativeBackendError``
+    the native C/OpenMP JIT backend could not produce or run a shared
+    object.  Specialized into ``NativeToolchainError`` (no usable C
+    compiler), ``NativeLoweringError`` (the pipeline uses a construct
+    the C emitter cannot lower — diamond groups, non-double dtypes),
+    ``NativeCompileError`` (the out-of-process compile failed or timed
+    out), ``NativeABIError`` (the loaded shared object rejected the
+    buffers handed across the ctypes boundary), and
+    ``NativeVerificationError`` (the ``verify_level=full`` one-cycle
+    cross-check against the numpy backend diverged).  All of these are
+    recoverable: the executor logs an incident and falls back to the
+    planned numpy backend.
 ``TrialFailure``
     one autotuning trial failed (compile error, runtime fault, or
     wall-clock timeout); the search quarantines it and continues.
@@ -51,6 +63,12 @@ __all__ = [
     "PoolExhaustedError",
     "NumericalDivergenceError",
     "SolveAbortedError",
+    "NativeBackendError",
+    "NativeToolchainError",
+    "NativeLoweringError",
+    "NativeCompileError",
+    "NativeABIError",
+    "NativeVerificationError",
     "TrialFailure",
 ]
 
@@ -147,6 +165,44 @@ class SolveAbortedError(ExecutionError):
     """The solve supervisor gave up: the checkpoint-restore budget was
     exhausted with every degradation-ladder rung faulting, so there is
     no variant left to make progress on."""
+
+
+# ---------------------------------------------------------------------------
+# native JIT backend
+# ---------------------------------------------------------------------------
+
+
+class NativeBackendError(ReproError):
+    """The native C/OpenMP JIT backend failed; always recoverable by
+    falling back to the planned numpy backend (incident-logged)."""
+
+
+class NativeToolchainError(NativeBackendError):
+    """No usable C compiler was found (``REPRO_CC``, ``cc``, ``gcc``,
+    ``clang``), or the discovered one could not produce a probe
+    object."""
+
+
+class NativeLoweringError(NativeBackendError):
+    """The pipeline uses a construct the native backend cannot lower:
+    diamond-tiled smoother groups, non-double stage dtypes, or an
+    attached fault-injection hook."""
+
+
+class NativeCompileError(NativeBackendError):
+    """The out-of-process ``cc`` invocation failed, timed out, or
+    produced an unloadable shared object."""
+
+
+class NativeABIError(NativeBackendError, ValueError):
+    """The loaded shared object rejected the buffers handed across the
+    ctypes boundary (geometry/stride/dtype mismatch), or the caller
+    passed arrays the runner cannot safely normalize."""
+
+
+class NativeVerificationError(NativeBackendError):
+    """The ``verify_level=full`` one-cycle cross-check between the
+    native and numpy backends diverged beyond tolerance."""
 
 
 # ---------------------------------------------------------------------------

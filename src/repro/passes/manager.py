@@ -226,6 +226,10 @@ class CompileReport:
     #: :meth:`~repro.backend.executor.CompiledPipeline.plan`, shared by
     #: cache clones like the rest of the report
     plan_time_s: float = 0.0
+    #: wall time spent in the native backend's out-of-process compile
+    #: (0.0 when the backend is not ``native`` or the artifact store
+    #: served the shared object)
+    native_compile_time_s: float = 0.0
     passes: list[PassRecord] = field(default_factory=list)
     cache_hits: int = 0
     incidents: list[dict] = field(default_factory=list)
@@ -251,6 +255,7 @@ class CompileReport:
             "fingerprint": self.fingerprint,
             "total_wall_time": self.total_wall_time,
             "plan_time_s": self.plan_time_s,
+            "native_compile_time_s": self.native_compile_time_s,
             "cache_hits": self.cache_hits,
             "passes": [p.to_dict() for p in self.passes],
             "incidents": list(self.incidents),

@@ -165,6 +165,10 @@ def _timed_compile(pipe, cfg: PolyMgConfig):
     hits_before = stats.hits
     t0 = time.perf_counter()
     compiled = pipe.compile(cfg)
+    if cfg.backend == "native":
+        # the JIT build runs on a background thread; block on it here
+        # so native configurations are charged their cc wall time
+        compiled.ensure_native()
     elapsed = time.perf_counter() - t0
     return compiled, elapsed, stats.hits > hits_before
 

@@ -35,6 +35,7 @@ __all__ = [
     "POLYMG_VARIANTS",
     "LADDER_ORDER",
     "polymg_naive",
+    "polymg_native",
     "polymg_opt",
     "polymg_opt_plus",
     "polymg_dtile_opt_plus",
@@ -86,6 +87,18 @@ def polymg_dtile_opt_plus(**overrides) -> PolyMgConfig:
     return polymg_opt_plus(**base)
 
 
+def polymg_native(**overrides) -> PolyMgConfig:
+    """``polymg-native`` — ``opt+`` executed through the C/OpenMP JIT
+    backend (:mod:`repro.backend.native`): the emitted Figure-8 code is
+    compiled out-of-process into a shared object and invoked zero-copy
+    on the numpy buffers.  Degrades automatically to the planned numpy
+    execution of ``opt+`` when no toolchain is available or the build
+    fails, so the rung is always safe to stand on."""
+    base = dict(backend="native")
+    base.update(overrides)
+    return polymg_opt_plus(**base)
+
+
 def handopt_model(**overrides) -> PolyMgConfig:
     """``handopt`` expressed as a compiler configuration for the machine
     cost model: straightforward per-stage loops (no fusion/tiling) with
@@ -129,6 +142,7 @@ def handopt_pluto_model(**overrides) -> PolyMgConfig:
 #: variants below, so every ladder move routes through the
 #: content-addressed compile cache and costs no recompile.
 LADDER_ORDER = (
+    "polymg-native",
     "polymg-opt+",
     "polymg-opt",
     "polymg-dtile-opt+",
@@ -137,6 +151,7 @@ LADDER_ORDER = (
 
 POLYMG_VARIANTS = {
     "polymg-naive": polymg_naive,
+    "polymg-native": polymg_native,
     "polymg-opt": polymg_opt,
     "polymg-opt+": polymg_opt_plus,
     "polymg-dtile-opt+": polymg_dtile_opt_plus,

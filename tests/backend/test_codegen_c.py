@@ -6,9 +6,30 @@ import tempfile
 
 import pytest
 
-from repro.backend.codegen_c import POOL_RUNTIME, generate_c, generated_loc
+from repro.backend.codegen_c import (
+    NATIVE_ENTRY_NAME,
+    POOL_RUNTIME,
+    generate_c,
+    generate_native_c,
+    generated_loc,
+)
 from repro.multigrid import MultigridOptions, build_poisson_cycle
 from repro.variants import polymg_naive, polymg_opt, polymg_opt_plus
+
+STRICT_CFLAGS = ["-O1", "-fopenmp", "-Wall", "-Wextra", "-Werror", "-c"]
+
+
+def _compile_smoke(code: str) -> None:
+    cc = shutil.which("gcc") or shutil.which("cc")
+    with tempfile.NamedTemporaryFile("w", suffix=".c", delete=False) as fh:
+        fh.write(code)
+        path = fh.name
+    proc = subprocess.run(
+        [cc, *STRICT_CFLAGS, path, "-o", path + ".o"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr[:2000]
 
 
 @pytest.fixture(scope="module")
@@ -39,17 +60,27 @@ class TestFigure8Features:
         assert "double _buf_" in code
 
     def test_ivdep_inner(self, compiled_2d):
+        # #pragma ivdep is an unknown pragma to gcc; the emitted code
+        # carries a compiler-dispatched PMG_IVDEP macro instead
         code = generate_c(compiled_2d)
-        assert "#pragma ivdep" in code
+        assert "PMG_IVDEP" in code
+        assert '_Pragma("GCC ivdep")' in code
 
     def test_clamped_tile_bounds(self, compiled_2d):
         code = generate_c(compiled_2d)
         assert "max(" in code and "min(" in code
 
-    def test_tile_relative_scratch_indexing(self, compiled_2d):
+    def test_tile_region_propagation(self, compiled_2d):
         code = generate_c(compiled_2d)
-        # Figure 8's  _buf[(-32*T_i + i)*W + ...]  form
-        assert "- T_0" in code
+        # per-tile regions replayed from the tile coordinates T_d
+        assert "/* tile regions (backward footprint propagation) */" in code
+        assert "T_0" in code and "_s" in code
+
+    def test_scratch_indexed_by_region_origin(self, compiled_2d):
+        code = generate_c(compiled_2d)
+        # Figure 8's tile-relative scratch subscripts: the hoisted
+        # region lower bounds serve as the scratchpad origins
+        assert "_lb0)" in code and "_buf_" in code
 
     def test_output_returned(self, compiled_2d):
         code = generate_c(compiled_2d)
@@ -58,6 +89,25 @@ class TestFigure8Features:
     def test_pool_runtime_included(self, compiled_2d):
         code = generate_c(compiled_2d)
         assert POOL_RUNTIME.splitlines()[0] in code
+
+
+class TestNativeMode:
+    def test_entry_point_emitted(self, compiled_2d):
+        code = generate_native_c(compiled_2d)
+        assert f"int {NATIVE_ENTRY_NAME}(" in code
+        assert "pmg_buffer" in code
+        assert "pmg_check_buffer" in code
+
+    def test_outputs_written_in_place(self, compiled_2d):
+        code = generate_native_c(compiled_2d)
+        # native outputs are caller buffers, not pool allocations
+        assert "double *restrict out_" in code
+        assert "**restrict out_" not in code
+
+    def test_artifact_mode_has_no_abi(self, compiled_2d):
+        code = generate_c(compiled_2d)
+        assert NATIVE_ENTRY_NAME not in code
+        assert "pmg_buffer" not in code
 
 
 class TestLoc:
@@ -94,34 +144,23 @@ class TestLoc:
 )
 class TestCompileSmoke:
     def test_generated_code_compiles(self, compiled_2d):
-        cc = shutil.which("gcc") or shutil.which("cc")
-        code = generate_c(compiled_2d)
-        with tempfile.NamedTemporaryFile(
-            "w", suffix=".c", delete=False
-        ) as fh:
-            fh.write(code)
-            path = fh.name
-        proc = subprocess.run(
-            [cc, "-O1", "-fopenmp", "-c", path, "-o", path + ".o"],
-            capture_output=True,
-            text=True,
-        )
-        assert proc.returncode == 0, proc.stderr[:2000]
+        _compile_smoke(generate_c(compiled_2d))
+
+    def test_native_code_compiles(self, compiled_2d):
+        _compile_smoke(generate_native_c(compiled_2d))
 
     def test_3d_code_compiles(self):
-        cc = shutil.which("gcc") or shutil.which("cc")
         pipe = build_poisson_cycle(
             3, 16, MultigridOptions(cycle="V", n1=2, n2=1, n3=2, levels=2)
         )
-        code = generate_c(pipe.compile(polymg_opt_plus(tile_sizes={3: (4, 4, 8)})))
-        with tempfile.NamedTemporaryFile(
-            "w", suffix=".c", delete=False
-        ) as fh:
-            fh.write(code)
-            path = fh.name
-        proc = subprocess.run(
-            [cc, "-O1", "-fopenmp", "-c", path, "-o", path + ".o"],
-            capture_output=True,
-            text=True,
+        compiled = pipe.compile(
+            polymg_opt_plus(tile_sizes={3: (4, 4, 8)})
         )
-        assert proc.returncode == 0, proc.stderr[:2000]
+        _compile_smoke(generate_c(compiled))
+        _compile_smoke(generate_native_c(compiled))
+
+    def test_naive_code_compiles(self):
+        pipe = build_poisson_cycle(
+            2, 32, MultigridOptions(cycle="V", n1=1, n2=1, n3=1, levels=2)
+        )
+        _compile_smoke(generate_c(pipe.compile(polymg_naive())))

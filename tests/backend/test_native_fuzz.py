@@ -1,0 +1,252 @@
+"""Native-vs-planned parity fuzzing (the PR-5 correctness net).
+
+The native C/OpenMP JIT backend must compute the same answers as the
+planned numpy backend on every pipeline it claims to lower: multigrid
+V/W-cycles in 2-D and 3-D, the NAS MG cycle, several thread counts,
+and randomly generated stencil DAGs with mixed stencil extents (ghost
+widths up to 2 in each direction).  Differences are bounded by tight
+``allclose`` tolerances rather than bit equality — ``-O3
+-march=native`` is free to reassociate floating-point sums.
+
+Every test here degrades gracefully on a machine without a C
+toolchain: parity tests skip with a notice, and the fallback test
+asserts the planned path still answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.native import discover_compiler, unlowerable_reason
+from repro.compiler import compile_pipeline
+from repro.lang.expr import Case
+from repro.lang.function import Function, Grid
+from repro.lang.parameters import Interval, Parameter, Variable
+from repro.lang.stencil import Stencil
+from repro.lang.types import Double, Float, Int
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.multigrid.nas_mg import build_nas_mg_cycle
+from repro.multigrid.reference import MultigridOptions
+from repro.variants import polymg_native, polymg_opt_plus
+
+HAVE_CC = discover_compiler() is not None
+needs_cc = pytest.mark.skipif(
+    not HAVE_CC, reason="no C toolchain on PATH (cc/gcc/clang)"
+)
+
+RTOL, ATOL = 1e-9, 1e-11
+
+TILES = {2: (8, 16), 3: (4, 8, 8)}
+
+
+def _cycle_case(ndim: int, cycle: str, n: int, smoothing, levels=3):
+    pipe = build_poisson_cycle(
+        ndim,
+        n,
+        MultigridOptions(
+            cycle=cycle,
+            n1=smoothing[0],
+            n2=smoothing[1],
+            n3=smoothing[2],
+            levels=levels,
+        ),
+    )
+    rng = np.random.default_rng(20170712)
+    shape = (n + 2,) * ndim
+    inputs = pipe.make_inputs(
+        rng.standard_normal(shape), rng.standard_normal(shape)
+    )
+    return pipe, inputs
+
+
+def _run_both(pipe, inputs, threads: int):
+    """Execute the pipeline through planned numpy and native C,
+    returning (planned_out, native_out, native_compiled)."""
+    planned = compile_pipeline(
+        pipe.output,
+        pipe.params,
+        polymg_opt_plus(tile_sizes=dict(TILES), num_threads=threads),
+        name=pipe.name,
+        cache=False,
+    )
+    expected = planned.execute(dict(inputs))[pipe.output.name]
+    native = compile_pipeline(
+        pipe.output,
+        pipe.params,
+        polymg_native(tile_sizes=dict(TILES), num_threads=threads),
+        name=pipe.name,
+        cache=False,
+    )
+    native.ensure_native()
+    got = native.execute(dict(inputs))[pipe.output.name]
+    return expected, got, native
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "ndim,cycle,n,smoothing,threads",
+    [
+        (2, "V", 32, (4, 4, 4), 1),
+        (2, "V", 32, (10, 0, 0), 4),
+        (2, "W", 32, (4, 4, 4), 2),
+        (2, "W", 16, (2, 2, 2), 1),
+        (3, "V", 16, (4, 4, 4), 2),
+        (3, "W", 16, (2, 2, 2), 4),
+    ],
+)
+def test_native_matches_planned_on_multigrid_cycles(
+    ndim, cycle, n, smoothing, threads
+):
+    pipe, inputs = _cycle_case(ndim, cycle, n, smoothing)
+    expected, got, native = _run_both(pipe, inputs, threads)
+    assert native.stats.native_executions == 1
+    assert native.stats.native_fallbacks == 0
+    assert got.shape == expected.shape
+    assert np.allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+
+@needs_cc
+@pytest.mark.parametrize("threads", [1, 2])
+def test_native_matches_planned_on_nas_mg(threads):
+    n = 16
+    pipe = build_nas_mg_cycle(n)
+    rng = np.random.default_rng(20170712)
+    shape = (n + 2,) * 3
+    inputs = pipe.make_inputs(
+        rng.standard_normal(shape), rng.standard_normal(shape)
+    )
+    expected, got, native = _run_both(pipe, inputs, threads)
+    assert native.stats.native_executions == 1
+    assert np.allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+
+@needs_cc
+def test_native_is_deterministic_across_repeat_executes():
+    pipe, inputs = _cycle_case(2, "V", 32, (2, 2, 2))
+    native = compile_pipeline(
+        pipe.output,
+        pipe.params,
+        polymg_native(tile_sizes=dict(TILES), num_threads=2),
+        name=pipe.name,
+        cache=False,
+    )
+    native.ensure_native()
+    first = native.execute(dict(inputs))[pipe.output.name]
+    for _ in range(3):
+        again = native.execute(dict(inputs))[pipe.output.name]
+        assert np.array_equal(again, first)
+
+
+# ---------------------------------------------------------------------------
+# random stencil DAGs (ghost widths up to 2, mixed boundary handling)
+# ---------------------------------------------------------------------------
+
+N_VAL = 20
+
+
+def _weights(draw, lo=1, hi=5):
+    w = st.integers(-3, 3)
+    rows = draw(st.integers(lo, hi))
+    cols = draw(st.integers(lo, hi))
+    return [[draw(w) for _ in range(cols)] for _ in range(rows)]
+
+
+@st.composite
+def stencil_pipelines(draw):
+    """A random feed-forward stencil pipeline over one input grid;
+    stencil extents up to 5x5 exercise ghost widths 0..2."""
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    g = Grid(Double, "G", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    interior = (y >= 2) & (y <= n - 1) & (x >= 2) & (x <= n - 1)
+
+    stages = [g]
+    for i in range(draw(st.integers(2, 5))):
+        src_a = stages[draw(st.integers(0, len(stages) - 1))]
+        src_b = stages[draw(st.integers(0, len(stages) - 1))]
+        expr = Stencil(
+            src_a, (y, x), _weights(draw), draw(st.floats(0.1, 1.0))
+        )
+        if draw(st.booleans()):
+            expr = expr + src_b(y, x) * draw(st.floats(-1.0, 1.0))
+        f = Function(([y, x], [ext, ext]), Double, f"s{i}")
+        if draw(st.booleans()):
+            f.defn = [Case(interior, expr), src_a(y, x)]
+        else:
+            f.defn = [Case(interior, expr), 0.0]
+        stages.append(f)
+    return stages[-1]
+
+
+@needs_cc
+@settings(max_examples=15, deadline=None)
+@given(stencil_pipelines(), st.sampled_from([(4, 8), (8, 8), (6, 10)]))
+def test_native_matches_planned_on_random_dags(out_fn, tiles):
+    rng = np.random.default_rng(99)
+    inputs = {"G": rng.standard_normal((N_VAL + 2, N_VAL + 2))}
+    cfg_kw = dict(
+        tile_sizes={2: tiles}, overlap_threshold=2.0, num_threads=2
+    )
+    planned = compile_pipeline(
+        out_fn, {"N": N_VAL}, polymg_opt_plus(**cfg_kw), cache=False
+    )
+    expected = planned.execute(inputs)[out_fn.name]
+    native = compile_pipeline(
+        out_fn, {"N": N_VAL}, polymg_native(**cfg_kw), cache=False
+    )
+    native.ensure_native()
+    got = native.execute(inputs)[out_fn.name]
+    assert native.stats.native_executions == 1, (
+        native._native_disabled
+    )
+    assert np.allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+
+# ---------------------------------------------------------------------------
+# dtype gate: non-double pipelines stay on the numpy backend
+# ---------------------------------------------------------------------------
+
+
+def _float32_pipeline():
+    n = Parameter(Int, "N")
+    y, x = Variable("y"), Variable("x")
+    g = Grid(Float, "G", [n + 2, n + 2])
+    ext = Interval(Int, 0, n + 1)
+    interior = (y >= 1) & (y <= n) & (x >= 1) & (x <= n)
+    f = Function(([y, x], [ext, ext]), Float, "blur32")
+    f.defn = [
+        Case(
+            interior,
+            Stencil(g, (y, x), [[1, 2, 1], [2, 4, 2], [1, 2, 1]], 1 / 16),
+        ),
+        g(y, x),
+    ]
+    return f
+
+
+def test_float32_pipeline_is_unlowerable_and_falls_back():
+    out = _float32_pipeline()
+    cfg = polymg_native(tile_sizes={2: (8, 8)}, num_threads=1)
+    compiled = compile_pipeline(out, {"N": 16}, cfg, cache=False)
+    assert unlowerable_reason(compiled) is not None
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((18, 18)).astype(np.float32)
+    result = compiled.execute({"G": data})["blur32"]
+    # fell back to the numpy backend: correct answer, visible incident
+    assert result.dtype == np.float32
+    assert compiled.stats.native_executions == 0
+    assert compiled.stats.native_fallbacks >= 1
+    kinds = [rec["kind"] for rec in compiled.report.incidents]
+    assert "native-fallback" in kinds
+
+    reference = compile_pipeline(
+        out,
+        {"N": 16},
+        polymg_opt_plus(tile_sizes={2: (8, 8)}),
+        cache=False,
+    ).execute({"G": data})["blur32"]
+    assert np.array_equal(result, reference)

@@ -132,6 +132,10 @@ class TestKeying:
         def bumped(name, value):
             if name == "verify_level":
                 return "cheap" if value != "cheap" else "full"
+            if name == "backend":
+                return "interpreted" if value != "interpreted" else "planned"
+            if name == "native_cflags":
+                return ("-O2", "-fPIC", "-shared")
             if value is None:  # optional fields (e.g. pool_byte_budget)
                 return 1 << 20
             if isinstance(value, bool):
