@@ -1,0 +1,400 @@
+"""PR 6 benchmark: the multi-tenant solve service under load.
+
+Drives :class:`repro.service.SolveService` through three scenarios and
+emits ``BENCH_PR6.json`` at the repository root:
+
+* **steady** — mixed 2-D/3-D traffic from three tenants at a
+  sustainable rate: requests/second and p50/p99 admission-to-resolution
+  latency;
+* **overload** — the same traffic submitted at ~2x what the fleet
+  budget admits, against a small queue: the graded responses engage
+  (defer / degrade / shed by priority class) and the headline
+  assertions are **zero lost requests** (submitted == resolved +
+  typed-refused, exactly), **zero incorrect solves** (every completed
+  iterate's residual re-verified from scratch), and a bounded p99 for
+  what was admitted;
+* **soak** (``--soak-seconds N``) — N seconds of mixed traffic with
+  the PR-1 transient fault injector armed at random, service-level
+  retryable faults raised at random, and a worker killed mid-run;
+  asserts no deadlock (drain completes), no lost requests, a bounded
+  incident log, and a clean final health snapshot.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --small   # CI
+    PYTHONPATH=src python benchmarks/bench_service.py --small --soak-seconds 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionRejected,
+    NumericalDivergenceError,
+    ReproError,
+)
+from repro.multigrid.kernels import norm_residual
+from repro.multigrid.reference import MultigridOptions
+from repro.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantPolicy,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+OPTS = MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=4, omega=0.8)
+# planned numpy rungs: deterministic, toolchain-independent timing
+LADDER = ("polymg-opt+", "polymg-opt", "polymg-naive")
+TENANTS = ("alpha", "beta", "gamma")
+PRIORITY_MIX = ("high", "normal", "normal", "normal", "low", "low")
+
+
+def _grid_sizes(small: bool):
+    # every size divisible by 2**(levels-1) = 8 (coarsening chain)
+    return {2: 32 if small else 64, 3: 16 if small else 32}
+
+
+def _overrides(small: bool):
+    if small:
+        return {"tile_sizes": {2: (8, 16), 3: (4, 4, 8)}}
+    return {}
+
+
+def _make_requests(rng, small: bool, count: int, max_cycles=8):
+    sizes = _grid_sizes(small)
+    requests = []
+    for i in range(count):
+        ndim = 2 if i % 3 else 3  # 2:1 mix of 2-D and 3-D
+        n = sizes[ndim]
+        f = np.zeros((n + 2,) * ndim)
+        f[(slice(1, -1),) * ndim] = rng.standard_normal((n,) * ndim)
+        requests.append(
+            SolveRequest(
+                tenant=TENANTS[i % len(TENANTS)],
+                ndim=ndim,
+                N=n,
+                f=f,
+                opts=OPTS,
+                priority=PRIORITY_MIX[i % len(PRIORITY_MIX)],
+                max_cycles=max_cycles,
+            )
+        )
+    return requests
+
+
+def _verify_completed(tickets) -> int:
+    """Re-verify every completed solve from scratch; returns the count
+    of *incorrect* results (must be zero)."""
+    bad = 0
+    for ticket in tickets:
+        if ticket.error is not None or not ticket.done():
+            continue
+        result = ticket.result(timeout=0)
+        request = ticket.request
+        h = 1.0 / (request.N + 1)
+        check = norm_residual(result.u, request.f, h)
+        reported = result.residual_norms[-1]
+        if not np.isfinite(check) or abs(check - reported) > 1e-8 * max(
+            1.0, reported
+        ):
+            bad += 1
+    return bad
+
+
+def _latency_stats(tickets) -> dict:
+    lat = sorted(
+        t.latency() for t in tickets if t.latency() is not None
+    )
+    if not lat:
+        return {"count": 0}
+    arr = np.asarray(lat)
+    return {
+        "count": len(lat),
+        "p50_s": round(float(np.percentile(arr, 50)), 4),
+        "p99_s": round(float(np.percentile(arr, 99)), 4),
+        "max_s": round(float(arr.max()), 4),
+    }
+
+
+def _accounting(service, submitted, refused) -> dict:
+    resolved = (
+        service.completed + service.failed + service.shed
+    )
+    return {
+        "submitted": submitted,
+        "typed_refusals": refused,
+        "completed": service.completed,
+        "failed": service.failed,
+        "shed": service.shed,
+        "preempted": service.preempted,
+        "resolved_plus_refused": resolved + refused,
+        "lost": submitted - resolved - refused,
+    }
+
+
+def steady_scenario(rng, small: bool, sink=None) -> dict:
+    count = 24 if small else 96
+    service = SolveService(
+        ServiceConfig(
+            workers=4,
+            queue_capacity=count,
+            config_overrides=_overrides(small),
+            ladder_variants=LADDER,
+            default_tenant_policy=TenantPolicy(
+                rate=None, max_concurrent=count
+            ),
+        )
+    )
+    requests = _make_requests(rng, small, count)
+    t0 = time.monotonic()
+    tickets = [service.submit(r) for r in requests]
+    for ticket in tickets:
+        ticket.wait(timeout=600)
+    elapsed = time.monotonic() - t0
+    incorrect = _verify_completed(tickets)
+    summary = service.drain(timeout=30)
+    if sink is not None:
+        sink.append(("steady", service.log))
+    return {
+        "scenario": "steady",
+        "requests": count,
+        "elapsed_s": round(elapsed, 3),
+        "requests_per_s": round(count / elapsed, 2),
+        "latency": _latency_stats(tickets),
+        "incorrect_solves": incorrect,
+        "accounting": _accounting(service, count, 0),
+        "drain": {"status": summary["status"]},
+    }
+
+
+def overload_scenario(rng, small: bool, sink=None) -> dict:
+    count = 48 if small else 160
+    sizes = _grid_sizes(small)
+    # budget sized so roughly half the burst fits: the graded levels
+    # must engage during the run
+    per_request = 6 * 8 * (sizes[2] + 2) ** 2
+    service = SolveService(
+        ServiceConfig(
+            workers=2,
+            queue_capacity=max(4, count // 8),
+            config_overrides=_overrides(small),
+            ladder_variants=LADDER,
+            max_fleet_bytes=int(per_request * count * 0.3),
+            default_tenant_policy=TenantPolicy(
+                rate=None, max_concurrent=count
+            ),
+        )
+    )
+    requests = _make_requests(rng, small, count)
+    tickets = []
+    refusals: dict[str, int] = {}
+    t0 = time.monotonic()
+    for request in requests:
+        try:
+            tickets.append(service.submit(request))
+        except AdmissionRejected as err:
+            reason = err.context.get("reason", type(err).__name__)
+            refusals[reason] = refusals.get(reason, 0) + 1
+    for ticket in tickets:
+        ticket.wait(timeout=600)
+    elapsed = time.monotonic() - t0
+    incorrect = _verify_completed(tickets)
+    refused = sum(refusals.values())
+    accounting = _accounting(service, count, refused)
+    health = service.healthz()
+    summary = service.drain(timeout=30)
+    if sink is not None:
+        sink.append(("overload", service.log))
+    return {
+        "scenario": "overload",
+        "requests": count,
+        "admitted": len(tickets),
+        "refusals_by_reason": refusals,
+        "elapsed_s": round(elapsed, 3),
+        "latency_admitted": _latency_stats(tickets),
+        "incorrect_solves": incorrect,
+        "accounting": accounting,
+        "peak_utilization": health["budget"]["peak_utilization"],
+        "overload_incidents": sum(
+            1 for r in service.log.records if r.kind == "overload"
+        ),
+        "drain": {"status": summary["status"]},
+    }
+
+
+def soak_scenario(rng, small: bool, seconds: float, sink=None) -> dict:
+    from repro.verify.faults import inject_transient_nan_poison
+
+    chaos = np.random.default_rng(20170712)
+
+    def fault_hook(supervisor, request):
+        roll = chaos.random()
+        if roll < 0.05:
+            # service-level transient: exercises retry-with-backoff
+            raise NumericalDivergenceError("soak: injected transient")
+        if roll < 0.10:
+            # pipeline-level transient: exercises checkpoint restore
+            # and the degradation ladder underneath the service
+            try:
+                compiled = supervisor.resilient.compiled_for(
+                    supervisor.ladder.active()
+                )
+                inject_transient_nan_poison(
+                    compiled,
+                    invocation=compiled.stats.executions + 2,
+                )
+            except (ReproError, ValueError):
+                pass  # rung not injectable right now: fine, it's chaos
+
+    service = SolveService(
+        ServiceConfig(
+            workers=3,
+            queue_capacity=16,
+            incident_capacity=512,
+            config_overrides=_overrides(small),
+            ladder_variants=LADDER,
+            default_tenant_policy=TenantPolicy(
+                rate=None, max_concurrent=64
+            ),
+            fault_hook=fault_hook,
+        )
+    )
+    tickets = []
+    refused = 0
+    kills = 0
+    deadline = time.monotonic() + seconds
+    next_kill = time.monotonic() + seconds / 3
+    i = 0
+    while time.monotonic() < deadline:
+        for request in _make_requests(rng, small, 6, max_cycles=6):
+            try:
+                tickets.append(service.submit(request))
+            except AdmissionRejected:
+                refused += 1
+        if time.monotonic() >= next_kill:
+            service.kill_worker()
+            kills += 1
+            next_kill += max(5.0, seconds / 3)
+        # pace: wait for the oldest unresolved ticket
+        for ticket in tickets[-12:]:
+            ticket.wait(timeout=120)
+        i += 1
+    for ticket in tickets:
+        assert ticket.wait(timeout=600), "soak: unresolved ticket"
+    incorrect = _verify_completed(tickets)
+    accounting = _accounting(service, len(tickets) + refused, refused)
+    ring = service.log.ring_stats()
+    summary = service.drain(timeout=60)
+    assert summary["status"] == "drained", "soak: drain did not complete"
+    assert accounting["lost"] == 0, "soak: lost requests"
+    assert incorrect == 0, "soak: incorrect solves"
+    assert ring["retained"] <= 512, "soak: incident log unbounded"
+    if sink is not None:
+        sink.append(("soak", service.log))
+    return {
+        "scenario": "soak",
+        "seconds": seconds,
+        "rounds": i,
+        "worker_kills": kills,
+        "latency": _latency_stats(tickets),
+        "incorrect_solves": incorrect,
+        "accounting": accounting,
+        "incident_ring": ring,
+        "retries": sum(
+            1 for r in service.log.records if r.kind == "retry"
+        ),
+        "drain": {"status": summary["status"]},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument("--soak-seconds", type=float, default=0.0)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_PR6.json")
+    )
+    parser.add_argument(
+        "--incident-log",
+        default=None,
+        help="also dump the soak/overload incident trail here",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20170712)
+    results = {"bench": "service", "small": args.small}
+    logs: list[tuple[str, object]] = []
+
+    print("== steady scenario ==")
+    results["steady"] = steady_scenario(rng, args.small, logs)
+    print(json.dumps(results["steady"], indent=2))
+
+    print("== overload scenario ==")
+    results["overload"] = overload_scenario(rng, args.small, logs)
+    print(json.dumps(results["overload"], indent=2))
+
+    if args.soak_seconds > 0:
+        print(f"== soak scenario ({args.soak_seconds:.0f}s) ==")
+        results["soak"] = soak_scenario(
+            rng, args.small, args.soak_seconds, logs
+        )
+        print(json.dumps(results["soak"], indent=2))
+
+    if args.incident_log:
+        # one combined trail, each record tagged with its scenario; a
+        # ring that dropped records leads with its drop accounting so
+        # the artifact is self-describing (same shape the chaos CI
+        # dump_incident_log produces)
+        records = []
+        for name, log in logs:
+            ring = log.ring_stats()
+            if ring["dropped"]:
+                records.append(
+                    {"scenario": name, "kind": "ring-stats", **ring}
+                )
+            records.extend(
+                {"scenario": name, **rec} for rec in log.to_dicts()
+            )
+        path = pathlib.Path(args.incident_log)
+        path.write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {path} ({len(records)} records)")
+
+    # the hard gates: nothing lost, nothing wrong, overload was graded
+    failures = []
+    for name in ("steady", "overload", "soak"):
+        if name not in results:
+            continue
+        scenario = results[name]
+        if scenario["accounting"]["lost"] != 0:
+            failures.append(f"{name}: lost requests")
+        if scenario["incorrect_solves"] != 0:
+            failures.append(f"{name}: incorrect solves")
+    if results["overload"]["refusals_by_reason"]:
+        lat = results["overload"]["latency_admitted"]
+        if lat.get("p99_s", 0) > 600:
+            failures.append("overload: unbounded p99")
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,12 +122,33 @@ def _incident_dicts(log) -> list[dict]:
     return list(log)
 
 
+def _ring_stats(log) -> dict | None:
+    """Ring-buffer accounting of a capacity-bounded IncidentLog (also
+    reachable through a result/report's ``.incidents``), else None."""
+    if hasattr(log, "ring_stats"):
+        return log.ring_stats()
+    inner = getattr(log, "incidents", None)
+    if hasattr(inner, "ring_stats"):
+        return inner.ring_stats()
+    return None
+
+
 def print_incident_log(log, title: str = "incident log") -> None:
     """Render a resilience incident trail
     (:class:`~repro.resilience.incidents.IncidentLog`, a supervised
-    solve result, or a compile report carrying incidents) as a table."""
+    solve result, or a compile report carrying incidents) as a table.
+    A ring-buffered log that dropped records says so up front — a
+    truncated audit trail must never read as a complete one."""
     records = _incident_dicts(log)
+    ring = _ring_stats(log)
     banner(f"{title} ({len(records)} incidents)")
+    if ring and ring["dropped"]:
+        span = ring["last_drop_ts"] - ring["first_drop_ts"]
+        print(
+            f"!! ring buffer dropped {ring['dropped']} older incidents "
+            f"({ring['total_recorded']} total recorded, capacity "
+            f"{ring['capacity']}, drops spanned {span:.1f}s)"
+        )
     if not records:
         print("(clean run)")
         return
@@ -150,7 +171,13 @@ def print_incident_log(log, title: str = "incident log") -> None:
 
 def dump_incident_log(log, path) -> None:
     """Write an incident trail to ``path`` as JSON (the chaos-CI
-    artifact format)."""
+    artifact format: a list of record dicts).  When the log is a ring
+    buffer that dropped records, a leading ``ring-stats`` pseudo-record
+    carries the drop accounting so the artifact is self-describing."""
+    records = _incident_dicts(log)
+    ring = _ring_stats(log)
+    if ring and ring["dropped"]:
+        records = [{"kind": "ring-stats", **ring}] + records
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(_incident_dicts(log), fh, indent=2)
+        json.dump(records, fh, indent=2)
         fh.write("\n")

@@ -55,14 +55,20 @@ loaded), and the store is size-bounded with LRU-by-mtime eviction.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
+
+try:  # POSIX only; the store degrades to thread-level locking without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 if TYPE_CHECKING:  # pragma: no cover
     from .backend.executor import CompiledPipeline
@@ -361,6 +367,18 @@ class NativeArtifactStore:
     with an identical artifact).  A served artifact is re-hashed
     against its sidecar first: corruption (truncated file, bit rot,
     partial copy) deletes the entry instead of loading it.
+
+    Cross-process mutual exclusion: every ``get``/``put``/``clear``
+    holds an exclusive ``flock`` on ``<root>/.store.lock`` in addition
+    to the in-process thread lock.  Without it, two renames inside
+    ``put`` (``.so`` then ``.json``) are individually atomic but not
+    *jointly*: a reader in another process can observe the new shared
+    object against the old sidecar, "detect" a hash mismatch, and
+    delete a perfectly good artifact.  The same window lets concurrent
+    LRU evictions unlink a file another process is mid-hash on.  The
+    lock is advisory, held only for the store operation (never across
+    a compile), and degrades to thread-only locking where ``fcntl`` is
+    unavailable.
     """
 
     def __init__(
@@ -371,6 +389,21 @@ class NativeArtifactStore:
         self._lock = threading.Lock()
         self.stats = NativeArtifactStats()
 
+    @contextlib.contextmanager
+    def _flock(self):
+        """Exclusive inter-process lock over the store directory."""
+        if fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.root / ".store.lock", os.O_RDWR | os.O_CREAT)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            # closing the fd releases the flock
+            os.close(fd)
+
     def _so_path(self, key: str) -> Path:
         return self.root / f"{key}.so"
 
@@ -380,7 +413,7 @@ class NativeArtifactStore:
     def get(self, key: str) -> Path | None:
         """Return the artifact path for ``key``, or ``None`` on miss or
         on a corrupt artifact (which is deleted)."""
-        with self._lock:
+        with self._lock, self._flock():
             so = self._so_path(key)
             meta = self._meta_path(key)
             if not so.is_file() or not meta.is_file():
@@ -408,7 +441,7 @@ class NativeArtifactStore:
     def put(self, key: str, built_so: Path, meta: dict | None = None) -> Path:
         """Move a freshly built shared object into the store under
         ``key`` (atomic rename-into-place) and return its final path."""
-        with self._lock:
+        with self._lock, self._flock():
             self.root.mkdir(parents=True, exist_ok=True)
             built_so = Path(built_so)
             digest = _sha256_file(built_so)
@@ -451,7 +484,7 @@ class NativeArtifactStore:
             self.stats.evictions += 1
 
     def clear(self) -> None:
-        with self._lock:
+        with self._lock, self._flock():
             if not self.root.is_dir():
                 return
             for p in list(self.root.glob("*.so")) + list(

@@ -39,6 +39,22 @@ no debugger required.  The hierarchy:
     cross-check against the numpy backend diverged).  All of these are
     recoverable: the executor logs an incident and falls back to the
     planned numpy backend.
+``ServiceError``
+    the multi-tenant solve service (:mod:`repro.service`) refused or
+    interrupted a request — *by design, loudly, and typed*: the
+    service never hangs a caller and never drops work silently.
+    ``AdmissionRejected`` is the root of every admission-time refusal
+    (carrying the tenant, the reason, and — where meaningful — a
+    ``retry_after`` hint): ``QueueSaturated`` (bounded request queue
+    full and the request did not outrank a queued victim),
+    ``TenantRateLimited`` (token bucket empty),
+    ``TenantConcurrencyExceeded`` (per-tenant concurrent-solve cap),
+    ``AdmissionDeferred`` (fleet overload: graded response deferred
+    this priority class), ``ServiceOverloaded`` (fleet at shed level),
+    and ``ServiceDraining`` (shutdown in progress).
+    ``SolvePreempted`` resolves an admitted-but-unfinished request at
+    drain time, carrying the path of its persisted checkpoint so the
+    solve is recoverable by a later service instance.
 ``TrialFailure``
     one autotuning trial failed (compile error, runtime fault, or
     wall-clock timeout); the search quarantines it and continues.
@@ -69,6 +85,15 @@ __all__ = [
     "NativeCompileError",
     "NativeABIError",
     "NativeVerificationError",
+    "ServiceError",
+    "AdmissionRejected",
+    "QueueSaturated",
+    "TenantRateLimited",
+    "TenantConcurrencyExceeded",
+    "AdmissionDeferred",
+    "ServiceOverloaded",
+    "ServiceDraining",
+    "SolvePreempted",
     "TrialFailure",
 ]
 
@@ -203,6 +228,68 @@ class NativeABIError(NativeBackendError, ValueError):
 class NativeVerificationError(NativeBackendError):
     """The ``verify_level=full`` one-cycle cross-check between the
     native and numpy backends diverged beyond tolerance."""
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant solve service
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """The solve service refused or interrupted a request.  Every
+    refusal is synchronous and typed — the service's contract is that a
+    caller is never hung and work is never dropped silently."""
+
+
+class AdmissionRejected(ServiceError):
+    """Root of every admission-time refusal.  Context carries the
+    tenant, the structured reason, and — for refusals worth retrying —
+    a ``retry_after`` hint in seconds."""
+
+    @property
+    def retry_after(self) -> float | None:
+        return self.context.get("retry_after")
+
+
+class QueueSaturated(AdmissionRejected):
+    """The bounded request queue is full and the incoming request did
+    not outrank any queued victim, so load was shed at the door."""
+
+
+class TenantRateLimited(AdmissionRejected):
+    """The tenant's token bucket is empty; ``retry_after`` says when
+    the next token lands."""
+
+
+class TenantConcurrencyExceeded(AdmissionRejected):
+    """The tenant already has its maximum number of solves admitted
+    (queued + running)."""
+
+
+class AdmissionDeferred(AdmissionRejected):
+    """The fleet budget entered a graded overload level that defers
+    this request's priority class; retry after the hint or escalate
+    the priority."""
+
+
+class ServiceOverloaded(AdmissionRejected):
+    """The fleet budget reached the shed level: only the highest
+    priority class is being admitted."""
+
+
+class ServiceDraining(AdmissionRejected):
+    """The service is draining (graceful shutdown): no new admissions."""
+
+
+class SolvePreempted(ServiceError):
+    """An admitted solve was preempted by drain or a worker loss and
+    could not be finished in time; ``checkpoint_path`` in the context
+    locates its persisted :class:`~repro.resilience.SolveCheckpoint`
+    for recovery by a later service instance."""
+
+    @property
+    def checkpoint_path(self) -> str | None:
+        return self.context.get("checkpoint_path")
 
 
 # ---------------------------------------------------------------------------

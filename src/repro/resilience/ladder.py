@@ -6,8 +6,8 @@ every later invocation pays the slow path.  The ladder replaces that
 with *graded* degradation over the ordered variant list of
 :data:`repro.variants.LADDER_ORDER`:
 
-``polymg-opt+`` -> ``polymg-opt`` -> ``polymg-dtile-opt+`` ->
-``polymg-naive``
+``polymg-native`` -> ``polymg-opt+`` -> ``polymg-opt`` ->
+``polymg-dtile-opt+`` -> ``polymg-naive``
 
 Each rung carries a :class:`VariantHealth` record — sliding-window
 error rate, consecutive-failure count — and a circuit breaker with the
@@ -32,10 +32,21 @@ The ladder is purely a control-plane object: it never compiles or
 executes anything itself (see
 :class:`~repro.resilience.pipeline.ResilientPipeline`), so it is
 trivially testable with a fake clock.
+
+**Concurrency.**  One ladder is shared by every worker of the
+multi-tenant solve service, so all state transitions run under an
+internal re-entrant lock, and the half-open *probe slot* is explicitly
+accounted: the transition open -> half-open hands exactly one caller
+the probe (``VariantHealth.probe_in_flight``); concurrent selectors
+skip a rung whose probe is already in flight and serve the next rung
+down instead, so one faulty variant is never probed by the whole fleet
+at once (a stampede would multiply the fault, not heal it).  Recording
+the probe's outcome — success or failure — releases the slot.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -71,6 +82,10 @@ class VariantHealth:
     cooldown: float = 0.0
     open_until: float = 0.0
     half_open_successes: int = 0
+    #: a half-open rung serves exactly one in-flight probe at a time;
+    #: set when :meth:`DegradationLadder.select` hands the probe to a
+    #: caller, cleared when its outcome is recorded
+    probe_in_flight: bool = False
 
     def error_rate(self) -> float:
         """Failure fraction over the sliding window (0.0 when empty)."""
@@ -146,102 +161,145 @@ class DegradationLadder:
             name: VariantHealth(name, window=deque(maxlen=window))
             for name in self.variants
         }
+        #: guards every state transition — the ladder is shared by all
+        #: solve-service workers (re-entrant: ``record_failure`` calls
+        #: ``trip`` with the lock held)
+        self._lock = threading.RLock()
+
+    def _start_index(self, ceiling: str | None) -> int:
+        if ceiling is None:
+            return 0
+        try:
+            return self.variants.index(ceiling)
+        except ValueError:
+            raise KeyError(
+                f"unknown ladder rung {ceiling!r}; known: {self.variants}"
+            ) from None
 
     # -- selection ------------------------------------------------------
-    def select(self) -> str:
+    def select(self, *, ceiling: str | None = None) -> str:
         """The rung to serve the next invocation: the highest variant
         whose circuit admits traffic.  An open circuit whose cooldown
-        has expired transitions to half-open (a probe) here."""
-        now = self.clock()
-        for name in self.variants:
-            h = self.health[name]
-            if h.state == CLOSED:
-                return name
-            if h.state == OPEN and now >= h.open_until:
-                h.state = HALF_OPEN
-                h.half_open_successes = 0
-                self.log.record(
-                    "probe",
-                    variant=name,
-                    details={"after_cooldown": h.cooldown},
-                )
-                return name
-            if h.state == HALF_OPEN:
-                return name
-        # every circuit is open: the last rung is the degradation floor
-        return self.variants[-1]
+        has expired transitions to half-open (a probe) here; the caller
+        that receives the transition owns the single probe slot, and
+        concurrent callers skip the rung until the probe's outcome is
+        recorded.
 
-    def active(self) -> str:
+        ``ceiling`` restricts selection to rungs at or below the named
+        variant — the solve service forces ``polymg-naive`` for
+        low-priority tenants under overload by passing it here.
+        """
+        with self._lock:
+            now = self.clock()
+            for name in self.variants[self._start_index(ceiling):]:
+                h = self.health[name]
+                if h.state == CLOSED:
+                    return name
+                if h.state == OPEN and now >= h.open_until:
+                    h.state = HALF_OPEN
+                    h.half_open_successes = 0
+                    h.probe_in_flight = True
+                    self.log.record(
+                        "probe",
+                        variant=name,
+                        details={"after_cooldown": h.cooldown},
+                    )
+                    return name
+                if h.state == HALF_OPEN and not h.probe_in_flight:
+                    h.probe_in_flight = True
+                    return name
+                # OPEN still cooling, or HALF_OPEN with its probe slot
+                # taken by another worker: try the next rung down
+            # every circuit is open or probing: the last rung is the
+            # degradation floor — it serves regardless
+            return self.variants[-1]
+
+    def active(self, *, ceiling: str | None = None) -> str:
         """Like :meth:`select` but side-effect free (no probe
-        transition): the rung :meth:`select` would *currently* return
-        if every open cooldown were still running."""
-        for name in self.variants:
-            h = self.health[name]
-            if h.state in (CLOSED, HALF_OPEN):
-                return name
-        return self.variants[-1]
+        transition, no slot claim): the rung :meth:`select` would
+        *currently* return if every open cooldown were still running."""
+        with self._lock:
+            for name in self.variants[self._start_index(ceiling):]:
+                h = self.health[name]
+                if h.state in (CLOSED, HALF_OPEN):
+                    return name
+            return self.variants[-1]
 
     # -- outcome recording ----------------------------------------------
     def record_success(self, name: str) -> None:
-        h = self.health[name]
-        h.invocations += 1
-        h.window.append(True)
-        if h.state == HALF_OPEN:
-            h.half_open_successes += 1
-            if h.half_open_successes >= self.promote_after:
-                h.state = CLOSED
+        with self._lock:
+            h = self.health[name]
+            h.invocations += 1
+            h.window.append(True)
+            if h.state == HALF_OPEN:
+                h.probe_in_flight = False
+                h.half_open_successes += 1
+                if h.half_open_successes >= self.promote_after:
+                    h.state = CLOSED
+                    h.consecutive_failures = 0
+                    h.cooldown = 0.0
+                    self.log.record(
+                        "promote",
+                        variant=name,
+                        details={
+                            "probe_successes": h.half_open_successes
+                        },
+                    )
+            else:
                 h.consecutive_failures = 0
-                h.cooldown = 0.0
-                self.log.record(
-                    "promote",
-                    variant=name,
-                    details={"probe_successes": h.half_open_successes},
-                )
-        else:
-            h.consecutive_failures = 0
 
-    def record_failure(self, name: str, error: Exception | None = None) -> None:
-        h = self.health[name]
-        h.invocations += 1
-        h.failures += 1
-        h.window.append(False)
-        h.consecutive_failures += 1
-        if h.state == HALF_OPEN or (
-            h.state == CLOSED
-            and h.consecutive_failures >= self.failure_threshold
-        ):
-            self.trip(name, error=error)
+    def record_failure(
+        self, name: str, error: Exception | None = None
+    ) -> None:
+        with self._lock:
+            h = self.health[name]
+            h.invocations += 1
+            h.failures += 1
+            h.window.append(False)
+            h.consecutive_failures += 1
+            if h.state == HALF_OPEN:
+                h.probe_in_flight = False
+            if h.state == HALF_OPEN or (
+                h.state == CLOSED
+                and h.consecutive_failures >= self.failure_threshold
+            ):
+                self.trip(name, error=error)
 
     def trip(self, name: str, *, error: Exception | None = None,
              reason: str | None = None) -> None:
         """Open ``name``'s circuit (demotion) with exponential cooldown.
         Also callable directly, e.g. by the supervisor's stagnation
         remediation."""
-        h = self.health[name]
-        h.trips += 1
-        if h.cooldown <= 0.0:
-            h.cooldown = self.base_cooldown
-        else:
-            h.cooldown = min(
-                h.cooldown * self.cooldown_factor, self.max_cooldown
+        with self._lock:
+            h = self.health[name]
+            h.trips += 1
+            if h.cooldown <= 0.0:
+                h.cooldown = self.base_cooldown
+            else:
+                h.cooldown = min(
+                    h.cooldown * self.cooldown_factor, self.max_cooldown
+                )
+            h.open_until = self.clock() + h.cooldown
+            h.state = OPEN
+            h.half_open_successes = 0
+            h.probe_in_flight = False
+            self.log.record(
+                "demote",
+                variant=name,
+                error=(
+                    f"{type(error).__name__}: {error}"
+                    if error is not None
+                    else None
+                ),
+                action=reason or "circuit-open",
+                details={"cooldown": h.cooldown, "trips": h.trips},
             )
-        h.open_until = self.clock() + h.cooldown
-        h.state = OPEN
-        h.half_open_successes = 0
-        self.log.record(
-            "demote",
-            variant=name,
-            error=(
-                f"{type(error).__name__}: {error}" if error is not None
-                else None
-            ),
-            action=reason or "circuit-open",
-            details={"cooldown": h.cooldown, "trips": h.trips},
-        )
 
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> dict:
         """Health of every rung, for structured reports."""
-        return {
-            name: self.health[name].to_dict() for name in self.variants
-        }
+        with self._lock:
+            return {
+                name: self.health[name].to_dict()
+                for name in self.variants
+            }

@@ -63,6 +63,11 @@ class ResilientPipeline:
         tests, a ``pool_byte_budget``).
     log:
         Incident log; defaults to the ladder's.
+    rung_ceiling:
+        Restrict ladder selection to rungs at or below this variant
+        (the solve service's graded overload response forces
+        ``polymg-naive`` for low-priority tenants by setting it);
+        ``None`` serves from the top.
     """
 
     def __init__(
@@ -73,12 +78,14 @@ class ResilientPipeline:
         verify_level: str = "cheap",
         config_overrides: dict | None = None,
         log: IncidentLog | None = None,
+        rung_ceiling: str | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.ladder = ladder if ladder is not None else DegradationLadder()
         self.log = log if log is not None else self.ladder.log
         self.verify_level = verify_level
         self.config_overrides = dict(config_overrides or {})
+        self.rung_ceiling = rung_ceiling
         self.invocations = 0
         self._compiled: dict[str, "CompiledPipeline"] = {}
         #: memoized verification verdict per rung: absent = not yet
@@ -152,7 +159,7 @@ class ResilientPipeline:
         directly so it can restore its checkpoint between attempts.
         """
         self.invocations += 1
-        name = self.ladder.select()
+        name = self.ladder.select(ceiling=self.rung_ceiling)
         try:
             compiled = self.compiled_for(name)
         except ReproError as error:

@@ -32,9 +32,12 @@ involved compiled pipelines' :class:`~repro.passes.manager.CompileReport`
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -74,6 +77,73 @@ class SolveCheckpoint:
             "shape": list(self.u.shape),
         }
 
+    # -- persistence -----------------------------------------------------
+    # A checkpoint round-trips through a single ``.npz`` file so a solve
+    # can resume in a *different process*: the service's drain/crash
+    # recovery serializes unfinished solves here and a fresh worker (or
+    # a fresh interpreter) reloads and resumes them.  ``f`` (the rhs,
+    # required to resume) and arbitrary request metadata ride along.
+
+    def save(
+        self,
+        path: str | os.PathLike,
+        *,
+        f: np.ndarray | None = None,
+        meta: dict | None = None,
+    ) -> Path:
+        """Serialize to ``path`` (atomic write via a temp file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "u": self.u,
+            "residual_norms": np.asarray(
+                self.residual_norms, dtype=np.float64
+            ),
+            "meta": np.frombuffer(
+                json.dumps(
+                    {
+                        "cycle": self.cycle,
+                        "variant": self.variant,
+                        **(meta or {}),
+                    }
+                ).encode(),
+                dtype=np.uint8,
+            ),
+        }
+        if f is not None:
+            payload["f"] = f
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(
+        cls, path: str | os.PathLike
+    ) -> tuple["SolveCheckpoint", np.ndarray | None, dict]:
+        """Deserialize ``(checkpoint, f, meta)`` from :meth:`save`'s
+        format.  ``f`` is ``None`` when the writer did not include the
+        rhs."""
+        with np.load(Path(path)) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            cycle = int(meta.pop("cycle"))
+            variant = meta.pop("variant")
+            ckpt = cls(
+                u=np.array(data["u"], copy=True),
+                cycle=cycle,
+                residual_norms=[
+                    float(x) for x in data["residual_norms"]
+                ],
+                variant=variant,
+            )
+            f = (
+                np.array(data["f"], copy=True)
+                if "f" in data.files
+                else None
+            )
+        return ckpt, f, meta
+
 
 @dataclass
 class SupervisorPolicy:
@@ -98,12 +168,16 @@ class SupervisedSolveResult:
     u: np.ndarray
     residual_norms: list[float]
     cycles: int
-    status: str  # "converged" | "cycle-budget" | "deadline"
+    status: str  # "converged" | "cycle-budget" | "deadline" | "preempted"
     variant_trail: list[str] = field(default_factory=list)
     restores: int = 0
     remediations: list[str] = field(default_factory=list)
     incidents: IncidentLog = field(default_factory=IncidentLog)
     health: dict = field(default_factory=dict)
+    #: the final last-known-good checkpoint — a ``"preempted"`` solve
+    #: resumes from exactly this state (possibly in another process,
+    #: via :meth:`SolveCheckpoint.save`)
+    checkpoint: "SolveCheckpoint | None" = None
 
     @property
     def converged(self) -> bool:
@@ -148,6 +222,7 @@ class SolveSupervisor:
         *,
         verify_level: str = "cheap",
         config_overrides: dict | None = None,
+        rung_ceiling: str | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.policy = policy or SupervisorPolicy()
@@ -160,6 +235,7 @@ class SolveSupervisor:
             verify_level=verify_level,
             config_overrides=config_overrides,
             log=self.log,
+            rung_ceiling=rung_ceiling,
         )
 
     @property
@@ -242,6 +318,8 @@ class SolveSupervisor:
         f: np.ndarray,
         *,
         u0: np.ndarray | None = None,
+        resume_from: SolveCheckpoint | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> SupervisedSolveResult:
         """Iterate supervised multigrid cycles on ``A_h u = f``.
 
@@ -249,20 +327,44 @@ class SolveSupervisor:
         checkpoint-restore budget is exhausted (every ladder rung kept
         faulting); deadline and cycle-budget exhaustion return the
         best-so-far iterate with the corresponding ``status``.
+
+        ``resume_from`` continues a previous solve from its
+        last-known-good :class:`SolveCheckpoint` (same ``f``!) — cycle
+        numbering, residual history, and the cycle budget all carry
+        over, so a resumed solve is indistinguishable from one that was
+        never interrupted.  ``should_stop`` is polled at every cycle
+        boundary; when it returns true the solve stops cleanly with
+        status ``"preempted"`` and its checkpoint on the result — the
+        service's drain and worker-kill paths use this to hand a
+        running solve to another worker without losing converged work.
         """
         from ..multigrid.kernels import norm_residual
 
         policy = self.policy
         pipeline = self.resilient.pipeline
         h = 1.0 / (pipeline.N + 1)
-        u = np.zeros_like(f) if u0 is None else u0.copy()
 
-        norms = [float(norm_residual(u, f, h))]
         monitor = ResidualMonitor(
             policy.growth_factor, pipeline=pipeline.name
         )
-        monitor.observe(norms[0])
-        checkpoint = SolveCheckpoint(u.copy(), 0, list(norms), None)
+        if resume_from is not None:
+            u = resume_from.u.copy()
+            norms = list(resume_from.residual_norms)
+            # replay the residual history so divergence is still judged
+            # against the best norm the *whole* solve ever saw
+            for norm in norms:
+                monitor.observe(norm)
+            checkpoint = SolveCheckpoint(
+                u.copy(),
+                resume_from.cycle,
+                list(norms),
+                resume_from.variant,
+            )
+        else:
+            u = np.zeros_like(f) if u0 is None else u0.copy()
+            norms = [float(norm_residual(u, f, h))]
+            monitor.observe(norms[0])
+            checkpoint = SolveCheckpoint(u.copy(), 0, list(norms), None)
 
         trail: list[str] = []
         remediations: list[str] = []
@@ -274,6 +376,14 @@ class SolveSupervisor:
         last_error: ReproError | None = None
 
         while checkpoint.cycle < policy.max_cycles:
+            if should_stop is not None and should_stop():
+                self.log.record(
+                    "preempt",
+                    cycle=checkpoint.cycle,
+                    details=checkpoint.to_dict(),
+                )
+                status = "preempted"
+                break
             if (
                 policy.deadline is not None
                 and self.clock() - start >= policy.deadline
@@ -371,6 +481,7 @@ class SolveSupervisor:
             remediations=remediations,
             incidents=self.log,
             health=self.ladder.snapshot(),
+            checkpoint=checkpoint,
         )
 
     # -- resource hygiene ------------------------------------------------

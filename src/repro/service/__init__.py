@@ -1,0 +1,61 @@
+"""Fault-tolerant multi-tenant solve service.
+
+The service layer turns the single-solve resilience stack
+(:mod:`repro.resilience`) into a shared, always-on facility: many
+tenants submit :class:`SolveRequest`s concurrently, a bounded worker
+fleet executes them over one shared compile cache / native artifact
+store / degradation ladder / incident log, and overload is met with a
+*graded* response — defer, degrade, shed — instead of a collapse.
+Every refusal is a typed :class:`~repro.errors.AdmissionRejected`
+subclass, every unfinished solve drains to a recoverable checkpoint:
+no caller ever hangs, no admitted work is ever lost silently.
+
+Layering (each importable on its own):
+
+* :mod:`~repro.service.requests` — :class:`SolveRequest` (problem +
+  priority + deadline + idempotency key) and :class:`SolveTicket`
+  (thread-safe one-shot future);
+* :mod:`~repro.service.budget` — :class:`FleetBudget`, fleet-wide
+  outstanding bytes/cycles metering with the graded
+  :data:`OVERLOAD_LEVELS`;
+* :mod:`~repro.service.admission` — :class:`AdmissionController`
+  (token buckets, concurrency caps, overload posture) and
+  :class:`BoundedRequestQueue` (priority queue with
+  shed-by-priority-class);
+* :mod:`~repro.service.service` — :class:`SolveService` itself:
+  worker fleet, retry-with-backoff over the PR-1 fault taxonomy,
+  worker-kill survival, ``healthz``/``drain``/``recover``.
+"""
+
+from .admission import (
+    AdmissionController,
+    BoundedRequestQueue,
+    TenantPolicy,
+    TenantState,
+    TokenBucket,
+)
+from .budget import OVERLOAD_LEVELS, FleetBudget
+from .requests import (
+    PRIORITIES,
+    SolveRequest,
+    SolveTicket,
+    estimate_request_bytes,
+)
+from .service import RetryPolicy, ServiceConfig, SolveService
+
+__all__ = [
+    "AdmissionController",
+    "BoundedRequestQueue",
+    "TenantPolicy",
+    "TenantState",
+    "TokenBucket",
+    "OVERLOAD_LEVELS",
+    "FleetBudget",
+    "PRIORITIES",
+    "SolveRequest",
+    "SolveTicket",
+    "estimate_request_bytes",
+    "RetryPolicy",
+    "ServiceConfig",
+    "SolveService",
+]

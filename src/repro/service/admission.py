@@ -1,0 +1,370 @@
+"""Admission control: rate limits, concurrency caps, bounded queueing.
+
+The service's first robustness property is decided at the door: a
+request is either *admitted* — meaning the service has reserved the
+resources to eventually resolve it — or refused **synchronously with a
+typed error**.  There is no third state; nothing ever blocks
+indefinitely in ``submit`` and nothing admitted is ever silently
+forgotten.
+
+Three independent gates, in order:
+
+1. **graded overload posture** — the :class:`~repro.service.budget.
+   FleetBudget` level refuses whole priority classes
+   (:class:`~repro.errors.AdmissionDeferred` /
+   :class:`~repro.errors.ServiceOverloaded`) before any per-tenant
+   state is touched;
+2. **per-tenant token bucket** (sustained rate + burst) and
+   **concurrent-solve cap** — one misbehaving tenant exhausts its own
+   allowance, not the fleet
+   (:class:`~repro.errors.TenantRateLimited` /
+   :class:`~repro.errors.TenantConcurrencyExceeded`);
+3. **bounded request queue** with load-shedding by priority class —
+   when the queue is full, an incoming request may evict ("shed") the
+   worst-ranked queued request *of a strictly lower priority class*;
+   the victim's ticket resolves with
+   :class:`~repro.errors.QueueSaturated`, and an incoming request that
+   outranks nothing is refused with the same error.
+
+Every refusal and shed is recorded in the shared incident log, so the
+overload benchmark can prove the zero-silent-drops property by
+accounting: submitted = resolved + typed-refused, exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import (
+    AdmissionDeferred,
+    QueueSaturated,
+    ServiceOverloaded,
+    TenantConcurrencyExceeded,
+    TenantRateLimited,
+)
+from ..resilience import IncidentLog
+from .budget import FleetBudget
+from .requests import SolveRequest
+
+__all__ = [
+    "TokenBucket",
+    "TenantPolicy",
+    "TenantState",
+    "BoundedRequestQueue",
+    "AdmissionController",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` deep.
+
+    ``try_acquire`` returns ``0.0`` on success or the seconds until a
+    token will be available (never blocks).  ``rate=None`` disables
+    limiting."""
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive or None")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def try_acquire(self) -> float:
+        if self.rate is None:
+            return 0.0
+        now = self.clock()
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission limits."""
+
+    #: sustained requests/second (``None`` = unlimited)
+    rate: float | None = None
+    #: token-bucket depth (momentary burst allowance)
+    burst: float = 8.0
+    #: maximum solves admitted at once (queued + running)
+    max_concurrent: int = 4
+
+
+class TenantState:
+    """Runtime accounting of one tenant (guarded by the controller)."""
+
+    def __init__(
+        self, policy: TenantPolicy, clock: Callable[[], float]
+    ) -> None:
+        self.policy = policy
+        self.bucket = TokenBucket(
+            policy.rate, policy.burst, clock=clock
+        )
+        self.in_flight = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.shed = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "in_flight": self.in_flight,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "max_concurrent": self.policy.max_concurrent,
+            "rate": self.policy.rate,
+        }
+
+
+class BoundedRequestQueue:
+    """Bounded priority queue with shed-by-priority-class semantics.
+
+    Items dequeue best-priority-first, FIFO within a class.  A push
+    onto a full queue either evicts the worst queued item of a strictly
+    lower priority class (returned to the caller so its ticket can be
+    resolved) or raises :class:`~repro.errors.QueueSaturated`.
+    ``pop`` blocks at most ``timeout`` seconds and returns ``None`` on
+    expiry — workers use short timeouts so shutdown flags are observed
+    promptly, never a hang.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def push(
+        self, item: Any, rank: int, *, force: bool = False
+    ) -> Any | None:
+        """Enqueue ``item`` at priority ``rank`` (lower = better).
+        Returns the shed victim when one was evicted to make room,
+        ``None`` otherwise; raises :class:`QueueSaturated` when full
+        with no lower-priority victim.  ``force=True`` ignores the
+        capacity bound — reserved for *requeueing* already-admitted
+        work (worker-kill preemption), which must never fail."""
+        with self._not_empty:
+            victim = None
+            if not force and len(self._heap) >= self.capacity:
+                worst = max(self._heap)
+                if worst[0] <= rank:
+                    raise QueueSaturated(
+                        "request queue full and no lower-priority "
+                        "victim to shed",
+                        capacity=self.capacity,
+                        rank=rank,
+                    )
+                self._heap.remove(worst)
+                heapq.heapify(self._heap)
+                victim = worst[2]
+            heapq.heappush(self._heap, (rank, self._seq, item))
+            self._seq += 1
+            self._not_empty.notify()
+            return victim
+
+    def pop(self, timeout: float | None = None) -> Any | None:
+        with self._not_empty:
+            if not self._heap:
+                self._not_empty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def drain_items(self) -> list[Any]:
+        """Remove and return everything queued (drain/shutdown path)."""
+        with self._lock:
+            items = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return items
+
+
+class AdmissionController:
+    """Applies the admission gates and keeps per-tenant accounting.
+
+    The controller is pure policy + bookkeeping: it owns no threads
+    and executes nothing.  :meth:`admit` either returns (with the
+    request's budget reservation and tenant slot taken) or raises a
+    typed refusal; :meth:`release` returns the reservation when the
+    request resolves, whatever the outcome.
+    """
+
+    def __init__(
+        self,
+        *,
+        budget: FleetBudget,
+        default_policy: TenantPolicy | None = None,
+        tenant_policies: dict[str, TenantPolicy] | None = None,
+        log: IncidentLog | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget = budget
+        self.default_policy = default_policy or TenantPolicy()
+        self.tenant_policies = dict(tenant_policies or {})
+        self.log = log if log is not None else budget.log
+        self.clock = clock
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejections: dict[str, int] = {}
+
+    def _tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = TenantState(
+                self.tenant_policies.get(name, self.default_policy),
+                self.clock,
+            )
+            self._tenants[name] = state
+        return state
+
+    def _refuse(
+        self, request: SolveRequest, reason: str, exc_type, message: str,
+        **context,
+    ):
+        with self._lock:
+            tenant = self._tenant(request.tenant)
+            tenant.rejected += 1
+            self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        self.log.record(
+            "admission-reject",
+            action=reason,
+            details={
+                "tenant": request.tenant,
+                "request_id": request.request_id,
+                "priority": request.priority,
+            },
+        )
+        raise exc_type(
+            message,
+            tenant=request.tenant,
+            request_id=request.request_id,
+            reason=reason,
+            **context,
+        )
+
+    # -- the gates -------------------------------------------------------
+    def admit(self, request: SolveRequest) -> None:
+        """Apply every admission gate; on return the request is
+        admitted (budget reserved, tenant slot held).  Raises an
+        :class:`~repro.errors.AdmissionRejected` subclass otherwise."""
+        with self._lock:
+            self._tenant(request.tenant).submitted += 1
+
+        # gate 1: fleet overload posture (graded by priority class)
+        level = self.budget.level()
+        if level == "shed" and request.priority != "high":
+            self._refuse(
+                request,
+                "overload-shed",
+                ServiceOverloaded,
+                "fleet budget at shed level; only high-priority "
+                "requests are admitted",
+                level=level,
+            )
+        if level in ("defer", "degrade") and request.priority == "low":
+            self._refuse(
+                request,
+                "overload-defer",
+                AdmissionDeferred,
+                "fleet budget overloaded; low-priority admission "
+                "deferred",
+                level=level,
+                retry_after=1.0,
+            )
+
+        # gates 2a/2b: per-tenant sustained rate, then concurrency cap
+        refusal = None
+        with self._lock:
+            tenant = self._tenant(request.tenant)
+            wait = tenant.bucket.try_acquire()
+            if wait > 0.0:
+                refusal = (
+                    "tenant-rate",
+                    TenantRateLimited,
+                    "tenant rate limit exceeded",
+                    {"retry_after": round(wait, 4)},
+                )
+            elif tenant.in_flight >= tenant.policy.max_concurrent:
+                refusal = (
+                    "tenant-concurrency",
+                    TenantConcurrencyExceeded,
+                    "tenant concurrent-solve cap reached",
+                    {
+                        "in_flight": tenant.in_flight,
+                        "max_concurrent": tenant.policy.max_concurrent,
+                    },
+                )
+            else:
+                tenant.in_flight += 1
+        if refusal is not None:
+            reason, exc_type, message, context = refusal
+            self._refuse(request, reason, exc_type, message, **context)
+
+        # gate 3: fleet budget reservation (meters what was admitted;
+        # the *next* request sees the escalated level)
+        self.budget.reserve(
+            request.estimated_bytes(), request.max_cycles
+        )
+        with self._lock:
+            self.admitted += 1
+
+    def release(
+        self, request: SolveRequest, outcome: str = "completed"
+    ) -> None:
+        """Return the request's reservation when it resolves.
+        ``outcome`` is ``"completed"`` / ``"failed"`` / ``"shed"`` for
+        tenant accounting."""
+        self.budget.release(
+            request.estimated_bytes(), request.max_cycles
+        )
+        with self._lock:
+            tenant = self._tenant(request.tenant)
+            tenant.in_flight = max(0, tenant.in_flight - 1)
+            if outcome == "completed":
+                tenant.completed += 1
+            elif outcome == "shed":
+                tenant.shed += 1
+            else:
+                tenant.failed += 1
+
+    # -- reporting -------------------------------------------------------
+    def tenant_usage(self) -> dict:
+        with self._lock:
+            return {
+                name: state.to_dict()
+                for name, state in sorted(self._tenants.items())
+            }

@@ -1,0 +1,182 @@
+"""Fleet-level resource budgeting with graded overload responses.
+
+:class:`~repro.config.PolyMgConfig.pool_byte_budget` bounds one
+executor's pooled allocator; a *service* needs the same discipline one
+level up: the sum of outstanding work across every admitted request
+must stay inside what the machine can actually deliver, and the
+response to approaching the wall must be graded — shedding everything
+at 101% load after accepting everything at 99% is a cliff, not a
+policy.
+
+:class:`FleetBudget` meters two outstanding quantities across the whole
+worker fleet — estimated working-set **bytes** and multigrid
+**cycles** — reserved at admission and released at resolution.  The
+utilization fraction (the worse of the two meters) maps onto four
+graded levels:
+
+``normal``
+    everything admitted;
+``defer``
+    new low-priority admissions are refused with
+    :class:`~repro.errors.AdmissionDeferred` (a *retryable* refusal
+    with a hint) while queued work keeps running;
+``degrade``
+    additionally, admitted low-priority solves are forced onto the
+    ``polymg-naive`` rung (bounded memory, no optimized-path risk) via
+    the ladder's rung ceiling;
+``shed``
+    only ``high``-priority requests are admitted; everything else gets
+    :class:`~repro.errors.ServiceOverloaded`.
+
+Every level transition is recorded in the shared
+:class:`~repro.resilience.IncidentLog` (kind ``overload``), so the
+audit trail shows exactly when and why the service changed posture.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..resilience import IncidentLog
+
+__all__ = ["OVERLOAD_LEVELS", "FleetBudget"]
+
+#: Graded overload levels, calmest first.
+OVERLOAD_LEVELS = ("normal", "defer", "degrade", "shed")
+_LEVEL_RANK = {name: i for i, name in enumerate(OVERLOAD_LEVELS)}
+
+
+class FleetBudget:
+    """Meters outstanding bytes/cycles across all service workers.
+
+    Parameters
+    ----------
+    max_bytes / max_cycles:
+        Fleet-wide caps on outstanding estimated working-set bytes and
+        outstanding multigrid cycles (``None`` = that meter is
+        unbounded and contributes zero utilization).
+    defer_at / degrade_at / shed_at:
+        Utilization fractions at which the graded levels engage.
+    log:
+        Shared incident log; level transitions are recorded there.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_cycles: int | None = None,
+        defer_at: float = 0.60,
+        degrade_at: float = 0.80,
+        shed_at: float = 0.95,
+        log: IncidentLog | None = None,
+    ) -> None:
+        if not 0.0 < defer_at <= degrade_at <= shed_at:
+            raise ValueError(
+                "need 0 < defer_at <= degrade_at <= shed_at"
+            )
+        self.max_bytes = max_bytes
+        self.max_cycles = max_cycles
+        self.defer_at = defer_at
+        self.degrade_at = degrade_at
+        self.shed_at = shed_at
+        self.log = log if log is not None else IncidentLog()
+        self.outstanding_bytes = 0
+        self.outstanding_cycles = 0
+        self.reservations = 0
+        self.peak_utilization = 0.0
+        self._level = "normal"
+        self._lock = threading.Lock()
+        #: observers called (outside any hot path guarantees) on each
+        #: level transition with ``(old_level, new_level)``
+        self.on_transition: list[Callable[[str, str], None]] = []
+
+    # -- metering --------------------------------------------------------
+    def _utilization_locked(self) -> float:
+        frac = 0.0
+        if self.max_bytes:
+            frac = max(frac, self.outstanding_bytes / self.max_bytes)
+        if self.max_cycles:
+            frac = max(frac, self.outstanding_cycles / self.max_cycles)
+        return frac
+
+    def _level_for(self, frac: float) -> str:
+        if frac >= self.shed_at:
+            return "shed"
+        if frac >= self.degrade_at:
+            return "degrade"
+        if frac >= self.defer_at:
+            return "defer"
+        return "normal"
+
+    def _retransition_locked(self) -> None:
+        frac = self._utilization_locked()
+        self.peak_utilization = max(self.peak_utilization, frac)
+        new = self._level_for(frac)
+        old = self._level
+        if new == old:
+            return
+        self._level = new
+        direction = (
+            "escalate" if _LEVEL_RANK[new] > _LEVEL_RANK[old] else "relax"
+        )
+        self.log.record(
+            "overload",
+            action=f"{old}->{new}",
+            details={
+                "direction": direction,
+                "utilization": round(frac, 4),
+                "outstanding_bytes": self.outstanding_bytes,
+                "outstanding_cycles": self.outstanding_cycles,
+            },
+        )
+        for hook in self.on_transition:
+            hook(old, new)
+
+    def utilization(self) -> float:
+        with self._lock:
+            return self._utilization_locked()
+
+    def level(self) -> str:
+        with self._lock:
+            return self._level
+
+    def reserve(self, bytes_: int, cycles: int) -> str:
+        """Account an admitted request's working set; returns the
+        (possibly newly escalated) overload level.  Reservation never
+        *refuses* — refusal is admission policy, applied by the
+        controller using the level this returns — so the meters always
+        reflect what was actually admitted."""
+        with self._lock:
+            self.outstanding_bytes += bytes_
+            self.outstanding_cycles += cycles
+            self.reservations += 1
+            self._retransition_locked()
+            return self._level
+
+    def release(self, bytes_: int, cycles: int) -> str:
+        with self._lock:
+            self.outstanding_bytes = max(
+                0, self.outstanding_bytes - bytes_
+            )
+            self.outstanding_cycles = max(
+                0, self.outstanding_cycles - cycles
+            )
+            self.reservations = max(0, self.reservations - 1)
+            self._retransition_locked()
+            return self._level
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "level": self._level,
+                "utilization": round(self._utilization_locked(), 4),
+                "peak_utilization": round(self.peak_utilization, 4),
+                "outstanding_bytes": self.outstanding_bytes,
+                "outstanding_cycles": self.outstanding_cycles,
+                "reservations": self.reservations,
+                "max_bytes": self.max_bytes,
+                "max_cycles": self.max_cycles,
+            }

@@ -1,0 +1,206 @@
+"""Request and ticket types of the multi-tenant solve service.
+
+A tenant describes one solve as a :class:`SolveRequest` — problem
+geometry, cycle options, rhs, priority class, deadline — and submits it
+to :class:`~repro.service.service.SolveService`.  Admission is
+synchronous and typed: :meth:`~repro.service.service.SolveService.submit`
+either returns a :class:`SolveTicket` (the request is in the system and
+*will* resolve) or raises an
+:class:`~repro.errors.AdmissionRejected` subclass.  A ticket is a
+thread-safe future: it resolves exactly once, to a
+:class:`~repro.resilience.SupervisedSolveResult` or to a typed error,
+and :meth:`SolveTicket.result` never blocks past its timeout.
+
+Request IDs are **idempotency keys**: resubmitting an id the service
+has already seen returns the original ticket without executing the
+solve again, so client-side retry (after a timeout, a dropped
+connection, a crashed caller) can never double-execute.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..multigrid.reference import MultigridOptions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience import SupervisedSolveResult
+
+__all__ = [
+    "PRIORITIES",
+    "SolveRequest",
+    "SolveTicket",
+    "estimate_request_bytes",
+]
+
+#: Priority classes, best-served first.  Admission, queue ordering,
+#: shedding, and the graded overload responses all key off this order.
+PRIORITIES = ("high", "normal", "low")
+_PRIORITY_RANK = {name: i for i, name in enumerate(PRIORITIES)}
+
+
+def estimate_request_bytes(ndim: int, n: int) -> int:
+    """Working-set estimate of one solve, for fleet byte budgeting.
+
+    A V-/W-cycle holds a handful of full-resolution arrays (iterate,
+    rhs, residual, correction) plus the geometrically-shrinking
+    coarse-level hierarchy, whose total is bounded by the fine level
+    times ``1/(1 - 2^-ndim)``.  Six fine-grid-equivalents of float64 is
+    a deliberately conservative envelope — budget enforcement wants to
+    overestimate, not OOM."""
+    grid = 8 * (n + 2) ** ndim
+    return 6 * grid
+
+
+@dataclass
+class SolveRequest:
+    """One tenant's solve: problem, rhs, and service-level contract."""
+
+    tenant: str
+    ndim: int
+    N: int
+    f: np.ndarray
+    opts: MultigridOptions = field(default_factory=MultigridOptions)
+    request_id: str = field(
+        default_factory=lambda: uuid.uuid4().hex
+    )
+    priority: str = "normal"
+    #: wall-clock budget in seconds, measured from admission; the
+    #: remaining share at execution time propagates into
+    #: :attr:`~repro.resilience.SupervisorPolicy.deadline`
+    deadline: float | None = None
+    max_cycles: int = 20
+    tol: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ServiceError(
+                f"unknown priority {self.priority!r}",
+                expected=PRIORITIES,
+            )
+        if self.max_cycles < 1:
+            raise ServiceError(
+                "max_cycles must be positive", request_id=self.request_id
+            )
+        expected = (self.N + 2,) * self.ndim
+        if tuple(self.f.shape) != expected:
+            raise ServiceError(
+                "rhs shape does not match the requested grid",
+                request_id=self.request_id,
+                shape=tuple(self.f.shape),
+                expected=expected,
+            )
+
+    @property
+    def priority_rank(self) -> int:
+        return _PRIORITY_RANK[self.priority]
+
+    def estimated_bytes(self) -> int:
+        return estimate_request_bytes(self.ndim, self.N)
+
+    def spec_key(self) -> tuple:
+        """Cache key of the underlying pipeline build — requests with
+        equal keys share one built (and, via the compile cache, one
+        compiled) pipeline specification."""
+        o = self.opts
+        return (
+            self.ndim,
+            self.N,
+            o.cycle,
+            o.n1,
+            o.n2,
+            o.n3,
+            o.levels,
+            o.omega,
+        )
+
+
+# ticket states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class SolveTicket:
+    """Thread-safe one-shot future for an admitted request.
+
+    The service resolves every ticket exactly once — with a solve
+    result (:attr:`state` ``"done"``) or a typed error (``"failed"``).
+    Latency bookkeeping (admitted/started/finished stamps on the
+    service clock) rides on the ticket for the benchmark harness.
+    """
+
+    def __init__(self, request: SolveRequest) -> None:
+        self.request = request
+        self.state = QUEUED
+        self._result: "SupervisedSolveResult | None" = None
+        self._error: Exception | None = None
+        self._event = threading.Event()
+        self.admitted_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: execution attempts consumed (retry-with-backoff accounting)
+        self.attempts = 0
+
+    # -- caller side -----------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(
+        self, timeout: float | None = None
+    ) -> "SupervisedSolveResult":
+        """Block until resolution (bounded by ``timeout``); return the
+        solve result or raise the typed error the ticket failed with.
+        A timeout raises :class:`TimeoutError` — the ticket stays
+        valid and can be waited on again."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} not resolved "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def error(self) -> Exception | None:
+        return self._error
+
+    def latency(self) -> float | None:
+        """Admission-to-resolution wall time (service clock)."""
+        if self.admitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.admitted_at
+
+    # -- service side ----------------------------------------------------
+    def _mark_running(self, now: float) -> None:
+        self.state = RUNNING
+        if self.started_at is None:
+            self.started_at = now
+
+    def _finish(self, result, now: float) -> None:
+        if self._event.is_set():  # pragma: no cover - resolve-once guard
+            return
+        self._result = result
+        self.state = DONE
+        self.finished_at = now
+        self._event.set()
+
+    def _fail(self, error: Exception, now: float) -> None:
+        if self._event.is_set():  # pragma: no cover - resolve-once guard
+            return
+        self._error = error
+        self.state = FAILED
+        self.finished_at = now
+        self._event.set()

@@ -1,0 +1,814 @@
+"""The multi-tenant solve service: a fault-tolerant request broker.
+
+:class:`SolveService` multiplexes concurrent
+:class:`~repro.service.requests.SolveRequest`s from many tenants onto a
+bounded fleet of worker threads, all sharing one warm compile cache,
+one on-disk :class:`~repro.cache.NativeArtifactStore`, one
+:class:`~repro.resilience.DegradationLadder` (per-variant circuit
+breakers are *fleet* state: a variant that hurt one tenant is cooling
+for all of them), and one ring-buffered
+:class:`~repro.resilience.IncidentLog`.
+
+The headline property is **graceful degradation**: under overload the
+service defers, degrades, and sheds by priority class — every refusal
+a typed error, every transition an incident — instead of falling over.
+The request path is plain threads and condition variables; there is no
+asyncio dependency anywhere near the hot path.
+
+Per-request robustness:
+
+* the request's wall-clock ``deadline`` (measured from admission)
+  propagates into :class:`~repro.resilience.SupervisorPolicy`, so
+  queue wait eats into the solve budget — a request that waited too
+  long returns ``status="deadline"`` quickly instead of burning a
+  worker;
+* transient faults (the PR-1 taxonomy's retryable classes) are retried
+  with exponential backoff under :class:`RetryPolicy`; fatal faults
+  (compile errors, shape mismatches) fail fast;
+* request IDs are idempotency keys — a resubmitted id returns the
+  original ticket, so client retries never double-execute;
+* a killed worker preempts its solve at the next cycle boundary and
+  requeues it *with its checkpoint*, so another worker resumes from
+  the last-known-good iterate — converged work survives worker loss.
+
+Shutdown is :meth:`drain`: stop admitting, let in-flight solves finish
+inside a timeout, then preempt the rest at cycle boundaries and persist
+their checkpoints to ``checkpoint_dir`` — each unfinished ticket
+resolves with a typed :class:`~repro.errors.SolvePreempted` carrying
+its checkpoint path, and a fresh service instance (same or next
+process) resumes them via :meth:`recover`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..errors import (
+    CompileError,
+    InputShapeError,
+    MissingInputError,
+    NativeBackendError,
+    NumericalDivergenceError,
+    PoolExhaustedError,
+    QueueSaturated,
+    ReproError,
+    ServiceDraining,
+    SolveAbortedError,
+    SolvePreempted,
+)
+from ..multigrid.reference import MultigridOptions
+from ..resilience import (
+    DegradationLadder,
+    IncidentLog,
+    SolveCheckpoint,
+    SolveSupervisor,
+    SupervisorPolicy,
+)
+from ..variants import LADDER_ORDER
+from .admission import AdmissionController, BoundedRequestQueue, TenantPolicy
+from .budget import FleetBudget
+from .requests import QUEUED, SolveRequest, SolveTicket
+
+__all__ = [
+    "RetryPolicy",
+    "ServiceConfig",
+    "SolveService",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Service-level retry-with-backoff for transient solve faults.
+
+    The PR-1 fault taxonomy distinguishes what is worth retrying:
+    numerical divergence, pool exhaustion, native-backend failures, and
+    an exhausted checkpoint-restore budget
+    (:class:`~repro.errors.SolveAbortedError` — the breakers may have
+    cooled by the next attempt) are transient; compile and input-shape
+    errors are deterministic and fail fast.  Unknown faults are treated
+    as fatal — retrying the unknown is how overload amplifies."""
+
+    max_attempts: int = 3
+    base_backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    retryable: tuple = (
+        NumericalDivergenceError,
+        PoolExhaustedError,
+        NativeBackendError,
+        SolveAbortedError,
+    )
+    fatal: tuple = (CompileError, InputShapeError, MissingInputError)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        return min(
+            self.max_backoff,
+            self.base_backoff * self.backoff_factor ** (attempt - 1),
+        )
+
+    def classify(self, error: Exception) -> str:
+        """``"retryable"`` or ``"fatal"`` — fatal wins on overlap."""
+        if isinstance(error, self.fatal):
+            return "fatal"
+        if isinstance(error, self.retryable):
+            return "retryable"
+        return "fatal"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything tunable about a :class:`SolveService`."""
+
+    workers: int = 2
+    queue_capacity: int = 16
+    #: ring-buffer capacity of the shared incident log (``None`` =
+    #: unbounded — fine for tests, wrong for a long-running service)
+    incident_capacity: int | None = 4096
+    default_tenant_policy: TenantPolicy = field(
+        default_factory=TenantPolicy
+    )
+    tenant_policies: dict[str, TenantPolicy] = field(
+        default_factory=dict
+    )
+    #: fleet-wide outstanding working-set / cycle caps (the graded
+    #: overload levels key off utilization of these)
+    max_fleet_bytes: int | None = None
+    max_fleet_cycles: int | None = None
+    defer_at: float = 0.60
+    degrade_at: float = 0.80
+    shed_at: float = 0.95
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: where drain/crash checkpoints land (``None`` disables
+    #: persistence — preempted tickets then carry no checkpoint path)
+    checkpoint_dir: str | None = None
+    verify_level: str = "cheap"
+    #: extra :class:`~repro.config.PolyMgConfig` fields for every
+    #: rung's preset (small tile sizes in tests, pool byte budgets)
+    config_overrides: dict = field(default_factory=dict)
+    ladder_variants: tuple[str, ...] = LADDER_ORDER
+    #: the rung forced onto low-priority solves at ``degrade`` level
+    degrade_ceiling: str = "polymg-naive"
+    #: worker queue-poll interval: the upper bound on how stale a
+    #: shutdown/kill flag can get while a worker idles
+    poll_interval: float = 0.02
+    #: chaos/testing hook, called with ``(supervisor, request)`` right
+    #: before each solve attempt — the soak harness injects the PR-1
+    #: fault injectors through this
+    fault_hook: Callable | None = None
+
+
+@dataclass
+class _WorkItem:
+    """One admitted request travelling through the queue/worker fleet."""
+
+    ticket: SolveTicket
+    resume_from: SolveCheckpoint | None = None
+    #: on-disk checkpoint this item was recovered from (deleted when
+    #: the solve finally completes)
+    checkpoint_path: Path | None = None
+
+
+class SolveService:
+    """Thread-based multi-tenant front-end over the solve supervisor."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        ladder: DegradationLadder | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.clock = clock
+        self.log = IncidentLog(capacity=cfg.incident_capacity)
+        self.ladder = (
+            ladder
+            if ladder is not None
+            else DegradationLadder(cfg.ladder_variants, log=self.log)
+        )
+        self.budget = FleetBudget(
+            max_bytes=cfg.max_fleet_bytes,
+            max_cycles=cfg.max_fleet_cycles,
+            defer_at=cfg.defer_at,
+            degrade_at=cfg.degrade_at,
+            shed_at=cfg.shed_at,
+            log=self.log,
+        )
+        self.admission = AdmissionController(
+            budget=self.budget,
+            default_policy=cfg.default_tenant_policy,
+            tenant_policies=cfg.tenant_policies,
+            log=self.log,
+            clock=clock,
+        )
+        self._queue = BoundedRequestQueue(cfg.queue_capacity)
+        self._tickets: dict[str, SolveTicket] = {}
+        self._pipelines: dict[tuple, object] = {}
+        self._pipeline_lock = threading.Lock()
+        self._submit_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._idle_cv = threading.Condition(self._state_lock)
+        self._in_flight: dict[str, _WorkItem] = {}
+        self._draining = False
+        self._drained = False
+        self._shutdown = threading.Event()
+        self._preempt_all = threading.Event()
+        self._kill_flags: list[bool] = [False] * cfg.workers
+        self._current: list[_WorkItem | None] = [None] * cfg.workers
+        self._workers: list[threading.Thread] = []
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.preempted = 0
+        for idx in range(cfg.workers):
+            self._workers.append(self._spawn(idx))
+
+    # -- worker fleet ----------------------------------------------------
+    def _spawn(self, idx: int) -> threading.Thread:
+        t = threading.Thread(
+            target=self._worker_loop,
+            args=(idx,),
+            name=f"solve-worker-{idx}",
+            daemon=True,
+        )
+        t.start()
+        return t
+
+    def _worker_loop(self, idx: int) -> None:
+        while not self._shutdown.is_set():
+            item = self._queue.pop(timeout=self.config.poll_interval)
+            if item is None:
+                if self._kill_flags[idx]:
+                    break
+                continue
+            self._execute(item, idx)
+            if self._kill_flags[idx]:
+                break
+        # a killed worker (not a shutdown) leaves a replacement behind:
+        # the fleet never shrinks below its configured size
+        if self._kill_flags[idx] and not self._shutdown.is_set():
+            self._kill_flags[idx] = False
+            self.log.record(
+                "worker-respawn", details={"worker": idx}
+            )
+            self._workers[idx] = self._spawn(idx)
+
+    def kill_worker(self, idx: int | None = None) -> int:
+        """Chaos hook: ask one worker thread to die.  A busy worker
+        preempts its solve at the next cycle boundary, requeues it with
+        its checkpoint (another worker resumes it — no lost request),
+        then exits and is replaced.  Returns the victim index."""
+        if idx is None:
+            busy = [
+                i for i, cur in enumerate(self._current) if cur is not None
+            ]
+            idx = busy[0] if busy else 0
+        self._kill_flags[idx] = True
+        self.log.record(
+            "worker-kill",
+            action="requested",
+            details={"worker": idx},
+        )
+        return idx
+
+    # -- submission ------------------------------------------------------
+    def submit(self, request: SolveRequest) -> SolveTicket:
+        """Admit ``request`` or raise a typed
+        :class:`~repro.errors.AdmissionRejected` subclass.  Never
+        blocks beyond brief internal locking; the returned ticket
+        resolves exactly once."""
+        with self._submit_lock:
+            with self._state_lock:
+                if self._draining:
+                    self.log.record(
+                        "admission-reject",
+                        action="draining",
+                        details={"request_id": request.request_id},
+                    )
+                    raise ServiceDraining(
+                        "service is draining; no new admissions",
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                    )
+                existing = self._tickets.get(request.request_id)
+            if existing is not None:
+                # idempotency: same id, same ticket, no re-execution
+                return existing
+
+            self.admission.admit(request)  # typed refusals propagate
+            ticket = SolveTicket(request)
+            ticket.admitted_at = self.clock()
+            item = _WorkItem(ticket)
+            with self._state_lock:
+                self._tickets[request.request_id] = ticket
+            try:
+                victim = self._queue.push(item, request.priority_rank)
+            except QueueSaturated:
+                self.admission.release(request, outcome="shed")
+                with self._state_lock:
+                    self._tickets.pop(request.request_id, None)
+                raise
+            if victim is not None:
+                self._shed_item(victim)
+            return ticket
+
+    def _shed_item(self, item: _WorkItem) -> None:
+        """Resolve a queue-evicted victim with a typed error."""
+        req = item.ticket.request
+        self.log.record(
+            "shed",
+            action="queue-evict",
+            details={
+                "request_id": req.request_id,
+                "tenant": req.tenant,
+                "priority": req.priority,
+            },
+        )
+        self._resolve_failure(
+            item,
+            QueueSaturated(
+                "shed from the request queue by a higher-priority "
+                "arrival",
+                tenant=req.tenant,
+                request_id=req.request_id,
+                reason="shed",
+            ),
+            outcome="shed",
+        )
+        self.shed += 1
+
+    # -- execution -------------------------------------------------------
+    def _pipeline_for(self, request: SolveRequest):
+        """One built pipeline spec per (geometry, cycle options) —
+        shared by every tenant requesting that spec; compiled variants
+        are shared further down via the content-addressed compile
+        cache and the native artifact store."""
+        key = request.spec_key()
+        with self._pipeline_lock:
+            pipe = self._pipelines.get(key)
+        if pipe is None:
+            from ..multigrid.cycles import build_poisson_cycle
+
+            pipe = build_poisson_cycle(
+                request.ndim, request.N, request.opts
+            )
+            with self._pipeline_lock:
+                self._pipelines.setdefault(key, pipe)
+        return pipe
+
+    def _rung_ceiling_for(self, request: SolveRequest) -> str | None:
+        """The graded overload response's degrade step: low-priority
+        solves run on the naive rung while the fleet is hot."""
+        if request.priority != "low":
+            return None
+        if self.budget.level() in ("degrade", "shed"):
+            self.log.record(
+                "degraded",
+                action="force-" + self.config.degrade_ceiling,
+                details={
+                    "request_id": request.request_id,
+                    "tenant": request.tenant,
+                },
+            )
+            return self.config.degrade_ceiling
+        return None
+
+    def _execute(self, item: _WorkItem, idx: int) -> None:
+        req = item.ticket.request
+        now = self.clock()
+        with self._state_lock:
+            self._in_flight[req.request_id] = item
+        self._current[idx] = item
+        item.ticket._mark_running(now)
+        try:
+            self._run(item, idx)
+        except BaseException as error:  # the worker loop must survive
+            self.log.record(
+                "worker-crash",
+                error=f"{type(error).__name__}: {error}",
+                details={
+                    "worker": idx,
+                    "request_id": req.request_id,
+                },
+            )
+            self._resolve_failure(
+                item,
+                SolvePreempted(
+                    "worker crashed while executing the request",
+                    request_id=req.request_id,
+                    cause=f"{type(error).__name__}: {error}",
+                ),
+                outcome="failed",
+            )
+        finally:
+            self._current[idx] = None
+            with self._state_lock:
+                self._in_flight.pop(req.request_id, None)
+                self._idle_cv.notify_all()
+
+    def _run(self, item: _WorkItem, idx: int) -> None:
+        cfg = self.config
+        req = item.ticket.request
+
+        remaining = None
+        if req.deadline is not None:
+            elapsed = self.clock() - (item.ticket.admitted_at or 0.0)
+            remaining = max(0.0, req.deadline - elapsed)
+
+        try:
+            pipeline = self._pipeline_for(req)
+        except (ReproError, ValueError) as error:
+            # ValueError covers geometry the builder itself rejects
+            # (e.g. N not divisible by the coarsening chain)
+            self.log.record(
+                "request-fault",
+                action="fatal",
+                error=f"{type(error).__name__}: {error}",
+                details={"request_id": req.request_id},
+            )
+            self._resolve_failure(item, error, outcome="failed")
+            return
+
+        supervisor = SolveSupervisor(
+            pipeline,
+            SupervisorPolicy(
+                max_cycles=req.max_cycles,
+                tol=req.tol,
+                deadline=remaining,
+            ),
+            ladder=self.ladder,
+            verify_level=cfg.verify_level,
+            config_overrides=cfg.config_overrides,
+            rung_ceiling=self._rung_ceiling_for(req),
+            clock=self.clock,
+        )
+
+        def should_stop() -> bool:
+            return self._preempt_all.is_set() or self._kill_flags[idx]
+
+        while True:
+            item.ticket.attempts += 1
+            try:
+                # the chaos hook runs inside the guarded region so an
+                # injected (or buggy) hook fault is classified and
+                # retried like any other solve fault
+                if cfg.fault_hook is not None:
+                    cfg.fault_hook(supervisor, req)
+                result = supervisor.solve(
+                    req.f,
+                    resume_from=item.resume_from,
+                    should_stop=should_stop,
+                )
+            except ReproError as error:
+                kind = cfg.retry.classify(error)
+                self.log.record(
+                    "request-fault",
+                    action=kind,
+                    error=f"{type(error).__name__}: {error}",
+                    details={
+                        "request_id": req.request_id,
+                        "tenant": req.tenant,
+                        "attempt": item.ticket.attempts,
+                    },
+                )
+                if (
+                    kind == "retryable"
+                    and item.ticket.attempts < cfg.retry.max_attempts
+                    and not should_stop()
+                ):
+                    self.log.record(
+                        "retry",
+                        action=f"attempt-{item.ticket.attempts + 1}",
+                        details={"request_id": req.request_id},
+                    )
+                    # interruptible backoff: drain preemption cuts the
+                    # wait short instead of sleeping through it
+                    self._preempt_all.wait(
+                        cfg.retry.backoff(item.ticket.attempts)
+                    )
+                    continue
+                self._resolve_failure(item, error, outcome="failed")
+                return
+
+            if result.status == "preempted":
+                self._handle_preemption(item, result)
+                return
+
+            # unlink any recovered on-disk checkpoint *before*
+            # resolving the ticket, so observers that wake on
+            # resolution see the durable state already consistent;
+            # the ticket stays in the idempotency map (a resubmitted
+            # id returns this resolved ticket without re-executing)
+            self._cleanup_checkpoint(item)
+            item.ticket._finish(result, self.clock())
+            self.admission.release(req, outcome="completed")
+            self.completed += 1
+            return
+
+    def _handle_preemption(self, item: _WorkItem, result) -> None:
+        """A solve stopped at a cycle boundary: drain persists it,
+        a worker kill requeues it for another worker."""
+        req = item.ticket.request
+        checkpoint = result.checkpoint
+        if self._preempt_all.is_set():
+            self._persist_and_fail(item, checkpoint)
+            return
+        # worker kill: hand the solve to the rest of the fleet
+        item.resume_from = checkpoint
+        item.ticket.state = QUEUED
+        self.log.record(
+            "worker-kill",
+            action="requeued",
+            cycle=checkpoint.cycle if checkpoint else None,
+            details={"request_id": req.request_id},
+        )
+        self._queue.push(item, req.priority_rank, force=True)
+
+    # -- resolution helpers ----------------------------------------------
+    def _resolve_failure(
+        self, item: _WorkItem, error: Exception, outcome: str
+    ) -> None:
+        req = item.ticket.request
+        item.ticket._fail(error, self.clock())
+        self.admission.release(req, outcome=outcome)
+        if outcome == "failed":
+            self.failed += 1
+        # failed ids leave the idempotency map: a client retry with the
+        # same id is a fresh admission, not a cached refusal
+        with self._state_lock:
+            self._tickets.pop(req.request_id, None)
+
+    def _checkpoint_path(self, request: SolveRequest) -> Path | None:
+        if self.config.checkpoint_dir is None:
+            return None
+        return (
+            Path(self.config.checkpoint_dir)
+            / f"{request.request_id}.ckpt.npz"
+        )
+
+    def _persist_and_fail(
+        self, item: _WorkItem, checkpoint: SolveCheckpoint | None
+    ) -> None:
+        """Drain/shutdown path: persist the last-known-good state and
+        resolve the ticket with a typed, recoverable error."""
+        req = item.ticket.request
+        path = self._checkpoint_path(req)
+        saved: Path | None = None
+        if checkpoint is None:
+            # never started: checkpoint the initial state so recovery
+            # is uniform (cycle 0, zero iterate)
+            checkpoint = self._initial_checkpoint(req)
+        if path is not None:
+            o = req.opts
+            checkpoint.save(
+                path,
+                f=req.f,
+                meta={
+                    "request_id": req.request_id,
+                    "tenant": req.tenant,
+                    "ndim": req.ndim,
+                    "N": req.N,
+                    "priority": req.priority,
+                    "max_cycles": req.max_cycles,
+                    "tol": req.tol,
+                    "opts": {
+                        "cycle": o.cycle,
+                        "n1": o.n1,
+                        "n2": o.n2,
+                        "n3": o.n3,
+                        "levels": o.levels,
+                        "omega": o.omega,
+                    },
+                },
+            )
+            saved = path
+        self.log.record(
+            "preempt",
+            action="persisted" if saved else "unpersisted",
+            cycle=checkpoint.cycle,
+            details={
+                "request_id": req.request_id,
+                "checkpoint_path": str(saved) if saved else None,
+            },
+        )
+        self.preempted += 1
+        self._resolve_failure(
+            item,
+            SolvePreempted(
+                "solve preempted by drain; checkpoint persisted"
+                if saved
+                else "solve preempted by drain (no checkpoint dir)",
+                request_id=req.request_id,
+                tenant=req.tenant,
+                cycle=checkpoint.cycle,
+                checkpoint_path=str(saved) if saved else None,
+            ),
+            outcome="failed",
+        )
+
+    @staticmethod
+    def _initial_checkpoint(req: SolveRequest) -> SolveCheckpoint:
+        import numpy as np
+
+        from ..multigrid.kernels import norm_residual
+
+        u = np.zeros_like(req.f)
+        h = 1.0 / (req.N + 1)
+        norm = float(norm_residual(u, req.f, h))
+        return SolveCheckpoint(u, 0, [norm], None)
+
+    def _cleanup_checkpoint(self, item: _WorkItem) -> None:
+        if item.checkpoint_path is not None:
+            try:
+                item.checkpoint_path.unlink()
+            except OSError:
+                pass
+            item.checkpoint_path = None
+
+    # -- health ----------------------------------------------------------
+    def healthz(self) -> dict:
+        """Structured liveness/observability snapshot: queue depth,
+        worker fleet, budget posture, per-variant breaker states,
+        per-tenant usage, incident-ring accounting."""
+        with self._state_lock:
+            status = (
+                "drained"
+                if self._drained
+                else "draining"
+                if self._draining
+                else "serving"
+            )
+            in_flight = len(self._in_flight)
+        return {
+            "status": status,
+            "queue_depth": len(self._queue),
+            "in_flight": in_flight,
+            "workers": {
+                "configured": self.config.workers,
+                "alive": sum(1 for t in self._workers if t.is_alive()),
+            },
+            "counters": {
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "preempted": self.preempted,
+            },
+            "budget": self.budget.snapshot(),
+            "breakers": self.ladder.snapshot(),
+            "tenants": self.admission.tenant_usage(),
+            "incidents": self.log.ring_stats(),
+        }
+
+    # -- drain / recovery ------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> dict:
+        """Graceful shutdown: stop admitting, give in-flight work
+        ``timeout`` seconds to finish, then preempt the rest at cycle
+        boundaries, persist their checkpoints, and stop the workers.
+        Idempotent.  Returns a summary; after it, every ticket ever
+        admitted has resolved."""
+        with self._state_lock:
+            if self._drained:
+                return {"status": "drained", "already": True}
+            self._draining = True
+        self.log.record(
+            "drain",
+            action="begin",
+            details={
+                "queued": len(self._queue),
+                "in_flight": len(self._in_flight),
+            },
+        )
+
+        deadline = self.clock() + timeout
+        with self._idle_cv:
+            while self._in_flight or len(self._queue):
+                left = deadline - self.clock()
+                if left <= 0:
+                    break
+                self._idle_cv.wait(min(0.05, left))
+
+        # whatever is still running stops at its next cycle boundary
+        self._preempt_all.set()
+        self._shutdown.set()
+        for t in self._workers:
+            t.join(timeout=max(5.0, timeout))
+        # anything never picked up is persisted straight from the queue
+        for item in self._queue.drain_items():
+            self._persist_and_fail(item, item.resume_from)
+
+        self._drained = True
+        summary = {
+            "status": "drained",
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "preempted": self.preempted,
+            "incidents": self.log.ring_stats(),
+        }
+        self.log.record("drain", action="complete", details=summary)
+        return summary
+
+    def recover(self) -> list[SolveTicket]:
+        """Resume checkpointed solves left behind by a drained (or
+        crashed) earlier service instance sharing this
+        ``checkpoint_dir``.  Recovered requests bypass the rate/
+        overload gates (their resources were already paid for once)
+        but still respect concurrency caps, budget metering, and queue
+        capacity; anything that cannot be re-admitted right now stays
+        on disk for the next call."""
+        if self.config.checkpoint_dir is None:
+            return []
+        root = Path(self.config.checkpoint_dir)
+        if not root.is_dir():
+            return []
+        tickets: list[SolveTicket] = []
+        for path in sorted(root.glob("*.ckpt.npz")):
+            try:
+                checkpoint, f, meta = SolveCheckpoint.load(path)
+            except (OSError, KeyError, ValueError) as error:
+                self.log.record(
+                    "recover",
+                    action="unreadable",
+                    error=f"{type(error).__name__}: {error}",
+                    details={"path": str(path)},
+                )
+                continue
+            if f is None:
+                self.log.record(
+                    "recover",
+                    action="no-rhs",
+                    details={"path": str(path)},
+                )
+                continue
+            request = SolveRequest(
+                tenant=meta["tenant"],
+                ndim=int(meta["ndim"]),
+                N=int(meta["N"]),
+                f=f,
+                opts=MultigridOptions(**meta["opts"]),
+                request_id=meta["request_id"],
+                priority=meta.get("priority", "normal"),
+                max_cycles=int(meta.get("max_cycles", 20)),
+                tol=meta.get("tol"),
+            )
+            ticket = self._submit_recovered(request, checkpoint, path)
+            if ticket is not None:
+                tickets.append(ticket)
+        if tickets:
+            self.log.record(
+                "recover",
+                action="resumed",
+                details={"count": len(tickets)},
+            )
+        return tickets
+
+    def _submit_recovered(
+        self,
+        request: SolveRequest,
+        checkpoint: SolveCheckpoint,
+        path: Path,
+    ) -> SolveTicket | None:
+        with self._submit_lock:
+            with self._state_lock:
+                if self._draining:
+                    return None
+                if request.request_id in self._tickets:
+                    return self._tickets[request.request_id]
+            # recovered work re-reserves budget + a tenant slot but
+            # skips rate limiting (it is old work, not new demand)
+            tenant = self.admission._tenant(request.tenant)
+            with self.admission._lock:
+                if tenant.in_flight >= tenant.policy.max_concurrent:
+                    return None
+                tenant.in_flight += 1
+            self.budget.reserve(
+                request.estimated_bytes(), request.max_cycles
+            )
+            ticket = SolveTicket(request)
+            ticket.admitted_at = self.clock()
+            item = _WorkItem(
+                ticket, resume_from=checkpoint, checkpoint_path=path
+            )
+            with self._state_lock:
+                self._tickets[request.request_id] = ticket
+            try:
+                self._queue.push(item, request.priority_rank)
+            except QueueSaturated:
+                self.admission.release(request, outcome="shed")
+                with self._state_lock:
+                    self._tickets.pop(request.request_id, None)
+                return None
+            return ticket
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()

@@ -1,0 +1,177 @@
+"""Cross-process checkpoint/resume: serialize, reload, resume, match.
+
+The drain/recovery story only holds if a checkpoint written by one
+interpreter resumes *exactly* in another: same iterate, same residual
+trajectory, same final answer as a solve that was never interrupted.
+The planned numpy backend is bitwise deterministic, so the assertion
+here is exact equality, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.resilience import (
+    DegradationLadder,
+    SolveCheckpoint,
+    SolveSupervisor,
+    SupervisorPolicy,
+)
+
+from ..conftest import make_rhs, small_opts
+
+N = 16
+TOTAL_CYCLES = 8
+INTERRUPT_AT = 3
+LADDER = ("polymg-opt+", "polymg-naive")
+OVERRIDES = {"tile_sizes": {2: (8, 16)}}
+
+# Resumes the checkpoint in a pristine interpreter (fresh module state,
+# cold caches) and reports the final state as JSON on stdout.
+_RESUMER = """
+import hashlib, json, sys
+import numpy as np
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.multigrid.reference import MultigridOptions
+from repro.resilience import (
+    DegradationLadder, SolveCheckpoint, SolveSupervisor, SupervisorPolicy,
+)
+
+ckpt_path, total_cycles = sys.argv[1], int(sys.argv[2])
+checkpoint, f, meta = SolveCheckpoint.load(ckpt_path)
+pipe = build_poisson_cycle(
+    int(meta["ndim"]), int(meta["N"]), MultigridOptions(**meta["opts"])
+)
+supervisor = SolveSupervisor(
+    pipe,
+    SupervisorPolicy(max_cycles=total_cycles),
+    ladder=DegradationLadder(%(ladder)r),
+    config_overrides=%(overrides)r,
+)
+result = supervisor.solve(f, resume_from=checkpoint)
+print(json.dumps({
+    "status": result.status,
+    "cycles": result.cycles,
+    "norms": result.residual_norms,
+    "u_sha": hashlib.sha256(np.ascontiguousarray(result.u)).hexdigest(),
+}))
+""" % {"ladder": LADDER, "overrides": OVERRIDES}
+
+
+def _supervisor():
+    pipe = build_poisson_cycle(2, N, small_opts())
+    return SolveSupervisor(
+        pipe,
+        SupervisorPolicy(max_cycles=TOTAL_CYCLES),
+        ladder=DegradationLadder(LADDER),
+        config_overrides=OVERRIDES,
+    )
+
+
+def test_resume_in_fresh_interpreter_matches_uninterrupted(
+    rng, tmp_path
+):
+    f = make_rhs(rng, 2, N)
+
+    # the uninterrupted reference trajectory
+    reference = _supervisor().solve(f)
+    assert reference.cycles == TOTAL_CYCLES
+
+    # the interrupted run: stop cleanly at a cycle boundary
+    calls = {"n": 0}
+
+    def stop_after_interrupt():
+        calls["n"] += 1
+        return calls["n"] > INTERRUPT_AT
+
+    interrupted = _supervisor().solve(f, should_stop=stop_after_interrupt)
+    assert interrupted.status == "preempted"
+    assert interrupted.checkpoint is not None
+    assert interrupted.checkpoint.cycle == INTERRUPT_AT
+
+    ckpt_path = tmp_path / "solve.ckpt.npz"
+    interrupted.checkpoint.save(
+        ckpt_path,
+        f=f,
+        meta={
+            "ndim": 2,
+            "N": N,
+            "opts": {
+                "cycle": "V",
+                "n1": 2,
+                "n2": 2,
+                "n3": 2,
+                "levels": 3,
+                "omega": small_opts().omega,
+            },
+        },
+    )
+
+    proc = subprocess.run(
+        [sys.executable, "-c", _RESUMER, str(ckpt_path), str(TOTAL_CYCLES)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=_env_with_src(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    resumed = json.loads(proc.stdout)
+
+    # identical trajectory and identical final iterate, bit for bit
+    assert resumed["status"] == reference.status
+    assert resumed["cycles"] == reference.cycles
+    np.testing.assert_array_equal(
+        np.asarray(resumed["norms"]),
+        np.asarray(reference.residual_norms),
+    )
+    ref_sha = hashlib.sha256(
+        np.ascontiguousarray(reference.u)
+    ).hexdigest()
+    assert resumed["u_sha"] == ref_sha
+
+
+def test_checkpoint_save_load_round_trip(rng, tmp_path):
+    u = rng.standard_normal((N + 2, N + 2))
+    f = make_rhs(rng, 2, N)
+    checkpoint = SolveCheckpoint(
+        u, 5, [3.0, 2.0, 1.0], "polymg-opt+"
+    )
+    path = checkpoint.save(
+        tmp_path / "rt.ckpt.npz", f=f, meta={"tenant": "t"}
+    )
+    loaded, loaded_f, meta = SolveCheckpoint.load(path)
+    np.testing.assert_array_equal(loaded.u, u)
+    np.testing.assert_array_equal(loaded_f, f)
+    assert loaded.cycle == 5
+    assert loaded.residual_norms == [3.0, 2.0, 1.0]
+    assert loaded.variant == "polymg-opt+"
+    assert meta == {"tenant": "t"}
+
+
+def test_checkpoint_save_is_atomic(rng, tmp_path):
+    checkpoint = SolveCheckpoint(
+        np.zeros((4, 4)), 0, [1.0], None
+    )
+    path = checkpoint.save(tmp_path / "nested" / "dir" / "a.npz")
+    assert path.is_file()
+    # no temp staging files left behind
+    leftovers = [
+        p for p in path.parent.iterdir() if p.name.startswith(".")
+    ]
+    assert leftovers == []
+
+
+def _env_with_src():
+    import os
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env

@@ -1,0 +1,85 @@
+"""Ring-buffered IncidentLog: bounded memory with drop accounting."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.resilience import IncidentLog
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        log = IncidentLog()
+        for _ in range(100):
+            log.record("fault")
+        assert len(log.records) == 100
+        stats = log.ring_stats()
+        assert stats["capacity"] is None
+        assert stats["dropped"] == 0
+
+    def test_capacity_bounds_retention(self):
+        log = IncidentLog(capacity=4)
+        for i in range(10):
+            log.record("fault", cycle=i)
+        records = log.records
+        assert len(records) == 4
+        # newest retained, oldest dropped
+        assert [r.cycle for r in records] == [6, 7, 8, 9]
+
+    def test_drop_accounting(self):
+        log = IncidentLog(capacity=4)
+        for _ in range(10):
+            log.record("fault")
+        stats = log.ring_stats()
+        assert stats["dropped"] == 6
+        assert stats["retained"] == 4
+        assert stats["total_recorded"] == 10
+        assert stats["first_drop_ts"] is not None
+        assert stats["last_drop_ts"] is not None
+        assert stats["last_drop_ts"] >= stats["first_drop_ts"]
+
+    def test_no_drop_timestamps_before_any_drop(self):
+        log = IncidentLog(capacity=8)
+        log.record("fault")
+        stats = log.ring_stats()
+        assert stats["dropped"] == 0
+        assert stats["first_drop_ts"] is None
+        assert stats["last_drop_ts"] is None
+
+    def test_sequence_numbers_survive_drops(self):
+        # seq identifies an incident globally even after the ring
+        # forgot its predecessors
+        log = IncidentLog(capacity=2)
+        for _ in range(5):
+            log.record("fault")
+        assert [r.seq for r in log.records] == [3, 4]
+
+    def test_records_snapshot_is_isolated(self):
+        log = IncidentLog(capacity=4)
+        log.record("fault")
+        snap = log.records
+        log.record("fault")
+        assert len(snap) == 1  # old snapshot unaffected
+
+    def test_concurrent_recording_is_safe(self):
+        log = IncidentLog(capacity=64)
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(250):
+                log.record("fault")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = log.ring_stats()
+        assert stats["total_recorded"] == 1000
+        assert stats["retained"] == 64
+        assert stats["dropped"] == 936
+        # seq values are unique and the retained tail is contiguous
+        seqs = [r.seq for r in log.records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)

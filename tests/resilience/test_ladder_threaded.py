@@ -1,0 +1,166 @@
+"""DegradationLadder under concurrency: the half-open probe slot.
+
+A half-open breaker admits exactly one probe invocation.  Before the
+ladder was lock-protected, two workers selecting simultaneously after a
+cooldown could *both* observe OPEN-with-expired-cooldown, both flip the
+rung to HALF_OPEN, and both run "the" probe — double the blast radius
+of a still-broken variant.  These tests drive the transition from many
+threads and assert the slot is claimed exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience import HALF_OPEN, OPEN, DegradationLadder
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def tripped_ladder(clock, n_variants=2):
+    names = tuple(f"rung-{i}" for i in range(n_variants))
+    ladder = DegradationLadder(
+        names, failure_threshold=1, base_cooldown=2.0, clock=clock
+    )
+    ladder.record_failure(names[0], RuntimeError("trip"))
+    assert ladder.health[names[0]].state == OPEN
+    clock.advance(3.0)  # cooldown expired: next select may probe
+    return ladder, names
+
+
+class TestProbeSlotClaim:
+    def test_exactly_one_thread_wins_the_probe(self, clock):
+        ladder, names = tripped_ladder(clock)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        picks: list[str] = [""] * n_threads
+
+        def select(i):
+            barrier.wait()
+            picks[i] = ladder.select()
+
+        threads = [
+            threading.Thread(target=select, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # exactly one selector claimed the half-open probe; everyone
+        # else fell through to the healthy floor rung
+        assert picks.count(names[0]) == 1
+        assert picks.count(names[1]) == n_threads - 1
+        health = ladder.health[names[0]]
+        assert health.state == HALF_OPEN
+        assert health.probe_in_flight
+
+    def test_probe_slot_reopens_after_failure(self, clock):
+        ladder, names = tripped_ladder(clock)
+        assert ladder.select() == names[0]  # probe claimed
+        ladder.record_failure(names[0], RuntimeError("probe failed"))
+        assert ladder.health[names[0]].state == OPEN
+        assert not ladder.health[names[0]].probe_in_flight
+        # a new cooldown must elapse before the next probe
+        assert ladder.select() == names[1]
+        clock.advance(5.0)
+        assert ladder.select() == names[0]
+
+    def test_probe_success_reopens_the_rung_for_everyone(self, clock):
+        ladder, names = tripped_ladder(clock)
+        # promote_after=2: each probe round admits exactly one caller
+        # until enough successes close the breaker again
+        for _ in range(ladder.promote_after):
+            assert ladder.select() == names[0]
+            assert ladder.select() == names[1]  # slot busy: floor
+            ladder.record_success(names[0])
+            assert not ladder.health[names[0]].probe_in_flight
+        # once closed, any number of selectors get the rung
+        assert [ladder.select() for _ in range(4)] == [names[0]] * 4
+
+    def test_concurrent_select_record_stress(self, clock):
+        # invariant under arbitrary interleaving: at most one claimed
+        # probe per rung at any moment, and no exceptions anywhere
+        ladder, names = tripped_ladder(clock)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def worker(seed):
+            import random
+
+            rnd = random.Random(seed)
+            while not stop.is_set():
+                try:
+                    pick = ladder.select()
+                    if rnd.random() < 0.5:
+                        ladder.record_success(pick)
+                    else:
+                        ladder.record_failure(
+                            pick, RuntimeError("chaos")
+                        )
+                    if rnd.random() < 0.1:
+                        clock.advance(1.0)
+                    ladder.snapshot()
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join(timeout=30)
+        timer.cancel()
+        stop.set()
+        assert errors == []
+        assert not any(t.is_alive() for t in threads)
+
+
+class TestRungCeiling:
+    def test_ceiling_restricts_selection(self, clock):
+        ladder = DegradationLadder(
+            ("top", "mid", "floor"), clock=clock
+        )
+        assert ladder.select() == "top"
+        assert ladder.select(ceiling="mid") == "mid"
+        assert ladder.select(ceiling="floor") == "floor"
+
+    def test_ceiling_composes_with_breakers(self, clock):
+        ladder = DegradationLadder(
+            ("top", "mid", "floor"),
+            failure_threshold=1,
+            clock=clock,
+        )
+        ladder.record_failure("mid", RuntimeError("trip"))
+        assert ladder.select(ceiling="mid") == "floor"
+
+    def test_unknown_ceiling_raises(self, clock):
+        ladder = DegradationLadder(("a", "b"), clock=clock)
+        with pytest.raises(KeyError):
+            ladder.select(ceiling="nonexistent")
+
+    def test_active_respects_ceiling_without_side_effects(self, clock):
+        ladder = DegradationLadder(("a", "b"), clock=clock)
+        assert ladder.active(ceiling="b") == "b"
+        assert ladder.select() == "a"  # nothing was claimed or tripped

@@ -1,0 +1,233 @@
+"""Admission control: token buckets, concurrency caps, bounded queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AdmissionDeferred,
+    QueueSaturated,
+    ServiceOverloaded,
+    TenantConcurrencyExceeded,
+    TenantRateLimited,
+)
+from repro.resilience import IncidentLog
+from repro.service import (
+    AdmissionController,
+    BoundedRequestQueue,
+    FleetBudget,
+    SolveRequest,
+    TenantPolicy,
+    TokenBucket,
+)
+
+from ..conftest import make_rhs
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def request(
+    rng, tenant="t", priority="normal", n=8, request_id=None, **kw
+):
+    return SolveRequest(
+        tenant=tenant,
+        ndim=2,
+        N=n,
+        f=make_rhs(rng, 2, n),
+        priority=priority,
+        **({"request_id": request_id} if request_id else {}),
+        **kw,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+        clock.advance(wait)
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self, clock):
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert bucket.try_acquire() > 0.0  # burst, not rate*dt
+
+    def test_unlimited(self, clock):
+        bucket = TokenBucket(rate=None, clock=clock)
+        assert all(bucket.try_acquire() == 0.0 for _ in range(100))
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5, clock=clock)
+
+
+class TestBoundedRequestQueue:
+    def test_priority_order_fifo_within_class(self):
+        q = BoundedRequestQueue(capacity=8)
+        q.push("n1", 1)
+        q.push("h1", 0)
+        q.push("n2", 1)
+        assert [q.pop(0.0) for _ in range(3)] == ["h1", "n1", "n2"]
+
+    def test_full_queue_sheds_strictly_lower_priority(self):
+        q = BoundedRequestQueue(capacity=2)
+        q.push("low1", 2)
+        q.push("low2", 2)
+        victim = q.push("high", 0)
+        assert victim == "low2"  # the youngest of the worst class
+        assert len(q) == 2
+
+    def test_full_queue_refuses_equal_or_better_rank(self):
+        q = BoundedRequestQueue(capacity=1)
+        q.push("a", 1)
+        with pytest.raises(QueueSaturated):
+            q.push("b", 1)
+        with pytest.raises(QueueSaturated):
+            q.push("c", 2)
+
+    def test_force_push_ignores_capacity(self):
+        q = BoundedRequestQueue(capacity=1)
+        q.push("a", 1)
+        assert q.push("requeued", 1, force=True) is None
+        assert len(q) == 2
+
+    def test_pop_timeout_returns_none(self):
+        q = BoundedRequestQueue(capacity=1)
+        assert q.pop(timeout=0.01) is None
+
+    def test_drain_items_empties_in_priority_order(self):
+        q = BoundedRequestQueue(capacity=4)
+        q.push("low", 2)
+        q.push("high", 0)
+        assert q.drain_items() == ["high", "low"]
+        assert len(q) == 0
+
+
+class TestAdmissionGates:
+    def make(self, clock, *, max_bytes=None, **policies):
+        log = IncidentLog()
+        budget = FleetBudget(max_bytes=max_bytes, log=log)
+        controller = AdmissionController(
+            budget=budget,
+            default_policy=policies.pop(
+                "default", TenantPolicy(rate=None, max_concurrent=100)
+            ),
+            tenant_policies=policies.pop("tenants", None),
+            log=log,
+            clock=clock,
+        )
+        return controller, budget, log
+
+    def test_rate_limit_with_retry_hint(self, rng, clock):
+        controller, _, log = self.make(
+            clock, default=TenantPolicy(rate=1.0, burst=1.0)
+        )
+        controller.admit(request(rng))
+        with pytest.raises(TenantRateLimited) as exc:
+            controller.admit(request(rng))
+        assert exc.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        controller.admit(request(rng))  # token refilled
+        assert controller.rejections == {"tenant-rate": 1}
+        assert any(r.kind == "admission-reject" for r in log.records)
+
+    def test_concurrency_cap_and_release(self, rng, clock):
+        controller, _, _ = self.make(
+            clock, default=TenantPolicy(max_concurrent=2)
+        )
+        first = request(rng)
+        controller.admit(first)
+        controller.admit(request(rng))
+        with pytest.raises(TenantConcurrencyExceeded):
+            controller.admit(request(rng))
+        controller.release(first, outcome="completed")
+        controller.admit(request(rng))  # slot freed
+
+    def test_tenants_are_isolated(self, rng, clock):
+        controller, _, _ = self.make(
+            clock,
+            default=TenantPolicy(max_concurrent=1),
+        )
+        controller.admit(request(rng, tenant="a"))
+        controller.admit(request(rng, tenant="b"))  # b unaffected by a
+        with pytest.raises(TenantConcurrencyExceeded):
+            controller.admit(request(rng, tenant="a"))
+
+    def test_overload_shed_spares_high_priority(self, rng, clock):
+        controller, budget, _ = self.make(clock, max_bytes=1000)
+        budget.reserve(990, 1)  # shed level
+        with pytest.raises(ServiceOverloaded):
+            controller.admit(request(rng, priority="normal"))
+        with pytest.raises(ServiceOverloaded):
+            controller.admit(request(rng, priority="low"))
+        controller.admit(request(rng, priority="high", n=2))
+
+    def test_overload_defer_refuses_low_priority_only(self, rng, clock):
+        controller, budget, _ = self.make(clock, max_bytes=10**7)
+        budget.reserve(int(0.65 * 10**7), 1)  # defer level
+        with pytest.raises(AdmissionDeferred) as exc:
+            controller.admit(request(rng, priority="low"))
+        assert exc.value.retry_after is not None
+        controller.admit(request(rng, priority="normal"))
+
+    def test_admission_reserves_budget(self, rng, clock):
+        controller, budget, _ = self.make(clock, max_bytes=10**9)
+        req = request(rng)
+        controller.admit(req)
+        snap = budget.snapshot()
+        assert snap["outstanding_bytes"] == req.estimated_bytes()
+        assert snap["outstanding_cycles"] == req.max_cycles
+        controller.release(req)
+        assert budget.snapshot()["outstanding_bytes"] == 0
+
+    def test_usage_accounting(self, rng, clock):
+        controller, _, _ = self.make(clock)
+        req = request(rng, tenant="acct")
+        controller.admit(req)
+        controller.release(req, outcome="completed")
+        usage = controller.tenant_usage()["acct"]
+        assert usage["submitted"] == 1
+        assert usage["completed"] == 1
+        assert usage["in_flight"] == 0
+
+
+class TestRequestValidation:
+    def test_bad_priority(self, rng):
+        with pytest.raises(Exception, match="priority"):
+            request(rng, priority="urgent")
+
+    def test_bad_shape(self, rng):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="shape"):
+            SolveRequest(
+                tenant="t", ndim=2, N=8, f=np.zeros((3, 3))
+            )
+
+    def test_estimated_bytes_scales_with_grid(self, rng):
+        small = request(rng, n=8).estimated_bytes()
+        big = request(rng, n=16).estimated_bytes()
+        assert big > small
+        assert small == 6 * 8 * 10**2

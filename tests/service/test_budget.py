@@ -1,0 +1,94 @@
+"""FleetBudget: graded overload levels and their audit trail."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import IncidentLog
+from repro.service import OVERLOAD_LEVELS, FleetBudget
+
+
+@pytest.fixture
+def budget():
+    return FleetBudget(max_bytes=1000, log=IncidentLog())
+
+
+class TestLevels:
+    def test_level_order(self):
+        assert OVERLOAD_LEVELS == ("normal", "defer", "degrade", "shed")
+
+    def test_graded_escalation_and_relaxation(self, budget):
+        assert budget.level() == "normal"
+        assert budget.reserve(600, 1) == "defer"
+        assert budget.reserve(200, 1) == "degrade"
+        assert budget.reserve(150, 1) == "shed"
+        assert budget.release(600, 1) == "normal"
+
+    def test_unbounded_meter_contributes_nothing(self):
+        budget = FleetBudget()  # no caps at all
+        assert budget.reserve(10**12, 10**6) == "normal"
+        assert budget.utilization() == 0.0
+
+    def test_worse_meter_wins(self):
+        budget = FleetBudget(max_bytes=1000, max_cycles=10)
+        budget.reserve(100, 7)  # bytes at 10%, cycles at 70%
+        assert budget.level() == "defer"
+        assert budget.utilization() == pytest.approx(0.7)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            FleetBudget(defer_at=0.9, degrade_at=0.5)
+
+
+class TestAuditTrail:
+    def test_transitions_are_incidents(self, budget):
+        budget.reserve(990, 1)  # normal -> shed in one jump
+        budget.release(990, 1)
+        kinds = [(r.kind, r.action) for r in budget.log.records]
+        assert ("overload", "normal->shed") in kinds
+        assert ("overload", "shed->normal") in kinds
+        directions = [
+            r.details["direction"]
+            for r in budget.log.records
+            if r.kind == "overload"
+        ]
+        assert directions == ["escalate", "relax"]
+
+    def test_no_incident_without_transition(self, budget):
+        budget.reserve(10, 1)
+        budget.release(10, 1)
+        assert budget.log.records == []
+
+    def test_on_transition_hooks_fire(self, budget):
+        seen = []
+        budget.on_transition.append(lambda old, new: seen.append((old, new)))
+        budget.reserve(700, 1)
+        budget.release(700, 1)
+        assert seen == [("normal", "defer"), ("defer", "normal")]
+
+
+class TestAccounting:
+    def test_release_never_goes_negative(self, budget):
+        budget.release(500, 5)
+        snap = budget.snapshot()
+        assert snap["outstanding_bytes"] == 0
+        assert snap["outstanding_cycles"] == 0
+        assert snap["reservations"] == 0
+
+    def test_peak_utilization_is_sticky(self, budget):
+        budget.reserve(900, 1)
+        budget.release(900, 1)
+        assert budget.snapshot()["peak_utilization"] == pytest.approx(0.9)
+
+    def test_snapshot_shape(self, budget):
+        snap = budget.snapshot()
+        assert set(snap) == {
+            "level",
+            "utilization",
+            "peak_utilization",
+            "outstanding_bytes",
+            "outstanding_cycles",
+            "reservations",
+            "max_bytes",
+            "max_cycles",
+        }

@@ -1,0 +1,214 @@
+"""Graceful drain, worker-kill survival, and checkpoint recovery."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ServiceDraining, SolvePreempted
+from repro.multigrid.reference import MultigridOptions
+from repro.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantPolicy,
+)
+
+from ..conftest import make_rhs
+
+N = 16
+OPTS = MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=4, omega=0.8)
+LADDER = ("polymg-opt+", "polymg-naive")
+OVERRIDES = {"tile_sizes": {2: (8, 16)}}
+
+
+def config(tmp_path, **kw) -> ServiceConfig:
+    base = dict(
+        workers=1,
+        queue_capacity=8,
+        config_overrides=OVERRIDES,
+        ladder_variants=LADDER,
+        checkpoint_dir=str(tmp_path / "checkpoints"),
+        default_tenant_policy=TenantPolicy(rate=None, max_concurrent=32),
+    )
+    base.update(kw)
+    return ServiceConfig(**base)
+
+
+def req(rng, **kw) -> SolveRequest:
+    kw.setdefault("max_cycles", 10)
+    return SolveRequest(
+        tenant="t1", ndim=2, N=N, f=make_rhs(rng, 2, N), opts=OPTS, **kw
+    )
+
+
+def wait_until_running(ticket, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while ticket.started_at is None:
+        assert time.monotonic() < deadline, "solve never started"
+        time.sleep(0.002)
+
+
+class TestWorkerKill:
+    def test_killed_worker_requeues_and_solve_completes(
+        self, rng, tmp_path
+    ):
+        svc = SolveService(config(tmp_path))
+        try:
+            ticket = svc.submit(req(rng, max_cycles=80))
+            wait_until_running(ticket)
+            victim = svc.kill_worker()
+            result = ticket.result(timeout=120)
+            # the solve finished on the respawned worker with the full
+            # cycle budget honoured — no cycles lost, none repeated
+            assert result.status in ("converged", "cycle-budget")
+            assert len(result.residual_norms) - 1 <= 80
+            kinds = [r.kind for r in svc.log.records]
+            assert "worker-kill" in kinds
+            assert "worker-respawn" in kinds
+            assert svc.healthz()["workers"]["alive"] == 1
+            assert victim == 0
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_no_request_is_lost_across_kill(self, rng, tmp_path):
+        svc = SolveService(config(tmp_path, workers=2))
+        try:
+            tickets = [
+                svc.submit(req(rng, max_cycles=40)) for _ in range(4)
+            ]
+            wait_until_running(tickets[0])
+            svc.kill_worker()
+            for ticket in tickets:
+                result = ticket.result(timeout=120)
+                assert result.status in ("converged", "cycle-budget")
+            assert svc.completed == 4
+        finally:
+            svc.drain(timeout=10.0)
+
+
+class TestDrain:
+    def test_drain_lets_quick_work_finish(self, rng, tmp_path):
+        svc = SolveService(config(tmp_path))
+        tickets = [svc.submit(req(rng)) for _ in range(3)]
+        summary = svc.drain(timeout=60.0)
+        assert summary["completed"] == 3
+        assert summary["preempted"] == 0
+        for ticket in tickets:
+            assert ticket.result(timeout=0).status in (
+                "converged",
+                "cycle-budget",
+            )
+
+    def test_drain_preempts_and_persists_slow_work(self, rng, tmp_path):
+        svc = SolveService(config(tmp_path))
+        slow = svc.submit(req(rng, max_cycles=5000, request_id="slow"))
+        wait_until_running(slow)
+        summary = svc.drain(timeout=0.05)
+        assert summary["preempted"] == 1
+        with pytest.raises(SolvePreempted) as exc:
+            slow.result(timeout=1)
+        path = exc.value.checkpoint_path
+        assert path is not None and path.endswith("slow.ckpt.npz")
+
+    def test_queued_but_never_started_work_is_persisted(
+        self, rng, tmp_path
+    ):
+        # one worker pinned on a slow solve; the queued request drains
+        # straight from the queue with a cycle-0 checkpoint
+        svc = SolveService(config(tmp_path))
+        slow = svc.submit(req(rng, max_cycles=5000))
+        wait_until_running(slow)
+        queued = svc.submit(req(rng, request_id="never-started"))
+        summary = svc.drain(timeout=0.05)
+        assert summary["preempted"] == 2
+        with pytest.raises(SolvePreempted) as exc:
+            queued.result(timeout=1)
+        assert exc.value.context["cycle"] == 0
+
+    def test_submit_during_drain_is_typed(self, rng, tmp_path):
+        svc = SolveService(config(tmp_path))
+        svc.drain(timeout=5.0)
+        with pytest.raises(ServiceDraining):
+            svc.submit(req(rng))
+
+    def test_drain_is_idempotent(self, rng, tmp_path):
+        svc = SolveService(config(tmp_path))
+        svc.submit(req(rng)).result(timeout=120)
+        first = svc.drain(timeout=10.0)
+        second = svc.drain(timeout=10.0)
+        assert first["status"] == second["status"] == "drained"
+        assert second.get("already") is True
+
+    def test_context_manager_drains(self, rng, tmp_path):
+        with SolveService(config(tmp_path)) as svc:
+            svc.submit(req(rng)).result(timeout=120)
+        assert svc.healthz()["status"] == "drained"
+
+
+class TestRecovery:
+    def test_preempted_solve_resumes_in_fresh_service(
+        self, rng, tmp_path
+    ):
+        first = SolveService(config(tmp_path))
+        slow = first.submit(
+            req(rng, max_cycles=30, request_id="resumable")
+        )
+        wait_until_running(slow)
+        first.drain(timeout=0.05)
+        with pytest.raises(SolvePreempted) as exc:
+            slow.result(timeout=1)
+        interrupted_at = exc.value.context["cycle"]
+        assert interrupted_at < 30
+
+        second = SolveService(config(tmp_path))
+        try:
+            tickets = second.recover()
+            assert len(tickets) == 1
+            assert tickets[0].request.request_id == "resumable"
+            result = tickets[0].result(timeout=120)
+            # cycle numbering carried over: total work == one
+            # uninterrupted solve's budget
+            assert len(result.residual_norms) - 1 <= 30
+            assert result.status in ("converged", "cycle-budget")
+            # the consumed checkpoint was cleaned off disk
+            leftovers = list(
+                (tmp_path / "checkpoints").glob("*.ckpt.npz")
+            )
+            assert leftovers == []
+        finally:
+            second.drain(timeout=10.0)
+
+    def test_recover_with_no_checkpoints_is_empty(self, tmp_path):
+        svc = SolveService(config(tmp_path))
+        try:
+            assert svc.recover() == []
+        finally:
+            svc.drain(timeout=5.0)
+
+    def test_unreadable_checkpoint_is_skipped_not_fatal(
+        self, rng, tmp_path
+    ):
+        ckdir = tmp_path / "checkpoints"
+        ckdir.mkdir(parents=True)
+        (ckdir / "garbage.ckpt.npz").write_bytes(b"not an npz")
+        svc = SolveService(config(tmp_path))
+        try:
+            assert svc.recover() == []
+            assert any(
+                r.kind == "recover" and r.action == "unreadable"
+                for r in svc.log.records
+            )
+        finally:
+            svc.drain(timeout=5.0)
+
+    def test_no_checkpoint_dir_disables_persistence(self, rng, tmp_path):
+        svc = SolveService(config(tmp_path, checkpoint_dir=None))
+        slow = svc.submit(req(rng, max_cycles=5000))
+        wait_until_running(slow)
+        svc.drain(timeout=0.05)
+        with pytest.raises(SolvePreempted) as exc:
+            slow.result(timeout=1)
+        assert exc.value.checkpoint_path is None
+        assert svc.recover() == []

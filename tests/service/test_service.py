@@ -1,0 +1,299 @@
+"""SolveService end-to-end: multiplexing, robustness, typed refusals."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CompileError,
+    NumericalDivergenceError,
+    TenantConcurrencyExceeded,
+    TenantRateLimited,
+)
+from repro.multigrid.reference import MultigridOptions
+from repro.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantPolicy,
+)
+
+from ..conftest import make_rhs
+
+N = 16
+OPTS = MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=4, omega=0.8)
+# planned numpy rungs only: deterministic and toolchain-independent
+LADDER = ("polymg-opt+", "polymg-naive")
+OVERRIDES = {"tile_sizes": {2: (8, 16), 3: (4, 4, 8)}}
+
+
+def config(**kw) -> ServiceConfig:
+    base = dict(
+        workers=2,
+        queue_capacity=8,
+        config_overrides=OVERRIDES,
+        ladder_variants=LADDER,
+        default_tenant_policy=TenantPolicy(rate=None, max_concurrent=32),
+    )
+    base.update(kw)
+    return ServiceConfig(**base)
+
+
+def req(rng, *, tenant="t1", ndim=2, n=N, **kw) -> SolveRequest:
+    return SolveRequest(
+        tenant=tenant,
+        ndim=ndim,
+        N=n,
+        f=make_rhs(rng, ndim, n),
+        opts=OPTS,
+        **kw,
+    )
+
+
+@pytest.fixture
+def service():
+    svc = SolveService(config())
+    yield svc
+    svc.drain(timeout=10.0)
+
+
+class TestMultiplexing:
+    def test_concurrent_mixed_dimension_traffic(self, rng, service):
+        requests = [
+            req(rng, tenant=f"tenant-{i % 3}", ndim=2 + (i % 2), n=N)
+            for i in range(8)
+        ]
+        tickets = [service.submit(r) for r in requests]
+        for ticket, request in zip(tickets, requests):
+            result = ticket.result(timeout=120)
+            assert result.status in ("converged", "cycle-budget")
+            assert np.isfinite(result.residual_norms[-1])
+            # the solve actually reduced the residual
+            assert (
+                result.residual_norms[-1] < result.residual_norms[0]
+            )
+        assert service.completed == 8
+
+    def test_pipeline_shared_across_tenants(self, rng, service):
+        a = service.submit(req(rng, tenant="a"))
+        b = service.submit(req(rng, tenant="b"))
+        a.result(timeout=120)
+        b.result(timeout=120)
+        # same spec -> one built pipeline, shared
+        assert len(service._pipelines) == 1
+
+    def test_result_is_correct_vs_direct_solve(self, rng, service):
+        from repro.multigrid.kernels import norm_residual
+
+        request = req(rng, max_cycles=12, tol=1e-9)
+        result = service.submit(request).result(timeout=120)
+        h = 1.0 / (N + 1)
+        check = norm_residual(result.u, request.f, h)
+        assert check == pytest.approx(
+            result.residual_norms[-1], rel=1e-10
+        )
+
+
+class TestIdempotency:
+    def test_resubmission_returns_same_ticket(self, rng, service):
+        request = req(rng)
+        first = service.submit(request)
+        assert service.submit(request) is first
+        first.result(timeout=120)
+        # even after resolution the id stays bound to the result
+        assert service.submit(request) is first
+
+    def test_failed_id_may_be_retried(self, rng):
+        calls = []
+
+        def hook(supervisor, request):
+            calls.append(request.request_id)
+            raise CompileError("injected fatal fault")
+
+        svc = SolveService(config(fault_hook=hook))
+        try:
+            request = req(rng, request_id="retry-me")
+            ticket = svc.submit(request)
+            with pytest.raises(CompileError):
+                ticket.result(timeout=60)
+            # a failed id leaves the idempotency map: same id re-admits
+            again = svc.submit(request)
+            assert again is not ticket
+            with pytest.raises(CompileError):
+                again.result(timeout=60)
+        finally:
+            svc.drain(timeout=10.0)
+
+
+class TestRetry:
+    def test_transient_fault_is_retried_to_success(self, rng):
+        failures = {"left": 2}
+
+        def hook(supervisor, request):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise NumericalDivergenceError("injected transient")
+
+        svc = SolveService(config(workers=1, fault_hook=hook))
+        try:
+            ticket = svc.submit(req(rng))
+            result = ticket.result(timeout=120)
+            assert result.status in ("converged", "cycle-budget")
+            assert ticket.attempts == 3
+            kinds = [r.kind for r in svc.log.records]
+            assert kinds.count("retry") == 2
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_fatal_fault_fails_fast(self, rng):
+        def hook(supervisor, request):
+            raise CompileError("injected fatal")
+
+        svc = SolveService(config(workers=1, fault_hook=hook))
+        try:
+            ticket = svc.submit(req(rng))
+            with pytest.raises(CompileError):
+                ticket.result(timeout=60)
+            assert ticket.attempts == 1
+            assert svc.failed == 1
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_retries_exhausted_surfaces_the_fault(self, rng):
+        def hook(supervisor, request):
+            raise NumericalDivergenceError("always diverges")
+
+        svc = SolveService(config(workers=1, fault_hook=hook))
+        try:
+            ticket = svc.submit(req(rng))
+            with pytest.raises(NumericalDivergenceError):
+                ticket.result(timeout=60)
+            assert ticket.attempts == svc.config.retry.max_attempts
+        finally:
+            svc.drain(timeout=10.0)
+
+
+class TestAdmissionIntegration:
+    def test_tenant_rate_limit_is_typed(self, rng):
+        svc = SolveService(
+            config(
+                tenant_policies={
+                    "limited": TenantPolicy(rate=0.001, burst=1.0)
+                }
+            )
+        )
+        try:
+            svc.submit(req(rng, tenant="limited"))
+            with pytest.raises(TenantRateLimited) as exc:
+                svc.submit(req(rng, tenant="limited"))
+            assert exc.value.retry_after is not None
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_tenant_concurrency_cap(self, rng):
+        svc = SolveService(
+            config(
+                workers=1,
+                tenant_policies={
+                    "capped": TenantPolicy(max_concurrent=1)
+                },
+            )
+        )
+        try:
+            first = svc.submit(req(rng, tenant="capped", max_cycles=40))
+            with pytest.raises(TenantConcurrencyExceeded):
+                svc.submit(req(rng, tenant="capped"))
+            first.result(timeout=120)
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_deadline_propagates_into_supervisor(self, rng):
+        svc = SolveService(config(workers=1))
+        try:
+            # a deadline that expired while queued: the solve stops
+            # immediately with status "deadline", not a hang
+            ticket = svc.submit(req(rng, deadline=0.0, max_cycles=500))
+            result = ticket.result(timeout=60)
+            assert result.status == "deadline"
+        finally:
+            svc.drain(timeout=10.0)
+
+
+class TestOverloadDegradation:
+    def test_low_priority_forced_onto_naive_rung(self, rng):
+        # the degrade posture applies at *execution* time: a low-
+        # priority request admitted while the fleet was calm runs on
+        # the naive rung if the budget escalated while it was queued
+        released = threading.Event()
+
+        def hook(supervisor, request):
+            if request.request_id == "blocker":
+                released.wait(timeout=30)
+
+        svc = SolveService(
+            config(workers=1, max_fleet_bytes=10**6, fault_hook=hook)
+        )
+        try:
+            blocker = svc.submit(
+                req(rng, n=8, request_id="blocker")
+            )
+            low = svc.submit(req(rng, priority="low", n=8))
+            # budget escalates to degrade while `low` waits in queue
+            svc.budget.reserve(int(0.85 * 10**6), 0)
+            released.set()
+            blocker.result(timeout=120)
+            result = low.result(timeout=120)
+            assert set(result.variant_trail) == {"polymg-naive"}
+            assert any(r.kind == "degraded" for r in svc.log.records)
+            svc.budget.release(int(0.85 * 10**6), 0)
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_normal_priority_keeps_best_rung(self, rng):
+        svc = SolveService(config(workers=1, max_fleet_bytes=10**6))
+        try:
+            svc.budget.reserve(int(0.85 * 10**6), 0)
+            ticket = svc.submit(req(rng, priority="normal", n=8))
+            result = ticket.result(timeout=120)
+            assert result.variant_trail[0] == "polymg-opt+"
+            svc.budget.release(int(0.85 * 10**6), 0)
+        finally:
+            svc.drain(timeout=10.0)
+
+
+class TestHealthz:
+    def test_snapshot_shape_and_liveness(self, rng, service):
+        service.submit(req(rng)).result(timeout=120)
+        h = service.healthz()
+        assert h["status"] == "serving"
+        assert h["workers"]["alive"] == h["workers"]["configured"] == 2
+        assert h["counters"]["completed"] >= 1
+        assert h["budget"]["level"] == "normal"
+        assert "polymg-naive" in h["breakers"]
+        assert h["tenants"]["t1"]["completed"] >= 1
+        assert h["incidents"]["capacity"] == 4096
+
+    def test_healthz_is_safe_under_concurrent_traffic(self, rng, service):
+        stop = threading.Event()
+        errors = []
+
+        def poll():
+            while not stop.is_set():
+                try:
+                    service.healthz()
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            tickets = [service.submit(req(rng)) for _ in range(4)]
+            for ticket in tickets:
+                ticket.result(timeout=120)
+        finally:
+            stop.set()
+            poller.join()
+        assert errors == []

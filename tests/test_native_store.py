@@ -64,7 +64,9 @@ class TestPutGet:
     def test_no_tmp_files_survive_put(self, store, tmp_path):
         store.put("k1", _stage(tmp_path, "a.so", b"x"))
         leftovers = [
-            p for p in store.root.iterdir() if p.name.startswith(".")
+            p
+            for p in store.root.iterdir()
+            if p.name.startswith(".") and p.name != ".store.lock"
         ]
         assert leftovers == []
 

@@ -1,0 +1,127 @@
+"""Cross-process mutual exclusion on the native artifact store.
+
+`NativeArtifactStore.put` renames two files into place (`.so`, then its
+`.json` sidecar).  Each rename is atomic but the *pair* is not: without
+the inter-process flock, a `get` in another process can land between
+them, hash the new shared object against the old sidecar, conclude the
+artifact is corrupt, and delete it.  These tests hammer one store root
+from two real processes and assert the flock keeps the store coherent:
+no corrupt rejections, no lost artifacts.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cache import NativeArtifactStore, fcntl
+
+pytestmark = pytest.mark.skipif(
+    fcntl is None, reason="flock requires a POSIX platform"
+)
+
+# Worker executed in a separate interpreter.  Each process alternates
+# `put` (fresh payload each round, so renames happen every time) and
+# `get` on the same small key set, then reports its stats on stdout.
+_WORKER = """
+import json, sys
+from pathlib import Path
+from repro.cache import NativeArtifactStore
+
+root, seed, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = NativeArtifactStore(root, max_bytes=1 << 20)
+stage = Path(root).parent / f"stage-{seed}"
+stage.mkdir(exist_ok=True)
+keys = ["k0", "k1", "k2"]
+served = 0
+for i in range(rounds):
+    key = keys[(i + seed) % len(keys)]
+    built = stage / f"{key}.{i}.built"
+    built.write_bytes(bytes([seed]) * 256 + i.to_bytes(4, "little"))
+    store.put(key, built)
+    if store.get(keys[(i + seed + 1) % len(keys)]) is not None:
+        served += 1
+print(json.dumps({
+    "corrupt": store.stats.corrupt_rejections,
+    "stores": store.stats.stores,
+    "served": served,
+}))
+"""
+
+
+def _run_worker(root: Path, seed: int, rounds: int) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER, str(root), str(seed), str(rounds)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    import json
+
+    return json.loads(proc.stdout)
+
+
+def test_two_processes_hammer_without_corruption(tmp_path):
+    root = tmp_path / "store"
+    rounds = 150
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _WORKER,
+                str(root),
+                str(seed),
+                str(rounds),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for seed in (1, 2)
+    ]
+    results = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        import json
+
+        results.append(json.loads(out))
+
+    # the flock closes the rename/hash window: nothing was ever seen
+    # half-renamed, so no good artifact was "corrupt"-rejected
+    assert [r["corrupt"] for r in results] == [0, 0]
+    assert all(r["stores"] == rounds for r in results)
+    # and the store still serves every key coherently afterwards
+    survivor = NativeArtifactStore(root, max_bytes=1 << 20)
+    for key in ("k0", "k1", "k2"):
+        assert survivor.get(key) is not None
+    assert survivor.stats.corrupt_rejections == 0
+
+
+def test_lock_file_is_not_evictable(tmp_path):
+    # the advisory lock file must never be treated as an artifact by
+    # eviction or clear()
+    store = NativeArtifactStore(tmp_path / "store", max_bytes=64)
+    built = tmp_path / "a.built"
+    built.write_bytes(b"x" * 128)
+    store.put("k", built)  # over budget: eviction machinery runs
+    store.clear()
+    assert (store.root / ".store.lock").exists()
+
+
+def test_single_process_semantics_unchanged(tmp_path):
+    # the flock composes with the thread lock without deadlocking a
+    # plain sequential caller
+    store = NativeArtifactStore(tmp_path / "store", max_bytes=1 << 20)
+    built = tmp_path / "a.built"
+    built.write_bytes(b"payload")
+    store.put("k1", built)
+    assert store.get("k1") is not None
+    assert store.get("k1").read_bytes() == b"payload"
+    store.clear()
+    assert store.get("k1") is None
