@@ -41,7 +41,12 @@ the probe (``VariantHealth.probe_in_flight``); concurrent selectors
 skip a rung whose probe is already in flight and serve the next rung
 down instead, so one faulty variant is never probed by the whole fleet
 at once (a stampede would multiply the fault, not heal it).  Recording
-the probe's outcome — success or failure — releases the slot.
+the probe's outcome — success or failure — releases the slot.  The
+slot is a *lease*, not a lock: if the prober dies without recording an
+outcome (e.g. a non-``ReproError`` escaped the attempt entirely), the
+claim expires after ``probe_timeout`` seconds and :meth:`select` hands
+the probe to the next caller instead of leaving the rung stuck
+half-open forever.
 """
 
 from __future__ import annotations
@@ -86,6 +91,9 @@ class VariantHealth:
     #: set when :meth:`DegradationLadder.select` hands the probe to a
     #: caller, cleared when its outcome is recorded
     probe_in_flight: bool = False
+    #: clock stamp of the current probe claim — the lease start; a
+    #: claim older than the ladder's ``probe_timeout`` is reclaimable
+    probe_claimed_at: float = 0.0
 
     def error_rate(self) -> float:
         """Failure fraction over the sliding window (0.0 when empty)."""
@@ -123,6 +131,12 @@ class DegradationLadder:
         Exponential cooldown schedule (seconds) between trips.
     promote_after:
         Consecutive half-open probe successes required to re-close.
+    probe_timeout:
+        Lease duration (seconds) of the single half-open probe slot.
+        A prober that dies without recording an outcome would
+        otherwise leave its rung half-open-with-slot-taken forever —
+        skipped by every worker with no recovery path; after this long
+        :meth:`select` reclaims the slot and re-probes.
     clock:
         Monotonic time source (injectable for tests).
     log:
@@ -140,6 +154,7 @@ class DegradationLadder:
         cooldown_factor: float = 2.0,
         max_cooldown: float = 300.0,
         promote_after: int = 2,
+        probe_timeout: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
         log: IncidentLog | None = None,
     ) -> None:
@@ -149,7 +164,10 @@ class DegradationLadder:
             raise ValueError("failure_threshold must be positive")
         if promote_after < 1:
             raise ValueError("promote_after must be positive")
+        if probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
         self.variants = tuple(variants)
+        self.probe_timeout = probe_timeout
         self.failure_threshold = failure_threshold
         self.base_cooldown = base_cooldown
         self.cooldown_factor = cooldown_factor
@@ -199,6 +217,7 @@ class DegradationLadder:
                     h.state = HALF_OPEN
                     h.half_open_successes = 0
                     h.probe_in_flight = True
+                    h.probe_claimed_at = now
                     self.log.record(
                         "probe",
                         variant=name,
@@ -207,9 +226,25 @@ class DegradationLadder:
                     return name
                 if h.state == HALF_OPEN and not h.probe_in_flight:
                     h.probe_in_flight = True
+                    h.probe_claimed_at = now
+                    return name
+                if (
+                    h.state == HALF_OPEN
+                    and now - h.probe_claimed_at >= self.probe_timeout
+                ):
+                    # the probe lease expired: its holder died without
+                    # ever recording an outcome; hand the slot to this
+                    # caller so the rung is not skipped forever
+                    h.probe_claimed_at = now
+                    self.log.record(
+                        "probe",
+                        variant=name,
+                        action="lease-reclaimed",
+                        details={"probe_timeout": self.probe_timeout},
+                    )
                     return name
                 # OPEN still cooling, or HALF_OPEN with its probe slot
-                # taken by another worker: try the next rung down
+                # leased to another worker: try the next rung down
             # every circuit is open or probing: the last rung is the
             # degradation floor — it serves regardless
             return self.variants[-1]
@@ -233,6 +268,7 @@ class DegradationLadder:
             h.window.append(True)
             if h.state == HALF_OPEN:
                 h.probe_in_flight = False
+                h.probe_claimed_at = 0.0
                 h.half_open_successes += 1
                 if h.half_open_successes >= self.promote_after:
                     h.state = CLOSED
@@ -259,6 +295,7 @@ class DegradationLadder:
             h.consecutive_failures += 1
             if h.state == HALF_OPEN:
                 h.probe_in_flight = False
+                h.probe_claimed_at = 0.0
             if h.state == HALF_OPEN or (
                 h.state == CLOSED
                 and h.consecutive_failures >= self.failure_threshold
@@ -283,6 +320,7 @@ class DegradationLadder:
             h.state = OPEN
             h.half_open_successes = 0
             h.probe_in_flight = False
+            h.probe_claimed_at = 0.0
             self.log.record(
                 "demote",
                 variant=name,

@@ -342,6 +342,24 @@ class AdmissionController:
         with self._lock:
             self.admitted += 1
 
+    def admit_recovered(self, request: SolveRequest) -> bool:
+        """Admission for checkpoint-recovered work: skips the rate and
+        overload gates (the work was admitted — and paid for — once
+        already) but still claims a tenant concurrency slot and a fleet
+        budget reservation, all tenant mutation under the controller
+        lock.  Returns ``False`` with nothing claimed when the tenant
+        is at its concurrency cap — the caller leaves the checkpoint on
+        disk for a later attempt."""
+        with self._lock:
+            tenant = self._tenant(request.tenant)
+            if tenant.in_flight >= tenant.policy.max_concurrent:
+                return False
+            tenant.in_flight += 1
+        self.budget.reserve(
+            request.estimated_bytes(), request.max_cycles
+        )
+        return True
+
     def release(
         self, request: SolveRequest, outcome: str = "completed"
     ) -> None:

@@ -88,8 +88,10 @@ class FleetBudget:
         self.peak_utilization = 0.0
         self._level = "normal"
         self._lock = threading.Lock()
-        #: observers called (outside any hot path guarantees) on each
-        #: level transition with ``(old_level, new_level)``
+        #: observers called with ``(old_level, new_level)`` on each
+        #: level transition, after the internal lock is released — a
+        #: hook may safely call back into ``level()`` / ``snapshot()``
+        #: / ``reserve()`` without deadlocking
         self.on_transition: list[Callable[[str, str], None]] = []
 
     # -- metering --------------------------------------------------------
@@ -110,13 +112,16 @@ class FleetBudget:
             return "defer"
         return "normal"
 
-    def _retransition_locked(self) -> None:
+    def _retransition_locked(self) -> tuple[str, str] | None:
+        """Recompute the level; returns the ``(old, new)`` transition
+        for the caller to fire hooks on *after* releasing the lock, or
+        ``None`` when the level did not change."""
         frac = self._utilization_locked()
         self.peak_utilization = max(self.peak_utilization, frac)
         new = self._level_for(frac)
         old = self._level
         if new == old:
-            return
+            return None
         self._level = new
         direction = (
             "escalate" if _LEVEL_RANK[new] > _LEVEL_RANK[old] else "relax"
@@ -131,8 +136,13 @@ class FleetBudget:
                 "outstanding_cycles": self.outstanding_cycles,
             },
         )
+        return (old, new)
+
+    def _fire_hooks(self, transition: tuple[str, str] | None) -> None:
+        if transition is None:
+            return
         for hook in self.on_transition:
-            hook(old, new)
+            hook(*transition)
 
     def utilization(self) -> float:
         with self._lock:
@@ -152,8 +162,10 @@ class FleetBudget:
             self.outstanding_bytes += bytes_
             self.outstanding_cycles += cycles
             self.reservations += 1
-            self._retransition_locked()
-            return self._level
+            transition = self._retransition_locked()
+            level = self._level
+        self._fire_hooks(transition)
+        return level
 
     def release(self, bytes_: int, cycles: int) -> str:
         with self._lock:
@@ -164,8 +176,10 @@ class FleetBudget:
                 0, self.outstanding_cycles - cycles
             )
             self.reservations = max(0, self.reservations - 1)
-            self._retransition_locked()
-            return self._level
+            transition = self._retransition_locked()
+            level = self._level
+        self._fire_hooks(transition)
+        return level
 
     # -- reporting -------------------------------------------------------
     def snapshot(self) -> dict:

@@ -416,10 +416,15 @@ class SolveService:
         cfg = self.config
         req = item.ticket.request
 
-        remaining = None
-        if req.deadline is not None:
+        def remaining_deadline() -> float | None:
+            """The request's unspent wall-clock budget, measured from
+            admission: queue wait, retries, and backoff all eat into
+            it — a request with deadline ``D`` never consumes more
+            than ~``D`` of solve time no matter how often it retries."""
+            if req.deadline is None:
+                return None
             elapsed = self.clock() - (item.ticket.admitted_at or 0.0)
-            remaining = max(0.0, req.deadline - elapsed)
+            return max(0.0, req.deadline - elapsed)
 
         try:
             pipeline = self._pipeline_for(req)
@@ -440,7 +445,7 @@ class SolveService:
             SupervisorPolicy(
                 max_cycles=req.max_cycles,
                 tol=req.tol,
-                deadline=remaining,
+                deadline=remaining_deadline(),
             ),
             ladder=self.ladder,
             verify_level=cfg.verify_level,
@@ -454,6 +459,12 @@ class SolveService:
 
         while True:
             item.ticket.attempts += 1
+            # the deadline is absolute on the service clock: each
+            # attempt gets what is left of the original budget, not a
+            # fresh one (supervisor.solve restarts its own stopwatch
+            # per call).  An exhausted budget makes the next solve
+            # return status="deadline" before its first cycle.
+            supervisor.policy.deadline = remaining_deadline()
             try:
                 # the chaos hook runs inside the guarded region so an
                 # injected (or buggy) hook fault is classified and
@@ -782,14 +793,8 @@ class SolveService:
                     return self._tickets[request.request_id]
             # recovered work re-reserves budget + a tenant slot but
             # skips rate limiting (it is old work, not new demand)
-            tenant = self.admission._tenant(request.tenant)
-            with self.admission._lock:
-                if tenant.in_flight >= tenant.policy.max_concurrent:
-                    return None
-                tenant.in_flight += 1
-            self.budget.reserve(
-                request.estimated_bytes(), request.max_cycles
-            )
+            if not self.admission.admit_recovered(request):
+                return None
             ticket = SolveTicket(request)
             ticket.admitted_at = self.clock()
             item = _WorkItem(
@@ -798,12 +803,14 @@ class SolveService:
             with self._state_lock:
                 self._tickets[request.request_id] = ticket
             try:
-                self._queue.push(item, request.priority_rank)
+                victim = self._queue.push(item, request.priority_rank)
             except QueueSaturated:
                 self.admission.release(request, outcome="shed")
                 with self._state_lock:
                     self._tickets.pop(request.request_id, None)
                 return None
+            if victim is not None:
+                self._shed_item(victim)
             return ticket
 
     # -- context manager -------------------------------------------------

@@ -120,6 +120,39 @@ class TestCooldownAndProbing:
             ladder.trip("fast")
         assert ladder.health["fast"].cooldown == 50.0
 
+    def test_lost_probe_lease_is_reclaimed(self, clock):
+        # a prober that dies without recording an outcome (e.g. a
+        # non-ReproError escaped the attempt) must not leave the rung
+        # stuck half-open with its slot taken forever
+        ladder = make_ladder(
+            clock, base_cooldown=10.0, probe_timeout=30.0
+        )
+        ladder.record_failure("fast")
+        clock.advance(11.0)
+        assert ladder.select() == "fast"  # probe handed out...
+        clock.advance(1.0)
+        assert ladder.select() == "medium"  # lease still held
+        clock.advance(30.0)
+        assert ladder.select() == "fast"  # lease expired: re-probe
+        assert any(
+            r.kind == "probe" and r.action == "lease-reclaimed"
+            for r in ladder.log.records
+        )
+        # the reclaimed probe heals the rung normally
+        ladder.record_success("fast")
+        ladder.record_success("fast")
+        assert ladder.health["fast"].state == CLOSED
+
+    def test_live_probe_lease_is_not_reclaimed_early(self, clock):
+        ladder = make_ladder(
+            clock, base_cooldown=10.0, probe_timeout=30.0
+        )
+        ladder.record_failure("fast")
+        clock.advance(11.0)
+        assert ladder.select() == "fast"
+        clock.advance(29.0)  # just inside the lease
+        assert ladder.select() == "medium"
+
     def test_promotion_resets_the_escalation(self, clock):
         ladder = make_ladder(clock, base_cooldown=10.0, promote_after=1)
         ladder.record_failure("fast")
@@ -181,3 +214,5 @@ class TestValidation:
             make_ladder(clock, failure_threshold=0)
         with pytest.raises(ValueError):
             make_ladder(clock, promote_after=0)
+        with pytest.raises(ValueError):
+            make_ladder(clock, probe_timeout=0.0)

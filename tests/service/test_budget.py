@@ -66,6 +66,24 @@ class TestAuditTrail:
         budget.release(700, 1)
         assert seen == [("normal", "defer"), ("defer", "normal")]
 
+    def test_hooks_may_reenter_the_budget(self, budget):
+        # hooks fire after the internal (non-reentrant) lock is
+        # released, so a hook calling back into the budget must not
+        # deadlock and sees the post-transition state
+        seen = []
+
+        def hook(old, new):
+            seen.append((old, new, budget.level(),
+                         budget.snapshot()["level"]))
+
+        budget.on_transition.append(hook)
+        assert budget.reserve(700, 1) == "defer"
+        budget.release(700, 1)
+        assert seen == [
+            ("normal", "defer", "defer", "defer"),
+            ("defer", "normal", "normal", "normal"),
+        ]
+
 
 class TestAccounting:
     def test_release_never_goes_negative(self, budget):

@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro.errors import ServiceDraining, SolvePreempted
+from repro.errors import QueueSaturated, ServiceDraining, SolvePreempted
 from repro.multigrid.reference import MultigridOptions
 from repro.service import (
     ServiceConfig,
@@ -202,6 +202,74 @@ class TestRecovery:
             )
         finally:
             svc.drain(timeout=5.0)
+
+    def test_recovery_eviction_resolves_the_victim(self, rng, tmp_path):
+        # leave a high-priority checkpoint behind
+        first = SolveService(config(tmp_path))
+        slow = first.submit(
+            req(
+                rng,
+                max_cycles=5000,
+                priority="high",
+                request_id="recov-high",
+            )
+        )
+        wait_until_running(slow)
+        first.drain(timeout=0.05)
+        with pytest.raises(SolvePreempted):
+            slow.result(timeout=1)
+
+        # a worker-less service whose tiny queue is already full of
+        # low-priority work: recovery evicts one victim, whose ticket
+        # must resolve with a typed error — never hang — and whose
+        # tenant slot and budget reservation must be returned
+        second = SolveService(
+            config(tmp_path, workers=0, queue_capacity=2)
+        )
+        lows = [
+            second.submit(
+                req(rng, priority="low", request_id=f"low-{i}")
+            )
+            for i in range(2)
+        ]
+        tickets = second.recover()
+        assert len(tickets) == 1
+        assert tickets[0].request.request_id == "recov-high"
+        shed = [t for t in lows if t.done()]
+        assert len(shed) == 1
+        with pytest.raises(QueueSaturated):
+            shed[0].result(timeout=0)
+        usage = second.admission.tenant_usage()["t1"]
+        assert usage["in_flight"] == 2  # surviving low + recovered
+        assert usage["shed"] == 1
+        assert second.shed == 1
+        second.drain(timeout=0.05)
+
+    def test_recover_at_concurrency_cap_keeps_checkpoint_on_disk(
+        self, rng, tmp_path
+    ):
+        first = SolveService(config(tmp_path))
+        slow = first.submit(req(rng, max_cycles=5000, request_id="capped"))
+        wait_until_running(slow)
+        first.drain(timeout=0.05)
+
+        second = SolveService(
+            config(
+                tmp_path,
+                workers=0,
+                default_tenant_policy=TenantPolicy(
+                    rate=None, max_concurrent=0
+                ),
+            )
+        )
+        assert second.recover() == []
+        usage = second.admission.tenant_usage()["t1"]
+        assert usage["in_flight"] == 0  # nothing claimed
+        assert second.budget.snapshot()["reservations"] == 0
+        # the checkpoint stays on disk for a later recover()
+        leftovers = list((tmp_path / "checkpoints").glob("*.ckpt.npz"))
+        assert len(leftovers) == 1
+        second.drain(timeout=0.05)
 
     def test_no_checkpoint_dir_disables_persistence(self, rng, tmp_path):
         svc = SolveService(config(tmp_path, checkpoint_dir=None))

@@ -9,6 +9,7 @@ import pytest
 
 from repro.errors import (
     CompileError,
+    NativeBackendError,
     NumericalDivergenceError,
     TenantConcurrencyExceeded,
     TenantRateLimited,
@@ -51,6 +52,17 @@ def req(rng, *, tenant="t1", ndim=2, n=N, **kw) -> SolveRequest:
         opts=OPTS,
         **kw,
     )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
 
 
 @pytest.fixture
@@ -159,6 +171,32 @@ class TestRetry:
                 ticket.result(timeout=60)
             assert ticket.attempts == 1
             assert svc.failed == 1
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_retries_share_one_deadline_budget(self, rng):
+        # the deadline is absolute from admission: a retryable fault
+        # must not hand the next attempt a fresh clock, or a request
+        # with deadline D could consume ~max_attempts*D of solve time
+        clock = FakeClock()
+        deadlines = []
+
+        def hook(supervisor, request):
+            deadlines.append(supervisor.policy.deadline)
+            if len(deadlines) == 1:
+                clock.advance(10.0)  # burn the whole budget
+                raise NativeBackendError("injected transient")
+
+        svc = SolveService(
+            config(workers=1, fault_hook=hook), clock=clock
+        )
+        try:
+            ticket = svc.submit(req(rng, deadline=5.0, max_cycles=500))
+            result = ticket.result(timeout=60)
+            assert result.status == "deadline"
+            assert ticket.attempts == 2
+            # attempt 1 saw the full budget; attempt 2 the depleted one
+            assert deadlines == [5.0, 0.0]
         finally:
             svc.drain(timeout=10.0)
 
