@@ -1,0 +1,279 @@
+"""PR 7 benchmark: same-spec request coalescing through the batched tier.
+
+Drives :class:`repro.service.SolveService` over two traffic shapes and
+emits ``BENCH_PR7.json`` at the repository root:
+
+* **same-spec** — every tenant requests the same pipeline
+  specification (the coalescing sweet spot: one plan, many right-hand
+  sides).  Measured with coalescing on (``batch_max``) and off
+  (``batch_max=1``); the headline gate is **>= 1.5x requests/second**
+  with coalescing on, with every solve's final residual re-verified
+  from scratch and the on/off iterates bitwise identical.
+* **mixed** — interleaved distinct specs (different smoothing
+  settings), where coalescing rarely applies.  The gate is **no p99
+  latency regression** (<= ``--p99-budget``x of the batching-off p99),
+  proving the coalescing probe is free when traffic does not batch.
+
+The ladder is pinned to planned numpy rungs so timings are
+deterministic and toolchain-independent (batched execution walks the
+planned kernel tapes regardless; see
+``ResilientPipeline.attempt_batch``).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batched.py            # full
+    PYTHONPATH=src python benchmarks/bench_batched.py --small    # CI
+    PYTHONPATH=src python benchmarks/bench_batched.py --small --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.multigrid.kernels import norm_residual
+from repro.multigrid.reference import MultigridOptions
+from repro.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantPolicy,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LADDER = ("polymg-opt+", "polymg-naive")
+TENANTS = ("alpha", "beta", "gamma")
+#: the mixed scenario cycles through these distinct specifications
+MIXED_OPTS = (
+    MultigridOptions(cycle="V", n1=4, n2=4, n3=4, levels=3),
+    MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3),
+    MultigridOptions(cycle="W", n1=2, n2=2, n3=2, levels=3),
+    MultigridOptions(cycle="V", n1=6, n2=0, n3=6, levels=3),
+)
+SAME_OPTS = MIXED_OPTS[0]
+
+
+def _overrides(small: bool):
+    return {"tile_sizes": {2: (8, 16) if small else (16, 64)}}
+
+
+def _requests(rng, n, count, opts_of, max_cycles):
+    requests = []
+    for i in range(count):
+        f = np.zeros((n + 2, n + 2))
+        f[1:-1, 1:-1] = rng.standard_normal((n, n))
+        requests.append(
+            SolveRequest(
+                tenant=TENANTS[i % len(TENANTS)],
+                ndim=2,
+                N=n,
+                f=f,
+                opts=opts_of(i),
+                max_cycles=max_cycles,
+            )
+        )
+    return requests
+
+
+def _service(small: bool, count: int, batch_max: int) -> SolveService:
+    return SolveService(
+        ServiceConfig(
+            workers=2,
+            queue_capacity=count,
+            config_overrides=_overrides(small),
+            ladder_variants=LADDER,
+            batch_max=batch_max,
+            default_tenant_policy=TenantPolicy(
+                rate=None, max_concurrent=count
+            ),
+        )
+    )
+
+
+def _verify_completed(tickets) -> int:
+    """Re-verify every completed solve from scratch; returns the count
+    of *incorrect* results (must be zero)."""
+    bad = 0
+    for ticket in tickets:
+        if ticket.error is not None or not ticket.done():
+            continue
+        result = ticket.result(timeout=0)
+        request = ticket.request
+        h = 1.0 / (request.N + 1)
+        check = norm_residual(result.u, request.f, h)
+        reported = result.residual_norms[-1]
+        if not np.isfinite(check) or abs(check - reported) > 1e-8 * max(
+            1.0, reported
+        ):
+            bad += 1
+    return bad
+
+
+def _p99(tickets) -> float:
+    lat = [t.latency() for t in tickets if t.latency() is not None]
+    return float(np.percentile(np.asarray(lat), 99)) if lat else 0.0
+
+
+def _drive(service, requests) -> tuple[list, float]:
+    t0 = time.monotonic()
+    tickets = [service.submit(r) for r in requests]
+    for ticket in tickets:
+        ticket.wait(timeout=600)
+    return tickets, time.monotonic() - t0
+
+
+def _run_shape(rng_seed, small, count, opts_of, batch_max, max_cycles):
+    rng = np.random.default_rng(rng_seed)
+    service = _service(small, count, batch_max)
+    requests = _requests(
+        rng, 32 if small else 64, count, opts_of, max_cycles
+    )
+    tickets, elapsed = _drive(service, requests)
+    incorrect = _verify_completed(tickets)
+    stats = {
+        "elapsed_s": round(elapsed, 3),
+        "requests_per_s": round(len(requests) / elapsed, 2),
+        "p99_s": round(_p99(tickets), 4),
+        "completed": service.completed,
+        "coalesced": service.coalesced,
+        "incorrect_solves": incorrect,
+    }
+    results = [
+        t.result(timeout=0) if t.error is None else None for t in tickets
+    ]
+    service.drain(timeout=30)
+    return stats, results
+
+
+def same_spec_scenario(small: bool) -> dict:
+    count = 24 if small else 64
+    on, res_on = _run_shape(
+        7, small, count, lambda i: SAME_OPTS, batch_max=4, max_cycles=6
+    )
+    off, res_off = _run_shape(
+        7, small, count, lambda i: SAME_OPTS, batch_max=1, max_cycles=6
+    )
+    bitwise = all(
+        a is not None
+        and b is not None
+        and np.array_equal(a.u, b.u)
+        for a, b in zip(res_on, res_off)
+    )
+    uplift = (
+        on["requests_per_s"] / off["requests_per_s"]
+        if off["requests_per_s"]
+        else 0.0
+    )
+    return {
+        "scenario": "same-spec",
+        "requests": count,
+        "batching_on": on,
+        "batching_off": off,
+        "rps_uplift": round(uplift, 2),
+        "bitwise_identical": bitwise,
+    }
+
+
+def mixed_scenario(small: bool) -> dict:
+    count = 24 if small else 64
+    opts_of = lambda i: MIXED_OPTS[i % len(MIXED_OPTS)]  # noqa: E731
+    on, _ = _run_shape(
+        11, small, count, opts_of, batch_max=4, max_cycles=6
+    )
+    off, _ = _run_shape(
+        11, small, count, opts_of, batch_max=1, max_cycles=6
+    )
+    ratio = on["p99_s"] / off["p99_s"] if off["p99_s"] else 1.0
+    return {
+        "scenario": "mixed",
+        "requests": count,
+        "batching_on": on,
+        "batching_off": off,
+        "p99_ratio": round(ratio, 3),
+    }
+
+
+def run(small: bool) -> dict:
+    return {
+        "benchmark": "bench_batched",
+        "small": small,
+        "ladder": list(LADDER),
+        "same_spec": same_spec_scenario(small),
+        "mixed": mixed_scenario(small),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--small", action="store_true", help="CI sizes")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the gates hold",
+    )
+    ap.add_argument(
+        "--min-uplift",
+        type=float,
+        default=1.5,
+        help="required same-spec requests/second uplift",
+    )
+    ap.add_argument(
+        "--p99-budget",
+        type=float,
+        default=1.25,
+        help="allowed mixed-traffic p99 ratio (on/off)",
+    )
+    args = ap.parse_args(argv)
+
+    results = run(args.small)
+    out = REPO_ROOT / "BENCH_PR7.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+
+    same = results["same_spec"]
+    mixed = results["mixed"]
+    print(f"wrote {out}")
+    print(
+        f"same-spec: {same['batching_off']['requests_per_s']} -> "
+        f"{same['batching_on']['requests_per_s']} req/s "
+        f"({same['rps_uplift']}x), bitwise="
+        f"{same['bitwise_identical']}, coalesced="
+        f"{same['batching_on']['coalesced']}"
+    )
+    print(
+        f"mixed:     p99 {mixed['batching_off']['p99_s']}s -> "
+        f"{mixed['batching_on']['p99_s']}s "
+        f"(ratio {mixed['p99_ratio']})"
+    )
+
+    failures = []
+    if same["rps_uplift"] < args.min_uplift:
+        failures.append(
+            f"same-spec uplift {same['rps_uplift']}x < "
+            f"{args.min_uplift}x"
+        )
+    if not same["bitwise_identical"]:
+        failures.append("same-spec results not bitwise identical")
+    if mixed["p99_ratio"] > args.p99_budget:
+        failures.append(
+            f"mixed p99 ratio {mixed['p99_ratio']} > {args.p99_budget}"
+        )
+    for shape in (same, mixed):
+        for side in ("batching_on", "batching_off"):
+            if shape[side]["incorrect_solves"]:
+                failures.append(f"{shape['scenario']}/{side}: bad solves")
+    if failures:
+        for f in failures:
+            print(f"GATE FAILED: {f}", file=sys.stderr)
+        return 1 if args.check else 0
+    print("all gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,9 +102,10 @@ def time_case(pipe, inputs, config, cycles: int) -> tuple[dict, dict]:
         cache=False,
     )
     try:
-        if config.backend == "native":
-            # charge the JIT build to warm-up, not to the timed cycles
-            compiled.ensure_native()
+        from repro.backend.registry import TIERS
+
+        # charge JIT-style builds to warm-up, not to the timed cycles
+        TIERS.resolve(config.backend).ensure_ready(compiled)
         t0 = time.perf_counter()
         out = compiled.execute(dict(inputs))  # warm-up: pools, arenas
         warmup = time.perf_counter() - t0

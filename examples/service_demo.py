@@ -5,6 +5,9 @@ life (DESIGN.md section 13):
 
 * three tenants submit mixed-priority 2-D Poisson solves concurrently
   and every ticket resolves with a verified result;
+* a burst of same-spec requests is coalesced through the batched
+  execution tier (one kernel-plan walk, many right-hand sides) and the
+  registry-sourced per-tier health sections are printed;
 * a rate-limited tenant and a tight fleet budget show the typed
   refusals (``TenantRateLimited``, ``AdmissionDeferred`` /
   ``ServiceOverloaded``) and the graded overload posture;
@@ -92,7 +95,27 @@ def main(argv=None) -> int:
             f" in {ticket.latency():.3f}s"
         )
 
-    banner("2. typed refusals")
+    banner("2. same-spec coalescing through the batched tier")
+    # one worker pops a fresh request and claims its queued same-spec
+    # peers (ServiceConfig.batch_max), solving them in lockstep: one
+    # kernel-plan walk, many right-hand sides, bitwise-identical
+    # iterates
+    burst = [
+        service.submit(make_request(rng, "alpha", max_cycles=6))
+        for _ in range(4)
+    ]
+    for ticket in burst:
+        ticket.result(timeout=300)
+    health = service.healthz()
+    print(f"  coalesced {health['counters']['coalesced']} request(s)")
+    for tier, section in health["tiers"].items():
+        print(
+            f"  tier {tier:>11}: breaker {section['breaker']:>8},"
+            f" {section['executions']} execution(s),"
+            f" {section['failures']} failure(s)"
+        )
+
+    banner("3. typed refusals")
     service.submit(make_request(rng, "metered")).result(timeout=300)
     try:
         service.submit(make_request(rng, "metered"))
@@ -107,7 +130,7 @@ def main(argv=None) -> int:
     service.budget.release(10**6, 0)
     service.budget.max_bytes = None
 
-    banner("3. worker kill: the solve survives")
+    banner("4. worker kill: the solve survives")
     slow = service.submit(
         make_request(rng, "alpha", max_cycles=200, tol=1e-30)
     )
@@ -120,7 +143,7 @@ def main(argv=None) -> int:
         f"{len(result.residual_norms) - 1} cycles total"
     )
 
-    banner("4. drain persists, a fresh instance recovers")
+    banner("5. drain persists, a fresh instance recovers")
     unfinished = service.submit(
         make_request(rng, "beta", max_cycles=5000, tol=1e-300)
     )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Lint: backend tier names must not be compared as string literals.
+
+The tier registry (``repro.backend.registry``) is the single source of
+truth for execution-tier identity: code that needs tier-specific
+behaviour asks the registry (``TIERS.resolve(...)``) or dispatches off
+a tier's capability flags (``jit_build``, ``plans_kernels``,
+``supports_batching``, ...).  A scattered ``cfg.backend == "native"``
+is exactly the duplication PR 7 removed — this check keeps it from
+growing back.
+
+Flagged: any comparison (``==``, ``!=``, ``in``, ``not in``) whose
+operand is one of the literal tier names, anywhere under ``src/`` or
+``benchmarks/`` except the registry itself.  Non-comparison uses
+(labels, keyword defaults, docstrings, registration) stay legal.
+
+Run from the repository root::
+
+    python scripts/check_no_backend_strings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "benchmarks")
+EXEMPT = {REPO_ROOT / "src" / "repro" / "backend" / "registry.py"}
+TIER_NAMES = frozenset({"native", "planned", "interpreted", "batched"})
+
+
+def _literal_tiers(node: ast.AST) -> set[str]:
+    """Tier-name string constants inside one comparison operand
+    (covers bare literals and literal tuples/lists/sets)."""
+    found = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+            and sub.value in TIER_NAMES
+        ):
+            found.add(sub.value)
+    return found
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as error:  # pragma: no cover - broken file
+        return [f"{path}:{error.lineno}: unparsable: {error.msg}"]
+    rel = path.relative_to(REPO_ROOT)
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(
+            isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn))
+            for op in node.ops
+        ):
+            continue
+        names = set()
+        for operand in [node.left, *node.comparators]:
+            names |= _literal_tiers(operand)
+        if names:
+            problems.append(
+                f"{rel}:{node.lineno}: tier name(s) "
+                f"{sorted(names)} compared as string literal(s); "
+                "resolve through repro.backend.registry.TIERS or "
+                "dispatch off capability flags instead"
+            )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for directory in SCAN_DIRS:
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            if path in EXEMPT:
+                continue
+            problems.extend(check_file(path))
+    if problems:
+        print(
+            f"{len(problems)} forbidden backend-string comparison(s):",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("no backend-string comparisons outside the tier registry")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -30,6 +30,7 @@ from ..lang.types import dtype_of
 from .buffers import DirectAllocator, MemoryPool
 from .evaluate import evaluate_stage
 from .guards import scan_nonfinite
+from .registry import NATIVE, PLANNED, TIERS, BackendStats, FallbackPolicy
 from .kernels import (
     ExecEnv,
     KernelPlan,
@@ -53,9 +54,29 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ExecutionStats", "CompiledPipeline"]
 
 
+def _tier_field(tier_name: str, attr: str):
+    """Deprecated flat counter reading/writing through the per-tier
+    :class:`~repro.backend.registry.BackendStats` record."""
+
+    def fget(self):
+        return getattr(self.tier(tier_name), attr)
+
+    def fset(self, value):
+        setattr(self.tier(tier_name), attr, value)
+
+    return property(fget, fset)
+
+
 @dataclass
 class ExecutionStats:
-    """Counters from one or more ``execute`` calls."""
+    """Counters from one or more ``execute`` calls.
+
+    Backend-specific counters live in per-tier
+    :class:`~repro.backend.registry.BackendStats` records keyed by tier
+    name on :attr:`tiers`; the historical flat attributes
+    (``plan_time_s``, ``kernel_cache_hits``, ``native_*``) remain as
+    deprecated read-through properties onto those records.
+    """
 
     executions: int = 0
     groups_executed: int = 0
@@ -65,33 +86,41 @@ class ExecutionStats:
     scratch_bytes_peak: int = 0
     diamond_segments: int = 0
     copy_bytes: int = 0
-    #: wall time spent building the ahead-of-time kernel plan
-    plan_time_s: float = 0.0
-    #: times a kernel plan was inherited from a compile-cache clone
-    #: instead of being rebuilt
-    kernel_cache_hits: int = 0
     #: bytes held by the persistent per-thread execution arenas (temp
     #: slots + planned scratch buffers), high-water mark
     temp_bytes_peak: int = 0
     #: times the persistent worker pool was reused after creation
     pool_reuse_count: int = 0
-    #: wall time the native backend spent in the out-of-process C
-    #: compile (0.0 on artifact-store hits)
-    native_compile_time_s: float = 0.0
-    #: times a native shared object was served without compiling —
-    #: from the on-disk artifact store or inherited by a cache clone
-    native_cache_hits: int = 0
-    #: executes that ran through the native shared object
-    native_executions: int = 0
-    #: executes that wanted the native backend but degraded to the
-    #: planned numpy path (build pending/failed, unlowerable construct,
-    #: fault-injection hook, ABI rejection)
-    native_fallbacks: int = 0
+    #: per-tier counters, keyed by registry tier name
+    tiers: dict[str, BackendStats] = field(default_factory=dict)
+
+    def tier(self, name: str) -> BackendStats:
+        """The (lazily created) counter record of one execution tier."""
+        record = self.tiers.get(name)
+        if record is None:
+            record = self.tiers[name] = BackendStats(tier=name)
+        return record
 
     def redundancy(self) -> float:
         if self.ideal_points == 0:
             return 0.0
         return self.points_computed / self.ideal_points - 1.0
+
+    # -- deprecated flat counters (read-through to the tier records) ----
+    #: wall time spent building the ahead-of-time kernel plan
+    plan_time_s = _tier_field(PLANNED.name, "plan_time_s")
+    #: times a kernel plan was inherited from a compile-cache clone
+    kernel_cache_hits = _tier_field(PLANNED.name, "cache_hits")
+    #: wall time the native backend spent in the out-of-process C
+    #: compile (0.0 on artifact-store hits)
+    native_compile_time_s = _tier_field(NATIVE.name, "compile_time_s")
+    #: times a native shared object was served without compiling
+    native_cache_hits = _tier_field(NATIVE.name, "cache_hits")
+    #: executes that ran through the native shared object
+    native_executions = _tier_field(NATIVE.name, "executions")
+    #: executes that wanted the native backend but degraded to the
+    #: planned numpy path
+    native_fallbacks = _tier_field(NATIVE.name, "fallbacks")
 
 
 class CompiledPipeline:
@@ -123,6 +152,9 @@ class CompiledPipeline:
         # fault-injection hook (repro.verify.faults): when set, called
         # as ``hook(stage, out_array)`` after every stage evaluation
         self.fault_injector = None
+        # the registry tier selected by ``config.backend`` (resolved
+        # lazily; the config is frozen so it never changes)
+        self._backend_obj = None
         # ahead-of-time kernel plan (built by ``plan()``, possibly
         # inherited from a compile-cache clone)
         self._kernel_plan: KernelPlan | None = None
@@ -202,7 +234,7 @@ class CompiledPipeline:
             return self._kernel_plan
         t0 = time.perf_counter()
         plan = None
-        if self.config.kernel_plan and self.config.backend != "interpreted":
+        if self.config.kernel_plan and self._backend().plans_kernels:
             try:
                 plan = build_kernel_plan(self)
             except Exception:
@@ -213,7 +245,7 @@ class CompiledPipeline:
         elapsed = time.perf_counter() - t0
         self._kernel_plan = plan
         self._planned = True
-        self.stats.plan_time_s += elapsed
+        self.stats.tier(PLANNED.name).plan_time_s += elapsed
         if self.report is not None:
             self.report.plan_time_s += elapsed
         return plan
@@ -227,7 +259,7 @@ class CompiledPipeline:
         self._kernel_plan = other._kernel_plan
         self._planned = True
         if self._kernel_plan is not None:
-            self.stats.kernel_cache_hits += 1
+            self.stats.tier(PLANNED.name).cache_hits += 1
 
     # ------------------------------------------------------------------
     # native JIT backend plumbing
@@ -237,7 +269,7 @@ class CompiledPipeline:
         selects the native backend; returns the build handle or
         ``None``.  Called eagerly by ``compile_pipeline`` so the
         toolchain overlaps the first numpy-executed cycles."""
-        if self.config.backend != "native":
+        if not self._backend().jit_build:
             return None
         if self._native_handle is None:
             from .native import start_native_build
@@ -259,7 +291,7 @@ class CompiledPipeline:
         # the clone did not pay the compile, so only the hit is charged
         self._native_accounted = True
         if self._native_handle.ready_runner() is not None:
-            self.stats.native_cache_hits += 1
+            self.stats.tier(NATIVE.name).cache_hits += 1
 
     def ensure_native(self, timeout: float | None = None):
         """Start the native build if needed, wait up to ``timeout`` for
@@ -283,11 +315,11 @@ class CompiledPipeline:
         if self._native_accounted:
             return
         self._native_accounted = True
-        self.stats.native_compile_time_s += handle.compile_time_s
+        self.stats.tier(NATIVE.name).compile_time_s += handle.compile_time_s
         if self.report is not None:
             self.report.native_compile_time_s += handle.compile_time_s
         if handle.info.get("cache_hit"):
-            self.stats.native_cache_hits += 1
+            self.stats.tier(NATIVE.name).cache_hits += 1
         if handle.error is not None:
             self._disable_native("build-failed", handle.error)
 
@@ -297,36 +329,32 @@ class CompiledPipeline:
         self._native_disabled = f"{action}: {error}"
         if not self._native_incident_logged:
             self._native_incident_logged = True
-            if self.report is not None:
-                self.report.record_incident(
-                    {
-                        "kind": "native-fallback",
-                        "pipeline": self.dag.name,
-                        "action": action,
-                        "error": str(error),
-                        "fallback": "planned",
-                    }
-                )
+            FallbackPolicy().fault(
+                error,
+                kind="native-fallback",
+                action=action,
+                report=self.report,
+                fallback=TIERS.fallback_for(NATIVE).name,
+                pipeline=self.dag.name,
+            )
 
     def _native_runner_for_execute(self):
         """The runner to use for this execute, or ``None`` (fall back
         to the numpy backends).  Never blocks on a pending build."""
-        if self.config.backend != "native":
-            return None
         if self.fault_injector is not None:
             # per-stage hook points only exist in the interpreter
-            self.stats.native_fallbacks += 1
+            self.stats.tier(NATIVE.name).fallbacks += 1
             return None
         handle = self.start_native_build()
-        if handle is None:  # pragma: no cover - guarded by backend check
+        if handle is None:  # pragma: no cover - guarded by tier dispatch
             return None
         self._absorb_native_result()
         if self._native_disabled is not None:
-            self.stats.native_fallbacks += 1
+            self.stats.tier(NATIVE.name).fallbacks += 1
             return None
         runner = handle.ready_runner()
         if runner is None:  # build still in flight
-            self.stats.native_fallbacks += 1
+            self.stats.tier(NATIVE.name).fallbacks += 1
             return None
         return runner
 
@@ -337,7 +365,7 @@ class CompiledPipeline:
     ) -> dict[str, np.ndarray]:
         """One zero-copy invocation of the shared object."""
         outputs = runner.run(input_arrays, self.config.num_threads)
-        self.stats.native_executions += 1
+        self.stats.tier(NATIVE.name).executions += 1
         if self.config.runtime_guards:
             for name, arr in outputs.items():
                 scan_nonfinite(name, arr, pipeline=self.dag.name)
@@ -416,7 +444,14 @@ class CompiledPipeline:
     # execution
     # ------------------------------------------------------------------
     def execute(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        """Run one pipeline invocation (e.g. one multigrid cycle)."""
+        """Run one pipeline invocation (e.g. one multigrid cycle).
+
+        Validates the inputs, then dispatches through the registry tier
+        selected by ``config.backend``; a tier that cannot serve the
+        invocation (pending native build, fault-injection hook, no
+        kernel plan) delegates down its registry fallback edge, with
+        every downgrade counted and recorded.
+        """
         dag = self.dag
         self.stats.executions += 1
 
@@ -438,40 +473,28 @@ class CompiledPipeline:
                 )
             input_arrays[grid] = arr
 
-        # native JIT path: use the compiled shared object when it is
-        # ready and healthy; under verify_level=full the first native
-        # result is cross-checked against the numpy backends below
-        # before the rung is marked verified
-        native_cross: dict[str, np.ndarray] | None = None
-        native_runner = self._native_runner_for_execute()
-        if native_runner is not None:
-            from ..errors import NativeBackendError
+        return self._backend().run(self, input_arrays)
 
-            try:
-                native_out = self._execute_native(
-                    native_runner, input_arrays
-                )
-            except NativeBackendError as exc:
-                self.stats.native_fallbacks += 1
-                self._disable_native("runtime-rejected", exc)
-            else:
-                if (
-                    native_runner.verified
-                    or self.config.verify_level != "full"
-                ):
-                    return native_out
-                native_cross = native_out
+    def _backend(self):
+        """The registry tier selected by ``config.backend``."""
+        backend = self._backend_obj
+        if backend is None:
+            backend = self._backend_obj = TIERS.resolve(
+                self.config.backend
+            )
+        return backend
 
-        # the fault-injection and verification paths always run through
-        # the unplanned interpreter (per-stage hook points); everything
-        # else takes the planned kernels when a plan exists
-        plan = (
-            self.plan()
-            if self.fault_injector is None
-            and self.config.backend != "interpreted"
-            else None
-        )
-
+    def _execute_numpy(
+        self,
+        input_arrays: dict["Function", np.ndarray],
+        plan: "KernelPlan | None",
+    ) -> dict[str, np.ndarray]:
+        """The numpy group loop: planned kernels where ``plan`` covers
+        a group, the tiled/straight interpreter elsewhere (``plan``
+        ``None`` runs everything through the interpreter — the
+        fault-injection and verification paths need its per-stage hook
+        points)."""
+        dag = self.dag
         arrays: dict[int, np.ndarray] = {}
         outputs: dict[str, np.ndarray] = {}
 
@@ -551,11 +574,6 @@ class CompiledPipeline:
             self.stats.ideal_points += stage.domain_box(
                 self.bindings
             ).volume()
-
-        if native_cross is not None:
-            self._finish_native_cross_check(
-                native_runner, native_cross, outputs
-            )
         return outputs
 
     def _finish_native_cross_check(
@@ -586,7 +604,7 @@ class CompiledPipeline:
                     output=name,
                     max_abs_delta=delta,
                 )
-                self.stats.native_fallbacks += 1
+                self.stats.tier(NATIVE.name).fallbacks += 1
                 self._disable_native("verify-mismatch", err)
                 return
         runner.verified = True

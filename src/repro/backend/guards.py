@@ -181,6 +181,13 @@ class GuardedPipeline:
         self._verify_error: ReproError | None = None
         self.incidents: list[GuardIncident] = []
         self.invocations = 0
+        # the registry-level fallback-and-count path, outlet-configured
+        # to append GuardIncident records to ``self.incidents``
+        from .registry import FallbackPolicy
+
+        self.policy = FallbackPolicy(
+            sink=self.incidents, wrap=GuardIncident
+        )
 
     # -- internals -----------------------------------------------------
     def _fallback_compiled(self) -> "CompiledPipeline":
@@ -213,18 +220,20 @@ class GuardedPipeline:
                 self._verified = True
             except ReproError as error:
                 self._verify_error = error
-                self.incidents.append(
-                    GuardIncident(
-                        self.invocations, error, self.fallback_name
-                    )
+                self.policy.fault(
+                    error,
+                    invocation=self.invocations,
+                    fallback=self.fallback_name,
                 )
         if self._verify_error is not None:
             return self._fallback_compiled().execute(inputs)
         try:
             return self.compiled.execute(inputs)
         except ReproError as error:
-            self.incidents.append(
-                GuardIncident(self.invocations, error, self.fallback_name)
+            self.policy.fault(
+                error,
+                invocation=self.invocations,
+                fallback=self.fallback_name,
             )
             return self._fallback_compiled().execute(inputs)
 

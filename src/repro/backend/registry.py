@@ -1,0 +1,832 @@
+"""The formal ``Backend`` protocol and the ordered execution-tier
+registry.
+
+The paper's central claim is that one DSL program lowers to many
+execution strategies without touching the solver.  This module makes
+that claim a first-class object: every execution tier is a
+:class:`Backend` registered in the process-wide :class:`TierRegistry`
+(``TIERS``), and everything that used to switch on the
+``"native"|"planned"|"interpreted"`` string tags — the executor, the
+degradation ladder, the compile cache, the autotuner, the solve
+service — now asks the registry instead.  String-literal backend
+comparisons are *banned* outside this module (enforced by
+``scripts/check_no_backend_strings.py`` in CI).
+
+Registered tiers, fastest first::
+
+    native       C/OpenMP shared object        (repro.backend.native)
+    batched      one plan, many RHS, stacked    (this module)
+    planned      AOT numpy kernel tapes         (repro.backend.kernels)
+    interpreted  tree-walking tile interpreter  (repro.backend.evaluate)
+
+Each tier declares:
+
+* capability flags (``lowerable_constructs``,
+  ``supports_fault_injection``, ``supports_batching``,
+  ``plans_kernels``, ``jit_build``, ``config_selectable``);
+* its **degradation-ladder rungs** — the registry order concatenates
+  them into the canonical ladder (``TIERS.ladder_order()``), which is
+  what :data:`repro.variants.LADDER_ORDER` now re-exports;
+* hooks: :meth:`Backend.plan` / :meth:`Backend.execute` (the
+  plan/buffers execution surface), :meth:`Backend.ensure_ready` (block
+  until tier-specific build work — e.g. the native JIT — is done, so
+  the autotuner charges it to the trial), :meth:`Backend.cost_hint`
+  (machine-model estimate for the autotuner/evolver),
+  :meth:`Backend.inherit` (compile-cache artifact adoption), and
+  :meth:`Backend.close`.
+
+Per-tier counters live in :class:`BackendStats` records keyed by tier
+name on ``ExecutionStats.tiers``; the old flat counters
+(``native_executions`` & co.) remain as deprecated read-through
+properties on :class:`~repro.backend.executor.ExecutionStats`.
+
+:class:`FallbackPolicy` is the **single** fallback-and-count path.  The
+three historical copies (executor native latch, ``GuardedPipeline``,
+``ResilientPipeline``) all construct one with their own outlets —
+incident log, compile report, incident sink, circuit breaker, stats —
+and call :meth:`FallbackPolicy.fault`; the records and breaker signals
+emitted are bit-for-bit what the old inline code produced.
+
+The registry proves it pays for itself with
+:class:`BatchedPlannedBackend`: the fourth tier executes **one kernel
+plan over many right-hand sides** by prefixing a batch axis to every
+precompiled tape read, write, temp slot, and scratch buffer.  numpy
+broadcasting aligns trailing dimensions, so the unmodified per-request
+``StageKernel`` tapes run verbatim over ``(B, *spatial)`` arrays and
+the result is bitwise identical to ``B`` per-request executes.  The
+solve service uses it to coalesce same-spec queued requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..errors import InputShapeError, MissingInputError
+from .kernels import (
+    A_IMM,
+    A_REF,
+    K_SELECT,
+    K_UFUNC,
+    K_WRITE,
+    R_ARRAY,
+    R_INPUT,
+    ExecEnv,
+    KernelPlan,
+    RefSpec,
+    StageKernel,
+    Tape,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience.incidents import IncidentLog, IncidentRecord
+    from .executor import CompiledPipeline, ExecutionStats
+
+__all__ = [
+    "BackendStats",
+    "ExecutionPlan",
+    "ExecutionBuffers",
+    "Backend",
+    "FallbackPolicy",
+    "TierRegistry",
+    "InterpretedBackend",
+    "PlannedBackend",
+    "NativeBackend",
+    "BatchedPlannedBackend",
+    "INTERPRETED",
+    "PLANNED",
+    "NATIVE",
+    "BATCHED",
+    "TIERS",
+]
+
+
+# ---------------------------------------------------------------------------
+# per-tier statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendStats:
+    """Counters of one execution tier (one record per tier name on
+    ``ExecutionStats.tiers``)."""
+
+    tier: str
+    #: executes that ran to completion through this tier
+    executions: int = 0
+    #: executes that wanted this tier but degraded to the next one
+    fallbacks: int = 0
+    #: tier artifacts served without rebuilding (kernel-plan clones,
+    #: native artifact-store hits)
+    cache_hits: int = 0
+    #: wall time in tier-specific build work (native cc invocation)
+    compile_time_s: float = 0.0
+    #: wall time building the ahead-of-time kernel plan
+    plan_time_s: float = 0.0
+    #: requests served by batched executes (batched tier only)
+    coalesced: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "executions": self.executions,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+            "compile_time_s": round(self.compile_time_s, 6),
+            "plan_time_s": round(self.plan_time_s, 6),
+            "coalesced": self.coalesced,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the execution surface
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """What a tier prepared for a pipeline: the tier name plus the
+    tier-specific artifact (a :class:`~repro.backend.kernels.KernelPlan`,
+    a native build handle, or ``None`` for the interpreter)."""
+
+    tier: str
+    artifact: object | None = None
+
+
+@dataclass(frozen=True)
+class ExecutionBuffers:
+    """Run-time operands of one execute: the compiled pipeline (owner
+    of stats, allocator, workspaces) and the validated input arrays."""
+
+    compiled: "CompiledPipeline"
+    inputs: dict
+
+
+# ---------------------------------------------------------------------------
+# the single fallback-and-count path
+# ---------------------------------------------------------------------------
+
+
+class FallbackPolicy:
+    """One fault-recording path shared by every tier and consumer.
+
+    Construct it with whichever outlets the deployment has — any subset
+    of an :class:`~repro.resilience.incidents.IncidentLog`, a circuit
+    breaker (anything with ``record_failure(variant, error)``, i.e. the
+    :class:`~repro.resilience.ladder.DegradationLadder`), an incident
+    ``sink`` list plus ``wrap`` factory (the ``GuardedPipeline``
+    shape), and an :class:`~repro.backend.executor.ExecutionStats` —
+    then report every fault through :meth:`fault`.  The records emitted
+    are exactly what the pre-registry inline copies produced, so audit
+    trails and breaker behaviour are unchanged.
+    """
+
+    def __init__(
+        self,
+        *,
+        log: "IncidentLog | None" = None,
+        breaker=None,
+        sink: list | None = None,
+        wrap: Callable | None = None,
+        stats: "ExecutionStats | None" = None,
+    ) -> None:
+        self.log = log
+        self.breaker = breaker
+        self.sink = sink
+        self.wrap = wrap
+        self.stats = stats
+
+    def fault(
+        self,
+        error: Exception,
+        *,
+        kind: str = "fault",
+        tier: str | None = None,
+        variant: str | None = None,
+        action: str | None = None,
+        invocation: int | None = None,
+        report=None,
+        fallback: str | None = None,
+        details: dict | None = None,
+        **context,
+    ) -> "IncidentRecord | None":
+        """Record one fault everywhere it must be visible.
+
+        ``tier`` bumps that tier's fallback counter; ``variant`` signals
+        the circuit breaker; ``report`` mirrors the record onto a
+        :class:`~repro.passes.manager.CompileReport` (as the structured
+        incident dict when no log record exists); ``fallback`` names
+        the tier/variant that serves instead.  Returns the incident-log
+        record, when one was written.
+        """
+        rec = None
+        if self.stats is not None and tier is not None:
+            self.stats.tier(tier).fallbacks += 1
+        if self.log is not None:
+            fields: dict = {"variant": variant, "invocation": invocation}
+            if action is not None:
+                fields["action"] = action
+            if details is not None:
+                fields["details"] = details
+            rec = self.log.record(
+                kind,
+                error=f"{type(error).__name__}: {error}",
+                **fields,
+            )
+        if report is not None:
+            if rec is not None:
+                report.record_incident(rec.to_dict())
+            else:
+                incident = {"kind": kind, **context}
+                if action is not None:
+                    incident["action"] = action
+                incident["error"] = str(error)
+                if fallback is not None:
+                    incident["fallback"] = fallback
+                report.record_incident(incident)
+        if self.sink is not None and self.wrap is not None:
+            self.sink.append(self.wrap(invocation, error, fallback))
+        if self.breaker is not None and variant is not None:
+            self.breaker.record_failure(variant, error)
+        return rec
+
+
+# ---------------------------------------------------------------------------
+# the Backend protocol (base class doubles as the reference impl)
+# ---------------------------------------------------------------------------
+
+#: every DSL construct the numpy tiers evaluate
+_ALL_CONSTRUCTS = frozenset(
+    {
+        "stencil",
+        "tstencil",
+        "restrict",
+        "interp",
+        "select",
+        "case",
+        "diamond",
+        "float32",
+    }
+)
+
+
+class Backend:
+    """One execution tier.  Subclasses override the flags and hooks;
+    the base class implements the interpreter-shaped defaults.
+
+    The run-time contract: ``execute(plan(compiled), buffers)`` runs
+    one pipeline invocation, accumulates counters into the tier's
+    :class:`BackendStats` record on ``compiled.stats``, and returns the
+    output arrays.  A tier that cannot serve an invocation (missing
+    toolchain, pending build, fault-injection hook it cannot host)
+    delegates to ``TIERS.fallback_for(self)`` — falling back is a
+    counted, recorded event, never a silent downgrade.
+    """
+
+    name = "backend"
+    #: degradation-ladder rungs this tier contributes, fastest first
+    rungs: tuple[str, ...] = ()
+    #: DSL constructs the tier can lower (informational; the native
+    #: tier's ``unlowerable_reason`` remains the run-time authority)
+    lowerable_constructs: frozenset = _ALL_CONSTRUCTS
+    #: can host per-stage fault-injection hooks (interpreter only)
+    supports_fault_injection = False
+    #: serves many same-spec RHS in one execute (batched tier only)
+    supports_batching = False
+    #: valid value for ``PolyMgConfig.backend``
+    config_selectable = True
+    #: builds/consumes the ahead-of-time kernel plan
+    plans_kernels = True
+    #: runs an out-of-process toolchain build (native JIT only)
+    jit_build = False
+
+    # -- planning / readiness -------------------------------------------
+    def plan(self, compiled: "CompiledPipeline", config=None) -> ExecutionPlan:
+        """Prepare (idempotently) whatever this tier needs to execute
+        ``compiled``; never blocks on background builds."""
+        return ExecutionPlan(self.name, None)
+
+    def ensure_ready(
+        self, compiled: "CompiledPipeline", timeout: float | None = None
+    ) -> None:
+        """Block until tier-specific build work is finished, so callers
+        that meter compile wall time (the autotuner) charge it to the
+        right trial.  Default: nothing to wait for."""
+        return None
+
+    def cost_hint(
+        self,
+        compiled: "CompiledPipeline",
+        machine,
+        *,
+        threads: int = 1,
+        cycles: int = 1,
+    ) -> float | None:
+        """Predicted run time (seconds) of ``cycles`` invocations on
+        ``machine``, or ``None`` when the tier has no model.  All numpy
+        tiers — and the native tier, which executes the same schedule —
+        answer with the Table-1 machine cost model."""
+        from ..model.costs import PipelineCostModel
+
+        return PipelineCostModel(compiled, machine).run_time(
+            threads, cycles
+        )
+
+    # -- execution ------------------------------------------------------
+    def execute(self, plan: ExecutionPlan, buffers: ExecutionBuffers):
+        """One invocation through this tier; returns the outputs."""
+        compiled = buffers.compiled
+        compiled.stats.tier(self.name).executions += 1
+        return compiled._execute_numpy(buffers.inputs, None)
+
+    def run(self, compiled: "CompiledPipeline", input_arrays: dict):
+        """Convenience: ``execute(plan(compiled), buffers)``."""
+        return self.execute(
+            self.plan(compiled), ExecutionBuffers(compiled, input_arrays)
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def inherit(
+        self, clone: "CompiledPipeline", source: "CompiledPipeline"
+    ) -> None:
+        """Adopt this tier's artifacts on a compile-cache clone."""
+        return None
+
+    def close(self, compiled: "CompiledPipeline") -> None:
+        """Release tier resources held by ``compiled``."""
+        compiled.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class InterpretedBackend(Backend):
+    """The tree-walking tile interpreter — always correct, hosts the
+    per-stage fault-injection hooks, the degradation floor."""
+
+    name = "interpreted"
+    supports_fault_injection = True
+    plans_kernels = False
+
+
+class PlannedBackend(Backend):
+    """Ahead-of-time numpy kernel tapes (bitwise-identical to the
+    interpreter); falls back per-execute when no plan exists."""
+
+    name = "planned"
+    rungs = (
+        "polymg-opt+",
+        "polymg-opt",
+        "polymg-dtile-opt+",
+        "polymg-naive",
+    )
+
+    def plan(self, compiled, config=None) -> ExecutionPlan:
+        return ExecutionPlan(self.name, compiled.plan())
+
+    def execute(self, plan, buffers):
+        compiled = buffers.compiled
+        kplan = plan.artifact
+        if compiled.fault_injector is not None:
+            # per-stage hook points only exist in the interpreter
+            kplan = None
+        if kplan is None:
+            return TIERS.fallback_for(self).run(compiled, buffers.inputs)
+        compiled.stats.tier(self.name).executions += 1
+        return compiled._execute_numpy(buffers.inputs, kplan)
+
+    def inherit(self, clone, source):
+        clone._inherit_plan(source)
+
+
+class NativeBackend(Backend):
+    """The C/OpenMP JIT: zero-copy ctypes invocation of a shared object
+    built in the background; every reason it cannot serve an execute is
+    a counted fallback to the planned tier."""
+
+    name = "native"
+    rungs = ("polymg-native",)
+    jit_build = True
+    lowerable_constructs = _ALL_CONSTRUCTS - {"diamond", "float32"}
+
+    def plan(self, compiled, config=None) -> ExecutionPlan:
+        return ExecutionPlan(self.name, compiled.start_native_build())
+
+    def ensure_ready(self, compiled, timeout=None):
+        compiled.ensure_native(timeout)
+
+    def execute(self, plan, buffers):
+        compiled = buffers.compiled
+        input_arrays = buffers.inputs
+        stats = compiled.stats.tier(self.name)
+        native_cross = None
+        runner = compiled._native_runner_for_execute()
+        if runner is not None:
+            from ..errors import NativeBackendError
+
+            try:
+                native_out = compiled._execute_native(
+                    runner, input_arrays
+                )
+            except NativeBackendError as exc:
+                stats.fallbacks += 1
+                compiled._disable_native("runtime-rejected", exc)
+            else:
+                if (
+                    runner.verified
+                    or compiled.config.verify_level != "full"
+                ):
+                    return native_out
+                # verify_level=full: cross-check the first native
+                # result against the numpy tiers before trusting it
+                native_cross = native_out
+        outputs = TIERS.fallback_for(self).run(compiled, input_arrays)
+        if native_cross is not None:
+            compiled._finish_native_cross_check(
+                runner, native_cross, outputs
+            )
+        return outputs
+
+    def inherit(self, clone, source):
+        clone._inherit_native(source)
+
+
+# ---------------------------------------------------------------------------
+# the batched tier: one plan, many right-hand sides
+# ---------------------------------------------------------------------------
+
+_ALL = slice(None)
+
+
+class _BatchedWorkspace:
+    """A :class:`~repro.backend.kernels.Workspace` with a batch axis:
+    temp slots hold ``batch`` stacked instances, scratch buffers and
+    tape views gain a leading ``batch`` dimension."""
+
+    __slots__ = ("plan", "batch", "_temps", "_scratch", "_views")
+
+    def __init__(self, plan: KernelPlan, batch: int):
+        self.plan = plan
+        self.batch = batch
+        self._temps: dict[int, np.ndarray] = {}
+        self._scratch: dict[object, np.ndarray] = {}
+        self._views: dict[Tape, list] = {}
+
+    def scratch_buffer(self, key) -> np.ndarray:
+        buf = self._scratch.get(key)
+        if buf is None:
+            shape, dtype = self.plan.scratch_specs[key]
+            buf = np.empty((self.batch,) + shape, dtype=dtype)
+            self._scratch[key] = buf
+        return buf
+
+    def tape_views(self, tape: Tape) -> list:
+        views = self._views.get(tape)
+        if views is None:
+            views = []
+            for ins in tape.instrs:
+                if ins.kind == K_WRITE or ins.to_out:
+                    views.append(None)
+                    continue
+                buf = self._temps.get(ins.slot)
+                nbytes = self.batch * self.plan.slot_bytes[ins.slot]
+                if buf is None:
+                    buf = np.empty(nbytes, dtype=np.uint8)
+                    self._temps[ins.slot] = buf
+                views.append(
+                    buf[: self.batch * ins.nbytes]
+                    .view(ins.dtype)
+                    .reshape((self.batch,) + ins.shape)
+                )
+            self._views[tape] = views
+        return views
+
+
+def _materialize_batched(spec: RefSpec, env: ExecEnv) -> np.ndarray:
+    """A precompiled tape read with a batch axis prefixed: same fancy
+    index, transpose order shifted by one, broadcast axes after the
+    batch axis."""
+    k = spec.kind
+    if k == R_INPUT:
+        base = env.inputs[spec.key]
+    elif k == R_ARRAY:
+        base = env.arrays[spec.key]
+    else:
+        base = env.ws.scratch_buffer(spec.key)
+    view = base[(_ALL,) + spec.index]
+    if spec.order is not None:
+        view = view.transpose((0,) + tuple(o + 1 for o in spec.order))
+    if spec.expand is not None:
+        view = view[(_ALL,) + spec.expand]
+    return view
+
+
+def _run_kernel_batched(kernel: StageKernel, env: ExecEnv, batch: int) -> int:
+    """Run one unmodified stage kernel over ``batch`` stacked RHS.
+    Every op is the same elementwise ufunc applied per batch slice, so
+    the result is bitwise identical to ``batch`` per-request runs."""
+    ws = env.ws
+    for w in kernel.writes:
+        if w.scratch:
+            base = ws.scratch_buffer(w.key)
+        else:
+            base = env.stage_arrays[w.key]
+        out_view = base[(_ALL,) + w.index]
+        tape = w.tape
+        refs = tape.refs
+        rv = [_materialize_batched(r, env) for r in refs] if refs else None
+        views = ws.tape_views(tape)
+        results: list = [None] * len(tape.instrs)
+        for j, ins in enumerate(tape.instrs):
+            a = [
+                v if k == A_IMM else (rv[v] if k == A_REF else results[v])
+                for k, v in ins.args
+            ]
+            kind = ins.kind
+            if kind == K_UFUNC:
+                dest = out_view if ins.to_out else views[j]
+                ins.ufunc(*a, out=dest)
+                results[j] = dest
+            elif kind == K_SELECT:
+                dest = out_view if ins.to_out else views[j]
+                np.copyto(dest, a[1], casting="unsafe")
+                np.copyto(dest, a[0], where=ins.mask, casting="unsafe")
+                results[j] = dest
+            else:  # K_WRITE
+                np.copyto(out_view, a[0], casting="unsafe")
+    return kernel.points * batch
+
+
+class BatchedPlannedBackend(PlannedBackend):
+    """One kernel plan, many right-hand sides.
+
+    :meth:`execute_batch` stacks the per-request inputs along a new
+    leading axis and drives the *existing* per-request kernel tapes
+    over the stack, amortizing the per-op Python dispatch across the
+    whole batch.  Preconditions (else a counted fallback to per-request
+    executes): a kernel plan exists, no diamond-tiled groups, no
+    fault-injection hook.  Single executes behave exactly like the
+    planned tier.
+    """
+
+    name = "batched"
+    rungs = ()
+    supports_batching = True
+    config_selectable = False
+    lowerable_constructs = _ALL_CONSTRUCTS - {"diamond"}
+
+    def inherit(self, clone, source):
+        # the planned tier's hook already adopts the shared kernel
+        # plan; running it again would double-count the cache hit
+        pass
+
+    def execute_batch(
+        self, compiled: "CompiledPipeline", inputs_list: list
+    ) -> list:
+        """Run ``len(inputs_list)`` same-spec invocations as one
+        batched execute; returns the per-request output dicts, bitwise
+        identical to per-request ``execute`` calls."""
+        batch = len(inputs_list)
+        stats = compiled.stats.tier(self.name)
+        plan = (
+            compiled.plan()
+            if compiled.fault_injector is None
+            else None
+        )
+        if batch == 1 or plan is None or compiled._diamond_groups:
+            if batch > 1:
+                stats.fallbacks += 1
+            return [compiled.execute(inputs) for inputs in inputs_list]
+
+        dag = compiled.dag
+        bindings = compiled.bindings
+        storage = compiled.storage
+        inputs: dict = {}
+        for grid in dag.inputs:
+            expected = grid.domain_box(bindings).shape()
+            stacked = []
+            for req in inputs_list:
+                if grid.name not in req:
+                    raise MissingInputError(
+                        f"missing input {grid.name!r}",
+                        pipeline=dag.name,
+                        provided=sorted(req),
+                    )
+                arr = np.asarray(req[grid.name])
+                if arr.shape != expected:
+                    raise InputShapeError(
+                        f"input {grid.name!r} has shape {arr.shape}, "
+                        f"expected {expected}",
+                        pipeline=dag.name,
+                    )
+                stacked.append(arr)
+            inputs[grid] = np.stack(stacked)
+
+        stats.executions += 1
+        stats.coalesced += batch
+        compiled.stats.executions += 1
+        ws = _BatchedWorkspace(plan, batch)
+        arrays: dict[int, np.ndarray] = {}
+        out_views: dict[str, np.ndarray] = {}
+        output_ids = {
+            storage.array_of[out]
+            for out in dag.outputs
+            if out in storage.array_of
+        }
+
+        def ensure_array(aid: int) -> np.ndarray:
+            if aid not in arrays:
+                from ..lang.types import dtype_of
+
+                shape = (batch,) + storage.array_shapes[aid]
+                npdt = dtype_of(storage.array_dtypes[aid]).np_dtype
+                if aid in output_ids:
+                    arrays[aid] = np.empty(shape, dtype=npdt)
+                else:
+                    arrays[aid] = compiled.allocator.allocate(shape, npdt)
+            return arrays[aid]
+
+        try:
+            for gi, group in enumerate(compiled.grouping.groups):
+                compiled.stats.groups_executed += 1
+                stage_arrays: dict = {}
+                for stage in group.live_outs():
+                    aid = storage.array_of[stage]
+                    full = ensure_array(aid)
+                    shape = stage.domain_box(bindings).shape()
+                    view = full[
+                        (_ALL,) + tuple(slice(0, s) for s in shape)
+                    ]
+                    stage_arrays[stage] = view
+                    if dag.is_output(stage):
+                        out_views[stage.name] = view
+                gp = plan.groups[gi]
+                env = ExecEnv(inputs, arrays, stage_arrays, ws)
+                kernel_lists = (
+                    gp.tile_kernels if gp.tiled else [gp.kernels]
+                )
+                for kernels in kernel_lists:
+                    for kernel in kernels:
+                        compiled.stats.points_computed += (
+                            _run_kernel_batched(kernel, env, batch)
+                        )
+                if gp.tiled:
+                    compiled.stats.tiles_executed += len(gp.tile_kernels)
+                if compiled.config.runtime_guards:
+                    from .guards import scan_nonfinite
+
+                    for stage, view in stage_arrays.items():
+                        scan_nonfinite(
+                            stage.name, view, pipeline=dag.name, group=gi
+                        )
+                for aid, last in compiled._free_after.items():
+                    if last == gi and aid in arrays:
+                        compiled.allocator.deallocate(arrays.pop(aid))
+        except BaseException:
+            for aid in list(arrays):
+                if aid not in output_ids:
+                    compiled.allocator.deallocate(arrays.pop(aid))
+            raise
+
+        for stage in dag.stages:
+            compiled.stats.ideal_points += (
+                batch * stage.domain_box(bindings).volume()
+            )
+        return [
+            {name: view[b] for name, view in out_views.items()}
+            for b in range(batch)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+
+class TierRegistry:
+    """Ordered execution tiers, fastest first — the single source of
+    truth for backend names, the degradation ladder, fallback edges,
+    and compile-cache artifact adoption."""
+
+    def __init__(self) -> None:
+        self._order: list[Backend] = []
+        self._by_name: dict[str, Backend] = {}
+        self._fallback: dict[str, str | None] = {}
+
+    def register(
+        self, backend: Backend, *, fallback: str | None = None
+    ) -> Backend:
+        """Append ``backend`` to the tier order.  ``fallback`` names
+        the tier that serves when this one cannot (must already be
+        registered or be registered later)."""
+        if backend.name in self._by_name:
+            raise ValueError(f"tier {backend.name!r} already registered")
+        self._order.append(backend)
+        self._by_name[backend.name] = backend
+        self._fallback[backend.name] = fallback
+        return backend
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered tier name, fastest first."""
+        return tuple(b.name for b in self._order)
+
+    def selectable_names(self) -> tuple[str, ...]:
+        """Tier names valid as ``PolyMgConfig.backend``."""
+        return tuple(
+            b.name for b in self._order if b.config_selectable
+        )
+
+    def resolve(self, name: str) -> Backend:
+        """The tier registered under ``name``."""
+        backend = self._by_name.get(name)
+        if backend is None:
+            raise KeyError(
+                f"unknown backend {name!r}; registered: {self.names()}"
+            )
+        return backend
+
+    def fallback_for(self, backend: Backend | str) -> Backend | None:
+        """The tier that serves when ``backend`` cannot."""
+        name = backend if isinstance(backend, str) else backend.name
+        target = self._fallback.get(self.resolve(name).name)
+        return None if target is None else self.resolve(target)
+
+    # -- the degradation ladder -----------------------------------------
+    def ladder_order(self) -> tuple[str, ...]:
+        """The canonical graded-degradation ladder: every tier's rungs,
+        concatenated in registry order (fastest first)."""
+        return tuple(
+            rung for backend in self._order for rung in backend.rungs
+        )
+
+    def degradation_floor(self) -> str:
+        """The last ladder rung — the variant that serves when every
+        faster circuit is open (and the ceiling admission forces on
+        low-priority tenants under overload)."""
+        return self.ladder_order()[-1]
+
+    def tier_of_rung(self, rung: str) -> Backend | None:
+        """The tier a ladder rung belongs to."""
+        for backend in self._order:
+            if rung in backend.rungs:
+                return backend
+        return None
+
+    # -- cross-cutting hooks --------------------------------------------
+    def inherit_artifacts(
+        self, clone: "CompiledPipeline", source: "CompiledPipeline"
+    ) -> None:
+        """Compile-cache clone path: let every tier adopt its artifacts
+        (kernel plan, native build) from the cached executor."""
+        for backend in self._order:
+            backend.inherit(clone, source)
+
+    def tier_health(self, ladder) -> dict:
+        """Per-tier health section for ``healthz()`` and the bench
+        report printers: rung breaker states plus execution/failure
+        tallies, aggregated from the ladder's per-rung records."""
+        snap = ladder.snapshot()
+        section = {}
+        for backend in self._order:
+            rungs = {
+                name: snap[name] for name in backend.rungs if name in snap
+            }
+            if not rungs and backend.rungs:
+                continue
+            states = {h["state"] for h in rungs.values()}
+            if not states:
+                breaker = "n/a"
+            elif states == {"closed"}:
+                breaker = "closed"
+            elif "closed" in states or "half-open" in states:
+                breaker = "degraded"
+            else:
+                breaker = "open"
+            section[backend.name] = {
+                "breaker": breaker,
+                "executions": sum(
+                    h["invocations"] for h in rungs.values()
+                ),
+                "failures": sum(h["failures"] for h in rungs.values()),
+                "trips": sum(h["trips"] for h in rungs.values()),
+                "rungs": {
+                    name: h["state"] for name, h in rungs.items()
+                },
+            }
+        return section
+
+
+#: the four registered tiers, fastest first
+TIERS = TierRegistry()
+NATIVE = TIERS.register(NativeBackend(), fallback="planned")
+BATCHED = TIERS.register(BatchedPlannedBackend(), fallback="planned")
+PLANNED = TIERS.register(PlannedBackend(), fallback="interpreted")
+INTERPRETED = TIERS.register(InterpretedBackend())

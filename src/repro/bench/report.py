@@ -90,16 +90,23 @@ def print_compile_report(report) -> None:
 
 def print_execution_stats(stats, title: str = "execution stats") -> None:
     """Render an :class:`~repro.backend.executor.ExecutionStats`,
-    including the native-backend counters (JIT wall time, artifact
-    cache hits, and planned-path fallbacks)."""
+    including a per-execution-tier section (executions, fallbacks,
+    cache hits, compile/plan wall time, coalesced batch members) for
+    every tier the executor touched."""
     banner(title)
-    rows = [
-        ["executions", stats.executions],
-        ["native executions", stats.native_executions],
-        ["native compile (s)", float(stats.native_compile_time_s)],
-        ["native cache hits", stats.native_cache_hits],
-        ["native fallbacks", stats.native_fallbacks],
-    ]
+    rows = [["executions", stats.executions]]
+    for name, tier in sorted(stats.tiers.items()):
+        rows.append([f"[{name}] executions", tier.executions])
+        rows.append([f"[{name}] fallbacks", tier.fallbacks])
+        rows.append([f"[{name}] cache hits", tier.cache_hits])
+        if tier.compile_time_s:
+            rows.append(
+                [f"[{name}] compile (s)", float(tier.compile_time_s)]
+            )
+        if tier.plan_time_s:
+            rows.append([f"[{name}] plan (s)", float(tier.plan_time_s)])
+        if tier.coalesced:
+            rows.append([f"[{name}] coalesced", tier.coalesced])
     print_table(["counter", "value"], rows, floatfmt="{:.3f}")
 
 

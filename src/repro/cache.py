@@ -280,14 +280,14 @@ class CompileCache:
             src.dag, src.config, src.grouping, src.schedule, src.storage
         )
         clone.report = entry.report
-        # the kernel plan is immutable and keyed by the same content
-        # address as the compile artifacts, so clones share it instead
-        # of re-lowering; workspaces and worker pools stay per-executor
-        clone._inherit_plan(src)
-        # likewise the native build: the shared object is immutable and
-        # content-addressed, so clones share the loaded module (guarded
-        # by its per-module lock) instead of re-invoking the toolchain
-        clone._inherit_native(src)
+        # every registered tier adopts its own artifacts: the kernel
+        # plan and the native shared object are immutable and keyed by
+        # the same content address as the compile artifacts, so clones
+        # share them instead of re-lowering / re-invoking the
+        # toolchain; workspaces and worker pools stay per-executor
+        from .backend.registry import TIERS
+
+        TIERS.inherit_artifacts(clone, src)
         return clone
 
     def store(self, key: str, compiled: "CompiledPipeline") -> None:

@@ -12,13 +12,17 @@ from dataclasses import dataclass, field, fields, replace
 
 __all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES", "VERIFY_LEVELS", "BACKENDS"]
 
-#: Execution backends selectable via :attr:`PolyMgConfig.backend`:
-#: ``planned`` — the PR-4 ahead-of-time kernel-plan numpy backend
-#: (default); ``interpreted`` — the tree-walking numpy interpreter
-#: (plans are never consulted); ``native`` — JIT-compile the emitted
-#: C/OpenMP code and run it zero-copy, falling back to ``planned``
-#: when no toolchain exists or the pipeline cannot be lowered.
-BACKENDS = ("planned", "interpreted", "native")
+
+def __getattr__(name: str):
+    # ``BACKENDS`` — the execution backends selectable via
+    # :attr:`PolyMgConfig.backend` — is owned by the tier registry
+    # (:data:`repro.backend.registry.TIERS`); resolved lazily here to
+    # keep this module import-order independent of the backend package.
+    if name == "BACKENDS":
+        from .backend.registry import TIERS
+
+        return TIERS.selectable_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Self-verification levels (see :mod:`repro.verify.invariants`):
 #: ``off`` — no checking; ``cheap`` — algebraic invariants after each
@@ -156,11 +160,14 @@ class PolyMgConfig:
                 f"unknown verify_level {self.verify_level!r}",
                 expected=VERIFY_LEVELS,
             )
-        if self.backend not in BACKENDS:
+        from .backend.registry import TIERS
+
+        selectable = TIERS.selectable_names()
+        if self.backend not in selectable:
             from .errors import CompileError
 
             raise CompileError(
-                f"unknown backend {self.backend!r}", expected=BACKENDS
+                f"unknown backend {self.backend!r}", expected=selectable
             )
         if self.native_cflags is not None and not isinstance(
             self.native_cflags, tuple

@@ -3,8 +3,9 @@
 PR 1's :class:`~repro.backend.guards.GuardedPipeline` is binary: any
 fault drops straight from the optimized variant to ``polymg-naive`` and
 every later invocation pays the slow path.  The ladder replaces that
-with *graded* degradation over the ordered variant list of
-:data:`repro.variants.LADDER_ORDER`:
+with *graded* degradation over the ordered rung list contributed by
+the registered execution tiers (``TIERS.ladder_order()``, re-exported
+as :data:`repro.variants.LADDER_ORDER`):
 
 ``polymg-native`` -> ``polymg-opt+`` -> ``polymg-opt`` ->
 ``polymg-dtile-opt+`` -> ``polymg-naive``
@@ -57,7 +58,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..variants import LADDER_ORDER
+from ..backend.registry import TIERS
 from .incidents import IncidentLog
 
 __all__ = [
@@ -120,8 +121,9 @@ class DegradationLadder:
     Parameters
     ----------
     variants:
-        Rung names, fastest first (default
-        :data:`repro.variants.LADDER_ORDER`).
+        Rung names, fastest first (default: the registry ladder,
+        ``TIERS.ladder_order()`` — see
+        :class:`~repro.backend.registry.TierRegistry`).
     window:
         Sliding-window length of each rung's error-rate record.
     failure_threshold:
@@ -146,7 +148,7 @@ class DegradationLadder:
 
     def __init__(
         self,
-        variants: tuple[str, ...] = LADDER_ORDER,
+        variants: tuple[str, ...] | None = None,
         *,
         window: int = 16,
         failure_threshold: int = 1,
@@ -158,6 +160,8 @@ class DegradationLadder:
         clock: Callable[[], float] = time.monotonic,
         log: IncidentLog | None = None,
     ) -> None:
+        if variants is None:
+            variants = TIERS.ladder_order()
         if len(variants) < 2:
             raise ValueError("a ladder needs at least two rungs")
         if failure_threshold < 1:

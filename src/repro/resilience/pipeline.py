@@ -30,10 +30,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..backend.registry import BATCHED, FallbackPolicy
 from ..cache import cache_enabled, compile_cache, compile_fingerprint
 from ..errors import ReproError
 from ..variants import variant_config
-from .incidents import IncidentLog, IncidentRecord
+from .incidents import IncidentLog
 from .ladder import DegradationLadder
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -87,6 +88,10 @@ class ResilientPipeline:
         self.config_overrides = dict(config_overrides or {})
         self.rung_ceiling = rung_ceiling
         self.invocations = 0
+        #: the single registry-level fallback-and-count path: every
+        #: fault is recorded on the shared log and signalled to the
+        #: ladder's circuit breakers through here
+        self.policy = FallbackPolicy(log=self.log, breaker=self.ladder)
         self._compiled: dict[str, "CompiledPipeline"] = {}
         #: memoized verification verdict per rung: absent = not yet
         #: verified, None = passed, ReproError = failed
@@ -122,23 +127,20 @@ class ResilientPipeline:
             compile_cache().evict(key)
 
     # -- incident plumbing ----------------------------------------------
-    def _record(self, rec: IncidentRecord, name: str) -> None:
+    def _report_of(self, name: str):
         compiled = self._compiled.get(name)
-        if compiled is not None and compiled.report is not None:
-            compiled.report.record_incident(rec.to_dict())
+        return compiled.report if compiled is not None else None
 
     def report_failure(self, name: str, error: ReproError) -> None:
         """Register an externally-detected fault (e.g. the supervisor's
         residual monitor fired *after* a cycle executed cleanly) with
         the same demotion/trim semantics as an in-attempt fault."""
-        rec = self.log.record(
-            "fault",
+        self.policy.fault(
+            error,
             variant=name,
             invocation=self.invocations,
-            error=f"{type(error).__name__}: {error}",
+            report=self._report_of(name),
         )
-        self._record(rec, name)
-        self.ladder.record_failure(name, error)
         self._trim_pool(name)
 
     def _trim_pool(self, name: str) -> None:
@@ -158,19 +160,51 @@ class ResilientPipeline:
         retry use :meth:`execute`; the solve supervisor calls this
         directly so it can restore its checkpoint between attempts.
         """
+        return self._attempt(lambda compiled: compiled.execute(inputs))
+
+    def attempt_batch(
+        self, inputs_list: list[dict[str, np.ndarray]]
+    ) -> tuple[str, list[dict[str, np.ndarray]] | None, ReproError | None]:
+        """Like :meth:`attempt`, but serve many same-spec right-hand
+        sides in one invocation through the registry's batched tier
+        (bitwise identical to per-request executes of the selected
+        rung).  One fault demotes the rung exactly as a per-request
+        fault would.
+
+        Selection is ceilinged at the highest non-JIT rung: batched
+        execution walks the planned kernel tapes, so serving it from a
+        ``jit_build`` rung would misattribute invocations (and breaker
+        health) to a code path the batch never runs."""
+        return self._attempt(
+            lambda compiled: BATCHED.execute_batch(compiled, inputs_list),
+            ceiling=self._batch_ceiling(),
+        )
+
+    def _batch_ceiling(self) -> str | None:
+        if self.rung_ceiling is not None:
+            return self.rung_ceiling
+        from ..backend.registry import TIERS
+
+        for rung in self.ladder.variants:
+            tier = TIERS.tier_of_rung(rung)
+            if tier is None or not tier.jit_build:
+                return rung
+        return None
+
+    def _attempt(self, run, ceiling: str | None = None):
         self.invocations += 1
-        name = self.ladder.select(ceiling=self.rung_ceiling)
+        name = self.ladder.select(
+            ceiling=ceiling if ceiling is not None else self.rung_ceiling
+        )
         try:
             compiled = self.compiled_for(name)
         except ReproError as error:
-            self.log.record(
-                "fault",
+            self.policy.fault(
+                error,
                 variant=name,
                 invocation=self.invocations,
                 action="compile-failed",
-                error=f"{type(error).__name__}: {error}",
             )
-            self.ladder.record_failure(name, error)
             self._evict_compile(name)
             return name, None, error
 
@@ -181,29 +215,25 @@ class ResilientPipeline:
                 verify_compiled(compiled, self.verify_level)
                 self._verdict[name] = None
             except ReproError as error:
-                rec = self.log.record(
-                    "fault",
+                self.policy.fault(
+                    error,
                     variant=name,
                     invocation=self.invocations,
                     action="verify-failed",
-                    error=f"{type(error).__name__}: {error}",
+                    report=self._report_of(name),
                 )
-                self._record(rec, name)
-                self.ladder.record_failure(name, error)
                 self._evict_compile(name)
                 return name, None, error
 
         try:
-            out = compiled.execute(inputs)
+            out = run(compiled)
         except ReproError as error:
-            rec = self.log.record(
-                "fault",
+            self.policy.fault(
+                error,
                 variant=name,
                 invocation=self.invocations,
-                error=f"{type(error).__name__}: {error}",
+                report=self._report_of(name),
             )
-            self._record(rec, name)
-            self.ladder.record_failure(name, error)
             self._trim_pool(name)
             return name, None, error
 

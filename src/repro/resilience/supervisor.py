@@ -484,6 +484,170 @@ class SolveSupervisor:
             checkpoint=checkpoint,
         )
 
+    # -- batched solving -------------------------------------------------
+    def solve_batch(
+        self,
+        fs: list[np.ndarray],
+        policies: "list[SupervisorPolicy] | None" = None,
+        *,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> list[SupervisedSolveResult]:
+        """Solve several same-specification systems in lockstep.
+
+        Coalesces ``len(fs)`` fresh solves into one supervised loop
+        that executes each multigrid cycle for *all* of them with a
+        single batched invocation
+        (:meth:`~repro.resilience.pipeline.ResilientPipeline.attempt_batch`):
+        one ladder selection, one compiled artifact, one kernel-tape
+        walk over a stacked batch axis.  Each solve keeps its own
+        policy (cycle budget, tolerance, deadline), residual monitor,
+        residual history, and checkpoint, so the iterates are bitwise
+        identical to running :meth:`solve` once per rhs; a solve that
+        converges or exhausts its budget drops out of the batch while
+        the rest continue.
+
+        Fault handling is deliberately simpler than :meth:`solve`'s:
+        an execution fault preempts every still-active solve, and a
+        single solve's residual divergence preempts just that solve —
+        both return status ``"preempted"`` with the last-known-good
+        checkpoint instead of retrying inside the batch, and callers
+        resume the preempted solves individually where the full
+        restore/remediation machinery applies.  Stagnation remediation
+        is likewise left to the per-solve path (a spec rebuild would
+        change the pipeline under the whole batch).
+        """
+        from ..multigrid.kernels import norm_residual
+
+        if policies is None:
+            policies = [self.policy] * len(fs)
+        if len(policies) != len(fs):
+            raise ValueError("one policy per rhs required")
+        pipeline = self.resilient.pipeline
+        h = 1.0 / (pipeline.N + 1)
+
+        monitors: list[ResidualMonitor] = []
+        norms_per: list[list[float]] = []
+        checkpoints: list[SolveCheckpoint] = []
+        trails: list[list[str]] = []
+        statuses: list[str | None] = []
+        for f, pol in zip(fs, policies):
+            u = np.zeros_like(f)
+            norms = [float(norm_residual(u, f, h))]
+            monitor = ResidualMonitor(
+                pol.growth_factor, pipeline=pipeline.name
+            )
+            monitor.observe(norms[0])
+            monitors.append(monitor)
+            norms_per.append(norms)
+            checkpoints.append(
+                SolveCheckpoint(u.copy(), 0, list(norms), None)
+            )
+            trails.append([])
+            statuses.append(None)
+
+        start = self.clock()
+        active = list(range(len(fs)))
+        while active:
+            if should_stop is not None and should_stop():
+                for i in active:
+                    statuses[i] = "preempted"
+                    self.log.record(
+                        "preempt",
+                        cycle=checkpoints[i].cycle,
+                        details=checkpoints[i].to_dict(),
+                    )
+                break
+
+            still: list[int] = []
+            for i in active:
+                pol = policies[i]
+                if checkpoints[i].cycle >= pol.max_cycles:
+                    statuses[i] = "cycle-budget"
+                elif (
+                    pol.deadline is not None
+                    and self.clock() - start >= pol.deadline
+                ):
+                    self.log.record(
+                        "deadline",
+                        cycle=checkpoints[i].cycle,
+                        details={
+                            "deadline": pol.deadline,
+                            "norm": norms_per[i][-1],
+                        },
+                    )
+                    statuses[i] = "deadline"
+                else:
+                    still.append(i)
+            active = still
+            if not active:
+                break
+
+            inputs_list = [
+                pipeline.make_inputs(checkpoints[i].u, fs[i])
+                for i in active
+            ]
+            variant, outs, error = self.resilient.attempt_batch(
+                inputs_list
+            )
+            if error is not None:
+                # no in-batch retry: hand every active solve back with
+                # its checkpoint; resumed solves get the full per-solve
+                # restore machinery
+                self.log.record(
+                    "batch-fault",
+                    variant=variant,
+                    error=f"{type(error).__name__}: {error}",
+                    details={"batch": len(active)},
+                )
+                for i in active:
+                    statuses[i] = "preempted"
+                break
+
+            still = []
+            for i, out in zip(active, outs):
+                u_new = np.array(out[pipeline.output.name], copy=True)
+                norm = float(norm_residual(u_new, fs[i], h))
+                try:
+                    monitors[i].observe(norm)
+                except NumericalDivergenceError as err:
+                    self.resilient.report_failure(variant, err)
+                    self.log.record(
+                        "checkpoint-restore",
+                        variant=variant,
+                        cycle=checkpoints[i].cycle,
+                        error=f"{type(err).__name__}: {err}",
+                        details=checkpoints[i].to_dict(),
+                    )
+                    statuses[i] = "preempted"
+                    continue
+                cycle = checkpoints[i].cycle + 1
+                trails[i].append(variant)
+                norms_per[i].append(norm)
+                checkpoints[i] = SolveCheckpoint(
+                    u_new, cycle, list(norms_per[i]), variant
+                )
+                pol = policies[i]
+                if pol.tol is not None and norm < pol.tol:
+                    statuses[i] = "converged"
+                else:
+                    still.append(i)
+            active = still
+
+        self._check_leaks()
+        return [
+            SupervisedSolveResult(
+                u=checkpoints[i].u,
+                residual_norms=norms_per[i],
+                cycles=checkpoints[i].cycle,
+                status=statuses[i] or "cycle-budget",
+                variant_trail=trails[i],
+                incidents=self.log,
+                health=self.ladder.snapshot(),
+                checkpoint=checkpoints[i],
+            )
+            for i in range(len(fs))
+        ]
+
     # -- resource hygiene ------------------------------------------------
     def _check_leaks(self) -> None:
         """Outstanding-buffer accounting at solve end: any rung whose

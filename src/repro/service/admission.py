@@ -204,6 +204,29 @@ class BoundedRequestQueue:
                 return None
             return heapq.heappop(self._heap)[2]
 
+    def pop_matching(
+        self, predicate: Callable[[Any], bool], limit: int
+    ) -> list[Any]:
+        """Remove and return up to ``limit`` queued items satisfying
+        ``predicate``, best-priority-first (FIFO within a class).
+        Non-blocking; returns ``[]`` when nothing matches.  The worker
+        fleet uses this to coalesce same-specification requests into
+        one batched solve."""
+        if limit < 1:
+            return []
+        with self._lock:
+            taken = []
+            for entry in sorted(self._heap):
+                if len(taken) >= limit:
+                    break
+                if predicate(entry[2]):
+                    taken.append(entry)
+            if taken:
+                for entry in taken:
+                    self._heap.remove(entry)
+                heapq.heapify(self._heap)
+            return [entry[2] for entry in taken]
+
     def drain_items(self) -> list[Any]:
         """Remove and return everything queued (drain/shutdown path)."""
         with self._lock:

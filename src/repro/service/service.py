@@ -68,7 +68,7 @@ from ..resilience import (
     SolveSupervisor,
     SupervisorPolicy,
 )
-from ..variants import LADDER_ORDER
+from ..backend.registry import TIERS
 from .admission import AdmissionController, BoundedRequestQueue, TenantPolicy
 from .budget import FleetBudget
 from .requests import QUEUED, SolveRequest, SolveTicket
@@ -150,9 +150,22 @@ class ServiceConfig:
     #: extra :class:`~repro.config.PolyMgConfig` fields for every
     #: rung's preset (small tile sizes in tests, pool byte budgets)
     config_overrides: dict = field(default_factory=dict)
-    ladder_variants: tuple[str, ...] = LADDER_ORDER
-    #: the rung forced onto low-priority solves at ``degrade`` level
-    degrade_ceiling: str = "polymg-naive"
+    #: graded-degradation rungs, fastest first; defaults to the tier
+    #: registry's concatenation of every registered tier's rungs
+    ladder_variants: tuple[str, ...] = field(
+        default_factory=TIERS.ladder_order
+    )
+    #: the rung forced onto low-priority solves at ``degrade`` level;
+    #: defaults to the registry's last-resort rung
+    degrade_ceiling: str = field(
+        default_factory=TIERS.degradation_floor
+    )
+    #: same-spec request coalescing: a worker that pops a fresh request
+    #: also claims up to ``batch_max - 1`` queued requests with the
+    #: same :meth:`~repro.service.requests.SolveRequest.spec_key` and
+    #: solves them in lockstep through the batched execution tier (one
+    #: plan, many right-hand sides).  ``1`` disables coalescing.
+    batch_max: int = 4
     #: worker queue-poll interval: the upper bound on how stale a
     #: shutdown/kill flag can get while a worker idles
     poll_interval: float = 0.02
@@ -226,6 +239,8 @@ class SolveService:
         self.failed = 0
         self.shed = 0
         self.preempted = 0
+        #: requests executed through a coalesced same-spec batch
+        self.coalesced = 0
         for idx in range(cfg.workers):
             self._workers.append(self._spawn(idx))
 
@@ -362,12 +377,19 @@ class SolveService:
                 self._pipelines.setdefault(key, pipe)
         return pipe
 
+    def _needs_ceiling(self, request: SolveRequest) -> bool:
+        """Whether the graded overload response forces a rung ceiling
+        onto this request right now (no logging — also used as a
+        batch-eligibility probe)."""
+        return request.priority == "low" and self.budget.level() in (
+            "degrade",
+            "shed",
+        )
+
     def _rung_ceiling_for(self, request: SolveRequest) -> str | None:
         """The graded overload response's degrade step: low-priority
         solves run on the naive rung while the fleet is hot."""
-        if request.priority != "low":
-            return None
-        if self.budget.level() in ("degrade", "shed"):
+        if self._needs_ceiling(request):
             self.log.record(
                 "degraded",
                 action="force-" + self.config.degrade_ceiling,
@@ -380,37 +402,74 @@ class SolveService:
         return None
 
     def _execute(self, item: _WorkItem, idx: int) -> None:
-        req = item.ticket.request
+        items = [item] + self._claim_batch_peers(item)
         now = self.clock()
         with self._state_lock:
-            self._in_flight[req.request_id] = item
+            for it in items:
+                self._in_flight[it.ticket.request.request_id] = it
         self._current[idx] = item
-        item.ticket._mark_running(now)
+        for it in items:
+            it.ticket._mark_running(now)
         try:
-            self._run(item, idx)
+            if len(items) > 1:
+                self._run_batch(items, idx)
+            else:
+                self._run(item, idx)
         except BaseException as error:  # the worker loop must survive
-            self.log.record(
-                "worker-crash",
-                error=f"{type(error).__name__}: {error}",
-                details={
-                    "worker": idx,
-                    "request_id": req.request_id,
-                },
-            )
-            self._resolve_failure(
-                item,
-                SolvePreempted(
-                    "worker crashed while executing the request",
-                    request_id=req.request_id,
-                    cause=f"{type(error).__name__}: {error}",
-                ),
-                outcome="failed",
-            )
+            for it in items:
+                # skip tickets already resolved — and batch peers the
+                # batch path handed back to the queue (state QUEUED)
+                if it.ticket.done() or it.ticket.state == QUEUED:
+                    continue
+                rid = it.ticket.request.request_id
+                self.log.record(
+                    "worker-crash",
+                    error=f"{type(error).__name__}: {error}",
+                    details={"worker": idx, "request_id": rid},
+                )
+                self._resolve_failure(
+                    it,
+                    SolvePreempted(
+                        "worker crashed while executing the request",
+                        request_id=rid,
+                        cause=f"{type(error).__name__}: {error}",
+                    ),
+                    outcome="failed",
+                )
         finally:
             self._current[idx] = None
             with self._state_lock:
-                self._in_flight.pop(req.request_id, None)
+                for it in items:
+                    self._in_flight.pop(
+                        it.ticket.request.request_id, None
+                    )
                 self._idle_cv.notify_all()
+
+    def _claim_batch_peers(self, item: _WorkItem) -> list[_WorkItem]:
+        """Same-spec coalescing: claim queued requests this worker can
+        solve in lockstep with ``item`` through the batched tier.
+
+        Only *fresh* solves coalesce — no checkpoint resumes (their
+        cycle numbering differs), no overload-ceilinged requests (they
+        run on a forced rung), and not when a chaos ``fault_hook`` is
+        installed (it is a per-supervisor, per-attempt contract)."""
+        cfg = self.config
+        if cfg.batch_max < 2 or cfg.fault_hook is not None:
+            return []
+        req = item.ticket.request
+        if item.resume_from is not None or self._needs_ceiling(req):
+            return []
+        key = req.spec_key()
+
+        def eligible(peer: _WorkItem) -> bool:
+            preq = peer.ticket.request
+            return (
+                peer.resume_from is None
+                and preq.spec_key() == key
+                and not self._needs_ceiling(preq)
+            )
+
+        return self._queue.pop_matching(eligible, cfg.batch_max - 1)
 
     def _run(self, item: _WorkItem, idx: int) -> None:
         cfg = self.config
@@ -521,6 +580,106 @@ class SolveService:
             self.admission.release(req, outcome="completed")
             self.completed += 1
             return
+
+    def _run_batch(self, items: list[_WorkItem], idx: int) -> None:
+        """Solve a claimed batch of same-spec requests in lockstep.
+
+        One supervisor drives every request through
+        :meth:`~repro.resilience.SolveSupervisor.solve_batch`; each
+        keeps its own tolerance, cycle budget, and (admission-measured)
+        deadline, and the iterates are bitwise identical to solving the
+        requests one at a time.  Faults do not retry inside the batch:
+        a preempted member is requeued with its checkpoint and resumes
+        through the full per-request retry/restore path on another
+        pop."""
+        cfg = self.config
+        leader = items[0].ticket.request
+        try:
+            pipeline = self._pipeline_for(leader)
+        except (ReproError, ValueError) as error:
+            for it in items:
+                self.log.record(
+                    "request-fault",
+                    action="fatal",
+                    error=f"{type(error).__name__}: {error}",
+                    details={
+                        "request_id": it.ticket.request.request_id
+                    },
+                )
+                self._resolve_failure(it, error, outcome="failed")
+            return
+
+        def remaining_deadline(it: _WorkItem) -> float | None:
+            req = it.ticket.request
+            if req.deadline is None:
+                return None
+            elapsed = self.clock() - (it.ticket.admitted_at or 0.0)
+            return max(0.0, req.deadline - elapsed)
+
+        supervisor = SolveSupervisor(
+            pipeline,
+            ladder=self.ladder,
+            verify_level=cfg.verify_level,
+            config_overrides=cfg.config_overrides,
+            clock=self.clock,
+        )
+        policies = [
+            SupervisorPolicy(
+                max_cycles=it.ticket.request.max_cycles,
+                tol=it.ticket.request.tol,
+                deadline=remaining_deadline(it),
+            )
+            for it in items
+        ]
+        for it in items:
+            it.ticket.attempts += 1
+        self.log.record(
+            "batch",
+            action="coalesced",
+            details={
+                "worker": idx,
+                "batch": len(items),
+                "request_ids": [
+                    it.ticket.request.request_id for it in items
+                ],
+            },
+        )
+        self.coalesced += len(items)
+
+        def should_stop() -> bool:
+            return self._preempt_all.is_set() or self._kill_flags[idx]
+
+        results = supervisor.solve_batch(
+            [it.ticket.request.f for it in items],
+            policies,
+            should_stop=should_stop,
+        )
+        for it, result in zip(items, results):
+            req = it.ticket.request
+            if result.status == "preempted":
+                if self._preempt_all.is_set():
+                    self._persist_and_fail(it, result.checkpoint)
+                    continue
+                # hand the solve back to the fleet with its checkpoint;
+                # a resumed item never re-enters a batch
+                it.resume_from = result.checkpoint
+                it.ticket.state = QUEUED
+                self.log.record(
+                    "batch",
+                    action="requeued",
+                    cycle=(
+                        result.checkpoint.cycle
+                        if result.checkpoint
+                        else None
+                    ),
+                    details={"request_id": req.request_id},
+                )
+                self._queue.push(it, req.priority_rank, force=True)
+                continue
+            self._cleanup_checkpoint(it)
+            it.ticket._finish(result, self.clock())
+            self.admission.release(req, outcome="completed")
+            self.completed += 1
 
     def _handle_preemption(self, item: _WorkItem, result) -> None:
         """A solve stopped at a cycle boundary: drain persists it,
@@ -646,7 +805,8 @@ class SolveService:
     def healthz(self) -> dict:
         """Structured liveness/observability snapshot: queue depth,
         worker fleet, budget posture, per-variant breaker states,
-        per-tenant usage, incident-ring accounting."""
+        per-execution-tier health (from the tier registry), per-tenant
+        usage, incident-ring accounting."""
         with self._state_lock:
             status = (
                 "drained"
@@ -669,9 +829,11 @@ class SolveService:
                 "failed": self.failed,
                 "shed": self.shed,
                 "preempted": self.preempted,
+                "coalesced": self.coalesced,
             },
             "budget": self.budget.snapshot(),
             "breakers": self.ladder.snapshot(),
+            "tiers": TIERS.tier_health(self.ladder),
             "tenants": self.admission.tenant_usage(),
             "incidents": self.log.ring_stats(),
         }

@@ -34,6 +34,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from ..backend.registry import TIERS
 from ..cache import compile_cache
 from ..config import PolyMgConfig
 from ..errors import TrialFailure
@@ -165,10 +166,10 @@ def _timed_compile(pipe, cfg: PolyMgConfig):
     hits_before = stats.hits
     t0 = time.perf_counter()
     compiled = pipe.compile(cfg)
-    if cfg.backend == "native":
-        # the JIT build runs on a background thread; block on it here
-        # so native configurations are charged their cc wall time
-        compiled.ensure_native()
+    # block on any tier-specific background build work (the native
+    # JIT's cc invocation) so every configuration is charged its full
+    # readiness wall time, whatever tier it selects
+    TIERS.resolve(cfg.backend).ensure_ready(compiled)
     elapsed = time.perf_counter() - t0
     return compiled, elapsed, stats.hits > hits_before
 
@@ -269,9 +270,13 @@ def autotune_model(
     def score(cfg: PolyMgConfig) -> TrialMeasurement:
         compiled, compile_time, hit = _timed_compile(pipe, cfg)
         t0 = time.perf_counter()
-        value = PipelineCostModel(compiled, machine).run_time(
-            threads, cycles
+        value = TIERS.resolve(cfg.backend).cost_hint(
+            compiled, machine, threads=threads, cycles=cycles
         )
+        if value is None:  # a tier with no model: fall back directly
+            value = PipelineCostModel(compiled, machine).run_time(
+                threads, cycles
+            )
         return TrialMeasurement(
             score=value,
             compile_time=compile_time,

@@ -29,6 +29,7 @@ the config object was constructed.
 
 from __future__ import annotations
 
+from .backend.registry import TIERS as _TIERS
 from .config import PolyMgConfig
 
 __all__ = [
@@ -141,13 +142,11 @@ def handopt_pluto_model(**overrides) -> PolyMgConfig:
 #: re-promotes as circuits heal; each rung is one of the compiled
 #: variants below, so every ladder move routes through the
 #: content-addressed compile cache and costs no recompile.
-LADDER_ORDER = (
-    "polymg-native",
-    "polymg-opt+",
-    "polymg-opt",
-    "polymg-dtile-opt+",
-    "polymg-naive",
-)
+#:
+#: Source of truth: each registered execution tier declares its rungs
+#: and the :class:`~repro.backend.registry.TierRegistry` concatenates
+#: them in tier order — this name is a re-export for compatibility.
+LADDER_ORDER = _TIERS.ladder_order()
 
 POLYMG_VARIANTS = {
     "polymg-naive": polymg_naive,

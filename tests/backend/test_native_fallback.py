@@ -267,6 +267,6 @@ class TestAccounting:
         compiled.execute(dict(_inputs(pipe)))
         print_execution_stats(compiled.stats)
         text = capsys.readouterr().out
-        assert "native executions" in text
-        assert "native compile (s)" in text
-        assert "native fallbacks" in text
+        assert "[native] executions" in text
+        assert "[native] compile (s)" in text
+        assert "[native] fallbacks" in text

@@ -21,6 +21,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backend.native import discover_compiler, unlowerable_reason
+from repro.backend.registry import TIERS
 from repro.compiler import compile_pipeline
 from repro.lang.expr import Case
 from repro.lang.function import Function, Grid
@@ -40,6 +41,12 @@ needs_cc = pytest.mark.skipif(
 RTOL, ATOL = 1e-9, 1e-11
 
 TILES = {2: (8, 16), 3: (4, 8, 8)}
+
+#: every registered JIT tier is fuzzed — a future second JIT backend
+#: joins this suite by registering with ``jit_build=True``
+JIT_TIERS = tuple(
+    name for name in TIERS.names() if TIERS.resolve(name).jit_build
+)
 
 
 def _cycle_case(ndim: int, cycle: str, n: int, smoothing, levels=3):
@@ -62,9 +69,9 @@ def _cycle_case(ndim: int, cycle: str, n: int, smoothing, levels=3):
     return pipe, inputs
 
 
-def _run_both(pipe, inputs, threads: int):
-    """Execute the pipeline through planned numpy and native C,
-    returning (planned_out, native_out, native_compiled)."""
+def _run_both(pipe, inputs, threads: int, tier: str = "native"):
+    """Execute the pipeline through planned numpy and the given JIT
+    tier, returning (planned_out, jit_out, jit_compiled)."""
     planned = compile_pipeline(
         pipe.output,
         pipe.params,
@@ -76,16 +83,19 @@ def _run_both(pipe, inputs, threads: int):
     native = compile_pipeline(
         pipe.output,
         pipe.params,
-        polymg_native(tile_sizes=dict(TILES), num_threads=threads),
+        polymg_opt_plus(
+            backend=tier, tile_sizes=dict(TILES), num_threads=threads
+        ),
         name=pipe.name,
         cache=False,
     )
-    native.ensure_native()
+    TIERS.resolve(tier).ensure_ready(native)
     got = native.execute(dict(inputs))[pipe.output.name]
     return expected, got, native
 
 
 @needs_cc
+@pytest.mark.parametrize("tier", JIT_TIERS)
 @pytest.mark.parametrize(
     "ndim,cycle,n,smoothing,threads",
     [
@@ -97,13 +107,13 @@ def _run_both(pipe, inputs, threads: int):
         (3, "W", 16, (2, 2, 2), 4),
     ],
 )
-def test_native_matches_planned_on_multigrid_cycles(
-    ndim, cycle, n, smoothing, threads
+def test_jit_tiers_match_planned_on_multigrid_cycles(
+    tier, ndim, cycle, n, smoothing, threads
 ):
     pipe, inputs = _cycle_case(ndim, cycle, n, smoothing)
-    expected, got, native = _run_both(pipe, inputs, threads)
-    assert native.stats.native_executions == 1
-    assert native.stats.native_fallbacks == 0
+    expected, got, native = _run_both(pipe, inputs, threads, tier)
+    assert native.stats.tier(tier).executions == 1
+    assert native.stats.tier(tier).fallbacks == 0
     assert got.shape == expected.shape
     assert np.allclose(got, expected, rtol=RTOL, atol=ATOL)
 

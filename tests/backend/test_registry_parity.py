@@ -1,0 +1,214 @@
+"""Registry-driven cross-tier parity (the PR-7 correctness net).
+
+Rather than hard-coding backend names, these suites enumerate the
+:data:`~repro.backend.registry.TIERS` registry and dispatch a parity
+harness off each tier's declared capability flags — so a newly
+registered execution tier is automatically fuzzed against the reference
+execution path with zero test edits:
+
+* a ``plans_kernels`` tier must be **bitwise** identical to the
+  tree-walking interpreter (numpy tapes replay the same ufunc
+  sequence);
+* a ``jit_build`` tier (compiled out-of-process, free to reassociate
+  floating point) must match within tight ``allclose`` tolerances, and
+  skips on machines without a C toolchain;
+* a ``supports_batching`` tier must produce **bitwise** identical
+  outputs to executing the same requests one at a time.
+
+Registry-contract tests pin the tier order, the degradation ladder
+derivation, the fallback edges, and the per-tier stats/health
+plumbing the resilience and service layers consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.native import discover_compiler
+from repro.backend.registry import TIERS
+from repro.compiler import compile_pipeline
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.multigrid.reference import MultigridOptions
+from repro.variants import LADDER_ORDER, polymg_opt_plus
+
+HAVE_CC = discover_compiler() is not None
+
+RTOL, ATOL = 1e-9, 1e-11
+TILES = {2: (8, 16), 3: (4, 8, 8)}
+
+
+def _case(ndim=2, n=16, cycle="V", seed=20170712):
+    pipe = build_poisson_cycle(
+        ndim, n, MultigridOptions(cycle=cycle, levels=3)
+    )
+    rng = np.random.default_rng(seed)
+    shape = (n + 2,) * ndim
+    inputs = pipe.make_inputs(
+        rng.standard_normal(shape), rng.standard_normal(shape)
+    )
+    return pipe, inputs
+
+
+def _compile(pipe, **overrides):
+    cfg = polymg_opt_plus(tile_sizes=dict(TILES), **overrides)
+    return compile_pipeline(
+        pipe.output, pipe.params, cfg, name=pipe.name, cache=False
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry contract
+# ---------------------------------------------------------------------------
+
+
+def test_registry_orders_all_four_tiers():
+    assert TIERS.names() == (
+        "native",
+        "batched",
+        "planned",
+        "interpreted",
+    )
+
+
+def test_ladder_order_is_concatenation_of_tier_rungs():
+    concat = tuple(
+        rung
+        for name in TIERS.names()
+        for rung in TIERS.resolve(name).rungs
+    )
+    assert TIERS.ladder_order() == concat == LADDER_ORDER
+
+
+def test_selectable_names_exclude_internal_tiers():
+    selectable = TIERS.selectable_names()
+    assert "batched" not in selectable
+    for name in selectable:
+        assert TIERS.resolve(name).config_selectable
+
+
+def test_fallback_chain_terminates_at_interpreted():
+    for name in TIERS.names():
+        tier = TIERS.resolve(name)
+        seen = set()
+        while tier is not None:
+            assert tier.name not in seen  # no cycles
+            seen.add(tier.name)
+            tier = TIERS.fallback_for(tier)
+        assert "interpreted" in seen or name == "interpreted"
+
+
+def test_resolve_unknown_tier_is_a_keyerror():
+    with pytest.raises(KeyError, match="native"):
+        TIERS.resolve("no-such-tier")
+
+
+def test_degradation_floor_is_last_ladder_rung():
+    assert TIERS.degradation_floor() == TIERS.ladder_order()[-1]
+    assert TIERS.tier_of_rung("polymg-native").name == "native"
+    assert TIERS.tier_of_rung("polymg-naive").name == "planned"
+
+
+def test_capability_flags_partition_the_registry():
+    flags = {
+        name: (
+            TIERS.resolve(name).plans_kernels,
+            TIERS.resolve(name).jit_build,
+            TIERS.resolve(name).supports_batching,
+            TIERS.resolve(name).supports_fault_injection,
+        )
+        for name in TIERS.names()
+    }
+    assert flags["interpreted"] == (False, False, False, True)
+    assert flags["planned"] == (True, False, False, False)
+    assert flags["native"] == (True, True, False, False)
+    assert flags["batched"] == (True, False, True, False)
+
+
+# ---------------------------------------------------------------------------
+# capability-dispatched parity over every registered tier
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tier_name", TIERS.names())
+@pytest.mark.parametrize("ndim,n", [(2, 16), (3, 8)])
+def test_every_tier_matches_the_reference_execution(tier_name, ndim, n):
+    tier = TIERS.resolve(tier_name)
+    if tier.jit_build and not HAVE_CC:
+        pytest.skip("no C toolchain on PATH (cc/gcc/clang)")
+    pipe, inputs = _case(ndim=ndim, n=n)
+    reference = _compile(pipe, backend="interpreted")
+    expected = reference.execute(dict(inputs))[pipe.output.name]
+
+    if tier.supports_batching:
+        # batched tiers are exercised through their batch entry point:
+        # k same-spec requests, one plan walk, bitwise-equal outputs
+        compiled = _compile(pipe)
+        rng = np.random.default_rng(7)
+        shape = expected.shape
+        batch = [dict(inputs)]
+        for _ in range(2):
+            batch.append(
+                pipe.make_inputs(
+                    rng.standard_normal(shape),
+                    rng.standard_normal(shape),
+                )
+            )
+        singly = [
+            compiled.execute(dict(b))[pipe.output.name] for b in batch
+        ]
+        outs = tier.execute_batch(compiled, [dict(b) for b in batch])
+        assert compiled.stats.tier(tier.name).coalesced == len(batch)
+        for got, ref in zip(outs, singly):
+            assert np.array_equal(got[pipe.output.name], ref)
+        assert np.array_equal(singly[0], expected)
+        return
+
+    compiled = _compile(pipe, backend=tier.name)
+    tier.ensure_ready(compiled)
+    got = compiled.execute(dict(inputs))[pipe.output.name]
+    assert compiled.stats.tier(tier.name).executions >= 1
+    if tier.jit_build:
+        assert np.allclose(got, expected, rtol=RTOL, atol=ATOL)
+    else:
+        assert np.array_equal(got, expected)
+
+
+# ---------------------------------------------------------------------------
+# per-tier stats and health plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_execution_stats_flat_properties_read_through_tiers():
+    pipe, inputs = _case()
+    compiled = _compile(pipe)
+    compiled.execute(dict(inputs))
+    stats = compiled.stats
+    assert "planned" in stats.tiers
+    # deprecated flat counters are views over the per-tier records
+    assert stats.kernel_cache_hits == stats.tier("planned").cache_hits
+    assert stats.plan_time_s == stats.tier("planned").plan_time_s
+    assert stats.native_executions == stats.tier("native").executions
+    assert stats.native_fallbacks == stats.tier("native").fallbacks
+    d = stats.tier("planned").to_dict()
+    assert d["tier"] == "planned" and d["executions"] >= 1
+
+
+def test_tier_health_sections_cover_every_tier():
+    from repro.resilience import DegradationLadder
+
+    ladder = DegradationLadder()
+    health = TIERS.tier_health(ladder)
+    assert set(health) == set(TIERS.names())
+    for name, section in health.items():
+        assert set(section) >= {
+            "breaker",
+            "executions",
+            "failures",
+            "trips",
+            "rungs",
+        }
+        rungs = TIERS.resolve(name).rungs
+        assert set(section["rungs"]) == set(rungs)
+        if not rungs:
+            assert section["breaker"] == "n/a"

@@ -1,0 +1,195 @@
+"""Same-spec request coalescing through the batched execution tier.
+
+A worker that pops a fresh request also claims queued requests with the
+same pipeline specification and solves them in lockstep through
+``BatchedPlannedBackend`` — one ladder selection, one kernel-tape walk,
+many right-hand sides.  These tests pin the contract: coalesced solves
+are bitwise identical to per-request solves, per-request budgets and
+tolerances still apply inside a batch, ineligible requests never
+coalesce, and the accounting (``coalesced`` counter, ``healthz`` tier
+section) is visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multigrid.reference import MultigridOptions
+from repro.service import ServiceConfig, SolveRequest, SolveService
+from repro.service.admission import BoundedRequestQueue, TenantPolicy
+
+N = 16
+OPTS = MultigridOptions(levels=3)
+OVERRIDES = {"tile_sizes": {2: (8, 16), 3: (4, 8, 8)}}
+
+
+def _rhs(seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((N + 2, N + 2))
+
+
+def _request(seed, *, tenant="t", opts=OPTS, **kw):
+    kw.setdefault("max_cycles", 4)
+    return SolveRequest(
+        tenant=tenant, ndim=2, N=N, f=_rhs(seed), opts=opts, **kw
+    )
+
+
+def _service(**cfg_kw):
+    cfg_kw.setdefault("workers", 1)
+    cfg_kw.setdefault("queue_capacity", 32)
+    cfg_kw.setdefault("config_overrides", dict(OVERRIDES))
+    cfg_kw.setdefault(
+        "default_tenant_policy", TenantPolicy(max_concurrent=32)
+    )
+    return SolveService(ServiceConfig(**cfg_kw))
+
+
+# ---------------------------------------------------------------------------
+# queue surface
+# ---------------------------------------------------------------------------
+
+
+def test_pop_matching_takes_best_first_and_respects_limit():
+    q = BoundedRequestQueue(8)
+    for i, rank in enumerate([2, 0, 1, 2, 0]):
+        q.push(("item", i, rank), rank)
+    taken = q.pop_matching(lambda it: it[2] != 1, 3)
+    # best-priority-first, FIFO within a class, predicate applied
+    assert [it[1] for it in taken] == [1, 4, 0]
+    assert len(q) == 2
+    assert q.pop_matching(lambda it: False, 5) == []
+    assert len(q) == 2
+
+
+def test_pop_matching_with_nonpositive_limit_is_a_noop():
+    q = BoundedRequestQueue(4)
+    q.push("a", 0)
+    assert q.pop_matching(lambda it: True, 0) == []
+    assert len(q) == 1
+
+
+# ---------------------------------------------------------------------------
+# coalesced execution
+# ---------------------------------------------------------------------------
+
+
+def test_coalesced_solves_are_bitwise_equal_to_per_request():
+    # pin both fleets to planned rungs: batched execution always walks
+    # the planned kernel tapes, so per-request native JIT executions
+    # (free to reassociate floats) are not the comparison baseline
+    rungs = ("polymg-opt+", "polymg-naive")
+    seeds = [1, 2, 3, 4, 5]
+    with _service(batch_max=4, ladder_variants=rungs) as svc:
+        tickets = [svc.submit(_request(s)) for s in seeds]
+        batched = [t.result(timeout=60) for t in tickets]
+        assert svc.coalesced > 0
+        assert svc.completed == len(seeds)
+    with _service(batch_max=1, ladder_variants=rungs) as svc:
+        singly = [
+            svc.submit(_request(s)).result(timeout=60) for s in seeds
+        ]
+        assert svc.coalesced == 0
+    for a, b in zip(batched, singly):
+        assert a.status == b.status
+        assert np.array_equal(a.u, b.u)
+        assert a.residual_norms == b.residual_norms
+
+
+def test_batches_never_select_a_jit_rung():
+    from repro.backend.registry import TIERS
+
+    with _service(batch_max=4) as svc:
+        # keep the single worker busy on a different spec so the three
+        # same-spec requests are all queued when it next pops
+        blocker = svc.submit(
+            _request(9, opts=MultigridOptions(levels=3, n1=2))
+        )
+        tickets = [svc.submit(_request(s)) for s in (1, 2, 3)]
+        blocker.result(timeout=60)
+        results = [t.result(timeout=60) for t in tickets]
+        assert svc.coalesced == 3
+    for result in results:
+        assert result.variant_trail  # at least one executed cycle
+        for rung in result.variant_trail:
+            tier = TIERS.tier_of_rung(rung)
+            assert tier is not None and not tier.jit_build
+
+
+def test_different_specs_never_coalesce():
+    other = MultigridOptions(levels=3, n1=1)
+    with _service(batch_max=4) as svc:
+        tickets = [
+            svc.submit(_request(1)),
+            svc.submit(_request(2, opts=other)),
+            svc.submit(_request(3, opts=other)),
+        ]
+        for t in tickets:
+            t.result(timeout=60)
+        healthz = svc.healthz()
+    # the two `other` requests may coalesce with each other but never
+    # with the first spec
+    assert healthz["counters"]["coalesced"] in (0, 2)
+
+
+def test_fault_hook_disables_coalescing():
+    calls = []
+
+    def hook(supervisor, request):
+        calls.append(request.request_id)
+
+    with _service(batch_max=4, fault_hook=hook) as svc:
+        tickets = [svc.submit(_request(s)) for s in (1, 2, 3)]
+        for t in tickets:
+            t.result(timeout=60)
+        assert svc.coalesced == 0
+    assert len(calls) >= 3
+
+
+def test_per_request_tolerances_apply_inside_a_batch():
+    with _service(batch_max=4) as svc:
+        loose = svc.submit(_request(1, tol=1e30, max_cycles=6))
+        tight = svc.submit(_request(2, tol=None, max_cycles=6))
+        r_loose = loose.result(timeout=60)
+        r_tight = tight.result(timeout=60)
+    assert r_loose.status == "converged"
+    assert r_loose.cycles == 1
+    assert r_tight.status == "cycle-budget"
+    assert r_tight.cycles == 6
+
+
+def test_healthz_reports_per_tier_health():
+    with _service(batch_max=4) as svc:
+        svc.submit(_request(1)).result(timeout=60)
+        healthz = svc.healthz()
+    tiers = healthz["tiers"]
+    assert set(tiers) == {"native", "batched", "planned", "interpreted"}
+    for section in tiers.values():
+        assert {"breaker", "executions", "rungs"} <= set(section)
+
+
+def test_batch_members_resolve_under_drain():
+    # a drain mid-batch preempts every member; each resolves with a
+    # typed error or a completed result — nothing hangs
+    with _service(batch_max=4) as svc:
+        tickets = [
+            svc.submit(_request(s, max_cycles=50)) for s in (1, 2, 3)
+        ]
+        svc.drain(timeout=0.01)
+        for t in tickets:
+            assert t.done()
+            assert t.state in ("done", "failed")
+
+
+@pytest.mark.parametrize("priority", ["high", "normal"])
+def test_mixed_priorities_still_coalesce_when_unceilinged(priority):
+    with _service(batch_max=4) as svc:
+        tickets = [
+            svc.submit(_request(1, priority=priority)),
+            svc.submit(_request(2)),
+            svc.submit(_request(3)),
+        ]
+        for t in tickets:
+            t.result(timeout=60)
+        assert svc.completed == 3
