@@ -1,0 +1,407 @@
+"""PR 8 benchmark: crash/hang isolation for the native tier.
+
+Drives the sandboxed out-of-process native executor through three
+scenarios and emits ``BENCH_PR8.json`` at the repository root:
+
+* **overhead** — the same native pipeline executed in-process
+  (``native_isolation="none"``) vs sandboxed, on a medium grid; the
+  gate is **sandboxed p50 <= 1.30x in-process p50** per cycle;
+* **chaos** — a :class:`repro.service.SolveService` soak where ~5% of
+  requests are pinned (via the fault hook) to a native artifact
+  compiled with an injected segfault/abort/spin; gates: **zero
+  service deaths** (drain completes, every worker still standing),
+  **zero lost requests**, **zero incorrect results**, at least one
+  typed ``crash-isolated`` incident, and at least one circuit-breaker
+  demotion fed by a sandbox crash;
+* **quarantine** — a crashing artifact is executed
+  ``REPRO_NATIVE_QUARANTINE_AFTER`` times; the store must latch its
+  verdict and refuse to rebuild/reload it afterwards.
+
+Without a C toolchain every scenario is skipped and the bench exits 0,
+so it is safe on minimal hosts.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sandbox.py           # full
+    PYTHONPATH=src python benchmarks/bench_sandbox.py --small   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.backend.native import discover_compiler
+from repro.backend.sandbox import reset_sandbox_pool, sandbox_state
+from repro.cache import native_artifact_store, quarantine_threshold
+from repro.compiler import compile_pipeline
+from repro.errors import AdmissionRejected, ReproError
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.multigrid.kernels import norm_residual
+from repro.multigrid.reference import MultigridOptions
+from repro.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantPolicy,
+)
+from repro.variants import LADDER_ORDER, polymg_native
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+NATIVE_RUNG = LADDER_ORDER[0]
+OPTS = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+# the overhead gate is defined over a realistic medium workload: the
+# same V(4,4)/4-level cycle the service bench drives, where the fixed
+# per-job round-trip (pipe + two context switches) amortizes over real
+# kernel time instead of dominating a toy cycle
+OVERHEAD_OPTS = MultigridOptions(
+    cycle="V", n1=4, n2=4, n3=4, levels=4, omega=0.8
+)
+TILES = {2: (8, 16)}
+OVERHEAD_GATE = 1.30
+CHAOS_KINDS = ("segfault", "abort", "spin")
+
+
+def _pipe(n, opts=OPTS):
+    return build_poisson_cycle(2, n, opts)
+
+
+def _inputs(pipe, n, seed=20170712):
+    rng = np.random.default_rng(seed)
+    shape = (n + 2, n + 2)
+    return pipe.make_inputs(
+        rng.standard_normal(shape), rng.standard_normal(shape)
+    )
+
+
+def _compile_native(pipe, **overrides):
+    cfg = polymg_native(
+        tile_sizes=dict(TILES), num_threads=1, **overrides
+    )
+    return compile_pipeline(
+        pipe.output, pipe.params, cfg, name=pipe.name, cache=False
+    )
+
+
+# ---------------------------------------------------------------------------
+# overhead: sandboxed vs in-process p50 per cycle
+# ---------------------------------------------------------------------------
+
+
+def _time_executes(compiled, pipe, inputs, reps):
+    times = []
+    for _ in range(2):  # warm: JIT join, worker spawn, shm growth
+        compiled.execute(dict(inputs))
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        compiled.execute(dict(inputs))
+        times.append(time.perf_counter() - t0)
+    return float(np.percentile(np.asarray(times), 50))
+
+
+def overhead_scenario(small: bool) -> dict:
+    n = 64  # the gate is defined over medium grids; --small cuts reps
+    reps = 10 if small else 30
+    pipe = _pipe(n, OVERHEAD_OPTS)
+    inputs = _inputs(pipe, n)
+
+    inproc = _compile_native(pipe, native_isolation="none")
+    if inproc.ensure_native() is None:
+        return {"scenario": "overhead", "skipped": "native build failed"}
+    sandboxed = _compile_native(pipe, native_isolation="sandbox")
+    if sandboxed.ensure_native() is None:
+        return {"scenario": "overhead", "skipped": "sandbox build failed"}
+
+    p50_in = _time_executes(inproc, pipe, inputs, reps)
+    p50_sb = _time_executes(sandboxed, pipe, inputs, reps)
+    ratio = p50_sb / p50_in if p50_in > 0 else float("inf")
+    return {
+        "scenario": "overhead",
+        "grid": f"2d-{n}",
+        "reps": reps,
+        "inprocess_p50_s": round(p50_in, 6),
+        "sandboxed_p50_s": round(p50_sb, 6),
+        "ratio": round(ratio, 3),
+        "gate": OVERHEAD_GATE,
+        "sandbox": sandbox_state(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# chaos: service soak with ~5% poisoned-artifact requests
+# ---------------------------------------------------------------------------
+
+
+def _verify_completed(tickets) -> int:
+    """Re-verify every completed solve from scratch; returns the count
+    of *incorrect* results (must be zero)."""
+    bad = 0
+    for ticket in tickets:
+        if ticket.error is not None or not ticket.done():
+            continue
+        result = ticket.result(timeout=0)
+        request = ticket.request
+        h = 1.0 / (request.N + 1)
+        check = norm_residual(result.u, request.f, h)
+        reported = result.residual_norms[-1]
+        if not np.isfinite(check) or abs(check - reported) > 1e-8 * max(
+            1.0, reported
+        ):
+            bad += 1
+    return bad
+
+
+def _accounting(service, submitted, refused) -> dict:
+    resolved = service.completed + service.failed + service.shed
+    return {
+        "submitted": submitted,
+        "typed_refusals": refused,
+        "completed": service.completed,
+        "failed": service.failed,
+        "shed": service.shed,
+        "preempted": service.preempted,
+        "lost": submitted - resolved - refused,
+    }
+
+
+def chaos_scenario(rng, small: bool, sink=None) -> dict:
+    count = 60 if small else 160
+    n = 32
+    # ~5% of requests pinned to a poisoned artifact, kinds rotating
+    schedule = {
+        f"chaos-{i}": CHAOS_KINDS[j % len(CHAOS_KINDS)]
+        for j, i in enumerate(range(8, count, 20))
+    }
+
+    def fault_hook(supervisor, request):
+        kind = schedule.get(request.request_id)
+        if kind is None:
+            return
+        supervisor.resilient.config_overrides["native_fault"] = kind
+        try:
+            # join the poisoned JIT build so the crash is armed before
+            # the solve starts (instead of racing the background build)
+            compiled = supervisor.resilient.compiled_for(NATIVE_RUNG)
+            compiled.ensure_native()
+        except (ReproError, ValueError, KeyError):
+            pass  # demoted/quarantined right now: fine, it's chaos
+
+    service = SolveService(
+        ServiceConfig(
+            workers=2,
+            queue_capacity=count,
+            incident_capacity=1024,
+            config_overrides={
+                "tile_sizes": dict(TILES), "num_threads": 1
+            },
+            default_tenant_policy=TenantPolicy(
+                rate=None, max_concurrent=count
+            ),
+            fault_hook=fault_hook,
+        )
+    )
+    pid_before = os.getpid()
+    tickets = []
+    refused = 0
+    t0 = time.monotonic()
+    for i in range(count):
+        f = np.zeros((n + 2, n + 2))
+        f[1:-1, 1:-1] = rng.standard_normal((n, n))
+        request = SolveRequest(
+            tenant=("alpha", "beta")[i % 2],
+            ndim=2,
+            N=n,
+            f=f,
+            opts=OPTS,
+            max_cycles=4,
+            request_id=f"chaos-{i}",
+        )
+        try:
+            tickets.append(service.submit(request))
+        except AdmissionRejected:
+            refused += 1
+    for ticket in tickets:
+        ticket.wait(timeout=600)
+    elapsed = time.monotonic() - t0
+    incorrect = _verify_completed(tickets)
+    accounting = _accounting(service, count, refused)
+    health = service.healthz()
+    crash_isolated = sum(
+        1
+        for r in service.log.records
+        if r.kind == "fault" and r.action == "crash-isolated"
+    )
+    demotions = sum(
+        1 for r in service.log.records if r.kind == "demote"
+    )
+    summary = service.drain(timeout=60)
+    if sink is not None:
+        sink.append(("chaos", service.log))
+    return {
+        "scenario": "chaos",
+        "requests": count,
+        "poisoned": len(schedule),
+        "elapsed_s": round(elapsed, 3),
+        "incorrect_solves": incorrect,
+        "accounting": accounting,
+        "crash_isolated_incidents": crash_isolated,
+        "demotions": demotions,
+        "sandbox": health["sandbox"],
+        "workers_alive": health["workers"],
+        "pid_stable": os.getpid() == pid_before,
+        "drain": {"status": summary["status"]},
+    }
+
+
+# ---------------------------------------------------------------------------
+# quarantine: N crashes latch the artifact's verdict for good
+# ---------------------------------------------------------------------------
+
+
+def quarantine_scenario() -> dict:
+    n = 16  # distinct spec => distinct artifact key from the chaos run
+    threshold = quarantine_threshold()
+    pipe = _pipe(n)
+    inputs = _inputs(pipe, n)
+    crashes = 0
+    for _ in range(threshold):
+        compiled = _compile_native(
+            pipe, native_isolation="sandbox", native_fault="segfault"
+        )
+        if compiled.ensure_native() is None:
+            break  # already quarantined (or build failed): stop early
+        compiled.execute(dict(inputs))  # crash -> contained -> fallback
+        if compiled.consume_native_fault() is not None:
+            crashes += 1
+    fresh = _compile_native(
+        pipe, native_isolation="sandbox", native_fault="segfault"
+    )
+    refused = fresh.ensure_native() is None
+    pending = fresh.consume_native_fault()
+    store = native_artifact_store()
+    return {
+        "scenario": "quarantine",
+        "threshold": threshold,
+        "crashes": crashes,
+        "quarantined_keys": len(store.quarantined_keys()),
+        "rebuild_refused": refused,
+        "refusal_error": type(pending).__name__ if pending else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_PR8.json")
+    )
+    parser.add_argument(
+        "--incident-log",
+        default=None,
+        help="also dump the chaos incident trail here",
+    )
+    args = parser.parse_args(argv)
+
+    results = {"bench": "sandbox", "small": args.small}
+    out = pathlib.Path(args.out)
+    if discover_compiler() is None:
+        results["skipped"] = "no C toolchain on PATH (cc/gcc/clang)"
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out} (skipped: no toolchain)")
+        return 0
+
+    # scratch artifact store: the quarantine verdicts this bench plants
+    # must never leak into the real on-disk cache
+    scratch = tempfile.mkdtemp(prefix="bench-sandbox-")
+    os.environ["REPRO_NATIVE_CACHE_DIR"] = scratch
+    # bound injected spins: the watchdog hard-kills after 2s
+    os.environ.setdefault("REPRO_SANDBOX_TIMEOUT", "2")
+    os.environ.setdefault("REPRO_SANDBOX_WORKERS", "2")
+
+    rng = np.random.default_rng(20170712)
+    logs: list[tuple[str, object]] = []
+    try:
+        print("== overhead scenario ==")
+        results["overhead"] = overhead_scenario(args.small)
+        print(json.dumps(results["overhead"], indent=2))
+
+        print("== chaos scenario ==")
+        results["chaos"] = chaos_scenario(rng, args.small, logs)
+        print(json.dumps(results["chaos"], indent=2))
+
+        print("== quarantine scenario ==")
+        results["quarantine"] = quarantine_scenario()
+        print(json.dumps(results["quarantine"], indent=2))
+    finally:
+        reset_sandbox_pool()
+        os.environ.pop("REPRO_NATIVE_CACHE_DIR", None)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if args.incident_log:
+        records = []
+        for name, log in logs:
+            ring = log.ring_stats()
+            if ring["dropped"]:
+                records.append(
+                    {"scenario": name, "kind": "ring-stats", **ring}
+                )
+            records.extend(
+                {"scenario": name, **rec} for rec in log.to_dicts()
+            )
+        path = pathlib.Path(args.incident_log)
+        path.write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {path} ({len(records)} records)")
+
+    failures = []
+    overhead = results["overhead"]
+    if "skipped" in overhead:
+        failures.append(f"overhead: {overhead['skipped']}")
+    elif overhead["ratio"] > OVERHEAD_GATE:
+        failures.append(
+            f"overhead: sandboxed p50 {overhead['ratio']}x in-process "
+            f"(gate {OVERHEAD_GATE}x)"
+        )
+    chaos = results["chaos"]
+    if chaos["drain"]["status"] != "drained":
+        failures.append("chaos: drain did not complete")
+    if not chaos["pid_stable"]:
+        failures.append("chaos: service process died")
+    if chaos["accounting"]["lost"] != 0:
+        failures.append("chaos: lost requests")
+    if chaos["incorrect_solves"] != 0:
+        failures.append("chaos: incorrect solves")
+    if chaos["crash_isolated_incidents"] < 1:
+        failures.append("chaos: no crash-isolated incidents")
+    if chaos["demotions"] < 1:
+        failures.append("chaos: no breaker demotions")
+    quarantine = results["quarantine"]
+    if quarantine["quarantined_keys"] < 1:
+        failures.append("quarantine: verdict never latched")
+    if not quarantine["rebuild_refused"]:
+        failures.append("quarantine: artifact reloaded after verdict")
+
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("sandbox bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,10 @@ is exactly the duplication PR 7 removed — this check keeps it from
 growing back.
 
 Flagged: any comparison (``==``, ``!=``, ``in``, ``not in``) whose
-operand is one of the literal tier names, anywhere under ``src/`` or
-``benchmarks/`` except the registry itself.  Non-comparison uses
-(labels, keyword defaults, docstrings, registration) stay legal.
+operand is one of the literal tier names, anywhere under ``src/``,
+``benchmarks/``, or ``tests/`` except the registry itself.
+Non-comparison uses (labels, keyword defaults, docstrings,
+registration) stay legal.
 
 Run from the repository root::
 
@@ -26,7 +27,7 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-SCAN_DIRS = ("src", "benchmarks")
+SCAN_DIRS = ("src", "benchmarks", "tests")
 EXEMPT = {REPO_ROOT / "src" / "repro" / "backend" / "registry.py"}
 TIER_NAMES = frozenset({"native", "planned", "interpreted", "batched"})
 

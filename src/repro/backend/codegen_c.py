@@ -793,6 +793,32 @@ class _Emitter:
         return max(1, stage.ndim - 1)
 
     # -- native ABI entry point ---------------------------------------------
+    def _emit_injected_fault(self) -> None:
+        """Test-only crash injection (``PolyMgConfig.native_fault``):
+        emit a deliberate fault into the entry point *after* descriptor
+        validation and *before* the pipeline call, so the artifact
+        compiles, loads, and validates like a healthy one — then takes
+        the process down on invocation.  This is how the sandbox's
+        crash/hang/abort classification is exercised against real
+        native faults instead of simulated ones."""
+        fault = getattr(self.compiled.config, "native_fault", None)
+        if fault is None:
+            return
+        self.emit(f"/* injected fault ({fault}): test-only */")
+        if fault == "segfault":
+            # write through a near-null address via a volatile pointer:
+            # a literal NULL store can be folded into a trap instruction
+            # (SIGILL) by the optimizer, this stays a plain wild store
+            self.emit(
+                "volatile double *pmg_bad = "
+                "(volatile double *)(intptr_t) 8;"
+            )
+            self.emit("*pmg_bad = 1.0;")
+        elif fault == "spin":
+            self.emit("for (volatile int pmg_spin = 1; pmg_spin; ) {}")
+        elif fault == "abort":
+            self.emit("abort();")
+
     def emit_native_entry(self) -> None:
         """Emit the exported C ABI: a descriptor-validating entry point
         plus pool introspection hooks."""
@@ -887,6 +913,7 @@ static int pmg_check_buffer(const pmg_buffer *b, const int64_t *shape,
         self.emit("#else")
         self.emit("(void) nthreads;")
         self.emit("#endif")
+        self._emit_injected_fault()
         args = (
             [f"(int) params[{i}]" for i in range(len(param_names))]
             + [f"inputs[{k}].data" for k in range(len(dag.inputs))]

@@ -54,14 +54,44 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ExecutionStats", "CompiledPipeline"]
 
 
-def _tier_field(tier_name: str, attr: str):
+#: once-per-process latch for the flat-counter deprecation notice (one
+#: warning total, not one per attribute — the fix is the same either
+#: way: read ``stats.tier(<name>)`` instead)
+_FLAT_COUNTER_WARNED = False
+
+
+def _warn_flat_counter(attr: str) -> None:
+    global _FLAT_COUNTER_WARNED
+    if _FLAT_COUNTER_WARNED:
+        return
+    _FLAT_COUNTER_WARNED = True
+    import warnings
+
+    warnings.warn(
+        f"ExecutionStats.{attr} is deprecated; read the per-tier "
+        "record via ExecutionStats.tier(<tier name>) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_flat_counter_warning() -> None:
+    """Re-arm the once-per-process latch (test hook)."""
+    global _FLAT_COUNTER_WARNED
+    _FLAT_COUNTER_WARNED = False
+
+
+def _tier_field(tier_name: str, attr: str, flat_name: str | None = None):
     """Deprecated flat counter reading/writing through the per-tier
     :class:`~repro.backend.registry.BackendStats` record."""
+    deprecated = flat_name if flat_name is not None else attr
 
     def fget(self):
+        _warn_flat_counter(deprecated)
         return getattr(self.tier(tier_name), attr)
 
     def fset(self, value):
+        _warn_flat_counter(deprecated)
         setattr(self.tier(tier_name), attr, value)
 
     return property(fget, fset)
@@ -110,17 +140,27 @@ class ExecutionStats:
     #: wall time spent building the ahead-of-time kernel plan
     plan_time_s = _tier_field(PLANNED.name, "plan_time_s")
     #: times a kernel plan was inherited from a compile-cache clone
-    kernel_cache_hits = _tier_field(PLANNED.name, "cache_hits")
+    kernel_cache_hits = _tier_field(
+        PLANNED.name, "cache_hits", "kernel_cache_hits"
+    )
     #: wall time the native backend spent in the out-of-process C
     #: compile (0.0 on artifact-store hits)
-    native_compile_time_s = _tier_field(NATIVE.name, "compile_time_s")
+    native_compile_time_s = _tier_field(
+        NATIVE.name, "compile_time_s", "native_compile_time_s"
+    )
     #: times a native shared object was served without compiling
-    native_cache_hits = _tier_field(NATIVE.name, "cache_hits")
+    native_cache_hits = _tier_field(
+        NATIVE.name, "cache_hits", "native_cache_hits"
+    )
     #: executes that ran through the native shared object
-    native_executions = _tier_field(NATIVE.name, "executions")
+    native_executions = _tier_field(
+        NATIVE.name, "executions", "native_executions"
+    )
     #: executes that wanted the native backend but degraded to the
     #: planned numpy path
-    native_fallbacks = _tier_field(NATIVE.name, "fallbacks")
+    native_fallbacks = _tier_field(
+        NATIVE.name, "fallbacks", "native_fallbacks"
+    )
 
 
 class CompiledPipeline:
@@ -167,6 +207,11 @@ class CompiledPipeline:
         self._native_accounted = False
         self._native_disabled: str | None = None
         self._native_incident_logged = False
+        # the last crash-class native fault (sandbox kill/quarantine),
+        # held for the resilience layer to consume: the fallback output
+        # is correct, but the rung's circuit breaker must still hear
+        # about the crash
+        self._native_fault_pending = None
         # persistent worker pool + per-thread workspaces
         self._pool: ThreadPoolExecutor | None = None
         self._tls = threading.local()
@@ -327,6 +372,17 @@ class CompiledPipeline:
         """Latch the native path off and log one structured incident —
         the fallback must be visible, never a silent downgrade."""
         self._native_disabled = f"{action}: {error}"
+        from ..errors import (
+            NativeCrashError,
+            NativeHangError,
+            NativeQuarantinedError,
+        )
+
+        if isinstance(
+            error,
+            (NativeCrashError, NativeHangError, NativeQuarantinedError),
+        ):
+            self._native_fault_pending = error
         if not self._native_incident_logged:
             self._native_incident_logged = True
             FallbackPolicy().fault(
@@ -337,6 +393,18 @@ class CompiledPipeline:
                 fallback=TIERS.fallback_for(NATIVE).name,
                 pipeline=self.dag.name,
             )
+
+    def consume_native_fault(self):
+        """Pop the pending crash-class native fault (or ``None``).
+
+        The sandbox turns a kernel crash into a correct fallback-served
+        execute, so the resilience layer's attempt *succeeds* — this
+        hook lets it still demote the rung's circuit breaker for the
+        crash that happened along the way."""
+        fault, self._native_fault_pending = (
+            self._native_fault_pending, None,
+        )
+        return fault
 
     def _native_runner_for_execute(self):
         """The runner to use for this execute, or ``None`` (fall back
@@ -425,6 +493,11 @@ class CompiledPipeline:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self._native_handle is not None:
+            # bounded: the build thread is a daemon, so an unfinished
+            # compile cannot block shutdown — but give a finished one a
+            # moment to land so its outcome is not silently dropped
+            self._native_handle.join(timeout=0.5)
         self._tls = threading.local()
         with self._temp_lock:
             self._temp_bytes = 0

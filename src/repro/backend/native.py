@@ -50,6 +50,7 @@ from ..errors import (
     NativeBackendError,
     NativeCompileError,
     NativeLoweringError,
+    NativeQuarantinedError,
     NativeToolchainError,
 )
 from .codegen_c import NATIVE_ENTRY_NAME, generate_native_c
@@ -68,6 +69,7 @@ __all__ = [
     "NativeBuildHandle",
     "build_native_runner",
     "start_native_build",
+    "native_isolation_mode",
 ]
 
 #: default out-of-process compile flags (overridable per config)
@@ -457,6 +459,18 @@ class NativeRunner:
 # ---------------------------------------------------------------------------
 
 
+def native_isolation_mode(config) -> str:
+    """The effective isolation mode for native invocations:
+    ``REPRO_NATIVE_ISOLATION`` wins when set (and names a known mode),
+    otherwise :attr:`~repro.config.PolyMgConfig.native_isolation`."""
+    from ..config import ISOLATION_MODES
+
+    env = os.environ.get("REPRO_NATIVE_ISOLATION")
+    if env in ISOLATION_MODES:
+        return env
+    return getattr(config, "native_isolation", "none")
+
+
 def build_native_runner(
     compiled: "CompiledPipeline", timeout: float | None = None
 ) -> tuple[NativeRunner, dict]:
@@ -464,6 +478,14 @@ def build_native_runner(
     wrap one pipeline.  Returns ``(runner, info)`` where ``info``
     records provenance (``cache_hit``, ``artifact``, ``cc``).  Raises
     a typed :class:`~repro.errors.NativeBackendError` on any failure.
+
+    Under ``native_isolation="sandbox"`` the artifact is *never*
+    dlopened here: the returned runner routes every invocation through
+    the out-of-process executor pool (:mod:`repro.backend.sandbox`),
+    and a content hash the store has quarantined (crashed too many
+    times, see :meth:`~repro.cache.NativeArtifactStore.record_crash`)
+    is refused before compile or load with
+    :class:`~repro.errors.NativeQuarantinedError`.
     """
     reason = unlowerable_reason(compiled)
     if reason is not None:
@@ -484,6 +506,13 @@ def build_native_runner(
     ident = compiler_ident(cc)
     key = native_artifact_key(source, cflags, ident)
     store = native_artifact_store()
+    if store.is_quarantined(key):
+        raise NativeQuarantinedError(
+            "artifact is quarantined after repeated crashes; "
+            "refusing to reload it",
+            pipeline=compiled.dag.name,
+            artifact_key=key,
+        )
     so_path = store.get(key)
     cache_hit = so_path is not None
     if so_path is None:
@@ -491,14 +520,22 @@ def build_native_runner(
             cc, cflags, source, key,
             timeout if timeout is not None else _compile_timeout(),
         )
-    module = _load_module(so_path)
-    runner = NativeRunner(module, compiled)
+    isolation = native_isolation_mode(compiled.config)
+    if isolation == "sandbox":
+        from .sandbox import SandboxRunner
+
+        runner: NativeRunner = SandboxRunner(
+            compiled, str(so_path), key
+        )
+    else:
+        runner = NativeRunner(_load_module(so_path), compiled)
     info = {
         "cache_hit": cache_hit,
         "artifact": str(so_path),
         "key": key,
         "cc": cc,
         "cflags": list(cflags),
+        "isolation": isolation,
     }
     return runner, info
 
@@ -518,6 +555,11 @@ class NativeBuildHandle:
         self.error: NativeBackendError | None = None
         self.info: dict = {}
         self.compile_time_s: float = 0.0
+        #: the background build thread (``None`` for inline builds) —
+        #: always a *daemon* so a compile outliving the process can
+        #: never block interpreter shutdown; retained here so
+        #: ``CompiledPipeline.close()`` can :meth:`join` it bounded
+        self.thread: threading.Thread | None = None
 
     @property
     def state(self) -> str:
@@ -527,6 +569,15 @@ class NativeBuildHandle:
 
     def wait(self, timeout: float | None = None) -> bool:
         return self._done.wait(timeout)
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Join the background build thread (bounded); returns whether
+        the thread is no longer running.  A no-op for inline builds."""
+        thread = self.thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
 
     def ready_runner(self) -> NativeRunner | None:
         if self._done.is_set():
@@ -577,6 +628,7 @@ def start_native_build(
         thread = threading.Thread(
             target=build, name="polymg-native-build", daemon=True
         )
+        handle.thread = thread
         thread.start()
     else:
         build()

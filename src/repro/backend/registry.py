@@ -301,6 +301,10 @@ class Backend:
     plans_kernels = True
     #: runs an out-of-process toolchain build (native JIT only)
     jit_build = False
+    #: can confine a crashing/hanging kernel to a disposable worker
+    #: process (``native_isolation="sandbox"``) instead of risking the
+    #: host — only the native tier runs untrusted machine-generated code
+    crash_isolated = False
 
     # -- planning / readiness -------------------------------------------
     def plan(self, compiled: "CompiledPipeline", config=None) -> ExecutionPlan:
@@ -409,6 +413,7 @@ class NativeBackend(Backend):
     name = "native"
     rungs = ("polymg-native",)
     jit_build = True
+    crash_isolated = True
     lowerable_constructs = _ALL_CONSTRUCTS - {"diamond", "float32"}
 
     def plan(self, compiled, config=None) -> ExecutionPlan:
@@ -431,8 +436,17 @@ class NativeBackend(Backend):
                     runner, input_arrays
                 )
             except NativeBackendError as exc:
+                from ..errors import NativeCrashError, NativeHangError
+
                 stats.fallbacks += 1
-                compiled._disable_native("runtime-rejected", exc)
+                action = (
+                    "crash-isolated"
+                    if isinstance(
+                        exc, (NativeCrashError, NativeHangError)
+                    )
+                    else "runtime-rejected"
+                )
+                compiled._disable_native(action, exc)
             else:
                 if (
                     runner.verified

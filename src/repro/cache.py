@@ -86,6 +86,7 @@ __all__ = [
     "NativeArtifactStats",
     "NativeArtifactStore",
     "native_artifact_store",
+    "quarantine_threshold",
 ]
 
 
@@ -336,6 +337,9 @@ class NativeArtifactStats:
     #: artifacts whose on-disk bytes no longer matched their SHA-256
     #: sidecar (deleted, reported as a miss, recompiled)
     corrupt_rejections: int = 0
+    #: lookups refused because the key's verdict sidecar marks it
+    #: quarantined (crashed too many times; never reloaded)
+    quarantined_rejections: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -344,6 +348,7 @@ class NativeArtifactStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "corrupt_rejections": self.corrupt_rejections,
+            "quarantined_rejections": self.quarantined_rejections,
         }
 
 
@@ -410,10 +415,26 @@ class NativeArtifactStore:
     def _meta_path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _verdict_path(self, key: str) -> Path:
+        # ``<key>.verdict.json`` — stem is ``<key>.verdict``, so LRU
+        # eviction (which unlinks ``<key>.so`` + ``<key>.json``) leaves
+        # the verdict behind: quarantine outlives the artifact bytes.
+        return self.root / f"{key}.verdict.json"
+
+    def _read_verdict(self, key: str) -> dict:
+        try:
+            verdict = json.loads(self._verdict_path(key).read_text())
+        except (OSError, ValueError):
+            return {}
+        return verdict if isinstance(verdict, dict) else {}
+
     def get(self, key: str) -> Path | None:
         """Return the artifact path for ``key``, or ``None`` on miss or
         on a corrupt artifact (which is deleted)."""
         with self._lock, self._flock():
+            if self._read_verdict(key).get("quarantined"):
+                self.stats.quarantined_rejections += 1
+                return None
             so = self._so_path(key)
             meta = self._meta_path(key)
             if not so.is_file() or not meta.is_file():
@@ -483,6 +504,50 @@ class NativeArtifactStore:
             total -= size
             self.stats.evictions += 1
 
+    # -- artifact quarantine --------------------------------------------
+    def record_crash(self, key: str, kind: str) -> bool:
+        """Record one crash/hang against ``key``'s verdict sidecar and
+        return whether the key is now quarantined.
+
+        The sidecar (``<key>.verdict.json``) is the durable half of the
+        sandbox's crash handling: once ``crashes`` reaches
+        :func:`quarantine_threshold`, the verdict flips to
+        ``quarantined`` and :meth:`get` refuses the key forever — in
+        this process and in every future one — even after the ``.so``
+        itself is evicted.  Written atomically under the store's flock
+        so concurrent sandbox pools merge their counts instead of
+        clobbering each other."""
+        with self._lock, self._flock():
+            self.root.mkdir(parents=True, exist_ok=True)
+            verdict = self._read_verdict(key)
+            verdict["crashes"] = int(verdict.get("crashes", 0)) + 1
+            kinds = verdict.setdefault("kinds", [])
+            if isinstance(kinds, list):
+                kinds.append(kind)
+            verdict["quarantined"] = bool(
+                verdict.get("quarantined")
+            ) or verdict["crashes"] >= quarantine_threshold()
+            tmp = self.root / f".{key}.verdict.tmp.{os.getpid()}"
+            tmp.write_text(json.dumps(verdict, indent=2) + "\n")
+            os.replace(tmp, self._verdict_path(key))
+            return bool(verdict["quarantined"])
+
+    def is_quarantined(self, key: str) -> bool:
+        with self._lock, self._flock():
+            return bool(self._read_verdict(key).get("quarantined"))
+
+    def quarantined_keys(self) -> list[str]:
+        """Keys currently blacklisted on disk (for health reporting)."""
+        with self._lock, self._flock():
+            if not self.root.is_dir():
+                return []
+            keys = []
+            for p in self.root.glob("*.verdict.json"):
+                key = p.name[: -len(".verdict.json")]
+                if self._read_verdict(key).get("quarantined"):
+                    keys.append(key)
+            return sorted(keys)
+
     def clear(self) -> None:
         with self._lock, self._flock():
             if not self.root.is_dir():
@@ -494,6 +559,16 @@ class NativeArtifactStore:
                     p.unlink()
                 except OSError:
                     pass
+
+
+def quarantine_threshold() -> int:
+    """Crash count at which an artifact key is quarantined for good
+    (``REPRO_NATIVE_QUARANTINE_AFTER``, default 3, minimum 1)."""
+    try:
+        value = int(os.environ.get("REPRO_NATIVE_QUARANTINE_AFTER", "3"))
+    except ValueError:
+        return 3
+    return max(1, value)
 
 
 def _native_store_root() -> Path:

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
-__all__ = ["PolyMgConfig", "DEFAULT_TILE_SIZES", "VERIFY_LEVELS", "BACKENDS"]
+__all__ = [
+    "PolyMgConfig",
+    "DEFAULT_TILE_SIZES",
+    "VERIFY_LEVELS",
+    "BACKENDS",
+    "ISOLATION_MODES",
+    "NATIVE_FAULTS",
+]
 
 
 def __getattr__(name: str):
@@ -30,6 +37,14 @@ def __getattr__(name: str):
 #: ``full`` — additionally prove tile coverage of every live-out by
 #: exact region enumeration.
 VERIFY_LEVELS = ("off", "cheap", "full")
+
+#: Native-tier invocation isolation (see :mod:`repro.backend.sandbox`):
+#: ``none`` — in-process ctypes call; ``sandbox`` — persistent
+#: out-of-process executor pool with a heartbeat watchdog.
+ISOLATION_MODES = ("none", "sandbox")
+
+#: Test-only native crash injection values (``None`` = disabled).
+NATIVE_FAULTS = (None, "segfault", "spin", "abort")
 
 # Paper section 3.2.4 default mid-range tile sizes: 2-D outermost 8:64,
 # innermost 64:512; 3-D two outermost 8:32, innermost 64:256.
@@ -127,6 +142,21 @@ class PolyMgConfig:
         ``-O3 -march=native -fopenmp -fPIC -shared``).  ``None`` keeps
         the defaults.  Part of the compile fingerprint and the on-disk
         artifact key.
+    native_isolation:
+        How the native tier invokes a compiled shared object:
+        ``"none"`` (default) loads it in-process via ``ctypes``;
+        ``"sandbox"`` runs it in a persistent out-of-process executor
+        pool (:mod:`repro.backend.sandbox`) over shared memory, so a
+        crashing or hanging kernel cannot take the host process down.
+        The solve service defaults to ``"sandbox"``; the
+        ``REPRO_NATIVE_ISOLATION`` environment variable overrides both.
+    native_fault:
+        Test-only crash injection: compile a deliberate fault into the
+        emitted native entry point — ``"segfault"`` (wild store),
+        ``"spin"`` (infinite loop), or ``"abort"`` — so the sandbox's
+        crash/hang/abort handling can be exercised with real native
+        faults.  ``None`` (default) emits nothing.  Part of the
+        fingerprint, so a faulted artifact never shadows a healthy one.
     """
 
     fuse: bool = True
@@ -151,6 +181,8 @@ class PolyMgConfig:
     runtime_guards: bool = False
     backend: str = "planned"
     native_cflags: tuple[str, ...] | None = None
+    native_isolation: str = "none"
+    native_fault: str | None = None
 
     def __post_init__(self) -> None:
         if self.verify_level not in VERIFY_LEVELS:
@@ -175,6 +207,20 @@ class PolyMgConfig:
             # keep the frozen dataclass hashable/fingerprintable
             object.__setattr__(
                 self, "native_cflags", tuple(self.native_cflags)
+            )
+        if self.native_isolation not in ISOLATION_MODES:
+            from .errors import CompileError
+
+            raise CompileError(
+                f"unknown native_isolation {self.native_isolation!r}",
+                expected=ISOLATION_MODES,
+            )
+        if self.native_fault not in NATIVE_FAULTS:
+            from .errors import CompileError
+
+            raise CompileError(
+                f"unknown native_fault {self.native_fault!r}",
+                expected=NATIVE_FAULTS,
             )
 
     def tile_shape(self, ndim: int) -> tuple[int, ...]:

@@ -36,9 +36,16 @@ no debugger required.  The hierarchy:
     out), ``NativeABIError`` (the loaded shared object rejected the
     buffers handed across the ctypes boundary), and
     ``NativeVerificationError`` (the ``verify_level=full`` one-cycle
-    cross-check against the numpy backend diverged).  All of these are
-    recoverable: the executor logs an incident and falls back to the
-    planned numpy backend.
+    cross-check against the numpy backend diverged).  The sandboxed
+    out-of-process executor (:mod:`repro.backend.sandbox`) adds the
+    crash classes — ``NativeCrashError`` (the worker died on a signal
+    or unexpected exit), ``NativeHangError`` (the watchdog hard-killed
+    a worker that missed its deadline or stopped heartbeating), and
+    ``NativeAbortError`` (the kernel called ``abort()``) — plus
+    ``NativeQuarantinedError`` (the artifact's content hash is
+    blacklisted on disk after repeated crashes and is never reloaded).
+    All of these are recoverable: the executor logs an incident and
+    falls back to the planned numpy backend.
 ``ServiceError``
     the multi-tenant solve service (:mod:`repro.service`) refused or
     interrupted a request — *by design, loudly, and typed*: the
@@ -85,6 +92,10 @@ __all__ = [
     "NativeCompileError",
     "NativeABIError",
     "NativeVerificationError",
+    "NativeCrashError",
+    "NativeHangError",
+    "NativeAbortError",
+    "NativeQuarantinedError",
     "ServiceError",
     "AdmissionRejected",
     "QueueSaturated",
@@ -228,6 +239,31 @@ class NativeABIError(NativeBackendError, ValueError):
 class NativeVerificationError(NativeBackendError):
     """The ``verify_level=full`` one-cycle cross-check between the
     native and numpy backends diverged beyond tolerance."""
+
+
+class NativeCrashError(NativeBackendError):
+    """A sandboxed executor worker died while running a native kernel
+    (fatal signal or unexpected exit code).  Context carries the
+    ``exitcode``/``signal`` and the artifact key so the store can
+    quarantine a repeat offender."""
+
+
+class NativeHangError(NativeBackendError):
+    """The sandbox watchdog hard-killed a worker: either the job missed
+    its absolute deadline or the worker's heartbeat went stale while a
+    native call held the process."""
+
+
+class NativeAbortError(NativeCrashError):
+    """The native kernel terminated the worker via ``abort()``
+    (``SIGABRT``) — distinguished from a plain crash because it usually
+    marks a deliberate runtime assertion inside the generated C."""
+
+
+class NativeQuarantinedError(NativeBackendError):
+    """The artifact's content hash is quarantined on disk (its verdict
+    sidecar records repeated crashes), so the store refuses to hand the
+    shared object to any process again."""
 
 
 # ---------------------------------------------------------------------------

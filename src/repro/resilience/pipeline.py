@@ -237,6 +237,24 @@ class ResilientPipeline:
             self._trim_pool(name)
             return name, None, error
 
+        # the sandbox converts a native kernel crash into a *successful*
+        # fallback-served execute — correct output, but the rung's
+        # breaker must still hear about the crash so repeat offenders
+        # demote instead of crashing a worker per invocation
+        native_fault = getattr(
+            compiled, "consume_native_fault", lambda: None
+        )()
+        if native_fault is not None:
+            self.policy.fault(
+                native_fault,
+                variant=name,
+                invocation=self.invocations,
+                action="crash-isolated",
+                report=self._report_of(name),
+            )
+            self._trim_pool(name)
+            return name, out, None
+
         self.ladder.record_success(name)
         return name, out, None
 

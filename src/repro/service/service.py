@@ -173,6 +173,13 @@ class ServiceConfig:
     #: before each solve attempt — the soak harness injects the PR-1
     #: fault injectors through this
     fault_hook: Callable | None = None
+    #: how the native tier invokes compiled kernels while serving:
+    #: ``"sandbox"`` (default — a crashing machine-generated kernel
+    #: kills a disposable executor subprocess, never the service) or
+    #: ``"none"`` (in-process ctypes, the library default).  Applied as
+    #: a config override on every rung; ``REPRO_NATIVE_ISOLATION``
+    #: still overrides both.
+    native_isolation: str = "sandbox"
 
 
 @dataclass
@@ -198,6 +205,11 @@ class SolveService:
     ) -> None:
         self.config = config or ServiceConfig()
         cfg = self.config
+        # serving default: native kernels run sandboxed unless the
+        # caller explicitly overrode the knob per-rung
+        cfg.config_overrides.setdefault(
+            "native_isolation", cfg.native_isolation
+        )
         self.clock = clock
         self.log = IncidentLog(capacity=cfg.incident_capacity)
         self.ladder = (
@@ -288,7 +300,10 @@ class SolveService:
         self.log.record(
             "worker-kill",
             action="requested",
-            details={"worker": idx},
+            details={
+                "worker": idx,
+                "sandbox": self._sandbox_state(),
+            },
         )
         return idx
 
@@ -834,9 +849,19 @@ class SolveService:
             "budget": self.budget.snapshot(),
             "breakers": self.ladder.snapshot(),
             "tiers": TIERS.tier_health(self.ladder),
+            "sandbox": self._sandbox_state(),
             "tenants": self.admission.tenant_usage(),
             "incidents": self.log.ring_stats(),
         }
+
+    @staticmethod
+    def _sandbox_state() -> dict:
+        """Native-sandbox pool state (``enabled=False`` until a native
+        execute has actually spun the pool up — reporting must not pay
+        worker spawns)."""
+        from ..backend.sandbox import sandbox_state
+
+        return sandbox_state()
 
     # -- drain / recovery ------------------------------------------------
     def drain(self, timeout: float = 30.0) -> dict:

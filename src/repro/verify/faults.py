@@ -27,6 +27,18 @@ scheduling transformations):
                      (models a single-event upset; the scenario the
                      degradation ladder's demote -> probe -> re-promote
                      path must survive end to end).
+
+A second family targets the *native* tier: the ``native-*`` injectors
+do not mutate a compiled pipeline — they transform a
+:class:`~repro.config.PolyMgConfig` so the C emitter compiles a real
+fault (wild store, infinite loop, ``abort()``) into the shared
+object's entry point (see
+``repro.backend.codegen_c._Emitter._emit_injected_fault``).  The
+faulted artifact loads and validates like a healthy one, then takes
+its process down on invocation — exactly the failure class the
+sandbox (:mod:`repro.backend.sandbox`) exists to contain.  Because
+``native_fault`` is part of the config fingerprint, a faulted
+artifact's content hash never collides with the healthy build.
 """
 
 from __future__ import annotations
@@ -50,7 +62,11 @@ __all__ = [
     "inject_group_reorder",
     "inject_nan_poison",
     "inject_transient_nan_poison",
+    "inject_native_segfault",
+    "inject_native_spin",
+    "inject_native_abort",
     "FAULT_INJECTORS",
+    "NATIVE_FAULT_INJECTORS",
 ]
 
 
@@ -235,9 +251,45 @@ def inject_transient_nan_poison(
     )
 
 
+def _inject_native_fault(config, fault: str):
+    new_config = config.with_(native_fault=fault)
+    return new_config, FaultRecord(
+        f"native-{fault}", {"native_fault": fault}
+    )
+
+
+def inject_native_segfault(config):
+    """Emit a wild store into the native entry point: the kernel
+    SIGSEGVs on its first invocation.  Returns ``(config, record)`` —
+    compile with the returned config to build the crashing artifact."""
+    return _inject_native_fault(config, "segfault")
+
+
+def inject_native_spin(config):
+    """Emit an infinite loop into the native entry point: the kernel
+    never returns and only the sandbox watchdog can reclaim the
+    worker.  Returns ``(config, record)``."""
+    return _inject_native_fault(config, "spin")
+
+
+def inject_native_abort(config):
+    """Emit ``abort()`` into the native entry point: the kernel kills
+    its process with ``SIGABRT``.  Returns ``(config, record)``."""
+    return _inject_native_fault(config, "abort")
+
+
 FAULT_INJECTORS = {
     "slot-swap": inject_slot_swap,
     "ghost-shrink": inject_ghost_shrink,
     "group-reorder": inject_group_reorder,
     "nan-poison": inject_nan_poison,
+}
+
+#: config-transforming native crash injectors — separate from
+#: :data:`FAULT_INJECTORS` because they take a ``PolyMgConfig`` (and
+#: return a new one) instead of mutating a compiled pipeline
+NATIVE_FAULT_INJECTORS = {
+    "native-segfault": inject_native_segfault,
+    "native-spin": inject_native_spin,
+    "native-abort": inject_native_abort,
 }

@@ -10,6 +10,7 @@ be accounted and bounded by ``temp_arena_limit``.
 import numpy as np
 import pytest
 
+from repro.backend.registry import PLANNED
 from repro.cache import compile_cache
 from repro.compiler import compile_pipeline
 from repro.config import PolyMgConfig
@@ -64,13 +65,13 @@ def test_plan_built_eagerly_and_timed():
     )
     # compile_pipeline plans eagerly, records timing on stats + report
     assert compiled._kernel_plan is not None
-    assert compiled.stats.plan_time_s > 0.0
+    assert compiled.stats.tier(PLANNED.name).plan_time_s > 0.0
     assert compiled.report.plan_time_s > 0.0
     assert compiled.report.to_dict()["plan_time_s"] > 0.0
     # plan() is idempotent: a second call neither rebuilds nor re-times
-    before = compiled.stats.plan_time_s
+    before = compiled.stats.tier(PLANNED.name).plan_time_s
     assert compiled.plan() is compiled._kernel_plan
-    assert compiled.stats.plan_time_s == before
+    assert compiled.stats.tier(PLANNED.name).plan_time_s == before
 
 
 def test_plan_invalidates_with_tile_shape_and_bindings():

@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.backend.native import discover_compiler
+from repro.backend.registry import PLANNED
 from repro.bench.report import print_execution_stats
 from repro.compiler import compile_pipeline
 from repro.multigrid.cycles import build_poisson_cycle
@@ -73,7 +74,7 @@ def _assert_visible_fallback(compiled, action: str | None = None):
         if rec["kind"] == "native-fallback"
     ]
     assert len(records) == 1, records  # latched: exactly one incident
-    assert records[0]["fallback"] == "planned"
+    assert records[0]["fallback"] == PLANNED.name
     if action is not None:
         assert records[0]["action"] == action
     assert compiled.stats.native_fallbacks >= 1

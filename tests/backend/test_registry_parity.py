@@ -26,7 +26,13 @@ import numpy as np
 import pytest
 
 from repro.backend.native import discover_compiler
-from repro.backend.registry import TIERS
+from repro.backend.registry import (
+    BATCHED,
+    INTERPRETED,
+    NATIVE,
+    PLANNED,
+    TIERS,
+)
 from repro.compiler import compile_pipeline
 from repro.multigrid.cycles import build_poisson_cycle
 from repro.multigrid.reference import MultigridOptions
@@ -64,10 +70,10 @@ def _compile(pipe, **overrides):
 
 def test_registry_orders_all_four_tiers():
     assert TIERS.names() == (
-        "native",
-        "batched",
-        "planned",
-        "interpreted",
+        NATIVE.name,
+        BATCHED.name,
+        PLANNED.name,
+        INTERPRETED.name,
     )
 
 
@@ -82,7 +88,7 @@ def test_ladder_order_is_concatenation_of_tier_rungs():
 
 def test_selectable_names_exclude_internal_tiers():
     selectable = TIERS.selectable_names()
-    assert "batched" not in selectable
+    assert BATCHED.name not in selectable
     for name in selectable:
         assert TIERS.resolve(name).config_selectable
 
@@ -95,7 +101,7 @@ def test_fallback_chain_terminates_at_interpreted():
             assert tier.name not in seen  # no cycles
             seen.add(tier.name)
             tier = TIERS.fallback_for(tier)
-        assert "interpreted" in seen or name == "interpreted"
+        assert INTERPRETED.name in seen or name == INTERPRETED.name
 
 
 def test_resolve_unknown_tier_is_a_keyerror():
@@ -105,8 +111,8 @@ def test_resolve_unknown_tier_is_a_keyerror():
 
 def test_degradation_floor_is_last_ladder_rung():
     assert TIERS.degradation_floor() == TIERS.ladder_order()[-1]
-    assert TIERS.tier_of_rung("polymg-native").name == "native"
-    assert TIERS.tier_of_rung("polymg-naive").name == "planned"
+    assert TIERS.tier_of_rung("polymg-native") is NATIVE
+    assert TIERS.tier_of_rung("polymg-naive") is PLANNED
 
 
 def test_capability_flags_partition_the_registry():
@@ -119,10 +125,10 @@ def test_capability_flags_partition_the_registry():
         )
         for name in TIERS.names()
     }
-    assert flags["interpreted"] == (False, False, False, True)
-    assert flags["planned"] == (True, False, False, False)
-    assert flags["native"] == (True, True, False, False)
-    assert flags["batched"] == (True, False, True, False)
+    assert flags[INTERPRETED.name] == (False, False, False, True)
+    assert flags[PLANNED.name] == (True, False, False, False)
+    assert flags[NATIVE.name] == (True, True, False, False)
+    assert flags[BATCHED.name] == (True, False, True, False)
 
 
 # ---------------------------------------------------------------------------
@@ -184,14 +190,18 @@ def test_execution_stats_flat_properties_read_through_tiers():
     compiled = _compile(pipe)
     compiled.execute(dict(inputs))
     stats = compiled.stats
-    assert "planned" in stats.tiers
+    assert PLANNED.name in stats.tiers
     # deprecated flat counters are views over the per-tier records
-    assert stats.kernel_cache_hits == stats.tier("planned").cache_hits
-    assert stats.plan_time_s == stats.tier("planned").plan_time_s
-    assert stats.native_executions == stats.tier("native").executions
-    assert stats.native_fallbacks == stats.tier("native").fallbacks
-    d = stats.tier("planned").to_dict()
-    assert d["tier"] == "planned" and d["executions"] >= 1
+    assert (
+        stats.kernel_cache_hits == stats.tier(PLANNED.name).cache_hits
+    )
+    assert stats.plan_time_s == stats.tier(PLANNED.name).plan_time_s
+    assert (
+        stats.native_executions == stats.tier(NATIVE.name).executions
+    )
+    assert stats.native_fallbacks == stats.tier(NATIVE.name).fallbacks
+    d = stats.tier(PLANNED.name).to_dict()
+    assert d["tier"] == PLANNED.name and d["executions"] >= 1
 
 
 def test_tier_health_sections_cover_every_tier():

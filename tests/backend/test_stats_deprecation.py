@@ -1,0 +1,66 @@
+"""Deprecated flat ``ExecutionStats`` counters.
+
+The historical flat attributes (``native_executions``,
+``kernel_cache_hits``, ...) read through to the per-tier records and
+emit one :class:`DeprecationWarning` per process — exactly one, so a
+hot loop over stats does not drown the log, and with a message that
+names the replacement.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.backend import executor as executor_mod
+from repro.backend.executor import ExecutionStats
+from repro.backend.registry import NATIVE, PLANNED
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_latch():
+    executor_mod._reset_flat_counter_warning()
+    yield
+    executor_mod._reset_flat_counter_warning()
+
+
+def test_flat_read_warns_and_reads_through():
+    stats = ExecutionStats()
+    stats.tier(NATIVE.name).executions = 7
+    with pytest.warns(
+        DeprecationWarning, match=r"native_executions is deprecated"
+    ):
+        assert stats.native_executions == 7
+
+
+def test_flat_write_warns_and_writes_through():
+    stats = ExecutionStats()
+    with pytest.warns(
+        DeprecationWarning, match=r"native_fallbacks is deprecated"
+    ):
+        stats.native_fallbacks = 3
+    assert stats.tier(NATIVE.name).fallbacks == 3
+
+
+def test_warning_fires_once_per_process():
+    stats = ExecutionStats()
+    with pytest.warns(DeprecationWarning):
+        _ = stats.native_executions
+    # every further flat access — same or different counter, read or
+    # write — is silent until the process-level latch is reset
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _ = stats.native_executions
+        _ = stats.kernel_cache_hits
+        _ = stats.native_cache_hits
+        stats.plan_time_s = 0.25
+    assert stats.tier(PLANNED.name).plan_time_s == 0.25
+
+
+def test_message_names_the_tier_replacement():
+    stats = ExecutionStats()
+    with pytest.warns(DeprecationWarning) as caught:
+        _ = stats.native_compile_time_s
+    assert len(caught) == 1
+    assert "ExecutionStats.tier" in str(caught[0].message)

@@ -1,0 +1,178 @@
+"""Drain and worker-kill while a *coalesced* batch is in flight.
+
+A batch couples several tickets to one worker, so the preemption paths
+have more to lose than the per-request ones: a drain must persist a
+checkpoint for **every** member (and release every admission slot), a
+worker kill must requeue every member with its checkpoint so the solves
+finish on the respawned worker, and in neither case may a ticket leak —
+every submitted id resolves, the in-flight map empties, and failed ids
+leave the idempotency map.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import SolvePreempted
+from repro.multigrid.reference import MultigridOptions
+from repro.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantPolicy,
+)
+
+from ..conftest import make_rhs
+
+N = 16
+OPTS = MultigridOptions(levels=3)
+BLOCKER_OPTS = MultigridOptions(levels=3, n1=2)
+# planned rungs only: batches never select a JIT rung anyway, and a
+# pinned ladder keeps the timing deterministic
+LADDER = ("polymg-opt+", "polymg-naive")
+OVERRIDES = {"tile_sizes": {2: (8, 16)}}
+
+
+def _config(tmp_path, **kw) -> ServiceConfig:
+    base = dict(
+        workers=1,
+        queue_capacity=32,
+        batch_max=4,
+        config_overrides=dict(OVERRIDES),
+        ladder_variants=LADDER,
+        checkpoint_dir=str(tmp_path / "checkpoints"),
+        default_tenant_policy=TenantPolicy(rate=None, max_concurrent=32),
+    )
+    base.update(kw)
+    return ServiceConfig(**base)
+
+
+def _request(rng, request_id, *, opts=OPTS, **kw) -> SolveRequest:
+    kw.setdefault("max_cycles", 4)
+    return SolveRequest(
+        tenant="t1",
+        ndim=2,
+        N=N,
+        f=make_rhs(rng, 2, N),
+        opts=opts,
+        request_id=request_id,
+        **kw,
+    )
+
+
+def _submit_in_flight_batch(svc, rng, member_cycles):
+    """Pin the single worker on a different spec, queue three same-spec
+    requests behind it, and wait until they run as one batch."""
+    blocker = svc.submit(
+        _request(rng, "blocker", opts=BLOCKER_OPTS, max_cycles=4)
+    )
+    members = [
+        svc.submit(
+            _request(rng, f"member-{i}", max_cycles=member_cycles,
+                     tol=None)
+        )
+        for i in range(3)
+    ]
+    blocker.result(timeout=120)
+    deadline = time.monotonic() + 60.0
+    while svc.coalesced < 3:
+        assert time.monotonic() < deadline, "batch never formed"
+        time.sleep(0.002)
+    assert svc.coalesced == 3
+    return blocker, members
+
+
+def test_drain_mid_batch_persists_every_member(rng, tmp_path):
+    svc = SolveService(_config(tmp_path))
+    blocker, members = _submit_in_flight_batch(
+        svc, rng, member_cycles=5000
+    )
+    summary = svc.drain(timeout=0.05)
+    assert summary["preempted"] == 3
+
+    for i, ticket in enumerate(members):
+        assert ticket.done()
+        with pytest.raises(SolvePreempted) as exc:
+            ticket.result(timeout=1)
+        path = exc.value.checkpoint_path
+        assert path is not None
+        assert path.endswith(f"member-{i}.ckpt.npz")
+        assert exc.value.context["cycle"] >= 0
+    ckpts = sorted(
+        p.name for p in (tmp_path / "checkpoints").glob("*.ckpt.npz")
+    )
+    assert ckpts == [f"member-{i}.ckpt.npz" for i in range(3)]
+
+    # no ticket leaks: nothing in flight, nothing queued, failed ids
+    # left the idempotency map (only the completed blocker remains),
+    # and every admission slot was handed back
+    assert svc._in_flight == {}
+    assert len(svc._queue) == 0
+    assert set(svc._tickets) == {"blocker"}
+    assert svc.admission.tenant_usage()["t1"]["in_flight"] == 0
+
+
+def test_drained_batch_members_resume_in_a_fresh_service(
+    rng, tmp_path
+):
+    first = SolveService(_config(tmp_path))
+    _submit_in_flight_batch(first, rng, member_cycles=40)
+    first.drain(timeout=0.05)
+
+    second = SolveService(_config(tmp_path))
+    try:
+        tickets = second.recover()
+        assert sorted(t.request.request_id for t in tickets) == [
+            "member-0", "member-1", "member-2",
+        ]
+        for ticket in tickets:
+            result = ticket.result(timeout=120)
+            assert result.status in ("converged", "cycle-budget")
+            # cycle numbering carried over the checkpoint: the resumed
+            # solve never exceeds one uninterrupted solve's budget
+            assert len(result.residual_norms) - 1 <= 40
+        leftovers = list(
+            (tmp_path / "checkpoints").glob("*.ckpt.npz")
+        )
+        assert leftovers == []
+    finally:
+        second.drain(timeout=10.0)
+
+
+def test_worker_kill_mid_batch_requeues_members_with_checkpoints(
+    rng, tmp_path
+):
+    svc = SolveService(_config(tmp_path))
+    try:
+        blocker, members = _submit_in_flight_batch(
+            svc, rng, member_cycles=800
+        )
+        victim = svc.kill_worker()
+        assert victim == 0
+        for ticket in members:
+            result = ticket.result(timeout=240)
+            assert result.status in ("converged", "cycle-budget")
+            assert len(result.residual_norms) - 1 <= 800
+        assert svc.completed == 4  # blocker + all three members
+
+        kinds = [r.kind for r in svc.log.records]
+        assert "worker-kill" in kinds
+        assert "worker-respawn" in kinds
+        requeued = [
+            r
+            for r in svc.log.records
+            if r.kind == "batch" and r.action == "requeued"
+        ]
+        assert len(requeued) == 3
+        for record in requeued:
+            assert record.cycle is not None  # checkpoint travelled
+
+        # no ticket leaks after recovery-by-requeue either
+        assert svc._in_flight == {}
+        assert len(svc._queue) == 0
+        for ticket in members:
+            assert ticket.done() and ticket.state == "done"
+    finally:
+        svc.drain(timeout=10.0)

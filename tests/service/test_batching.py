@@ -163,8 +163,10 @@ def test_healthz_reports_per_tier_health():
     with _service(batch_max=4) as svc:
         svc.submit(_request(1)).result(timeout=60)
         healthz = svc.healthz()
+    from repro.backend.registry import TIERS
+
     tiers = healthz["tiers"]
-    assert set(tiers) == {"native", "batched", "planned", "interpreted"}
+    assert set(tiers) == set(TIERS.names())
     for section in tiers.values():
         assert {"breaker", "executions", "rungs"} <= set(section)
 

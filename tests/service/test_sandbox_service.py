@@ -1,0 +1,75 @@
+"""Service-level sandbox wiring: config default, health, kill details.
+
+Serving untrusted-adjacent JIT artifacts in-process is exactly the
+failure mode the sandbox exists for, so the *service* defaults to
+``native_isolation="sandbox"`` (batch/CLI use keeps the library
+default of ``"none"``), reports pool state in ``healthz()``, and tags
+its worker-kill incidents with the same snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.sandbox import reset_sandbox_pool
+from repro.config import PolyMgConfig
+from repro.service import ServiceConfig, SolveService
+from repro.service.admission import TenantPolicy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    # the sandbox pool is a process-wide singleton: an earlier suite's
+    # native execution would otherwise leak an enabled pool into the
+    # "never created" assertions below
+    reset_sandbox_pool()
+    yield
+    reset_sandbox_pool()
+
+
+def _service(**cfg_kw) -> SolveService:
+    cfg_kw.setdefault("workers", 1)
+    cfg_kw.setdefault("queue_capacity", 8)
+    cfg_kw.setdefault(
+        "default_tenant_policy", TenantPolicy(max_concurrent=8)
+    )
+    return SolveService(ServiceConfig(**cfg_kw))
+
+
+def test_library_default_is_no_isolation():
+    assert PolyMgConfig().native_isolation == "none"
+
+
+def test_service_defaults_to_sandbox_isolation():
+    assert ServiceConfig().native_isolation == "sandbox"
+    with _service() as svc:
+        assert (
+            svc.config.config_overrides["native_isolation"] == "sandbox"
+        )
+
+
+def test_explicit_override_beats_the_service_default():
+    with _service(
+        config_overrides={"native_isolation": "none"}
+    ) as svc:
+        assert (
+            svc.config.config_overrides["native_isolation"] == "none"
+        )
+
+
+def test_healthz_reports_sandbox_pool_state():
+    with _service() as svc:
+        health = svc.healthz()
+    # no native execution happened, so the pool was never created —
+    # and healthz must not create it
+    assert health["sandbox"] == {"enabled": False}
+
+
+def test_worker_kill_incident_carries_sandbox_snapshot():
+    with _service() as svc:
+        svc.kill_worker(0)
+        records = [
+            r for r in svc.log.records if r.kind == "worker-kill"
+        ]
+    assert len(records) == 1
+    assert records[0].details["sandbox"] == {"enabled": False}

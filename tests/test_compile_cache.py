@@ -20,7 +20,8 @@ from repro.cache import (
     compile_fingerprint,
     spec_fingerprint,
 )
-from repro.config import PolyMgConfig
+from repro.backend.registry import INTERPRETED, PLANNED
+from repro.config import ISOLATION_MODES, NATIVE_FAULTS, PolyMgConfig
 from repro.errors import StorageSoundnessError
 from repro.multigrid.reference import MultigridOptions
 from repro.variants import polymg_opt_plus
@@ -133,9 +134,19 @@ class TestKeying:
             if name == "verify_level":
                 return "cheap" if value != "cheap" else "full"
             if name == "backend":
-                return "interpreted" if value != "interpreted" else "planned"
+                return (
+                    INTERPRETED.name
+                    if value != INTERPRETED.name
+                    else PLANNED.name
+                )
             if name == "native_cflags":
                 return ("-O2", "-fPIC", "-shared")
+            if name == "native_isolation":
+                return next(m for m in ISOLATION_MODES if m != value)
+            if name == "native_fault":
+                return next(
+                    f for f in NATIVE_FAULTS if f is not None and f != value
+                )
             if value is None:  # optional fields (e.g. pool_byte_budget)
                 return 1 << 20
             if isinstance(value, bool):
