@@ -1,0 +1,271 @@
+"""PR 9 benchmark: whole-solve native driver vs per-cycle native
+dispatch.
+
+Measures wall-clock *cycle throughput* for Poisson V-cycle workloads
+executed two ways over the same JIT-compiled shared object:
+
+* **per-cycle**: the PR-5 regime — one ``polymg_run`` call per
+  multigrid cycle, iterate threading and the residual-norm convergence
+  test done in Python/numpy between calls;
+* **driver**: one ``polymg_drive`` call runs a ``driver_hook_cycles``
+  burst of cycles with the convergence test in-kernel and the OpenMP
+  team kept alive across cycles.
+
+Both legs must produce bitwise-identical residual histories (the
+driver replicates numpy's pairwise summation), so the speedup is pure
+dispatch/orchestration overhead removed, not numerics changed.  Emits
+``BENCH_PR9.json`` at the repository root; the headline number is the
+geometric-mean cycle-throughput uplift of the driver over per-cycle
+native at 1 and 4 threads, gated at >= 1.5x.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_driver.py            # full
+    PYTHONPATH=src python benchmarks/bench_driver.py --small    # CI
+    PYTHONPATH=src python benchmarks/bench_driver.py --check 1.3
+
+``--check R`` exits non-zero if the geomean uplift at any swept thread
+count is below ``R`` (the CI perf-smoke assertion).  On a machine
+without a C toolchain the script reports the clean fallback (driver
+bursts degrade to per-cycle execution) and ``--check`` is skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.backend.native import discover_compiler
+from repro.bench.workloads import SMALL_TILES, geomean
+from repro.compiler import compile_pipeline
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.multigrid.kernels import norm_residual
+from repro.multigrid.reference import MultigridOptions
+from repro.variants import polymg_driver, polymg_native
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+THREAD_COUNTS = (1, 4)
+HOOK_CYCLES = 8
+GATE_SPEEDUP = 1.5
+
+
+def _case(ndim: int, n: int):
+    pipe = build_poisson_cycle(
+        ndim, n, MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+    )
+    rng = np.random.default_rng(20170712)
+    shape = (n + 2,) * ndim
+    f = np.zeros(shape)
+    f[(slice(1, -1),) * ndim] = rng.standard_normal((n,) * ndim)
+    return pipe, f
+
+
+def cases(small: bool):
+    if small:
+        sizes = [("V-2D", 2, 16), ("V-2D", 2, 32), ("V-2D", 2, 64),
+                 ("V-3D", 3, 16)]
+    else:
+        sizes = [("V-2D", 2, 16), ("V-2D", 2, 32), ("V-2D", 2, 64),
+                 ("V-2D", 2, 128), ("V-3D", 3, 16), ("V-3D", 3, 32)]
+    return [
+        (f"{tag}-{n}", *_case(ndim, n)) for tag, ndim, n in sizes
+    ]
+
+
+def _compile(pipe, factory, threads: int):
+    cfg = factory(
+        tile_sizes=dict(SMALL_TILES),
+        num_threads=threads,
+        driver_hook_cycles=HOOK_CYCLES,
+    )
+    compiled = compile_pipeline(
+        pipe.output, pipe.params, config=cfg, name=pipe.name, cache=False
+    )
+    from repro.backend.registry import TIERS
+
+    TIERS.resolve(cfg.backend).ensure_ready(compiled)
+    return compiled
+
+
+def _percycle_leg(compiled, pipe, f, repeats: int):
+    """Time HOOK_CYCLES cycles the per-cycle way: one execute per
+    cycle, iterate threading and the residual norm in Python — exactly
+    the solve loop's per-cycle work."""
+    h = 1.0 / (f.shape[0] - 1)
+    best, norms = float("inf"), []
+    for _ in range(repeats):
+        u = np.zeros_like(f)
+        t0 = time.perf_counter()
+        trial_norms = []
+        for _c in range(HOOK_CYCLES):
+            out = compiled.execute(pipe.make_inputs(u, f))
+            u = out[pipe.output.name]
+            trial_norms.append(float(norm_residual(u, f, h)))
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed / HOOK_CYCLES)
+        norms = trial_norms
+    return best, norms, u
+
+
+def _driver_leg(compiled, pipe, f, repeats: int):
+    """Time the same HOOK_CYCLES cycles as one driver burst."""
+    spec = pipe.drive_spec()
+    best, norms, u = float("inf"), None, None
+    for _ in range(repeats):
+        inputs = pipe.make_inputs(np.zeros_like(f), f)
+        t0 = time.perf_counter()
+        served = compiled.drive(
+            inputs, max_cycles=HOOK_CYCLES, tol=0.0, spec=spec
+        )
+        elapsed = time.perf_counter() - t0
+        if served is None or served.cycles != HOOK_CYCLES:
+            return None, None, None  # driver unavailable: fell back
+        best = min(best, elapsed / HOOK_CYCLES)
+        norms = list(served.norms)
+        u = served.outputs[pipe.output.name]
+    return best, norms, u
+
+
+def run(small: bool, repeats: int, threads_list=THREAD_COUNTS) -> dict:
+    cc = discover_compiler()
+    results: dict = {
+        "benchmark": "bench_driver",
+        "small": small,
+        "repeats": repeats,
+        "hook_cycles": HOOK_CYCLES,
+        "compiler": cc,
+        "tile_sizes": {str(k): list(v) for k, v in SMALL_TILES.items()},
+        "workloads": {},
+        "geomean": {},
+        "gate": {
+            "threads": list(threads_list),
+            "required_speedup": GATE_SPEEDUP,
+        },
+    }
+    workloads = cases(small)
+    for threads in threads_list:
+        uplifts = []
+        for name, pipe, f in workloads:
+            row = results["workloads"].setdefault(name, {})
+            native = _compile(pipe, polymg_native, threads)
+            driver = _compile(pipe, polymg_driver, threads)
+            try:
+                # warm-up both legs (pools, pages, OMP team spin-up)
+                _percycle_leg(native, pipe, f, 1)
+                _driver_leg(driver, pipe, f, 1)
+                pc_time, pc_norms, pc_u = _percycle_leg(
+                    native, pipe, f, repeats
+                )
+                dr_time, dr_norms, dr_u = _driver_leg(
+                    driver, pipe, f, repeats
+                )
+            finally:
+                native.close()
+                driver.close()
+            if dr_time is None:
+                row[f"threads={threads}"] = {
+                    "percycle_cycle_time_s": pc_time,
+                    "driver": "fallback (no driver available)",
+                }
+                print(
+                    f"{name:10s} threads={threads}  driver fell back "
+                    "to per-cycle execution"
+                )
+                continue
+            if dr_norms != pc_norms:
+                raise AssertionError(
+                    f"{name} threads={threads}: driver residual "
+                    "history diverges from per-cycle native"
+                )
+            if not np.array_equal(dr_u, pc_u):
+                raise AssertionError(
+                    f"{name} threads={threads}: driver iterate "
+                    "diverges from per-cycle native"
+                )
+            cell = {
+                "percycle_cycle_time_s": pc_time,
+                "driver_cycle_time_s": dr_time,
+                "speedup": pc_time / dr_time,
+                "norms_bitwise_identical": True,
+                "iterate_bitwise_identical": True,
+            }
+            row[f"threads={threads}"] = cell
+            uplifts.append(cell["speedup"])
+            print(
+                f"{name:10s} threads={threads}  "
+                f"per-cycle {pc_time * 1e6:9.1f} us/cy  "
+                f"driver {dr_time * 1e6:9.1f} us/cy  "
+                f"uplift {cell['speedup']:5.2f}x"
+            )
+        if uplifts:
+            results["geomean"][f"threads={threads}"] = {
+                "speedup": geomean(uplifts)
+            }
+            print(
+                f"geomean    threads={threads}  "
+                f"uplift {geomean(uplifts):5.2f}x"
+            )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true",
+        help="CI-sized grids (perf-smoke job)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed bursts per cell (after one warm-up)",
+    )
+    parser.add_argument(
+        "--check", type=float, default=None, metavar="RATIO",
+        help="fail if the geomean uplift at any thread count is below "
+        "RATIO (skipped without a toolchain)",
+    )
+    parser.add_argument(
+        "--threads", type=int, nargs="*", default=list(THREAD_COUNTS),
+        help="thread counts to sweep",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_PR9.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args.small, args.repeats, tuple(args.threads))
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check is not None:
+        if discover_compiler() is None:
+            print("check skipped: no C toolchain (clean fallback)")
+            return 0
+        failed = []
+        for tkey, cell in results["geomean"].items():
+            if cell["speedup"] < args.check:
+                failed.append((tkey, cell["speedup"]))
+        if not results["geomean"]:
+            print("FAIL: no driver cells served", file=sys.stderr)
+            return 1
+        if failed:
+            for tkey, s in failed:
+                print(
+                    f"FAIL: geomean uplift {s:.2f}x at {tkey} is below "
+                    f"the {args.check:.2f}x gate",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"check passed: geomean uplift >= {args.check:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,11 +3,21 @@
 Regenerates the paper's headline numbers: polymg-opt+ mean improvement
 over polymg-naive (paper: 3.2x overall, 4.73x 2-D, 2.18x 3-D), over
 polymg-opt (1.31x), and over handopt+pluto (1.23x overall, 1.67x 2-D).
+
+Also rolls the per-PR bench artifacts (``BENCH_PR6.json`` ..
+``BENCH_PR9.json`` at the repository root) into one cross-PR summary
+table, so the headline of every systems PR — service throughput,
+batching uplift, sandbox overhead, driver cycle-throughput uplift —
+is re-asserted from its recorded JSON whenever the bench suite runs.
+Missing artifacts are reported and skipped, never a failure: the
+rollup documents what this checkout has measured.
 """
 
 from __future__ import annotations
 
 import io
+import json
+import pathlib
 
 import numpy as np
 
@@ -85,3 +95,92 @@ def test_summary_geomeans(benchmark, rng):
     # magnitudes within ~75% of the paper's reported means
     for key in PAPER:
         assert abs(ours[key] - PAPER[key]) / PAPER[key] < 0.75, key
+
+
+# ---------------------------------------------------------------------------
+# cross-PR bench rollup
+# ---------------------------------------------------------------------------
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _bench_json(name: str) -> dict | None:
+    path = REPO_ROOT / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def test_cross_pr_bench_rollup():
+    """One table over every recorded systems-PR headline.
+
+    Each row re-asserts the weak shape of its PR's gate from the JSON
+    artifact: the solve service lost no requests, same-spec batching
+    actually coalesced and stayed bitwise, the sandbox overhead held
+    under its gate, and the whole-solve driver beat per-cycle native
+    at every swept thread count with bitwise-identical numerics."""
+    rows: list[tuple[str, str]] = []
+
+    pr6 = _bench_json("BENCH_PR6.json")
+    if pr6 is not None:
+        steady = pr6["steady"]
+        rows.append((
+            "PR6 service steady state",
+            f"{steady['requests_per_s']:.2f} req/s, "
+            f"p99 {steady['latency']['p99_s']:.2f} s",
+        ))
+        assert steady["accounting"]["lost"] == 0
+        assert steady["incorrect_solves"] == 0
+
+    pr7 = _bench_json("BENCH_PR7.json")
+    if pr7 is not None:
+        same = pr7["same_spec"]
+        rows.append((
+            "PR7 same-spec batching",
+            f"{same['rps_uplift']:.2f}x rps uplift, "
+            f"bitwise={same['bitwise_identical']}",
+        ))
+        assert same["rps_uplift"] > 1.0
+        assert same["bitwise_identical"] is True
+        assert same["batching_on"]["coalesced"] == same["requests"]
+
+    pr8 = _bench_json("BENCH_PR8.json")
+    if pr8 is not None:
+        overhead = pr8["overhead"]
+        rows.append((
+            "PR8 sandbox overhead",
+            f"{overhead['ratio']:.2f}x (gate {overhead['gate']:.2f}x)",
+        ))
+        assert overhead["ratio"] <= overhead["gate"]
+        assert pr8["chaos"]["incorrect_solves"] == 0
+
+    pr9 = _bench_json("BENCH_PR9.json")
+    if pr9 is not None:
+        for tkey, cell in sorted(pr9["geomean"].items()):
+            rows.append((
+                f"PR9 driver uplift ({tkey})",
+                f"{cell['speedup']:.2f}x geomean cycle throughput",
+            ))
+            assert cell["speedup"] > 1.0
+        for workload in pr9["workloads"].values():
+            for cell in workload.values():
+                if "speedup" in cell:
+                    assert cell["norms_bitwise_identical"] is True
+                    assert cell["iterate_bitwise_identical"] is True
+
+    out = io.StringIO()
+    out.write("Cross-PR bench rollup (recorded artifacts)\n")
+    for label, value in rows:
+        out.write(f"{label:32s} {value}\n")
+    missing = [
+        name
+        for name in (
+            "BENCH_PR6.json", "BENCH_PR7.json",
+            "BENCH_PR8.json", "BENCH_PR9.json",
+        )
+        if _bench_json(name) is None
+    ]
+    if missing:
+        out.write(f"not measured on this checkout: {', '.join(missing)}\n")
+    write_result("bench_rollup", out.getvalue())
+    assert rows, "no bench artifacts recorded on this checkout"

@@ -59,10 +59,30 @@ __all__ = [
     "generated_loc",
     "POOL_RUNTIME",
     "NATIVE_ENTRY_NAME",
+    "DRIVER_ENTRY_NAME",
+    "driver_emitted",
 ]
 
 #: exported symbol name of the native ABI entry point
 NATIVE_ENTRY_NAME = "polymg_run"
+
+#: exported symbol name of the whole-solve driver entry point
+DRIVER_ENTRY_NAME = "polymg_drive"
+
+
+def driver_emitted(compiled: "CompiledPipeline") -> bool:
+    """Whether the native translation unit for this pipeline carries the
+    whole-solve ``polymg_drive`` entry.  The driver ping-pongs a single
+    iterate grid through the pipeline and measures the interior defect
+    of its output, so it is emitted exactly for single-output pipelines
+    whose output grid has a non-empty interior (every dimension at
+    least one boundary layer around one interior point); callers use
+    this instead of probing the shared object for the symbol."""
+    dag = compiled.dag
+    if len(dag.outputs) != 1:
+        return False
+    shape = dag.outputs[0].domain_box(compiled.bindings).shape()
+    return len(shape) >= 1 and all(s >= 3 for s in shape)
 
 POOL_RUNTIME = """\
 /* pooled memory allocator (paper section 3.2.3) */
@@ -117,6 +137,59 @@ IVDEP_MACRO = """\
 # double operand must be ``fabs``; everything else matches <math.h>)
 _C_FN_NAMES = {"abs": "fabs"}
 
+# Whole-solve driver support runtime.  The driver's in-kernel residual
+# norm must be bitwise identical to the numpy norm the per-cycle path
+# computes in Python (repro.multigrid.kernels.norm_residual), so the
+# supervisor's convergence/stagnation decisions are invariant to which
+# tier served a cycle:
+#
+# * ``pmg_pairwise`` replicates numpy's pairwise summation over a
+#   contiguous float64 buffer structurally (naive under 8, an
+#   8-accumulator block up to 128, recursive halving rounded down to a
+#   multiple of 8 above) — the same sequence of IEEE additions in the
+#   same order.
+# * FP contraction is pinned off for the residual helpers
+#   (``PMG_NOCONTRACT``): ``-O3 -march=native`` would otherwise fuse
+#   the center-coefficient multiply-add into an FMA, which rounds once
+#   where numpy's per-operation arithmetic rounds twice.
+DRIVER_RUNTIME = """\
+/* ---- whole-solve driver runtime (repro.backend.native) ---- */
+#if defined(__clang__)
+#define PMG_NOCONTRACT
+#else
+#define PMG_NOCONTRACT __attribute__((optimize("fp-contract=off")))
+#endif
+
+/* structural replica of numpy's pairwise float64 summation */
+static PMG_NOCONTRACT double pmg_pairwise(const double *a, int64_t n) {
+#if defined(__clang__)
+#pragma clang fp contract(off)
+#endif
+  if (n < 8) {
+    double res = 0.0;
+    for (int64_t i = 0; i < n; i++) res += a[i];
+    return res;
+  }
+  if (n <= 128) {
+    double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+    double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+    int64_t i;
+    for (i = 8; i < n - (n % 8); i += 8) {
+      r0 += a[i + 0]; r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
+      r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
+    }
+    double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+    for (; i < n; i++) res += a[i];
+    return res;
+  }
+  {
+    int64_t n2 = n / 2;
+    n2 -= n2 % 8;
+    return pmg_pairwise(a, n2) + pmg_pairwise(a + n2, n - n2);
+  }
+}
+"""
+
 
 def _offset(base: str, k: int) -> str:
     """Render ``base + k`` with normalized sign."""
@@ -133,6 +206,12 @@ class _Emitter:
     ) -> None:
         self.compiled = compiled
         self.native = native
+        #: when True, stage loops are emitted as orphaned ``omp for``
+        #: worksharing constructs (binding to the driver's enclosing
+        #: persistent ``omp parallel`` team) instead of standalone
+        #: ``omp parallel for`` regions, and pool traffic is funneled
+        #: through ``single``/``copyprivate``
+        self.worksharing = False
         self.lines: list[str] = []
         self.indent = 0
         self.array_names: dict[int, str] = {}
@@ -140,6 +219,53 @@ class _Emitter:
         # (array-name, kind) where kind in {input, array, scratch}
         self.scratch_shape: dict["Function", tuple[int, ...]] = {}
         self.scratch_origin: dict["Function", tuple[str, ...]] = {}
+
+    @property
+    def driver(self) -> bool:
+        return self.native and driver_emitted(self.compiled)
+
+    # -- OpenMP emission --------------------------------------------------
+    def _proc_bind(self) -> str:
+        """``proc_bind`` clause from the thread-affinity knob, rendered
+        with a leading space (empty for the default ``none``)."""
+        affinity = getattr(self.compiled.config, "native_affinity", "none")
+        if affinity == "compact":
+            return " proc_bind(close)"
+        if affinity == "scatter":
+            return " proc_bind(spread)"
+        return ""
+
+    def omp_loop_pragma(self, tail: str) -> str:
+        """A stage loop's worksharing pragma: a fresh parallel region in
+        per-cycle mode, an orphaned ``for`` (binding to the driver's
+        persistent team) in worksharing mode."""
+        if self.worksharing:
+            return f"#pragma omp for {tail}"
+        return f"#pragma omp parallel for {tail}{self._proc_bind()}"
+
+    def emit_pool_alloc(self, name: str, elems) -> None:
+        """Pool-allocate ``name`` (with the native failure check).  In
+        worksharing mode exactly one thread of the enclosing team calls
+        the allocator and ``copyprivate`` broadcasts the pointer, so
+        every thread sees the same buffer and takes the same early
+        return on exhaustion."""
+        alloc = (
+            f"{name} = (double *) (pool_allocate("
+            f"sizeof(double) * {elems}));"
+        )
+        if self.worksharing:
+            self.emit(f"double * {name};")
+            self.emit(f"#pragma omp single copyprivate({name})")
+            self.emit(alloc)
+        else:
+            self.emit(f"double * {alloc}")
+        if self.native:
+            self.emit(f"if (!{name}) return -1;")
+
+    def emit_pool_dealloc(self, name: str) -> None:
+        if self.worksharing:
+            self.emit("#pragma omp single")
+        self.emit(f"pool_deallocate({name});")
 
     # -- emission helpers -------------------------------------------------
     def emit(self, text: str = "") -> None:
@@ -377,11 +503,6 @@ class _Emitter:
 
     # -- top level -----------------------------------------------------------
     def generate(self) -> str:
-        compiled = self.compiled
-        dag = compiled.dag
-        cfg = compiled.config
-        bindings = compiled.bindings
-        storage = compiled.storage
         native = self.native
 
         self.emit(POOL_RUNTIME)
@@ -400,7 +521,35 @@ class _Emitter:
         self.emit("  return (a % b != 0 && a < 0) ? q - 1 : q;")
         self.emit("}")
         self.emit()
-        param_names = sorted(bindings)
+        self.emit_pipeline_function(worksharing=False)
+        if native:
+            if self.driver:
+                self.emit()
+                self.emit_raw(DRIVER_RUNTIME)
+                self.emit_driver_resid_fill()
+                self.emit()
+                self.emit_pipeline_function(worksharing=True)
+            self.emit()
+            self.emit_native_entry()
+            if self.driver:
+                self.emit()
+                self.emit_driver_entry()
+        return "\n".join(self.lines) + "\n"
+
+    def emit_pipeline_function(self, worksharing: bool) -> None:
+        """Emit the pipeline body as a C function: the Figure-8 form
+        (``pipeline_<name>``, each stage its own parallel region), or —
+        for the whole-solve driver — the worksharing twin
+        (``pipeline_<name>_ws``) whose stage loops are orphaned ``omp
+        for`` constructs executed by the driver's persistent team."""
+        compiled = self.compiled
+        dag = compiled.dag
+        cfg = compiled.config
+        storage = compiled.storage
+        native = self.native
+        self.worksharing = worksharing
+
+        param_names = sorted(compiled.bindings)
         sig_parts = [f"int {p}" for p in param_names]
         sig_parts += [
             f"const double *restrict {self.cname(g.name)}"
@@ -418,8 +567,9 @@ class _Emitter:
                 for o in dag.outputs
             ]
             ret = "void"
+        suffix = "_ws" if worksharing else ""
         self.emit(
-            f"{ret} pipeline_{self.cname(dag.name)}"
+            f"{ret} pipeline_{self.cname(dag.name)}{suffix}"
             f"({', '.join(sig_parts) or 'void'})"
         )
         self.emit("{")
@@ -469,13 +619,7 @@ class _Emitter:
                     if a == aid
                 ]
                 self.emit(f"/* users : {users} */")
-                name = self.array_name(aid)
-                self.emit(
-                    f"double * {name} = (double *) (pool_allocate("
-                    f"sizeof(double) * {elems}));"
-                )
-                if native:
-                    self.emit(f"if (!{name}) return -1;")
+                self.emit_pool_alloc(self.array_name(aid), elems)
 
             if cfg.tile and group.size > 1 and gi not in getattr(
                 compiled, "_diamond_groups", set()
@@ -486,9 +630,7 @@ class _Emitter:
 
             for aid, last in compiled._free_after.items():
                 if last == gi and aid in emitted_alloc:
-                    self.emit(
-                        f"pool_deallocate({self.array_name(aid)});"
-                    )
+                    self.emit_pool_dealloc(self.array_name(aid))
             self.emit()
 
         if native:
@@ -502,10 +644,7 @@ class _Emitter:
                 )
         self.indent -= 1
         self.emit("}")
-        if native:
-            self.emit()
-            self.emit_native_entry()
-        return "\n".join(self.lines) + "\n"
+        self.worksharing = False
 
     def emit_straight_group(self, group) -> None:
         bindings = self.compiled.bindings
@@ -516,18 +655,15 @@ class _Emitter:
             if stage not in live:
                 # full-size temporary for an unfused internal stage
                 name = f"_tmp_{self.cname(stage.name)}"
-                self.emit(
-                    f"double * {name} = (double *) (pool_allocate("
-                    f"sizeof(double) * {dom.volume()}));"
-                )
-                if self.native:
-                    self.emit(f"if (!{name}) return -1;")
+                self.emit_pool_alloc(name, dom.volume())
                 self.stage_store[stage] = (name, "array")
                 temporaries.append(name)
             depth = self.collapse_depth(stage)
             self.emit(
-                "#pragma omp parallel for schedule(static)"
-                + (f" collapse({depth})" if depth > 1 else "")
+                self.omp_loop_pragma(
+                    "schedule(static)"
+                    + (f" collapse({depth})" if depth > 1 else "")
+                )
             )
             bounds = [
                 (str(iv.lb), str(iv.ub)) for iv in dom.intervals
@@ -541,7 +677,7 @@ class _Emitter:
         # internal temporaries die with the group: return them to the
         # pool so repeated invocations recycle instead of growing it
         for name in temporaries:
-            self.emit(f"pool_deallocate({name});")
+            self.emit_pool_dealloc(name)
 
     @staticmethod
     def _scaled_map(num: int, den: int, off: int, var: str) -> str:
@@ -650,7 +786,7 @@ class _Emitter:
         ndim = anchor.ndim
         depth = ndim  # perfect tile loops collapse over every dimension
         self.emit(
-            f"#pragma omp parallel for schedule(static) collapse({depth})"
+            self.omp_loop_pragma(f"schedule(static) collapse({depth})")
         )
         tvars = [f"T_{d}" for d in range(ndim)]
         for d in range(ndim):
@@ -793,6 +929,125 @@ class _Emitter:
         return max(1, stage.ndim - 1)
 
     # -- native ABI entry point ---------------------------------------------
+    def _emit_entry_prologue(
+        self,
+        param_names: list[str],
+        in_shapes: list[int],
+        out_shapes: list[int],
+    ) -> None:
+        """The descriptor-validation prologue shared by ``polymg_run``
+        and ``polymg_drive``: count checks, baked parameter values,
+        per-buffer geometry, and the OpenMP thread-count handoff."""
+        dag = self.compiled.dag
+        self.emit(f"if (n_params != {len(param_names)}) return 1;")
+        self.emit(f"if (n_inputs != {len(dag.inputs)}) return 2;")
+        self.emit(f"if (n_outputs != {len(dag.outputs)}) return 3;")
+        if param_names:
+            self.emit(f"for (int i = 0; i < {len(param_names)}; i++)")
+            with self.block():
+                self.emit(
+                    "if (params[i] != pmg_param_values[i]) return 10 + i;"
+                )
+        else:
+            self.emit("(void) params;")
+        for k, ndim in enumerate(in_shapes):
+            self.emit(
+                f"if (pmg_check_buffer(&inputs[{k}], pmg_in_shape_{k}, "
+                f"{ndim})) return {100 + k};"
+            )
+        for k, ndim in enumerate(out_shapes):
+            self.emit(
+                f"if (pmg_check_buffer(&outputs[{k}], pmg_out_shape_{k}, "
+                f"{ndim})) return {200 + k};"
+            )
+        self.emit("#ifdef _OPENMP")
+        self.emit("if (nthreads > 0) omp_set_num_threads((int) nthreads);")
+        self.emit("#else")
+        self.emit("(void) nthreads;")
+        self.emit("#endif")
+
+    def _driver_geometry(self):
+        """(shape, full strides, interior strides, elems, interior
+        elems) of the single output grid, all in elements."""
+        out = self.compiled.dag.outputs[0]
+        shape = list(out.domain_box(self.compiled.bindings).shape())
+        nd = len(shape)
+        strides = []
+        int_strides = []
+        for d in range(nd):
+            s = 1
+            si = 1
+            for inner in shape[d + 1 :]:
+                s *= inner
+                si *= inner - 2
+            strides.append(s)
+            int_strides.append(si)
+        elems = 1
+        nint = 1
+        for s in shape:
+            elems *= s
+            nint *= s - 2
+        return shape, strides, int_strides, elems, nint
+
+    def emit_driver_resid_fill(self) -> None:
+        """Emit the in-kernel interior-defect helper: squares of
+        ``f - A_h u`` written elementwise into ``rr`` in interior
+        C order, replicating ``repro.multigrid.kernels.apply_operator``
+        operation-for-operation (each binary op a separate rounding, FP
+        contraction pinned off) so the driver's residual history is
+        bitwise identical to the per-cycle numpy norm."""
+        shape, strides, int_strides, _, _ = self._driver_geometry()
+        nd = len(shape)
+        coef = repr(2.0 * nd)
+        self.emit(
+            "static PMG_NOCONTRACT void pmg_resid_fill("
+            "const double *restrict u,"
+        )
+        self.emit(
+            "    const double *restrict f, double *restrict rr,"
+        )
+        self.emit("    const double inv_h2) {")
+        self.emit("#if defined(__clang__)")
+        self.emit("#pragma clang fp contract(off)")
+        self.emit("#endif")
+        self.indent += 1
+        collapse = f" collapse({nd})" if nd > 1 else ""
+        self.emit(f"#pragma omp for schedule(static){collapse}")
+        for d in range(nd):
+            self.emit(
+                f"for (int i{d} = 1; i{d} <= {shape[d] - 2}; i{d}++) {{"
+            )
+            self.indent += 1
+        off_terms = []
+        k_terms = []
+        for d in range(nd):
+            st = strides[d]
+            ist = int_strides[d]
+            off_terms.append(
+                f"(int64_t) i{d}" if st == 1 else f"(int64_t) i{d} * {st}"
+            )
+            base = f"(int64_t) (i{d} - 1)"
+            k_terms.append(base if ist == 1 else f"{base} * {ist}")
+        self.emit(f"const int64_t pmg_off = {' + '.join(off_terms)};")
+        self.emit(f"const int64_t pmg_k = {' + '.join(k_terms)};")
+        # mirror apply_operator: -pre[0], + -pre[1..], + (2d)*centre,
+        # + -post[d-1..0], * inv_h2 — one rounding per binary op
+        self.emit(f"double pmg_t = -u[pmg_off - {strides[0]}];")
+        for d in range(1, nd):
+            self.emit(f"pmg_t = pmg_t + (-u[pmg_off - {strides[d]}]);")
+        self.emit(f"const double pmg_c2 = {coef} * u[pmg_off];")
+        self.emit("pmg_t = pmg_t + pmg_c2;")
+        for d in reversed(range(nd)):
+            self.emit(f"pmg_t = pmg_t + (-u[pmg_off + {strides[d]}]);")
+        self.emit("pmg_t = pmg_t * inv_h2;")
+        self.emit("const double pmg_r = f[pmg_off] - pmg_t;")
+        self.emit("rr[pmg_k] = pmg_r * pmg_r;")
+        for _ in range(nd):
+            self.indent -= 1
+            self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+
     def _emit_injected_fault(self) -> None:
         """Test-only crash injection (``PolyMgConfig.native_fault``):
         emit a deliberate fault into the entry point *after* descriptor
@@ -887,32 +1142,7 @@ static int pmg_check_buffer(const pmg_buffer *b, const int64_t *shape,
         )
         self.emit("{")
         self.indent += 1
-        self.emit(f"if (n_params != {len(param_names)}) return 1;")
-        self.emit(f"if (n_inputs != {len(dag.inputs)}) return 2;")
-        self.emit(f"if (n_outputs != {len(dag.outputs)}) return 3;")
-        if param_names:
-            self.emit(f"for (int i = 0; i < {len(param_names)}; i++)")
-            with self.block():
-                self.emit(
-                    "if (params[i] != pmg_param_values[i]) return 10 + i;"
-                )
-        else:
-            self.emit("(void) params;")
-        for k, ndim in enumerate(in_shapes):
-            self.emit(
-                f"if (pmg_check_buffer(&inputs[{k}], pmg_in_shape_{k}, "
-                f"{ndim})) return {100 + k};"
-            )
-        for k, ndim in enumerate(out_shapes):
-            self.emit(
-                f"if (pmg_check_buffer(&outputs[{k}], pmg_out_shape_{k}, "
-                f"{ndim})) return {200 + k};"
-            )
-        self.emit("#ifdef _OPENMP")
-        self.emit("if (nthreads > 0) omp_set_num_threads((int) nthreads);")
-        self.emit("#else")
-        self.emit("(void) nthreads;")
-        self.emit("#endif")
+        self._emit_entry_prologue(param_names, in_shapes, out_shapes)
         self._emit_injected_fault()
         args = (
             [f"(int) params[{i}]" for i in range(len(param_names))]
@@ -948,6 +1178,205 @@ void polymg_pool_release(void) {
 }
 """
         )
+
+    def emit_driver_entry(self) -> None:
+        """Emit the whole-solve ``polymg_drive`` ABI: the multigrid
+        cycle loop, per-cycle residual-norm convergence test, and
+        iterate ping-pong all inside one persistent ``omp parallel``
+        team.  Returns after at most ``ctrl->max_cycles`` cycles (the
+        supervisor's hook granularity) with the per-cycle norms, and
+        writes the output buffer only on success, so a faulted burst
+        never corrupts the caller's iterate."""
+        compiled = self.compiled
+        dag = compiled.dag
+        bindings = compiled.bindings
+        param_names = sorted(bindings)
+        shape, _, _, elems, nint = self._driver_geometry()
+        nd = len(shape)
+        in_shapes = [
+            len(g.domain_box(bindings).shape()) for g in dag.inputs
+        ]
+        out_shapes = [
+            len(o.domain_box(bindings).shape()) for o in dag.outputs
+        ]
+
+        self.emit_raw(
+            """\
+/* ---- whole-solve driver ABI (repro.backend.native) ---- */
+typedef struct {
+  int64_t max_cycles;         /* in : burst length (hook granularity) */
+  int64_t iterate_index;      /* in : iterate grid's slot in inputs[] */
+  int64_t rhs_index;          /* in : right-hand side's slot in inputs[] */
+  double tol;                 /* in : converge when norm < tol (<=0 off) */
+  double norm_scale;          /* in : h**(ndim/2), caller-computed */
+  double inv_h2;              /* in : 1/(h*h), caller-computed */
+  double *norms;              /* out: per-cycle norms, len max_cycles */
+  volatile int64_t *progress; /* out: bumped once per cycle (may be 0) */
+  int64_t cycles_done;        /* out: cycles accepted this call */
+  int64_t converged;          /* out: 1 when tol was reached */
+} pmg_drive_ctrl;
+"""
+        )
+        self.emit(
+            f"int {DRIVER_ENTRY_NAME}(const int64_t *params, "
+            "int64_t n_params, int64_t nthreads,"
+        )
+        self.emit(
+            "               const pmg_buffer *inputs, int64_t n_inputs,"
+        )
+        self.emit(
+            "               const pmg_buffer *outputs, int64_t n_outputs,"
+        )
+        self.emit("               pmg_drive_ctrl *ctrl)")
+        self.emit("{")
+        self.indent += 1
+        self._emit_entry_prologue(param_names, in_shapes, out_shapes)
+        self.emit("if (!ctrl || ctrl->max_cycles < 1 || !ctrl->norms)")
+        with self.block():
+            self.emit("return 4;")
+        self.emit(
+            "if (ctrl->iterate_index < 0 || "
+            "ctrl->iterate_index >= n_inputs) return 4;"
+        )
+        self.emit(
+            "if (ctrl->rhs_index < 0 || ctrl->rhs_index >= n_inputs) "
+            "return 4;"
+        )
+        # the iterate and rhs grids must live on the output grid's
+        # geometry for the ping-pong and the defect to make sense
+        self.emit(
+            "if (pmg_check_buffer(&inputs[ctrl->iterate_index], "
+            f"pmg_out_shape_0, {nd})) return 4;"
+        )
+        self.emit(
+            "if (pmg_check_buffer(&inputs[ctrl->rhs_index], "
+            f"pmg_out_shape_0, {nd})) return 4;"
+        )
+        self._emit_injected_fault()
+        for name, count in (
+            ("pmg_u_a", elems),
+            ("pmg_u_b", elems),
+            ("pmg_rr", nint),
+        ):
+            self.emit(
+                f"double * {name} = (double *) (pool_allocate("
+                f"sizeof(double) * {count}));"
+            )
+        self.emit("if (!pmg_u_a || !pmg_u_b || !pmg_rr) {")
+        with self.block():
+            for name in ("pmg_u_a", "pmg_u_b", "pmg_rr"):
+                self.emit(f"if ({name}) pool_deallocate({name});")
+            self.emit("return 500;")
+        self.emit("}")
+        self.emit("const int64_t pmg_it = ctrl->iterate_index;")
+        self.emit(
+            "const double *pmg_f = "
+            "(const double *) inputs[ctrl->rhs_index].data;"
+        )
+        self.emit("const double pmg_tol = ctrl->tol;")
+        self.emit("const double pmg_scale = ctrl->norm_scale;")
+        self.emit("const double pmg_inv_h2 = ctrl->inv_h2;")
+        self.emit("const int64_t pmg_cycles = ctrl->max_cycles;")
+        self.emit("double *const pmg_norms = ctrl->norms;")
+        self.emit(
+            "volatile int64_t *const pmg_progress = ctrl->progress;"
+        )
+        self.emit("int pmg_rc = 0;")
+        self.emit("int64_t pmg_done = 0;")
+        self.emit("double *pmg_result = 0;")
+        self.emit(f"#pragma omp parallel{self._proc_bind()}")
+        self.emit("{")
+        self.indent += 1
+        # per-thread ping-pong pointers: every thread executes the same
+        # deterministic swap sequence, so no cross-thread communication
+        # is needed for buffer identity — only the norms/result handoff
+        # goes through the single-with-barrier below
+        self.emit(
+            "const double *pmg_src = "
+            "(const double *) inputs[pmg_it].data;"
+        )
+        self.emit("double *pmg_dst = pmg_u_a;")
+        self.emit("double *pmg_alt = pmg_u_b;")
+        self.emit(
+            "for (int64_t pmg_c = 0; pmg_c < pmg_cycles; pmg_c++) {"
+        )
+        self.indent += 1
+        call_args = [f"(int) params[{i}]" for i in range(len(param_names))]
+        for k in range(len(dag.inputs)):
+            call_args.append(
+                f"(pmg_it == {k} ? pmg_src : "
+                f"(const double *) inputs[{k}].data)"
+            )
+        call_args.append("pmg_dst")
+        self.emit(
+            f"int pmg_rc_l = pipeline_{self.cname(dag.name)}_ws("
+        )
+        with self.block():
+            for i, arg in enumerate(call_args):
+                tail = ");" if i == len(call_args) - 1 else ","
+                self.emit(f"{arg}{tail}")
+        # pipeline_ws broadcasts allocation outcomes via copyprivate, so
+        # pmg_rc_l is identical on every thread and the break is uniform
+        self.emit("if (pmg_rc_l != 0) {")
+        with self.block():
+            self.emit("#pragma omp single")
+            self.emit("pmg_rc = pmg_rc_l;")
+            self.emit("break;")
+        self.emit("}")
+        self.emit("pmg_resid_fill(pmg_dst, pmg_f, pmg_rr, pmg_inv_h2);")
+        self.emit("#pragma omp single")
+        self.emit("{")
+        with self.block():
+            self.emit(
+                f"pmg_norms[pmg_c] = sqrt(pmg_pairwise(pmg_rr, {nint}))"
+                " * pmg_scale;"
+            )
+            self.emit("pmg_done = pmg_c + 1;")
+            self.emit("pmg_result = pmg_dst;")
+            self.emit("if (pmg_progress) *pmg_progress += 1;")
+        self.emit("}")
+        # the single's implicit barrier publishes pmg_norms[pmg_c]; the
+        # convergence decision below is then uniform across the team
+        self.emit(
+            "if (pmg_tol > 0.0 && pmg_norms[pmg_c] < pmg_tol) break;"
+        )
+        self.emit("{")
+        with self.block():
+            self.emit(
+                "double *pmg_next = (pmg_c == 0) ? pmg_alt "
+                ": (double *) pmg_src;"
+            )
+            self.emit("pmg_src = pmg_dst;")
+            self.emit("pmg_dst = pmg_next;")
+        self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+        self.emit("ctrl->cycles_done = pmg_done;")
+        self.emit("ctrl->converged = 0;")
+        self.emit("int pmg_ret = 0;")
+        self.emit("if (pmg_rc != 0) {")
+        with self.block():
+            self.emit("pmg_ret = 500;")
+        self.emit("} else if (pmg_done > 0) {")
+        with self.block():
+            self.emit(
+                "memcpy(outputs[0].data, pmg_result, "
+                f"sizeof(double) * {elems});"
+            )
+            self.emit(
+                "if (pmg_tol > 0.0 && pmg_norms[pmg_done - 1] < pmg_tol)"
+            )
+            with self.block():
+                self.emit("ctrl->converged = 1;")
+        self.emit("}")
+        self.emit("pool_deallocate(pmg_rr);")
+        self.emit("pool_deallocate(pmg_u_b);")
+        self.emit("pool_deallocate(pmg_u_a);")
+        self.emit("return pmg_ret;")
+        self.indent -= 1
+        self.emit("}")
 
 
 def generate_c(compiled: "CompiledPipeline") -> str:

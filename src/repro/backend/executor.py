@@ -51,7 +51,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..passes.storage import StoragePlan
     from .kernels import GroupPlan, GroupTilePlan
 
-__all__ = ["ExecutionStats", "CompiledPipeline"]
+__all__ = ["ExecutionStats", "CompiledPipeline", "DriveSpec"]
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """Solve-level geometry the whole-solve native driver needs beyond
+    the per-cycle call: which input grid is the iterate (ping-ponged
+    across cycles), which is the right-hand side (of the residual), and
+    the two scalars the in-kernel residual norm uses —
+    ``norm_scale = h**(ndim/2)`` and ``inv_h2 = 1/(h*h)``.  Built once
+    per solve by :meth:`repro.multigrid.cycles.MultigridPipeline.drive_spec`."""
+
+    iterate: str
+    rhs: str
+    norm_scale: float
+    inv_h2: float
 
 
 #: once-per-process latch for the flat-counter deprecation notice (one
@@ -331,6 +346,10 @@ class CompiledPipeline:
         as a native cache hit for the clone."""
         if other._native_handle is None:
             return
+        if self._native_handle is other._native_handle:
+            # every native-family tier adopts the same shared artifact
+            # (the driver tier rides the native build); charge one hit
+            return
         self._native_handle = other._native_handle
         self._native_disabled = other._native_disabled
         # the clone did not pay the compile, so only the hit is charged
@@ -361,6 +380,14 @@ class CompiledPipeline:
             return
         self._native_accounted = True
         self.stats.tier(NATIVE.name).compile_time_s += handle.compile_time_s
+        backend = self._backend()
+        if getattr(backend, "whole_solve", False):
+            # the artifact carries the whole-solve driver entry; its
+            # build time is visible under the driver tier too, without
+            # disturbing the native bucket the flat counters read
+            self.stats.tier(
+                backend.name
+            ).driver_compile_time_s += handle.compile_time_s
         if self.report is not None:
             self.report.native_compile_time_s += handle.compile_time_s
         if handle.info.get("cache_hit"):
@@ -406,25 +433,40 @@ class CompiledPipeline:
         )
         return fault
 
+    def _native_tier_stats(self):
+        """The serving native-family tier's stats bucket: the driver
+        tier when the config selects it, else the per-cycle native
+        tier — so executions/fallbacks land on the tier that actually
+        served (what the registry-parity and health plumbing read)."""
+        backend = self._backend()
+        name = backend.name if backend.jit_build else NATIVE.name
+        return self.stats.tier(name)
+
     def _native_runner_for_execute(self):
         """The runner to use for this execute, or ``None`` (fall back
         to the numpy backends).  Never blocks on a pending build."""
         if self.fault_injector is not None:
             # per-stage hook points only exist in the interpreter
-            self.stats.tier(NATIVE.name).fallbacks += 1
+            self._native_tier_stats().fallbacks += 1
             return None
         handle = self.start_native_build()
         if handle is None:  # pragma: no cover - guarded by tier dispatch
             return None
         self._absorb_native_result()
         if self._native_disabled is not None:
-            self.stats.tier(NATIVE.name).fallbacks += 1
+            self._native_tier_stats().fallbacks += 1
             return None
         runner = handle.ready_runner()
         if runner is None:  # build still in flight
-            self.stats.tier(NATIVE.name).fallbacks += 1
+            self._native_tier_stats().fallbacks += 1
             return None
         return runner
+
+    def _native_thread_count(self) -> int:
+        """OpenMP team size for native-tier invocations:
+        ``native_threads`` when set, else ``num_threads``."""
+        override = getattr(self.config, "native_threads", None)
+        return override if override is not None else self.config.num_threads
 
     def _execute_native(
         self,
@@ -432,8 +474,8 @@ class CompiledPipeline:
         input_arrays: dict["Function", np.ndarray],
     ) -> dict[str, np.ndarray]:
         """One zero-copy invocation of the shared object."""
-        outputs = runner.run(input_arrays, self.config.num_threads)
-        self.stats.tier(NATIVE.name).executions += 1
+        outputs = runner.run(input_arrays, self._native_thread_count())
+        self._native_tier_stats().executions += 1
         if self.config.runtime_guards:
             for name, arr in outputs.items():
                 scan_nonfinite(name, arr, pipeline=self.dag.name)
@@ -442,6 +484,81 @@ class CompiledPipeline:
                 self.bindings
             ).volume()
         return outputs
+
+    def drive(
+        self,
+        inputs: dict[str, np.ndarray],
+        *,
+        max_cycles: int,
+        tol: float,
+        spec: DriveSpec,
+    ):
+        """One whole-solve driver burst: up to ``max_cycles`` multigrid
+        cycles (with the in-kernel ``norm < tol`` convergence test) in
+        a single native invocation with persistent OpenMP threads.
+
+        Returns a :class:`~repro.backend.native.DriveResult`, or
+        ``None`` whenever the driver cannot serve — tier not
+        whole-solve-capable, build pending/failed/latched-off, artifact
+        without the driver entry, fault injector attached, or an
+        unverified runner under ``verify_level="full"`` — so the caller
+        runs the same attempt per-cycle instead.  A crash-class native
+        fault latches the tier off exactly like a per-cycle fault and
+        also answers ``None``.  Never mutates the caller's arrays."""
+        backend = self._backend()
+        if not getattr(backend, "whole_solve", False):
+            return None
+        runner = self._native_runner_for_execute()
+        if runner is None or not getattr(runner, "can_drive", False):
+            return None
+        if self.config.verify_level == "full" and not runner.verified:
+            # the first result must cross-check against the numpy
+            # tiers; only the per-cycle path hosts that comparison
+            return None
+        input_arrays = self._validated_input_arrays(inputs)
+        names = [g.name for g in self.dag.inputs]
+        try:
+            iterate_index = names.index(spec.iterate)
+            rhs_index = names.index(spec.rhs)
+        except ValueError:
+            return None
+        from ..errors import NativeBackendError
+
+        stats = self.stats.tier(backend.name)
+        try:
+            result = runner.drive(
+                input_arrays,
+                self._native_thread_count(),
+                max_cycles=max_cycles,
+                iterate_index=iterate_index,
+                rhs_index=rhs_index,
+                tol=tol,
+                norm_scale=spec.norm_scale,
+                inv_h2=spec.inv_h2,
+            )
+        except NativeBackendError as exc:
+            from ..errors import NativeCrashError, NativeHangError
+
+            stats.fallbacks += 1
+            action = (
+                "crash-isolated"
+                if isinstance(exc, (NativeCrashError, NativeHangError))
+                else "runtime-rejected"
+            )
+            self._disable_native(action, exc)
+            return None
+        self.stats.executions += 1
+        stats.executions += 1
+        stats.hook_returns += 1
+        stats.cycles_in_native += result.cycles
+        if self.config.runtime_guards:
+            for name, arr in result.outputs.items():
+                scan_nonfinite(name, arr, pipeline=self.dag.name)
+        for stage in self.dag.stages:
+            self.stats.ideal_points += result.cycles * (
+                stage.domain_box(self.bindings).volume()
+            )
+        return result
 
     def _workspace(self) -> Workspace:
         """The calling thread's persistent execution arena."""
@@ -525,9 +642,16 @@ class CompiledPipeline:
         kernel plan) delegates down its registry fallback edge, with
         every downgrade counted and recorded.
         """
-        dag = self.dag
         self.stats.executions += 1
+        input_arrays = self._validated_input_arrays(inputs)
+        return self._backend().run(self, input_arrays)
 
+    def _validated_input_arrays(
+        self, inputs: dict[str, np.ndarray]
+    ) -> dict["Function", np.ndarray]:
+        """Shape-check the caller's input dict against the compiled
+        geometry; returns it keyed by input grid."""
+        dag = self.dag
         input_arrays: dict["Function", np.ndarray] = {}
         for grid in dag.inputs:
             if grid.name not in inputs:
@@ -545,8 +669,7 @@ class CompiledPipeline:
                     pipeline=dag.name,
                 )
             input_arrays[grid] = arr
-
-        return self._backend().run(self, input_arrays)
+        return input_arrays
 
     def _backend(self):
         """The registry tier selected by ``config.backend``."""
@@ -677,7 +800,7 @@ class CompiledPipeline:
                     output=name,
                     max_abs_delta=delta,
                 )
-                self.stats.tier(NATIVE.name).fallbacks += 1
+                self._native_tier_stats().fallbacks += 1
                 self._disable_native("verify-mismatch", err)
                 return
         runner.verified = True

@@ -53,7 +53,11 @@ from ..errors import (
     NativeQuarantinedError,
     NativeToolchainError,
 )
-from .codegen_c import NATIVE_ENTRY_NAME, generate_native_c
+from .codegen_c import (
+    DRIVER_ENTRY_NAME,
+    NATIVE_ENTRY_NAME,
+    generate_native_c,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .executor import CompiledPipeline
@@ -66,6 +70,7 @@ __all__ = [
     "native_artifact_key",
     "NativeModule",
     "NativeRunner",
+    "DriveResult",
     "NativeBuildHandle",
     "build_native_runner",
     "start_native_build",
@@ -238,6 +243,47 @@ class _PmgBuffer(ctypes.Structure):
     ]
 
 
+class PmgDriveCtrl(ctypes.Structure):
+    """Mirror of the emitted ``pmg_drive_ctrl`` struct (whole-solve
+    driver ABI, see :func:`~repro.backend.codegen_c.generate_native_c`)."""
+
+    _fields_ = [
+        ("max_cycles", ctypes.c_int64),
+        ("iterate_index", ctypes.c_int64),
+        ("rhs_index", ctypes.c_int64),
+        ("tol", ctypes.c_double),
+        ("norm_scale", ctypes.c_double),
+        ("inv_h2", ctypes.c_double),
+        ("norms", ctypes.POINTER(ctypes.c_double)),
+        ("progress", ctypes.POINTER(ctypes.c_int64)),
+        ("cycles_done", ctypes.c_int64),
+        ("converged", ctypes.c_int64),
+    ]
+
+
+class DriveResult:
+    """Outcome of one whole-solve driver burst.
+
+    ``outputs`` maps output names to arrays holding the iterate after
+    the last *accepted* cycle; ``norms`` is the per-cycle residual-norm
+    history (length ``cycles``); ``converged`` reports whether the
+    in-kernel ``norm < tol`` test fired."""
+
+    __slots__ = ("outputs", "norms", "cycles", "converged")
+
+    def __init__(
+        self,
+        outputs: dict[str, np.ndarray],
+        norms: list[float],
+        cycles: int,
+        converged: bool,
+    ) -> None:
+        self.outputs = outputs
+        self.norms = norms
+        self.cycles = cycles
+        self.converged = converged
+
+
 class NativeModule:
     """A loaded pipeline shared object.
 
@@ -284,6 +330,25 @@ class NativeModule:
         self._pool_bytes.argtypes = []
         self._pool_release.restype = None
         self._pool_release.argtypes = []
+        # the whole-solve driver entry is emitted only for eligible
+        # pipelines (single output, non-degenerate interior) — older
+        # cached artifacts and ineligible shapes simply lack the symbol
+        try:
+            self._drive = getattr(self._lib, DRIVER_ENTRY_NAME)
+        except AttributeError:
+            self._drive = None
+        if self._drive is not None:
+            self._drive.restype = ctypes.c_int
+            self._drive.argtypes = [
+                ctypes.POINTER(ctypes.c_int64),  # params
+                ctypes.c_int64,                  # n_params
+                ctypes.c_int64,                  # nthreads
+                ctypes.POINTER(_PmgBuffer),      # inputs
+                ctypes.c_int64,                  # n_inputs
+                ctypes.POINTER(_PmgBuffer),      # outputs
+                ctypes.c_int64,                  # n_outputs
+                ctypes.POINTER(PmgDriveCtrl),    # ctrl
+            ]
 
     def pool_bytes(self) -> int:
         with self.lock:
@@ -418,6 +483,96 @@ class NativeRunner:
         if rc != 0:
             raise self._error_for(rc)
         return outputs
+
+    # -- whole-solve driver ---------------------------------------------
+    @property
+    def can_drive(self) -> bool:
+        """Whether the loaded artifact exports ``polymg_drive``."""
+        return getattr(self.module, "_drive", None) is not None
+
+    def drive(
+        self,
+        input_arrays: dict,
+        num_threads: int,
+        *,
+        max_cycles: int,
+        iterate_index: int,
+        rhs_index: int,
+        tol: float,
+        norm_scale: float,
+        inv_h2: float,
+    ) -> DriveResult:
+        """One multi-cycle driver burst: run up to ``max_cycles``
+        multigrid cycles (with the in-kernel ``norm < tol`` convergence
+        test) inside the shared object's persistent OpenMP team.
+
+        Returns the iterate after the last accepted cycle plus the full
+        per-cycle residual-norm history; never mutates the caller's
+        input arrays (the driver ping-pongs through pool buffers and
+        copies out only on success)."""
+        if not self.can_drive:
+            raise NativeABIError(
+                "shared object does not export the whole-solve driver",
+                pipeline=self.pipeline,
+            )
+        keepalive: list = []
+        in_bufs = (_PmgBuffer * max(1, len(self.inputs)))()
+        for k, (grid, shape) in enumerate(self.inputs):
+            arr = self._normalize(grid, input_arrays[grid])
+            if arr.shape != shape:
+                raise NativeABIError(
+                    f"input {grid.name!r} has shape {arr.shape}, the "
+                    f"shared object was compiled for {shape}",
+                    pipeline=self.pipeline,
+                )
+            in_bufs[k] = self._descriptor(arr, keepalive)
+        outputs: dict[str, np.ndarray] = {}
+        out_bufs = (_PmgBuffer * max(1, len(self.outputs)))()
+        for k, (out, shape) in enumerate(self.outputs):
+            arr = np.empty(shape, dtype=np.float64)
+            outputs[out.name] = arr
+            out_bufs[k] = self._descriptor(arr, keepalive)
+        n_params = len(self.param_values)
+        params = (ctypes.c_int64 * max(1, n_params))(
+            *(self.param_values or [0])
+        )
+        norms = (ctypes.c_double * max_cycles)()
+        ctrl = PmgDriveCtrl(
+            max_cycles=max_cycles,
+            iterate_index=iterate_index,
+            rhs_index=rhs_index,
+            tol=float(tol),
+            norm_scale=float(norm_scale),
+            inv_h2=float(inv_h2),
+            norms=norms,
+            progress=None,
+        )
+        with self.module.lock:
+            rc = self.module._drive(
+                params,
+                n_params,
+                int(num_threads),
+                in_bufs,
+                len(self.inputs),
+                out_bufs,
+                len(self.outputs),
+                ctypes.byref(ctrl),
+            )
+        if rc == 4:
+            raise NativeABIError(
+                "shared object rejected the driver control block",
+                pipeline=self.pipeline,
+                returncode=rc,
+            )
+        if rc != 0:
+            raise self._error_for(rc)
+        done = int(ctrl.cycles_done)
+        return DriveResult(
+            outputs=outputs,
+            norms=[float(norms[i]) for i in range(done)],
+            cycles=done,
+            converged=bool(ctrl.converged),
+        )
 
     def _error_for(self, rc: int) -> NativeBackendError:
         if rc == 500 or rc == -1:

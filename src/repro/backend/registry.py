@@ -14,10 +14,11 @@ comparisons are *banned* outside this module (enforced by
 
 Registered tiers, fastest first::
 
-    native       C/OpenMP shared object        (repro.backend.native)
-    batched      one plan, many RHS, stacked    (this module)
-    planned      AOT numpy kernel tapes         (repro.backend.kernels)
-    interpreted  tree-walking tile interpreter  (repro.backend.evaluate)
+    native-driver  whole-solve C cycle loop       (repro.backend.native)
+    native         per-cycle C/OpenMP invocation  (repro.backend.native)
+    batched        one plan, many RHS, stacked    (this module)
+    planned        AOT numpy kernel tapes         (repro.backend.kernels)
+    interpreted    tree-walking tile interpreter  (repro.backend.evaluate)
 
 Each tier declares:
 
@@ -94,10 +95,12 @@ __all__ = [
     "InterpretedBackend",
     "PlannedBackend",
     "NativeBackend",
+    "DriverBackend",
     "BatchedPlannedBackend",
     "INTERPRETED",
     "PLANNED",
     "NATIVE",
+    "DRIVER",
     "BATCHED",
     "TIERS",
 ]
@@ -127,6 +130,16 @@ class BackendStats:
     plan_time_s: float = 0.0
     #: requests served by batched executes (batched tier only)
     coalesced: int = 0
+    #: multigrid cycles retired inside whole-solve driver bursts
+    #: (driver tier only)
+    cycles_in_native: int = 0
+    #: driver bursts that returned to the Python supervisor hook
+    #: (driver tier only)
+    hook_returns: int = 0
+    #: JIT wall time attributed to artifacts carrying the whole-solve
+    #: driver entry (driver tier only; the shared object is the same
+    #: one the per-cycle native tier uses)
+    driver_compile_time_s: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -137,6 +150,11 @@ class BackendStats:
             "compile_time_s": round(self.compile_time_s, 6),
             "plan_time_s": round(self.plan_time_s, 6),
             "coalesced": self.coalesced,
+            "cycles_in_native": self.cycles_in_native,
+            "hook_returns": self.hook_returns,
+            "driver_compile_time_s": round(
+                self.driver_compile_time_s, 6
+            ),
         }
 
 
@@ -305,6 +323,10 @@ class Backend:
     #: process (``native_isolation="sandbox"``) instead of risking the
     #: host — only the native tier runs untrusted machine-generated code
     crash_isolated = False
+    #: runs the whole multigrid cycle loop (convergence test included)
+    #: inside one invocation, returning to Python only every
+    #: ``driver_hook_cycles`` cycles (whole-solve driver tier only)
+    whole_solve = False
 
     # -- planning / readiness -------------------------------------------
     def plan(self, compiled: "CompiledPipeline", config=None) -> ExecutionPlan:
@@ -463,8 +485,56 @@ class NativeBackend(Backend):
             )
         return outputs
 
+    def cost_hint(self, compiled, machine, *, threads=1, cycles=1):
+        """Table-1 machine model plus one Python→native dispatch
+        crossing *per cycle* — the honest per-cycle native estimate the
+        roofline predictor ranks against the whole-solve driver."""
+        from ..model.costs import NATIVE_DISPATCH_OVERHEAD_S
+
+        base = super().cost_hint(
+            compiled, machine, threads=threads, cycles=cycles
+        )
+        if base is None:
+            return None
+        return base + cycles * NATIVE_DISPATCH_OVERHEAD_S
+
     def inherit(self, clone, source):
         clone._inherit_native(source)
+
+
+class DriverBackend(NativeBackend):
+    """The whole-solve native driver: the multigrid cycle loop,
+    residual-norm convergence test, and iterate ping-pong run inside
+    one ``polymg_drive`` invocation with a persistent OpenMP team,
+    returning to the Python supervisor hook every
+    :attr:`~repro.config.PolyMgConfig.driver_hook_cycles` cycles.
+
+    Shares the per-cycle native tier's artifact (the same translation
+    unit carries both entry points, so one JIT build and one
+    artifact-store entry serve both tiers), its lowerability gate, its
+    sandbox confinement, and its latched fallback machinery.  Per-cycle
+    executes through this tier behave exactly like the native tier;
+    the whole-solve path is :meth:`CompiledPipeline.drive`, which
+    callers reach only when this tier's ``whole_solve`` flag is set."""
+
+    name = "native-driver"
+    rungs = ("polymg-driver",)
+    whole_solve = True
+
+    def cost_hint(self, compiled, machine, *, threads=1, cycles=1):
+        """One dispatch crossing per ``driver_hook_cycles`` burst
+        instead of per cycle — the driver's amortization advantage as
+        the roofline predictor sees it."""
+        from ..model.costs import NATIVE_DISPATCH_OVERHEAD_S
+
+        base = Backend.cost_hint(
+            self, compiled, machine, threads=threads, cycles=cycles
+        )
+        if base is None:
+            return None
+        k = max(1, getattr(compiled.config, "driver_hook_cycles", 1))
+        bursts = -(-cycles // k)  # ceil
+        return base + bursts * NATIVE_DISPATCH_OVERHEAD_S
 
 
 # ---------------------------------------------------------------------------
@@ -838,8 +908,9 @@ class TierRegistry:
         return section
 
 
-#: the four registered tiers, fastest first
+#: the five registered tiers, fastest first
 TIERS = TierRegistry()
+DRIVER = TIERS.register(DriverBackend(), fallback="native")
 NATIVE = TIERS.register(NativeBackend(), fallback="planned")
 BATCHED = TIERS.register(BatchedPlannedBackend(), fallback="planned")
 PLANNED = TIERS.register(PlannedBackend(), fallback="interpreted")

@@ -30,13 +30,27 @@ subprocess executors:
   :func:`~repro.cache.quarantine_threshold` times is blacklisted on
   disk and never reloaded by any process again.
 
+Whole-solve driver bursts (``polymg_drive``) run through the same
+pool.  A burst of ``k`` cycles legitimately holds a worker ``k`` times
+longer than one kernel invocation, so its watchdog deadline scales
+with the cycle budget — ``k x REPRO_SANDBOX_CYCLE_TIMEOUT`` (default:
+the flat ``REPRO_SANDBOX_TIMEOUT``) — instead of the flat per-job
+bound.  The driver additionally bumps a kernel-progress counter in the
+heartbeat segment after every completed cycle, and a drive job whose
+counter stalls is killed early (a wedged cycle must not ride out the
+whole scaled deadline).
+
 Environment switches: ``REPRO_NATIVE_ISOLATION`` forces the isolation
 mode (overriding :attr:`repro.config.PolyMgConfig.native_isolation`),
 ``REPRO_SANDBOX_WORKERS`` sizes the pool (default 2),
 ``REPRO_SANDBOX_TIMEOUT`` bounds one kernel invocation in seconds
-(default 60), ``REPRO_SANDBOX_HEARTBEAT`` tunes the beat interval
-(default 0.1 s; staleness trips at 10 beats or 1 s, whichever is
-larger).
+(default 60), ``REPRO_SANDBOX_CYCLE_TIMEOUT`` bounds one driver cycle
+(default: the flat timeout), ``REPRO_SANDBOX_HEARTBEAT`` tunes the
+beat interval (default 0.1 s; staleness trips at 10 beats or 1 s,
+whichever is larger), and ``REPRO_NATIVE_AFFINITY``
+(``compact``/``scatter``) is translated into
+``OMP_PROC_BIND``/``OMP_PLACES`` inside each worker before its OpenMP
+runtime initializes.
 """
 
 from __future__ import annotations
@@ -61,7 +75,8 @@ from ..errors import (
     NativeCrashError,
     NativeHangError,
 )
-from .native import NativeRunner
+from .codegen_c import driver_emitted
+from .native import DriveResult, NativeRunner
 
 if TYPE_CHECKING:  # pragma: no cover
     from .executor import CompiledPipeline
@@ -74,7 +89,11 @@ __all__ = [
     "reset_sandbox_pool",
 ]
 
-_HB_BYTES = 8  # one uint64 beat counter
+# heartbeat segment layout: offset 0 holds the worker's Python-thread
+# beat counter (uint64), offset 8 the kernel-progress counter a driver
+# burst bumps once per completed cycle (int64, via ``ctrl->progress``)
+_HB_BYTES = 16
+_HB_PROGRESS_OFF = 8
 
 
 def _env_float(name: str, default: float) -> float:
@@ -99,6 +118,16 @@ def sandbox_timeout() -> float:
     return max(0.05, _env_float("REPRO_SANDBOX_TIMEOUT", 60.0))
 
 
+def sandbox_cycle_timeout() -> float:
+    """Per-cycle allowance for whole-solve driver bursts: a burst of
+    ``k`` cycles gets an absolute deadline of ``k`` times this instead
+    of the flat :func:`sandbox_timeout`."""
+    return max(
+        0.05,
+        _env_float("REPRO_SANDBOX_CYCLE_TIMEOUT", sandbox_timeout()),
+    )
+
+
 def heartbeat_interval() -> float:
     return max(0.01, _env_float("REPRO_SANDBOX_HEARTBEAT", 0.1))
 
@@ -110,6 +139,18 @@ def _heartbeat_stale_after(interval: float) -> float:
 # ---------------------------------------------------------------------------
 # worker process
 # ---------------------------------------------------------------------------
+
+
+def _apply_affinity_env() -> None:
+    """Translate the ``REPRO_NATIVE_AFFINITY`` override into the OpenMP
+    binding variables.  Must run before the worker's OpenMP runtime
+    initializes (i.e. before any shared object is loaded); explicit
+    ``OMP_*`` settings in the environment win."""
+    mode = os.environ.get("REPRO_NATIVE_AFFINITY", "").strip().lower()
+    bind = {"compact": "close", "scatter": "spread"}.get(mode)
+    if bind is not None:
+        os.environ.setdefault("OMP_PROC_BIND", bind)
+        os.environ.setdefault("OMP_PLACES", "cores")
 
 
 def _worker_main(conn, hb_name: str, hb_interval: float) -> None:
@@ -127,7 +168,9 @@ def _worker_main(conn, hb_name: str, hb_interval: float) -> None:
     # tracker, and attaching registers the same name it already holds
     # (set semantics — deduped), so the parent's unlink at pool close
     # is the single cleanup point.  No child-side unregister needed.
+    _apply_affinity_env()
     hb = SharedMemory(name=hb_name)
+    hb_base = ctypes.addressof(ctypes.c_char.from_buffer(hb.buf))
 
     def beat() -> None:
         n = 0
@@ -138,7 +181,7 @@ def _worker_main(conn, hb_name: str, hb_interval: float) -> None:
 
     threading.Thread(target=beat, name="sandbox-heartbeat", daemon=True).start()
 
-    from .native import NativeModule, _PmgBuffer
+    from .native import NativeModule, PmgDriveCtrl, _PmgBuffer
 
     modules: dict[str, NativeModule] = {}
     segments: dict[str, SharedMemory] = {}
@@ -196,6 +239,50 @@ def _worker_main(conn, hb_name: str, hb_interval: float) -> None:
             c_params = (ctypes.c_int64 * max(1, len(params)))(
                 *(params or [0])
             )
+            drive = job.get("drive")
+            if drive is not None:
+                if getattr(module, "_drive", None) is None:
+                    conn.send((
+                        "err",
+                        "NativeABIError",
+                        "shared object does not export the "
+                        "whole-solve driver",
+                    ))
+                    continue
+                ctrl = PmgDriveCtrl(
+                    max_cycles=int(drive["max_cycles"]),
+                    iterate_index=int(drive["iterate_index"]),
+                    rhs_index=int(drive["rhs_index"]),
+                    tol=float(drive["tol"]),
+                    norm_scale=float(drive["norm_scale"]),
+                    inv_h2=float(drive["inv_h2"]),
+                    norms=ctypes.cast(
+                        base + int(drive["norms_offset"]),
+                        ctypes.POINTER(ctypes.c_double),
+                    ),
+                    progress=ctypes.cast(
+                        hb_base + _HB_PROGRESS_OFF,
+                        ctypes.POINTER(ctypes.c_int64),
+                    ),
+                )
+                with module.lock:
+                    rc = module._drive(
+                        c_params,
+                        len(params),
+                        int(job["nthreads"]),
+                        in_bufs,
+                        len(job["inputs"]),
+                        out_bufs,
+                        len(job["outputs"]),
+                        ctypes.byref(ctrl),
+                    )
+                conn.send((
+                    "ok",
+                    int(rc),
+                    int(ctrl.cycles_done),
+                    int(ctrl.converged),
+                ))
+                continue
             with module.lock:
                 rc = module._run(
                     c_params,
@@ -322,14 +409,35 @@ class SandboxWorker:
             worker=self.index,
         )
 
-    def run_job(self, job: dict, key: str, pipeline: str):
+    def run_job(
+        self,
+        job: dict,
+        key: str,
+        pipeline: str,
+        *,
+        deadline_s: float | None = None,
+        cycle_stale_s: float | None = None,
+    ):
         """Send one job and watchdog it to completion.
 
-        Returns the worker's reply tuple; raises the crash-class typed
-        error (after hard-killing the worker where needed).  The caller
-        must treat any raise as "this worker is dead"."""
-        deadline = time.monotonic() + sandbox_timeout()
-        self._beat_seen_at = time.monotonic()  # fresh staleness window
+        ``deadline_s`` overrides the flat :func:`sandbox_timeout` (drive
+        jobs scale it with their cycle budget).  ``cycle_stale_s``, when
+        given, arms the kernel-progress watch: the job is killed early
+        if the driver's per-cycle progress counter stops advancing for
+        that long, so a wedged cycle does not ride out the whole scaled
+        deadline.  Returns the worker's reply tuple; raises the
+        crash-class typed error (after hard-killing the worker where
+        needed).  The caller must treat any raise as "this worker is
+        dead"."""
+        budget = deadline_s if deadline_s is not None else sandbox_timeout()
+        now = time.monotonic()
+        deadline = now + budget
+        self._beat_seen_at = now  # fresh staleness window
+        if cycle_stale_s is not None:
+            # zero the kernel-progress counter before the burst starts
+            # (only one job is in flight per worker at a time)
+            struct.pack_into("<q", self.hb.buf, _HB_PROGRESS_OFF, 0)
+            progress_seen, progress_seen_at = 0, now
         try:
             self.conn.send(job)
         except (OSError, ValueError, BrokenPipeError):
@@ -353,9 +461,25 @@ class SandboxWorker:
                     "native kernel missed its sandbox deadline",
                     pipeline=pipeline,
                     artifact_key=key,
-                    timeout_s=sandbox_timeout(),
+                    timeout_s=budget,
                     worker=self.index,
                 )
+            if cycle_stale_s is not None:
+                progress = struct.unpack_from(
+                    "<q", self.hb.buf, _HB_PROGRESS_OFF
+                )[0]
+                if progress != progress_seen:
+                    progress_seen, progress_seen_at = progress, now
+                elif now - progress_seen_at > cycle_stale_s:
+                    self._kill()
+                    raise NativeHangError(
+                        "native driver stopped making cycle progress",
+                        pipeline=pipeline,
+                        artifact_key=key,
+                        reason="stalled-cycle",
+                        cycles_done=progress,
+                        worker=self.index,
+                    )
             if self._heartbeat_stale(now):
                 self._kill()
                 raise NativeHangError(
@@ -550,6 +674,125 @@ class SandboxPool:
         finally:
             self._release(worker, dead)
 
+    def drive(
+        self,
+        runner: "SandboxRunner",
+        arrays: list[np.ndarray],
+        num_threads: int,
+        *,
+        max_cycles: int,
+        iterate_index: int,
+        rhs_index: int,
+        tol: float,
+        norm_scale: float,
+        inv_h2: float,
+    ) -> tuple[list[np.ndarray], list[float], bool]:
+        """Run one whole-solve driver burst out-of-process.
+
+        Same staging contract as :meth:`run`, plus a norms region in
+        the shared segment the kernel writes its per-cycle residual
+        norms into.  The watchdog deadline scales with the cycle budget
+        (``max_cycles x`` :func:`sandbox_cycle_timeout`) and the
+        kernel-progress watch kills a burst whose cycle counter stalls.
+        Returns ``(outputs, norms, converged)``.
+        """
+        placements_in, placements_out = [], []
+        offset = 0
+        for arr in arrays:
+            placements_in.append((offset, tuple(arr.shape)))
+            offset += arr.nbytes
+        for _out, shape in runner.outputs:
+            placements_out.append((offset, tuple(shape)))
+            offset += int(np.prod(shape)) * 8
+        norms_offset = offset
+        offset += max_cycles * 8
+        worker = self._acquire()
+        dead = False
+        try:
+            seg = worker.ensure_segment(offset)
+            for arr, (off, shape) in zip(arrays, placements_in):
+                view = np.frombuffer(
+                    seg.buf, dtype=np.float64,
+                    count=arr.size, offset=off,
+                ).reshape(shape)
+                view[...] = arr
+                del view
+            job = {
+                "so": runner.so_path,
+                "shm": seg.name,
+                "params": list(runner.param_values),
+                "nthreads": int(num_threads),
+                "inputs": placements_in,
+                "outputs": placements_out,
+                "drive": {
+                    "max_cycles": int(max_cycles),
+                    "iterate_index": int(iterate_index),
+                    "rhs_index": int(rhs_index),
+                    "tol": float(tol),
+                    "norm_scale": float(norm_scale),
+                    "inv_h2": float(inv_h2),
+                    "norms_offset": norms_offset,
+                },
+            }
+            with self.stats_lock:
+                self.jobs += 1
+            cycle_s = sandbox_cycle_timeout()
+            try:
+                reply = worker.run_job(
+                    job,
+                    runner.key,
+                    runner.pipeline,
+                    deadline_s=max_cycles * cycle_s,
+                    cycle_stale_s=2.0 * cycle_s,
+                )
+            except NativeBackendError as exc:
+                dead = True
+                with self.stats_lock:
+                    if isinstance(exc, NativeHangError):
+                        self.hangs += 1
+                    elif isinstance(exc, NativeAbortError):
+                        self.aborts += 1
+                    else:
+                        self.crashes += 1
+                raise
+            if reply[0] == "err":
+                raise NativeBackendError(
+                    "sandbox worker could not run the native driver",
+                    pipeline=runner.pipeline,
+                    artifact_key=runner.key,
+                    kind=reply[1],
+                    error=reply[2],
+                )
+            rc = reply[1]
+            if rc == 4:
+                from ..errors import NativeABIError
+
+                raise NativeABIError(
+                    "shared object rejected the driver control block",
+                    pipeline=runner.pipeline,
+                    returncode=rc,
+                )
+            if rc != 0:
+                raise runner._error_for(rc)
+            done, converged = int(reply[2]), bool(reply[3])
+            outputs = []
+            for off, shape in placements_out:
+                view = np.frombuffer(
+                    seg.buf, dtype=np.float64,
+                    count=int(np.prod(shape)), offset=off,
+                ).reshape(shape)
+                outputs.append(np.array(view))  # the one copy out
+                del view
+            norms_view = np.frombuffer(
+                seg.buf, dtype=np.float64,
+                count=max_cycles, offset=norms_offset,
+            )
+            norms = [float(x) for x in norms_view[:done]]
+            del norms_view
+            return outputs, norms, converged
+        finally:
+            self._release(worker, dead)
+
     # -- introspection / shutdown ----------------------------------------
     def state(self) -> dict:
         with self._lock:
@@ -610,10 +853,11 @@ class SandboxRunner(NativeRunner):
         super().__init__(None, compiled)
         self.so_path = str(so_path)
         self.key = key
+        # the parent never dlopens the artifact, so driver capability
+        # is decided from the emission predicate, not a symbol probe
+        self._driver_capable = driver_emitted(compiled)
 
-    def run(
-        self, input_arrays: dict, num_threads: int
-    ) -> dict[str, np.ndarray]:
+    def _staged_arrays(self, input_arrays: dict) -> list[np.ndarray]:
         arrays = []
         for grid, shape in self.inputs:
             arr = self._normalize(grid, input_arrays[grid])
@@ -626,6 +870,12 @@ class SandboxRunner(NativeRunner):
                     pipeline=self.pipeline,
                 )
             arrays.append(arr)
+        return arrays
+
+    def run(
+        self, input_arrays: dict, num_threads: int
+    ) -> dict[str, np.ndarray]:
+        arrays = self._staged_arrays(input_arrays)
         try:
             outputs = sandbox_pool().run(arrays=arrays, runner=self,
                                          num_threads=num_threads)
@@ -640,6 +890,55 @@ class SandboxRunner(NativeRunner):
             out.name: arr
             for (out, _shape), arr in zip(self.outputs, outputs)
         }
+
+    @property
+    def can_drive(self) -> bool:
+        return self._driver_capable
+
+    def drive(
+        self,
+        input_arrays: dict,
+        num_threads: int,
+        *,
+        max_cycles: int,
+        iterate_index: int,
+        rhs_index: int,
+        tol: float,
+        norm_scale: float,
+        inv_h2: float,
+    ) -> DriveResult:
+        """Crash-isolated whole-solve burst: same contract as
+        :meth:`NativeRunner.drive`, run inside a sandbox worker with a
+        cycle-scaled watchdog deadline."""
+        arrays = self._staged_arrays(input_arrays)
+        try:
+            outputs, norms, converged = sandbox_pool().drive(
+                arrays=arrays,
+                runner=self,
+                num_threads=num_threads,
+                max_cycles=max_cycles,
+                iterate_index=iterate_index,
+                rhs_index=rhs_index,
+                tol=tol,
+                norm_scale=norm_scale,
+                inv_h2=inv_h2,
+            )
+        except (NativeCrashError, NativeHangError) as exc:
+            kind = type(exc).__name__
+            quarantined = native_artifact_store().record_crash(
+                self.key, kind
+            )
+            exc.context["quarantined"] = quarantined
+            raise
+        return DriveResult(
+            outputs={
+                out.name: arr
+                for (out, _shape), arr in zip(self.outputs, outputs)
+            },
+            norms=norms,
+            cycles=len(norms),
+            converged=converged,
+        )
 
     def pool_bytes(self) -> int:
         # the emitted pool statics live inside the worker processes;

@@ -17,6 +17,7 @@ __all__ = [
     "BACKENDS",
     "ISOLATION_MODES",
     "NATIVE_FAULTS",
+    "AFFINITY_MODES",
 ]
 
 
@@ -45,6 +46,12 @@ ISOLATION_MODES = ("none", "sandbox")
 
 #: Test-only native crash injection values (``None`` = disabled).
 NATIVE_FAULTS = (None, "segfault", "spin", "abort")
+
+#: Thread-affinity policies for the native tiers (see
+#: :mod:`repro.backend.codegen_c`): ``none`` leaves placement to the
+#: OpenMP runtime, ``compact`` binds close (``proc_bind(close)``),
+#: ``scatter`` spreads across places (``proc_bind(spread)``).
+AFFINITY_MODES = ("none", "compact", "scatter")
 
 # Paper section 3.2.4 default mid-range tile sizes: 2-D outermost 8:64,
 # innermost 64:512; 3-D two outermost 8:32, innermost 64:256.
@@ -157,6 +164,24 @@ class PolyMgConfig:
         crash/hang/abort handling can be exercised with real native
         faults.  ``None`` (default) emits nothing.  Part of the
         fingerprint, so a faulted artifact never shadows a healthy one.
+    driver_hook_cycles:
+        Supervisor hook granularity of the whole-solve native driver
+        (``polymg_drive``): the in-kernel cycle loop returns to Python
+        every this many cycles so checkpointing, deadline, and
+        stagnation policy still govern the solve.  Larger values
+        amortize dispatch further but coarsen deadline/preemption
+        response to ``k``-cycle boundaries.
+    native_threads:
+        Thread-count override for native-tier invocations (both
+        per-cycle ``polymg_run`` and the whole-solve driver).  ``None``
+        (default) uses :attr:`num_threads`.
+    native_affinity:
+        Thread-pinning policy compiled into the emitted OpenMP parallel
+        regions (see :data:`AFFINITY_MODES`): ``"compact"`` emits
+        ``proc_bind(close)``, ``"scatter"`` emits ``proc_bind(spread)``,
+        ``"none"`` (default) emits no binding clause.  Sandbox executor
+        workers additionally translate the ``REPRO_NATIVE_AFFINITY``
+        environment override into ``OMP_PROC_BIND``/``OMP_PLACES``.
     """
 
     fuse: bool = True
@@ -183,6 +208,9 @@ class PolyMgConfig:
     native_cflags: tuple[str, ...] | None = None
     native_isolation: str = "none"
     native_fault: str | None = None
+    driver_hook_cycles: int = 8
+    native_threads: int | None = None
+    native_affinity: str = "none"
 
     def __post_init__(self) -> None:
         if self.verify_level not in VERIFY_LEVELS:
@@ -221,6 +249,20 @@ class PolyMgConfig:
             raise CompileError(
                 f"unknown native_fault {self.native_fault!r}",
                 expected=NATIVE_FAULTS,
+            )
+        if self.driver_hook_cycles < 1:
+            from .errors import CompileError
+
+            raise CompileError(
+                "driver_hook_cycles must be >= 1",
+                got=self.driver_hook_cycles,
+            )
+        if self.native_affinity not in AFFINITY_MODES:
+            from .errors import CompileError
+
+            raise CompileError(
+                f"unknown native_affinity {self.native_affinity!r}",
+                expected=AFFINITY_MODES,
             )
 
     def tile_shape(self, ndim: int) -> tuple[int, ...]:

@@ -46,7 +46,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..lang.function import Function
     from ..passes.groups import Group
 
-__all__ = ["CostBreakdown", "GroupCost", "PipelineCostModel"]
+__all__ = [
+    "CostBreakdown",
+    "GroupCost",
+    "PipelineCostModel",
+    "NATIVE_DISPATCH_OVERHEAD_S",
+]
+
+#: Per-invocation overhead of crossing the Python → shared-object
+#: boundary on the native tiers: ctypes marshalling of the buffer
+#: descriptors, the module lock, output allocation, and the Python-side
+#: residual-norm bookkeeping between cycles.  Measured at a few tens of
+#: microseconds on commodity hardware; the exact value matters less
+#: than its *presence* — it is what makes the roofline predictor rank
+#: the whole-solve driver (one crossing per ``driver_hook_cycles``
+#: burst) above per-cycle native dispatch on small grids, where a cycle
+#: itself costs comparably little.
+NATIVE_DISPATCH_OVERHEAD_S = 5e-5
 
 
 @dataclass

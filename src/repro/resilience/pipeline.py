@@ -41,7 +41,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..backend.executor import CompiledPipeline
     from ..multigrid.cycles import MultigridPipeline
 
-__all__ = ["ResilientPipeline"]
+__all__ = ["ResilientPipeline", "CycleBurst"]
+
+
+class CycleBurst:
+    """What one :meth:`ResilientPipeline.attempt_cycles` attempt
+    retired: the outputs after the last accepted cycle, the per-cycle
+    residual norms when the whole-solve driver computed them in-kernel
+    (``None`` means the caller must compute the single cycle's norm
+    itself), the number of cycles, and whether the driver served."""
+
+    __slots__ = ("outputs", "norms", "cycles", "driven")
+
+    def __init__(self, outputs, norms, cycles, driven):
+        self.outputs = outputs
+        self.norms = norms
+        self.cycles = cycles
+        self.driven = driven
 
 
 class ResilientPipeline:
@@ -161,6 +177,59 @@ class ResilientPipeline:
         directly so it can restore its checkpoint between attempts.
         """
         return self._attempt(lambda compiled: compiled.execute(inputs))
+
+    def attempt_cycles(
+        self,
+        inputs: dict[str, np.ndarray],
+        *,
+        max_cycles: int,
+        tol: float | None = None,
+        spec=None,
+    ) -> tuple[str, "CycleBurst | None", ReproError | None]:
+        """One *burst* attempt on the currently-selected rung.
+
+        When the rung's tier is whole-solve capable (and ``spec`` is
+        given), up to ``min(driver_hook_cycles, max_cycles)`` multigrid
+        cycles run inside one native driver call — convergence test
+        included — and the burst comes back with its in-kernel
+        per-cycle norms.  Any reason the driver cannot serve (tier not
+        capable, build pending, fault injector, latched fallback)
+        degrades to exactly one per-cycle execution *within the same
+        attempt*, so ladder selection, the probe lease, and breaker
+        accounting happen once either way.  Fault semantics match
+        :meth:`attempt`."""
+
+        def run(compiled) -> CycleBurst:
+            if spec is not None:
+                burst = min(
+                    max(
+                        1,
+                        getattr(compiled.config, "driver_hook_cycles", 1),
+                    ),
+                    max_cycles,
+                )
+                drive = getattr(compiled, "drive", None)
+                served = (
+                    drive(
+                        inputs,
+                        max_cycles=burst,
+                        tol=tol if tol is not None else 0.0,
+                        spec=spec,
+                    )
+                    if drive is not None
+                    else None
+                )
+                if served is not None and served.cycles > 0:
+                    return CycleBurst(
+                        served.outputs,
+                        list(served.norms),
+                        served.cycles,
+                        True,
+                    )
+            out = compiled.execute(inputs)
+            return CycleBurst(out, None, 1, False)
+
+        return self._attempt(run)
 
     def attempt_batch(
         self, inputs_list: list[dict[str, np.ndarray]]

@@ -401,7 +401,21 @@ class SolveSupervisor:
 
             pipeline = self.resilient.pipeline  # may have been rebuilt
             inputs = pipeline.make_inputs(checkpoint.u, f)
-            variant, out, error = self.resilient.attempt(inputs)
+            # one attempt = one burst: on a whole-solve-capable rung up
+            # to ``driver_hook_cycles`` cycles run inside a single
+            # native call (so deadline/preemption/stagnation checks
+            # happen at k-cycle hook boundaries); every other rung
+            # serves exactly one cycle per attempt as before
+            variant, burst, error = self.resilient.attempt_cycles(
+                inputs,
+                max_cycles=policy.max_cycles - checkpoint.cycle,
+                tol=policy.tol,
+                spec=(
+                    pipeline.drive_spec()
+                    if hasattr(pipeline, "drive_spec")
+                    else None
+                ),
+            )
 
             if error is not None:
                 last_error = error
@@ -425,13 +439,20 @@ class SolveSupervisor:
                     ) from error
                 continue  # retry the same cycle from the checkpoint
 
-            u_new = np.array(out[pipeline.output.name], copy=True)
-            norm = float(norm_residual(u_new, f, h))
+            u_new = np.array(burst.outputs[pipeline.output.name], copy=True)
+            if burst.norms is not None:
+                cycle_norms = burst.norms
+            else:
+                cycle_norms = [float(norm_residual(u_new, f, h))]
             try:
-                monitor.observe(norm)
+                for norm in cycle_norms:
+                    monitor.observe(norm)
             except NumericalDivergenceError as error:
                 # executed cleanly but the residual blew up: demote the
-                # serving variant and restore the checkpoint
+                # serving variant and restore the checkpoint.  A driver
+                # burst is transactional — divergence anywhere in it
+                # discards the whole burst back to the pre-burst
+                # checkpoint (the k-cycle hook granularity caveat)
                 last_error = error
                 self.resilient.report_failure(variant, error)
                 restores += 1
@@ -454,13 +475,15 @@ class SolveSupervisor:
                     ) from error
                 continue
 
-            # accepted: advance the checkpoint
-            cycle = checkpoint.cycle + 1
-            trail.append(variant)
-            norms.append(norm)
+            # accepted: advance the checkpoint (one trail entry per
+            # accepted cycle, so ``cycles == len(variant_trail)`` holds
+            # for driver bursts too)
+            cycle = checkpoint.cycle + len(cycle_norms)
+            trail.extend([variant] * len(cycle_norms))
+            norms.extend(cycle_norms)
             checkpoint = SolveCheckpoint(u_new, cycle, list(norms), variant)
 
-            if policy.tol is not None and norm < policy.tol:
+            if policy.tol is not None and norms[-1] < policy.tol:
                 status = "converged"
                 break
 

@@ -295,8 +295,17 @@ def autotune_measured(
     trial_timeout: float | None = None,
     trial_byte_budget: int | None = None,
 ) -> TuneResult:
-    """Tune by wall-clock execution of the numpy backend (laptop-scale
-    problems; the paper's 'minimum of five runs' protocol, scaled).
+    """Tune by wall-clock execution (laptop-scale problems; the
+    paper's 'minimum of five runs' protocol, scaled).
+
+    Every trial scores *per-cycle* wall time, so configurations remain
+    comparable across execution tiers: when the base config selects a
+    whole-solve tier, each repeat times one ``driver_hook_cycles``
+    burst through ``polymg_drive`` and divides by the cycles served —
+    tile sizes are searched under the exact dispatch regime the solve
+    will use.  A trial whose driver cannot serve (toolchain missing,
+    build failed, artifact without the driver entry) degrades to
+    per-invocation ``execute`` timing within the same trial.
 
     ``trial_byte_budget`` caps each trial's pooled-allocator backing
     memory (see :class:`~repro.config.PolyMgConfig.pool_byte_budget`):
@@ -310,14 +319,37 @@ def autotune_measured(
             cfg = cfg.with_(pool_byte_budget=trial_byte_budget)
         compiled, compile_time, hit = _timed_compile(pipe, cfg)
         inputs = inputs_factory()
+        whole_solve = getattr(
+            TIERS.resolve(cfg.backend), "whole_solve", False
+        )
+        spec = (
+            pipe.drive_spec()
+            if whole_solve and hasattr(pipe, "drive_spec")
+            else None
+        )
+        burst = max(1, getattr(cfg, "driver_hook_cycles", 1))
         best = float("inf")
         total = 0.0
         for _ in range(repeats):
             t0 = time.perf_counter()
-            compiled.execute(inputs)
-            elapsed = time.perf_counter() - t0
+            served = (
+                compiled.drive(
+                    inputs, max_cycles=burst, tol=0.0, spec=spec
+                )
+                if spec is not None
+                else None
+            )
+            if served is None or served.cycles == 0:
+                # driver unavailable: latch onto per-invocation timing
+                # for the remaining repeats of this trial
+                spec = None
+                compiled.execute(inputs)
+                cycles = 1
+            else:
+                cycles = served.cycles
+            elapsed = (time.perf_counter() - t0) / cycles
             best = min(best, elapsed)
-            total += elapsed
+            total += elapsed * cycles
         return TrialMeasurement(
             score=best,
             compile_time=compile_time,

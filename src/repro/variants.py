@@ -37,6 +37,7 @@ __all__ = [
     "LADDER_ORDER",
     "polymg_naive",
     "polymg_native",
+    "polymg_driver",
     "polymg_opt",
     "polymg_opt_plus",
     "polymg_dtile_opt_plus",
@@ -100,6 +101,20 @@ def polymg_native(**overrides) -> PolyMgConfig:
     return polymg_opt_plus(**base)
 
 
+def polymg_driver(**overrides) -> PolyMgConfig:
+    """``polymg-driver`` — ``opt+`` through the whole-solve native
+    driver (:class:`~repro.backend.registry.DriverBackend`): the
+    multigrid cycle loop, residual-norm convergence test, and iterate
+    ping-pong all run inside one ``polymg_drive`` call with persistent
+    OpenMP threads, returning to the supervisor hook every
+    ``driver_hook_cycles`` cycles.  Shares the per-cycle native tier's
+    shared object and degrades to it (then onward down the ladder)
+    whenever the driver cannot serve."""
+    base = dict(backend="native-driver")
+    base.update(overrides)
+    return polymg_opt_plus(**base)
+
+
 def handopt_model(**overrides) -> PolyMgConfig:
     """``handopt`` expressed as a compiler configuration for the machine
     cost model: straightforward per-stage loops (no fusion/tiling) with
@@ -151,6 +166,7 @@ LADDER_ORDER = _TIERS.ladder_order()
 POLYMG_VARIANTS = {
     "polymg-naive": polymg_naive,
     "polymg-native": polymg_native,
+    "polymg-driver": polymg_driver,
     "polymg-opt": polymg_opt,
     "polymg-opt+": polymg_opt_plus,
     "polymg-dtile-opt+": polymg_dtile_opt_plus,

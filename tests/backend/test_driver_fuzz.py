@@ -1,0 +1,221 @@
+"""Whole-solve driver parity fuzz (the PR-9 correctness net).
+
+The ``polymg_drive`` entry point moves the multigrid cycle loop, the
+iterate ping-pong, and the residual-norm convergence test into one
+native invocation with a persistent OpenMP team.  None of that is
+allowed to change a single bit of the numerics: the driver replicates
+numpy's pairwise summation for the residual norm, applies the same
+strict ``norm < tol`` test the supervisor uses, and hands back the
+iterate exactly as the per-cycle regime would have left it.
+
+These suites fuzz that contract across 2-D/3-D V- and W-cycle
+pipelines and thread counts:
+
+* a k-cycle driver burst must produce the **bitwise-identical**
+  residual history and final iterate as k per-cycle native executes
+  with the norm computed in numpy between calls;
+* the in-kernel convergence test must stop at exactly the cycle the
+  Python-side test would have stopped at, with the histories equal up
+  to that cycle;
+* a supervised solve preempted at a driver hook boundary and resumed
+  from its checkpoint must be indistinguishable — same residual
+  history, same final iterate — from a solve that was never
+  interrupted.
+
+Everything here skips on machines without a C toolchain; the
+sandboxed-driver variants of these properties live in
+``tests/backend/test_sandbox.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.native import discover_compiler
+from repro.backend.registry import DRIVER, TIERS
+from repro.compiler import compile_pipeline
+from repro.multigrid.cycles import build_poisson_cycle
+from repro.multigrid.kernels import norm_residual
+from repro.multigrid.reference import MultigridOptions
+from repro.resilience import (
+    DegradationLadder,
+    SolveSupervisor,
+    SupervisorPolicy,
+)
+from repro.variants import polymg_driver, polymg_native
+
+needs_cc = pytest.mark.skipif(
+    discover_compiler() is None,
+    reason="no C toolchain on PATH (cc/gcc/clang)",
+)
+
+TILES = {2: (8, 16), 3: (4, 8, 8)}
+
+# (ndim, cycle, n, threads) — both ranks, both cycle shapes, serial
+# and parallel OpenMP teams
+CASES = [
+    (2, "V", 16, 1),
+    (2, "V", 32, 4),
+    (2, "W", 16, 2),
+    (3, "V", 8, 1),
+    (3, "W", 8, 2),
+]
+
+
+def _case(ndim, n, cycle, seed=20170712):
+    pipe = build_poisson_cycle(
+        ndim, n, MultigridOptions(cycle=cycle, n1=2, n2=2, n3=2, levels=3)
+    )
+    rng = np.random.default_rng(seed)
+    shape = (n + 2,) * ndim
+    f = np.zeros(shape)
+    f[(slice(1, -1),) * ndim] = rng.standard_normal((n,) * ndim)
+    return pipe, f
+
+
+def _compile(pipe, factory, threads, **overrides):
+    cfg = factory(
+        tile_sizes=dict(TILES), num_threads=threads, **overrides
+    )
+    compiled = compile_pipeline(
+        pipe.output, pipe.params, cfg, name=pipe.name, cache=False
+    )
+    TIERS.resolve(cfg.backend).ensure_ready(compiled)
+    return compiled
+
+
+def _percycle(compiled, pipe, f, cycles, tol=None):
+    """The per-cycle regime: one execute per cycle, residual norm in
+    numpy between calls, the supervisor's strict ``norm < tol`` test."""
+    h = 1.0 / (f.shape[0] - 1)
+    u, norms = np.zeros_like(f), []
+    for _ in range(cycles):
+        u = compiled.execute(pipe.make_inputs(u, f))[pipe.output.name]
+        norms.append(float(norm_residual(u, f, h)))
+        if tol is not None and norms[-1] < tol:
+            break
+    return u, norms
+
+
+@needs_cc
+@pytest.mark.parametrize("ndim,cycle,n,threads", CASES)
+def test_driver_burst_is_bitwise_identical_to_percycle(
+    ndim, cycle, n, threads
+):
+    pipe, f = _case(ndim, n, cycle)
+    native = _compile(pipe, polymg_native, threads)
+    driver = _compile(pipe, polymg_driver, threads)
+    try:
+        ref_u, ref_norms = _percycle(native, pipe, f, cycles=5)
+        served = driver.drive(
+            pipe.make_inputs(np.zeros_like(f), f),
+            max_cycles=5,
+            tol=0.0,  # tol <= 0 disables the in-kernel test
+            spec=pipe.drive_spec(),
+        )
+    finally:
+        native.close()
+        driver.close()
+    assert served is not None, "driver failed to serve with a toolchain"
+    assert served.cycles == 5 and not served.converged
+    # iterate-for-iterate: every per-cycle residual norm, bitwise
+    assert list(served.norms) == ref_norms
+    assert np.array_equal(served.outputs[pipe.output.name], ref_u)
+
+
+@needs_cc
+@pytest.mark.parametrize("ndim,cycle,n,threads", CASES[:3])
+def test_in_kernel_convergence_stops_at_the_same_cycle(
+    ndim, cycle, n, threads
+):
+    pipe, f = _case(ndim, n, cycle)
+    native = _compile(pipe, polymg_native, threads)
+    driver = _compile(pipe, polymg_driver, threads)
+    try:
+        # pick a tolerance that stops strictly mid-burst: between the
+        # 4th and 3rd residual norms of an unconstrained run
+        _, free_norms = _percycle(native, pipe, f, cycles=8)
+        tol = (free_norms[2] + free_norms[3]) / 2.0
+        ref_u, ref_norms = _percycle(native, pipe, f, cycles=8, tol=tol)
+        assert len(ref_norms) == 4  # the Python-side test stops here
+        served = driver.drive(
+            pipe.make_inputs(np.zeros_like(f), f),
+            max_cycles=8,
+            tol=tol,
+            spec=pipe.drive_spec(),
+        )
+    finally:
+        native.close()
+        driver.close()
+    assert served is not None
+    assert served.converged and served.cycles == len(ref_norms)
+    assert list(served.norms) == ref_norms
+    assert np.array_equal(served.outputs[pipe.output.name], ref_u)
+
+
+@needs_cc
+class TestSupervisedPreemption:
+    """Preempting a supervised solve at a driver hook boundary and
+    resuming its checkpoint loses nothing — bitwise."""
+
+    HOOK = 3
+    OVERRIDES = {"tile_sizes": {2: (8, 16)}, "driver_hook_cycles": HOOK}
+    POLICY = dict(max_cycles=24, tol=1e-5)
+
+    def _supervisor(self, pipe):
+        sup = SolveSupervisor(
+            pipe,
+            SupervisorPolicy(**self.POLICY),
+            ladder=DegradationLadder(),
+            config_overrides=dict(self.OVERRIDES),
+        )
+        # block on the JIT build so the very first attempt is a full
+        # driver burst, not a build-in-flight per-cycle fallback
+        compiled = sup.resilient.compiled_for("polymg-driver")
+        TIERS.resolve(DRIVER.name).ensure_ready(compiled)
+        return sup
+
+    def test_preempt_at_hook_boundary_then_resume_is_lossless(self):
+        pipe, f = _case(2, 16, "V")
+
+        calls = {"n": 0}
+
+        def stop_after_first_burst():
+            calls["n"] += 1
+            return calls["n"] > 1  # polled once per burst attempt
+
+        preempted = self._supervisor(pipe).solve(
+            f, should_stop=stop_after_first_burst
+        )
+        assert preempted.status == "preempted"
+        # the driver served whole bursts: preemption lands exactly on
+        # a k-cycle hook boundary, never mid-burst
+        assert preempted.cycles == self.HOOK
+        assert preempted.cycles % self.HOOK == 0
+        assert set(preempted.variant_trail) == {"polymg-driver"}
+        assert preempted.checkpoint is not None
+
+        resumed = self._supervisor(pipe).solve(
+            f, resume_from=preempted.checkpoint
+        )
+        uninterrupted = self._supervisor(pipe).solve(f)
+
+        assert resumed.status == uninterrupted.status == "converged"
+        # the stitched history is bitwise the uninterrupted history …
+        assert resumed.residual_norms == uninterrupted.residual_norms
+        assert resumed.cycles == uninterrupted.cycles
+        # … and so is the final iterate
+        assert np.array_equal(resumed.u, uninterrupted.u)
+
+    def test_preempted_burst_count_is_visible_in_driver_stats(self):
+        pipe, f = _case(2, 16, "V")
+        sup = self._supervisor(pipe)
+        result = sup.solve(f)
+        assert result.converged
+        compiled = sup.resilient.compiled_for("polymg-driver")
+        tier = compiled.stats.tier(DRIVER.name)
+        # every accepted cycle ran inside the driver, one hook return
+        # per burst
+        assert tier.cycles_in_native == result.cycles
+        assert tier.hook_returns == -(-result.cycles // self.HOOK)

@@ -28,6 +28,7 @@ import pytest
 from repro.backend.native import discover_compiler
 from repro.backend.registry import (
     BATCHED,
+    DRIVER,
     INTERPRETED,
     NATIVE,
     PLANNED,
@@ -68,8 +69,9 @@ def _compile(pipe, **overrides):
 # ---------------------------------------------------------------------------
 
 
-def test_registry_orders_all_four_tiers():
+def test_registry_orders_all_five_tiers():
     assert TIERS.names() == (
+        DRIVER.name,
         NATIVE.name,
         BATCHED.name,
         PLANNED.name,
@@ -129,6 +131,14 @@ def test_capability_flags_partition_the_registry():
     assert flags[PLANNED.name] == (True, False, False, False)
     assert flags[NATIVE.name] == (True, True, False, False)
     assert flags[BATCHED.name] == (True, False, True, False)
+    assert flags[DRIVER.name] == (True, True, False, False)
+    # the driver is the only whole-solve-capable tier
+    whole = [
+        name
+        for name in TIERS.names()
+        if getattr(TIERS.resolve(name), "whole_solve", False)
+    ]
+    assert whole == [DRIVER.name]
 
 
 # ---------------------------------------------------------------------------

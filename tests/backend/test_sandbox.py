@@ -31,7 +31,7 @@ from repro.backend.native import (
     discover_compiler,
     native_isolation_mode,
 )
-from repro.backend.registry import NATIVE, PLANNED, Backend
+from repro.backend.registry import DRIVER, NATIVE, PLANNED, Backend
 from repro.backend.sandbox import (
     SandboxRunner,
     reset_sandbox_pool,
@@ -48,7 +48,7 @@ from repro.errors import (
 )
 from repro.multigrid.cycles import build_poisson_cycle
 from repro.multigrid.reference import MultigridOptions
-from repro.variants import polymg_native, polymg_opt_plus
+from repro.variants import polymg_driver, polymg_native, polymg_opt_plus
 from repro.verify.faults import (
     NATIVE_FAULT_INJECTORS,
     inject_native_abort,
@@ -324,6 +324,104 @@ class TestSandboxedExecution:
         assert state["crashes"] == 1
         assert state["respawns"] == 1
         assert state["alive"] == 1
+
+
+def _compile_driver(pipe, **overrides):
+    overrides.setdefault("native_isolation", "sandbox")
+    cfg = polymg_driver(
+        tile_sizes=dict(TILES), num_threads=1, **overrides
+    )
+    return compile_pipeline(
+        pipe.output, pipe.params, cfg, name=pipe.name, cache=False
+    )
+
+
+@needs_cc
+class TestSandboxedDriver:
+    def test_sandboxed_drive_matches_in_process(self):
+        """A whole-solve burst through a sandbox worker is bitwise
+        identical — norms and final iterate — to the in-process
+        driver."""
+        pipe = _pipe()
+        boxed = _compile_driver(pipe)
+        free = _compile_driver(pipe, native_isolation="none")
+        assert isinstance(boxed.ensure_native(), SandboxRunner)
+        assert free.ensure_native() is not None
+        inputs = _inputs(pipe)
+        spec = pipe.drive_spec()
+        a = boxed.drive(dict(inputs), max_cycles=5, tol=0.0, spec=spec)
+        b = free.drive(dict(inputs), max_cycles=5, tol=0.0, spec=spec)
+        assert a is not None and b is not None
+        assert a.cycles == b.cycles == 5
+        assert a.norms == b.norms
+        assert np.array_equal(
+            a.outputs[pipe.output.name], b.outputs[pipe.output.name]
+        )
+        tier = boxed.stats.tier(DRIVER.name)
+        assert tier.executions == 1
+        assert tier.hook_returns == 1
+        assert tier.cycles_in_native == 5
+
+    def test_wedged_driver_burst_is_killed_and_latched(
+        self, monkeypatch
+    ):
+        """A driver whose cycle counter stops advancing is killed by
+        the kernel-progress watch well before the cycle-scaled
+        absolute deadline, and the executor latches onto the per-cycle
+        fallback with the typed hang pending for the breaker."""
+        monkeypatch.setenv("REPRO_SANDBOX_CYCLE_TIMEOUT", "0.3")
+        pipe = _pipe()
+        compiled = _compile_driver(pipe, native_fault="spin")
+        assert compiled.ensure_native() is not None
+        start = time.monotonic()
+        served = compiled.drive(
+            dict(_inputs(pipe)),
+            max_cycles=8,
+            tol=0.0,
+            spec=pipe.drive_spec(),
+        )
+        elapsed = time.monotonic() - start
+        assert served is None  # burst degraded, solve continues
+        assert elapsed < 8 * 0.3  # killed before the full budget
+        pending = compiled.consume_native_fault()
+        assert isinstance(pending, NativeHangError)
+        assert pending.context["reason"] == "stalled-cycle"
+        assert sandbox_state()["hangs"] == 1
+
+
+class TestDriverKnobs:
+    def test_affinity_env_translation(self, monkeypatch):
+        from repro.backend.sandbox import _apply_affinity_env
+
+        for mode, bind in (
+            ("compact", "close"), ("scatter", "spread"),
+        ):
+            monkeypatch.setenv("REPRO_NATIVE_AFFINITY", mode)
+            monkeypatch.delenv("OMP_PROC_BIND", raising=False)
+            monkeypatch.delenv("OMP_PLACES", raising=False)
+            _apply_affinity_env()
+            assert os.environ["OMP_PROC_BIND"] == bind
+            assert os.environ["OMP_PLACES"] == "cores"
+
+    def test_explicit_omp_settings_win(self, monkeypatch):
+        from repro.backend.sandbox import _apply_affinity_env
+
+        monkeypatch.setenv("REPRO_NATIVE_AFFINITY", "compact")
+        monkeypatch.setenv("OMP_PROC_BIND", "spread")
+        monkeypatch.delenv("OMP_PLACES", raising=False)
+        _apply_affinity_env()
+        assert os.environ["OMP_PROC_BIND"] == "spread"
+
+    def test_cycle_timeout_defaults_to_flat_timeout(self, monkeypatch):
+        from repro.backend.sandbox import (
+            sandbox_cycle_timeout,
+            sandbox_timeout,
+        )
+
+        monkeypatch.delenv("REPRO_SANDBOX_CYCLE_TIMEOUT", raising=False)
+        assert sandbox_cycle_timeout() == sandbox_timeout()
+        monkeypatch.setenv("REPRO_SANDBOX_CYCLE_TIMEOUT", "1.5")
+        assert sandbox_cycle_timeout() == 1.5
 
 
 @needs_cc

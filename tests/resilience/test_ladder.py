@@ -45,7 +45,7 @@ class TestSelection:
     def test_default_order_is_the_variant_ladder(self, clock):
         ladder = DegradationLadder(clock=clock)
         assert ladder.variants == LADDER_ORDER
-        assert ladder.select() == "polymg-native"
+        assert ladder.select() == "polymg-driver"
 
     def test_failure_demotes_to_the_next_rung(self, clock):
         ladder = make_ladder(clock)

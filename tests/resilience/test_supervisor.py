@@ -59,7 +59,7 @@ def f(rng):
     return make_rhs(rng, 2, N)
 
 
-def make_supervisor(pipe, policy=None, **ladder_kw):
+def make_supervisor(pipe, policy=None, overrides=None, **ladder_kw):
     ladder_kw.setdefault("clock", TickingClock())
     ladder_kw.setdefault("base_cooldown", 3.0)
     ladder_kw.setdefault("promote_after", 2)
@@ -68,7 +68,7 @@ def make_supervisor(pipe, policy=None, **ladder_kw):
         pipe,
         policy or SupervisorPolicy(max_cycles=25, tol=1e-5),
         ladder=ladder,
-        config_overrides=OVERRIDES,
+        config_overrides=overrides if overrides is not None else OVERRIDES,
     )
 
 
@@ -77,11 +77,13 @@ class TestAcceptance:
         self, pipe, f
     ):
         """The headline scenario: nan-poison on exactly one invocation
-        of ``polymg-native``; the solve completes via checkpoint/restart
-        on the demoted rung and the ladder re-promotes ``polymg-native``
-        within the cooldown window."""
+        of ``polymg-driver``; the solve completes via checkpoint/restart
+        on the demoted rung and the ladder re-promotes ``polymg-driver``
+        within the cooldown window.  (An armed fault injector forces
+        the driver rung onto its per-cycle fallback path, so the fault
+        fires deterministically on the named invocation.)"""
         sup = make_supervisor(pipe)
-        compiled = sup.resilient.compiled_for("polymg-native")
+        compiled = sup.resilient.compiled_for("polymg-driver")
         inject_transient_nan_poison(compiled, invocation=1)
 
         result = sup.solve(f)
@@ -97,10 +99,10 @@ class TestAcceptance:
         assert result.cycles == len(result.variant_trail)
 
         # the first accepted cycles ran on the demoted rung ...
-        assert result.variant_trail[0] == "polymg-opt+"
+        assert result.variant_trail[0] == "polymg-native"
         # ... and the ladder re-promoted the fast rung within cooldown
-        assert result.variant_trail[-1] == "polymg-native"
-        assert result.health["polymg-native"]["state"] == "closed"
+        assert result.variant_trail[-1] == "polymg-driver"
+        assert result.health["polymg-driver"]["state"] == "closed"
 
         # the full incident trail, in causal order
         kinds = result.incidents.kinds()
@@ -120,7 +122,7 @@ class TestAcceptance:
         report = result.report()
         assert report["status"] == "converged"
         assert [r["kind"] for r in report["incidents"]] == kinds
-        assert report["health"]["polymg-native"]["trips"] == 1
+        assert report["health"]["polymg-driver"]["trips"] == 1
         # ... and mirrored onto the faulted variant's compile report
         assert any(
             r["kind"] == "fault" for r in compiled.report.incidents
@@ -134,7 +136,7 @@ class TestAcceptance:
         assert result.converged
         assert result.restores == 0
         assert len(result.incidents) == 0
-        assert set(result.variant_trail) == {"polymg-native"}
+        assert set(result.variant_trail) == {"polymg-driver"}
 
         from repro.multigrid.kernels import norm_residual
 
@@ -144,18 +146,18 @@ class TestAcceptance:
 
 class TestCheckpointRestart:
     def test_persistent_fault_walks_down_the_ladder(self, pipe, f):
-        """A fault that re-fires on every ``polymg-native`` invocation
+        """A fault that re-fires on every ``polymg-driver`` invocation
         keeps the rung tripping; the solve still converges on lower
         rungs."""
         sup = make_supervisor(pipe, base_cooldown=1000.0)
-        compiled = sup.resilient.compiled_for("polymg-native")
+        compiled = sup.resilient.compiled_for("polymg-driver")
         inject_nan_poison(compiled)
 
         result = sup.solve(f)
         assert result.converged
         assert result.restores == 1
-        assert "polymg-native" not in result.variant_trail
-        assert result.health["polymg-native"]["state"] == "open"
+        assert "polymg-driver" not in result.variant_trail
+        assert result.health["polymg-driver"]["state"] == "open"
 
     def test_restore_budget_exhaustion_aborts_loudly(self, pipe, f):
         """When every rung keeps faulting, the supervisor gives up with
@@ -181,15 +183,16 @@ class TestCheckpointRestart:
         """The iterate accepted before the fault is what the retry
         starts from — converged work is never discarded."""
         sup = make_supervisor(pipe)
-        compiled = sup.resilient.compiled_for("polymg-native")
+        compiled = sup.resilient.compiled_for("polymg-driver")
         # fault on the 4th invocation: three cycles already accepted
+        # (the armed injector pins the rung to one-cycle attempts)
         inject_transient_nan_poison(compiled, invocation=4)
 
         result = sup.solve(f)
         assert result.converged
         restore = result.incidents.of_kind("checkpoint-restore")[0]
         assert restore.details["cycle"] == 3  # restored at cycle 3
-        assert restore.details["variant"] == "polymg-native"
+        assert restore.details["variant"] == "polymg-driver"
 
     def test_divergence_after_clean_cycle_restores_too(self, pipe, f):
         """A cycle that executes cleanly but blows up the residual is
@@ -199,7 +202,7 @@ class TestCheckpointRestart:
             pipe, SupervisorPolicy(max_cycles=25, tol=1e-5,
                                    growth_factor=2.0)
         )
-        compiled = sup.resilient.compiled_for("polymg-native")
+        compiled = sup.resilient.compiled_for("polymg-driver")
 
         # corrupt the output (finite, so runtime guards stay silent,
         # but hugely wrong so the residual monitor fires) on one
@@ -257,7 +260,12 @@ class TestStagnationRemediation:
             stagnation_window=3,
             stagnation_floor=0.0,
         )
-        sup = make_supervisor(pipe, policy)
+        # stagnation is only assessed at hook boundaries; pin the
+        # driver to one-cycle bursts so the remediation cadence is
+        # per-cycle, as the walk below assumes
+        sup = make_supervisor(
+            pipe, policy, overrides={**OVERRIDES, "driver_hook_cycles": 1}
+        )
         result = sup.solve(f)
 
         assert result.remediations[:3] == [
@@ -271,7 +279,7 @@ class TestStagnationRemediation:
         # switch-cycle rebuilt it as a W-cycle
         assert sup.pipeline.opts.cycle == "W"
         # demote tripped the serving rung
-        assert result.health["polymg-native"]["trips"] >= 1
+        assert result.health["polymg-driver"]["trips"] >= 1
 
     def test_true_stagnation_is_not_flagged_on_a_converging_solve(
         self, pipe, f
@@ -295,11 +303,11 @@ class TestResilientPipeline:
             DegradationLadder(clock=TickingClock(), base_cooldown=1000.0),
             config_overrides=OVERRIDES,
         )
-        inject_nan_poison(resilient.compiled_for("polymg-native"))
+        inject_nan_poison(resilient.compiled_for("polymg-driver"))
         inputs = pipe.make_inputs(np.zeros_like(f), f)
         out = resilient.execute(inputs)
         assert np.isfinite(out[pipe.output.name]).all()
-        assert resilient.ladder.active() == "polymg-opt+"
+        assert resilient.ladder.active() == "polymg-native"
         assert resilient.faulted
 
     def test_verify_failure_evicts_the_cached_compile(self, pipe, f):
@@ -312,26 +320,26 @@ class TestResilientPipeline:
             DegradationLadder(clock=TickingClock(), base_cooldown=2.0),
             config_overrides=OVERRIDES,
         )
-        bad = resilient.compiled_for("polymg-native")
+        bad = resilient.compiled_for("polymg-driver")
         inject_ghost_shrink(bad)
         evictions_before = compile_cache().stats.evictions
 
         inputs = pipe.make_inputs(np.zeros_like(f), f)
         name, out, error = resilient.attempt(inputs)
-        assert name == "polymg-native" and out is None
+        assert name == "polymg-driver" and out is None
         assert compile_cache().stats.evictions == evictions_before + 1
 
         # next attempt serves the healthy rung below while the tripped
         # circuit cools down
         name, out, error = resilient.attempt(inputs)
-        assert name == "polymg-opt+" and error is None
+        assert name == "polymg-native" and error is None
 
         # cooldown expires (ticking clock): the probe gets a *fresh*
         # compile, which verifies clean and serves
         name, out, error = resilient.attempt(inputs)
-        assert name == "polymg-native"
+        assert name == "polymg-driver"
         assert error is None and out is not None
-        assert resilient.compiled_for("polymg-native") is not bad
+        assert resilient.compiled_for("polymg-driver") is not bad
 
     def test_runtime_fault_keeps_the_executor_for_the_probe(
         self, pipe, f
@@ -344,26 +352,27 @@ class TestResilientPipeline:
             DegradationLadder(clock=TickingClock(), base_cooldown=2.0),
             config_overrides=OVERRIDES,
         )
-        bad = resilient.compiled_for("polymg-native")
+        bad = resilient.compiled_for("polymg-driver")
         inject_nan_poison(bad)
         inputs = pipe.make_inputs(np.zeros_like(f), f)
         resilient.attempt(inputs)  # fault, trip
         name, out, error = resilient.attempt(inputs)  # cooling down
-        assert name == "polymg-opt+" and error is None
+        assert name == "polymg-native" and error is None
         name, out, error = resilient.attempt(inputs)  # probe
-        assert name == "polymg-native"
+        assert name == "polymg-driver"
         assert error is not None  # same armed executor re-fired
-        assert resilient.ladder.health["polymg-native"].cooldown == 4.0
+        assert resilient.ladder.health["polymg-driver"].cooldown == 4.0
 
     def test_demotion_trims_the_rung_pool(self, pipe, f):
-        # the native rung executes in C and never touches the numpy
-        # arena, so exercise the pool-trim path on the numpy rungs
+        # the driver/native rungs execute in C and never touch the
+        # numpy arena, so exercise the pool-trim path on the numpy
+        # rungs below them
         resilient = ResilientPipeline(
             pipe,
             DegradationLadder(
                 clock=TickingClock(),
                 base_cooldown=1000.0,
-                variants=LADDER_ORDER[1:],
+                variants=LADDER_ORDER[2:],
             ),
             config_overrides=OVERRIDES,
         )
@@ -386,16 +395,16 @@ class TestSolveSupervisedEntryPoint:
             config_overrides=OVERRIDES,
         )
         assert result.converged
-        assert result.variant_trail[-1] == "polymg-native"
+        assert result.variant_trail[-1] == "polymg-driver"
 
     def test_reusing_a_supervisor_persists_ladder_health(self, pipe, f):
         """Service semantics: a variant demoted in one solve is still
         in cooldown for the next solve on the same supervisor."""
         sup = make_supervisor(pipe, base_cooldown=10_000.0)
-        inject_nan_poison(sup.resilient.compiled_for("polymg-native"))
+        inject_nan_poison(sup.resilient.compiled_for("polymg-driver"))
         first = solve_supervised(pipe, f, supervisor=sup)
-        assert first.health["polymg-native"]["state"] == "open"
+        assert first.health["polymg-driver"]["state"] == "open"
 
         second = solve_supervised(pipe, f, supervisor=sup)
-        assert "polymg-native" not in second.variant_trail
-        assert second.health["polymg-native"]["state"] == "open"
+        assert "polymg-driver" not in second.variant_trail
+        assert second.health["polymg-driver"]["state"] == "open"

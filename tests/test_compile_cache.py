@@ -21,7 +21,12 @@ from repro.cache import (
     spec_fingerprint,
 )
 from repro.backend.registry import INTERPRETED, PLANNED
-from repro.config import ISOLATION_MODES, NATIVE_FAULTS, PolyMgConfig
+from repro.config import (
+    AFFINITY_MODES,
+    ISOLATION_MODES,
+    NATIVE_FAULTS,
+    PolyMgConfig,
+)
 from repro.errors import StorageSoundnessError
 from repro.multigrid.reference import MultigridOptions
 from repro.variants import polymg_opt_plus
@@ -143,6 +148,8 @@ class TestKeying:
                 return ("-O2", "-fPIC", "-shared")
             if name == "native_isolation":
                 return next(m for m in ISOLATION_MODES if m != value)
+            if name == "native_affinity":
+                return next(m for m in AFFINITY_MODES if m != value)
             if name == "native_fault":
                 return next(
                     f for f in NATIVE_FAULTS if f is not None and f != value

@@ -126,6 +126,41 @@ class TestAutotune:
         # every trial reports its compile/execute split
         assert all(p.execute_time > 0 for p in res.points)
 
+    def test_measured_tuning_drives_whole_solve_tiers(self, monkeypatch):
+        """With a whole-solve base config, each measured trial times a
+        k-cycle ``polymg_drive`` burst and scores per-cycle wall time,
+        so tile sizes are searched under the driver's dispatch regime."""
+        from repro.backend.native import discover_compiler
+        from repro.variants import polymg_driver
+
+        if discover_compiler() is None:
+            pytest.skip("no C toolchain on PATH (cc/gcc/clang)")
+        import repro.tuning.autotuner as at
+
+        monkeypatch.setattr(at, "GROUP_LIMITS", (4,))
+        monkeypatch.setattr(
+            at, "tile_space", lambda ndim: [(8, 16), (16, 32)]
+        )
+        opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+        pipe = build_poisson_cycle(2, 32, opts)
+        rng = np.random.default_rng(0)
+        f = np.zeros((34, 34))
+        f[1:-1, 1:-1] = rng.standard_normal((32, 32))
+        res = autotune_measured(
+            pipe,
+            polymg_driver(
+                driver_hook_cycles=4, native_isolation="none"
+            ),
+            lambda: pipe.make_inputs(np.zeros_like(f), f),
+        )
+        assert res.configurations == 2
+        assert res.best.score > 0
+        # repeats=1 and a 4-cycle burst: the trial's total execute
+        # time is exactly four per-cycle scores — proof the burst
+        # served all four cycles through the driver
+        for p in res.points:
+            assert p.execute_time == pytest.approx(4 * p.score)
+
     def test_compile_execute_split_and_cache_hit_skip(self, monkeypatch):
         import repro.tuning.autotuner as at
         from repro.cache import compile_cache
