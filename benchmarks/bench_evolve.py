@@ -1,0 +1,333 @@
+"""PR 10 benchmark: evolutionary cycle-structure search vs the stock
+cycle.
+
+For each workload the harness runs the reproducible-seed search
+(:class:`repro.tuning.CycleSearch`), measured-re-ranks the Pareto
+finalists through the real execution tiers, and times the winner
+against the incumbent V(4,4)/omega=0.8 cycle under one shared
+protocol: same right-hand side, same absolute residual bound, same
+degradation ladder, best-of-repeats wall clock with JIT build time
+charged (reported separately so a one-time cc run does not masquerade
+as solver speed).
+
+Emits ``BENCH_PR10.json`` at the repository root.  The headline number
+is the geometric-mean measured time-to-solution uplift of the
+discovered cycle over the baseline across all workloads, gated at
+>= 1.3x, with at least one 2-D and one 3-D workload present.  The
+winning genome and the search seed are recorded for exact replay::
+
+    PYTHONPATH=src python benchmarks/bench_evolve.py            # full
+    PYTHONPATH=src python benchmarks/bench_evolve.py --small    # CI
+    PYTHONPATH=src python benchmarks/bench_evolve.py --check 1.3
+    PYTHONPATH=src python benchmarks/bench_evolve.py --replay BENCH_PR10.json
+
+``--replay`` re-runs each recorded search from its stored seed and
+fails unless the same winning genome hash reappears.  ``--smoke`` is
+the CI evolve-smoke mode: a tiny pinned-seed search run twice,
+asserting identical winners and zero unquarantined failures, writing
+the search log to ``--log-out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.errors import TrialFailure
+from repro.resilience.incidents import IncidentLog
+from repro.tuning import (
+    ConvergenceEvaluator,
+    CycleSearch,
+    EvolveSettings,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+GATE_SPEEDUP = 1.3
+SEED = 20170613
+
+
+def geomean(values):
+    import math
+
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def workloads(small: bool):
+    if small:
+        return [("evolve-2D-32", 2, 32), ("evolve-3D-16", 3, 16)]
+    return [("evolve-2D-64", 2, 64), ("evolve-3D-32", 3, 32)]
+
+
+def settings_for(small: bool, seed: int) -> EvolveSettings:
+    if small:
+        return EvolveSettings(
+            population=8,
+            generations=3,
+            seed=seed,
+            pareto_finalists=3,
+        )
+    return EvolveSettings(
+        population=14,
+        generations=6,
+        seed=seed,
+        pareto_finalists=4,
+    )
+
+
+def run_workload(
+    name: str,
+    ndim: int,
+    n: int,
+    *,
+    small: bool,
+    seed: int,
+    repeats: int,
+) -> dict:
+    log = IncidentLog()
+    settings = settings_for(small, seed)
+    search = CycleSearch(ndim, n, settings=settings, log=log)
+    result = search.run()
+    result = search.rerank_measured(result, repeats=repeats)
+
+    baseline = search.baseline_genome()
+    base_run = search.measure_genome(baseline, repeats=repeats)
+
+    row: dict = {
+        "ndim": ndim,
+        "N": n,
+        "seed": seed,
+        "settings": {
+            "population": settings.population,
+            "generations": settings.generations,
+            "pareto_finalists": settings.pareto_finalists,
+        },
+        "evaluations": result.evaluations,
+        "memo_hits": result.memo_hits,
+        "quarantined": len(result.failed),
+        "baseline": {
+            "genome": baseline.to_dict(),
+            "label": baseline.spec.label(),
+            "measured": base_run.to_dict(),
+        },
+        "finalists_measured": [m.to_dict() for m in result.measured],
+        "history": result.history,
+        "incident_kinds": log.kinds(),
+    }
+    if result.best_measured is None:
+        row["error"] = "no finalist could be measured"
+        print(f"{name}: no finalist could be measured")
+        return row
+    winner = result.best_measured
+    speedup = winner.time_to_solution and (
+        base_run.time_to_solution / winner.time_to_solution
+    )
+    row["winner"] = winner.to_dict()
+    row["replay"] = {
+        "seed": seed,
+        "winner_hash": winner.genome.short_hash(),
+        "command": (
+            "PYTHONPATH=src python benchmarks/bench_evolve.py "
+            f"--replay BENCH_PR10.json"
+        ),
+    }
+    row["speedup"] = speedup
+    print(
+        f"{name:14s} baseline {base_run.time_to_solution * 1e3:8.2f} ms "
+        f"({base_run.cycles} cycles)  winner "
+        f"{winner.time_to_solution * 1e3:8.2f} ms ({winner.cycles} "
+        f"cycles, {winner.genome.spec.label()})  uplift {speedup:5.2f}x"
+    )
+    return row
+
+
+def run(small: bool, seed: int, repeats: int) -> dict:
+    results: dict = {
+        "benchmark": "bench_evolve",
+        "small": small,
+        "seed": seed,
+        "repeats": repeats,
+        "gate": {
+            "required_speedup": GATE_SPEEDUP,
+            "metric": "measured time-to-solution, baseline/winner",
+        },
+        "workloads": {},
+    }
+    uplifts = []
+    for name, ndim, n in workloads(small):
+        row = run_workload(
+            name, ndim, n, small=small, seed=seed, repeats=repeats
+        )
+        results["workloads"][name] = row
+        if "speedup" in row:
+            uplifts.append(row["speedup"])
+    if uplifts:
+        results["geomean_speedup"] = geomean(uplifts)
+        print(f"geomean uplift {results['geomean_speedup']:5.2f}x")
+    return results
+
+
+def replay(path: pathlib.Path) -> int:
+    """Re-run every recorded search from its stored seed; fail unless
+    the same winning genome hash reappears."""
+    data = json.loads(path.read_text())
+    small = data["small"]
+    repeats = data["repeats"]
+    failures = 0
+    for name, row in data["workloads"].items():
+        if "replay" not in row:
+            continue
+        fresh = run_workload(
+            name,
+            row["ndim"],
+            row["N"],
+            small=small,
+            seed=row["replay"]["seed"],
+            repeats=repeats,
+        )
+        want = row["replay"]["winner_hash"]
+        got = fresh.get("replay", {}).get("winner_hash")
+        ok = got == want
+        print(f"replay {name}: want {want} got {got} -> "
+              f"{'ok' if ok else 'MISMATCH'}")
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def smoke(seed: int, log_out: pathlib.Path | None) -> int:
+    """CI evolve-smoke: tiny pinned-seed search, run twice — the
+    winners must match and every failure must be a quarantined
+    TrialFailure (the process itself never faults)."""
+    settings = EvolveSettings(
+        population=6, generations=2, seed=seed, pareto_finalists=2
+    )
+    runs = []
+    for attempt in range(2):
+        log = IncidentLog()
+        search = CycleSearch(
+            2,
+            32,
+            settings=settings,
+            log=log,
+            evaluator=ConvergenceEvaluator(2, probe_cycles=5),
+        )
+        result = search.run()
+        assert all(
+            isinstance(f, TrialFailure) for f in result.failed
+        ), "a candidate failure escaped quarantine"
+        assert log.count("evolve-quarantine") == len(result.failed)
+        runs.append(
+            {
+                "attempt": attempt,
+                "winner_hash": result.best.genome.short_hash(),
+                "winner": result.best.genome.to_dict(),
+                "evaluations": result.evaluations,
+                "memo_hits": result.memo_hits,
+                "quarantined": len(result.failed),
+                "history": result.history,
+                "incidents": log.to_dicts(),
+            }
+        )
+        print(
+            f"smoke attempt {attempt}: winner "
+            f"{runs[-1]['winner_hash']} "
+            f"({result.evaluations} evals, "
+            f"{len(result.failed)} quarantined)"
+        )
+    identical = runs[0]["winner_hash"] == runs[1]["winner_hash"]
+    if log_out is not None:
+        log_out.write_text(
+            json.dumps(
+                {"seed": seed, "identical": identical, "runs": runs},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {log_out}")
+    if not identical:
+        print(
+            "FAIL: same seed produced different winners",
+            file=sys.stderr,
+        )
+        return 1
+    print("smoke passed: identical winners, all failures quarantined")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true",
+        help="CI-sized grids and a smaller search budget",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SEED, help="search seed"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed solves per measurement (best-of)",
+    )
+    parser.add_argument(
+        "--check", type=float, default=None, metavar="RATIO",
+        help="fail if the geomean measured uplift is below RATIO",
+    )
+    parser.add_argument(
+        "--replay", type=pathlib.Path, default=None, metavar="JSON",
+        help="re-run the searches recorded in JSON and verify the "
+        "same winning genomes reappear",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI evolve-smoke: tiny search twice, winners must match",
+    )
+    parser.add_argument(
+        "--log-out", type=pathlib.Path,
+        default=REPO_ROOT / "evolve_smoke_log.json",
+        help="search-log artifact path (smoke mode)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_PR10.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke(args.seed, args.log_out)
+    if args.replay is not None:
+        return replay(args.replay)
+
+    results = run(args.small, args.seed, args.repeats)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check is not None:
+        geo = results.get("geomean_speedup")
+        dims = {
+            row["ndim"]
+            for row in results["workloads"].values()
+            if "speedup" in row
+        }
+        if geo is None or not {2, 3} <= dims:
+            print(
+                "FAIL: need measured wins on at least one 2-D and one "
+                "3-D workload",
+                file=sys.stderr,
+            )
+            return 1
+        if geo < args.check:
+            print(
+                f"FAIL: geomean uplift {geo:.2f}x is below the "
+                f"{args.check:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check passed: geomean uplift {geo:.2f}x >= "
+              f"{args.check:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

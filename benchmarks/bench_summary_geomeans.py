@@ -5,10 +5,11 @@ over polymg-naive (paper: 3.2x overall, 4.73x 2-D, 2.18x 3-D), over
 polymg-opt (1.31x), and over handopt+pluto (1.23x overall, 1.67x 2-D).
 
 Also rolls the per-PR bench artifacts (``BENCH_PR6.json`` ..
-``BENCH_PR9.json`` at the repository root) into one cross-PR summary
+``BENCH_PR10.json`` at the repository root) into one cross-PR summary
 table, so the headline of every systems PR — service throughput,
-batching uplift, sandbox overhead, driver cycle-throughput uplift —
-is re-asserted from its recorded JSON whenever the bench suite runs.
+batching uplift, sandbox overhead, driver cycle-throughput uplift,
+cycle-search time-to-solution uplift — is re-asserted from its
+recorded JSON whenever the bench suite runs.
 Missing artifacts are reported and skipped, never a failure: the
 rollup documents what this checkout has measured.
 """
@@ -168,6 +169,34 @@ def test_cross_pr_bench_rollup():
                     assert cell["norms_bitwise_identical"] is True
                     assert cell["iterate_bitwise_identical"] is True
 
+    pr10 = _bench_json("BENCH_PR10.json")
+    if pr10 is not None:
+        geo = pr10.get("geomean_speedup")
+        if geo is not None:
+            rows.append((
+                "PR10 cycle search uplift",
+                f"{geo:.2f}x geomean measured time-to-solution",
+            ))
+            assert geo > 1.0
+        for wname, row in pr10["workloads"].items():
+            if "speedup" not in row:
+                continue
+            winner = row["winner"]
+            rows.append((
+                f"PR10 {wname}",
+                f"{row['speedup']:.2f}x, winner {winner['label']} "
+                f"(seed {row['replay']['seed']}, "
+                f"genome {row['replay']['winner_hash']})",
+            ))
+            # the winner reached the same residual bound in fewer
+            # wall-clock seconds; its replay coordinates are recorded
+            assert row["speedup"] > 1.0
+            assert row["replay"]["winner_hash"] == (
+                winner["genome"]["hash"]
+            )
+            # quarantine accounting is present (may be zero)
+            assert "quarantined" in row
+
     out = io.StringIO()
     out.write("Cross-PR bench rollup (recorded artifacts)\n")
     for label, value in rows:
@@ -177,6 +206,7 @@ def test_cross_pr_bench_rollup():
         for name in (
             "BENCH_PR6.json", "BENCH_PR7.json",
             "BENCH_PR8.json", "BENCH_PR9.json",
+            "BENCH_PR10.json",
         )
         if _bench_json(name) is None
     ]

@@ -2,6 +2,7 @@
 builder (Figure 3), problem definitions, and the NAS MG benchmark."""
 
 from .cycles import MultigridPipeline, build_poisson_cycle, solve_compiled
+from .cyclespec import CycleSpec, LevelSpec, as_cycle_spec
 from .kernels import (
     apply_operator,
     correct,
@@ -17,6 +18,9 @@ __all__ = [
     "MultigridPipeline",
     "build_poisson_cycle",
     "solve_compiled",
+    "CycleSpec",
+    "LevelSpec",
+    "as_cycle_spec",
     "apply_operator",
     "correct",
     "interpolate",

@@ -28,6 +28,7 @@ from ..lang.parameters import Interval, Parameter, Variable
 from ..lang.sampling import Interp, Restrict
 from ..lang.stencil import Stencil, TStencil
 from ..lang.types import Double, Int
+from .cyclespec import CycleSpec, as_cycle_spec
 from .reference import MultigridOptions
 
 __all__ = [
@@ -85,7 +86,7 @@ class MultigridPipeline:
     name: str
     ndim: int
     N: int
-    opts: MultigridOptions
+    opts: "MultigridOptions | CycleSpec"
     output: Function
     v_grid: Grid
     f_grid: Grid
@@ -283,14 +284,18 @@ def solve_supervised(
 
 
 class _CycleBuilder:
-    def __init__(self, ndim: int, N: int, opts: MultigridOptions) -> None:
-        if N % (1 << (opts.levels - 1)) != 0:
+    def __init__(
+        self, ndim: int, N: int, opts: "MultigridOptions | CycleSpec"
+    ) -> None:
+        spec = as_cycle_spec(opts)
+        if N % (1 << (spec.levels - 1)) != 0:
             raise ValueError(
-                f"N={N} not divisible by 2**(levels-1)={1 << (opts.levels - 1)}"
+                f"N={N} not divisible by 2**(levels-1)={1 << (spec.levels - 1)}"
             )
         self.ndim = ndim
         self.N = N
         self.opts = opts
+        self.spec = spec
         self.param = Parameter(Int, "N")
         self.vars = tuple(
             Variable(n) for n in ("z", "y", "x")[3 - ndim :]
@@ -302,11 +307,11 @@ class _CycleBuilder:
     # -- level geometry -------------------------------------------------
     def level_n(self, level: int):
         """Parametric interior extent of ``level`` (affine in N)."""
-        shift = self.opts.levels - 1 - level
+        shift = self.spec.levels - 1 - level
         return self.param.affine * Fraction(1, 1 << shift)
 
     def level_n_value(self, level: int) -> int:
-        return self.N >> (self.opts.levels - 1 - level)
+        return self.N >> (self.spec.levels - 1 - level)
 
     def h(self, level: int) -> float:
         """Mesh width of ``level``: ``1/(N_l + 1)`` (symmetric
@@ -342,12 +347,20 @@ class _CycleBuilder:
 
     # -- cycle stages (Figure 3's helper functions) ----------------------
     def smoother(
-        self, v: Function, f: Function, level: int, steps: int, tag: str
+        self,
+        v: Function,
+        f: Function,
+        level: int,
+        steps: int,
+        tag: str,
+        omega: float | None = None,
     ) -> Function:
         if steps == 0:
             return v
+        if omega is None:
+            omega = self.spec.level(level).omega
         h = self.h(level)
-        weight = self.opts.omega * (h * h) / (2.0 * self.ndim)
+        weight = omega * (h * h) / (2.0 * self.ndim)
         W = TStencil(
             (self.vars, self.full_intervals(level)),
             Double,
@@ -446,33 +459,40 @@ class _CycleBuilder:
         self.stage_count += 1
         return c
 
-    # -- recursion (Figure 3's rec_v_cycle) -------------------------------
+    # -- recursion (Figure 3's rec_v_cycle, per-level generalized) --------
     def rec_cycle(self, v: Function, f: Function, level: int) -> Function:
-        opts = self.opts
+        ls = self.spec.level(level)
         if level == 0:
-            return self.smoother(v, f, level, opts.n2, "coarse")
+            return self.smoother(v, f, level, ls.pre, "coarse", ls.omega)
 
-        smoothed = self.smoother(v, f, level, opts.n1, "pre")
+        smoothed = self.smoother(v, f, level, ls.pre, "pre", ls.omega)
         r_h = self.defect(smoothed, f, level)
         r_2h = self.restrict(r_h, level - 1)
-        e_2h = self.rec_cycle(self.zero_grid(level - 1), r_2h, level - 1)
-        if opts.cycle == "W" and level - 1 > 0:
+        e_2h = self.zero_grid(level - 1)
+        for _visit in range(ls.branch):
             e_2h = self.rec_cycle(e_2h, r_2h, level - 1)
         e_h = self.interpolate(e_2h, level)
         v_c = self.correct(smoothed, e_h, level)
-        return self.smoother(v_c, f, level, opts.n3, "post")
+        return self.smoother(v_c, f, level, ls.post, "post", ls.omega)
 
 
 def build_poisson_cycle(
     ndim: int,
     N: int,
-    opts: MultigridOptions,
+    opts: "MultigridOptions | CycleSpec",
     name: str | None = None,
 ) -> MultigridPipeline:
     """Build one Poisson multigrid cycle specification.
 
     ``N`` is the finest interior extent per dimension (grid arrays are
     ``(N+2)**ndim``); it must be divisible by ``2**(levels-1)``.
+
+    ``opts`` is either the flat :class:`MultigridOptions` or a
+    per-level :class:`~repro.multigrid.cyclespec.CycleSpec` (the
+    evolutionary search's genome): both lower through the identical
+    recursion, so every execution tier — interpreted, planned, batched,
+    native, driver — picks discovered cycles up with no backend
+    changes.
     """
     if ndim not in (1, 2, 3):
         raise ValueError("supported grid ranks: 1, 2, 3")
@@ -480,11 +500,14 @@ def build_poisson_cycle(
     sizes = [builder.param + 2 for _ in range(ndim)]
     v_grid = Grid(Double, "V", sizes)
     f_grid = Grid(Double, "F", sizes)
-    output = builder.rec_cycle(v_grid, f_grid, opts.levels - 1)
+    output = builder.rec_cycle(v_grid, f_grid, builder.spec.levels - 1)
     if name is None:
-        name = (
-            f"{opts.cycle}-{ndim}D-{opts.smoothing_label()}-N{N}"
-        )
+        if isinstance(opts, CycleSpec):
+            name = f"evo-{ndim}D-{opts.short_hash()}-N{N}"
+        else:
+            name = (
+                f"{opts.cycle}-{ndim}D-{opts.smoothing_label()}-N{N}"
+            )
     pipeline = MultigridPipeline(
         name=name,
         ndim=ndim,

@@ -1,0 +1,226 @@
+"""Per-level multigrid cycle structure — the search space of PR 10.
+
+:class:`~repro.multigrid.reference.MultigridOptions` describes a cycle
+with one flat tuple ``(cycle, n1, n2, n3, levels, omega)``: every level
+smooths the same number of times with the same relaxation weight, and
+the branching schedule is all-V or all-W.  The evolutionary
+cycle-structure search (:mod:`repro.tuning.evolve`) needs the general
+object: *each* level's pre/post smoothing step counts, relaxation
+weight, and branching factor are independent genes, and the hierarchy
+depth itself is searchable.
+
+:class:`CycleSpec` is that object — a tuple of :class:`LevelSpec`
+entries indexed by level (0 = coarsest).  It is consumed everywhere a
+``MultigridOptions`` is today via :func:`as_cycle_spec`, which
+normalizes either form, so the DSL builder
+(:func:`~repro.multigrid.cycles.build_poisson_cycle`), the reference
+solver (:func:`~repro.multigrid.reference.reference_cycle`), and every
+execution tier downstream of the lowering pick discovered cycles up
+with no backend changes.  ``CycleSpec.from_options(opts)`` reproduces
+the flat options *exactly* (including the W-cycle convention that the
+level directly above the coarsest recurses once), so the two forms
+build identical stage DAGs and identical iterates.
+
+Both remediation hooks the solve supervisor uses on stagnation —
+:meth:`bumped` (more smoothing) and :meth:`widened` (V -> W) — exist on
+both forms with the same signatures, so supervised solves of
+discovered cycles keep the full PR-3 remediation ladder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["LevelSpec", "CycleSpec", "as_cycle_spec"]
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Cycle structure of one grid level.
+
+    At the coarsest level (level 0) only ``pre`` and ``omega`` are
+    meaningful: ``pre`` is the coarse-solve smoothing step count and
+    ``post``/``branch`` are ignored (and normalized to ``0``/``1`` so
+    equal behaviour fingerprints equally).
+    """
+
+    pre: int = 4  #: pre-smoothing steps (coarsest: coarse-solve steps)
+    post: int = 4  #: post-smoothing steps
+    omega: float = 0.8  #: relaxation weight of this level's smoother
+    branch: int = 1  #: recursions into the next-coarser level (1=V, 2=W)
+
+    def __post_init__(self) -> None:
+        if self.pre < 0 or self.post < 0:
+            raise ValueError(
+                f"negative smoothing step count ({self.pre}, {self.post})"
+            )
+        if self.branch < 1:
+            raise ValueError(f"branch factor must be >= 1, got {self.branch}")
+        if not math.isfinite(self.omega):
+            raise ValueError(f"non-finite relaxation weight {self.omega!r}")
+
+    def label(self) -> str:
+        b = f"x{self.branch}" if self.branch != 1 else ""
+        return f"{self.pre}.{self.post}w{self.omega:g}{b}"
+
+
+@dataclass(frozen=True)
+class CycleSpec:
+    """A complete per-level cycle structure (index 0 = coarsest)."""
+
+    level_specs: tuple[LevelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.level_specs) < 2:
+            raise ValueError("need at least two levels")
+        specs = tuple(
+            LevelSpec(ls.pre, ls.post, ls.omega, ls.branch)
+            if not isinstance(ls, LevelSpec)
+            else ls
+            for ls in self.level_specs
+        )
+        coarse = specs[0]
+        if coarse.post != 0 or coarse.branch != 1:
+            # canonicalize: the coarsest level has no post-smoothing or
+            # recursion, so don't let dead genes split fingerprints
+            specs = (replace(coarse, post=0, branch=1),) + specs[1:]
+        # the level directly above the coarsest visits it once by the
+        # W-cycle convention shared with MultigridOptions; canonicalize
+        # its branch too so equal-behaviour specs fingerprint equally
+        if len(specs) >= 2 and specs[1].branch != 1:
+            specs = (specs[0], replace(specs[1], branch=1)) + specs[2:]
+        object.__setattr__(self, "level_specs", specs)
+
+    # -- geometry --------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        return len(self.level_specs)
+
+    def level(self, k: int) -> LevelSpec:
+        return self.level_specs[k]
+
+    # -- conversions -----------------------------------------------------
+    @classmethod
+    def from_options(cls, opts) -> "CycleSpec":
+        """The exact per-level form of a flat ``MultigridOptions``:
+        level 0 smooths ``n2`` steps; levels 1..L-1 smooth ``n1``
+        pre / ``n3`` post at weight ``omega``; a W cycle recurses twice
+        into every coarser level except the coarsest (the convention of
+        the paper's 100/98-stage W-cycle DAGs)."""
+        specs = [LevelSpec(pre=opts.n2, post=0, omega=opts.omega, branch=1)]
+        for k in range(1, opts.levels):
+            wide = opts.cycle == "W" and k - 1 > 0
+            specs.append(
+                LevelSpec(
+                    pre=opts.n1,
+                    post=opts.n3,
+                    omega=opts.omega,
+                    branch=2 if wide else 1,
+                )
+            )
+        return cls(tuple(specs))
+
+    # -- identity --------------------------------------------------------
+    def label(self) -> str:
+        """Compact structural label, finest level first (e.g.
+        ``cyc5[2.1w0.9|2.1w0.9x2|...|c8w0.8]``)."""
+        fine = "|".join(
+            ls.label() for ls in reversed(self.level_specs[1:])
+        )
+        coarse = self.level_specs[0]
+        return (
+            f"cyc{self.levels}[{fine}|c{coarse.pre}w{coarse.omega:g}]"
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical serialization — equal behaviour, equal string."""
+        parts = [
+            f"({ls.pre},{ls.post},{ls.omega!r},{ls.branch})"
+            for ls in self.level_specs
+        ]
+        return f"cyclespec:[{';'.join(parts)}]"
+
+    def short_hash(self, n: int = 10) -> str:
+        return hashlib.sha256(self.fingerprint().encode()).hexdigest()[:n]
+
+    def to_dict(self) -> dict:
+        return {
+            "levels": [
+                {
+                    "pre": ls.pre,
+                    "post": ls.post,
+                    "omega": ls.omega,
+                    "branch": ls.branch,
+                }
+                for ls in self.level_specs
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CycleSpec":
+        return cls(
+            tuple(
+                LevelSpec(
+                    pre=int(ls["pre"]),
+                    post=int(ls["post"]),
+                    omega=float(ls["omega"]),
+                    branch=int(ls.get("branch", 1)),
+                )
+                for ls in data["levels"]
+            )
+        )
+
+    # -- work accounting -------------------------------------------------
+    def smoothing_steps(self) -> int:
+        """Total smoothing steps over one cycle, level visit
+        multiplicities included — the dominant work term."""
+
+        def visits(level: int) -> int:
+            if level == self.levels - 1:
+                return 1
+            return visits(level + 1) * self.level_specs[level + 1].branch
+
+        total = 0
+        for k, ls in enumerate(self.level_specs):
+            total += visits(k) * (ls.pre + ls.post)
+        return total
+
+    # -- supervisor remediation hooks ------------------------------------
+    def bumped(self, bump: int) -> "CycleSpec":
+        """More smoothing everywhere above the coarsest level — the
+        stagnation remediation analogue of ``MultigridOptions.bumped``."""
+        specs = [self.level_specs[0]]
+        specs += [
+            replace(ls, pre=ls.pre + bump, post=ls.post + bump)
+            for ls in self.level_specs[1:]
+        ]
+        return CycleSpec(tuple(specs))
+
+    def widened(self) -> "CycleSpec | None":
+        """The next-wider branching schedule (every eligible level's
+        branch bumped to 2), or ``None`` when already maximal or too
+        shallow to widen — the V -> W remediation analogue."""
+        if self.levels <= 2:
+            return None
+        specs = list(self.level_specs)
+        changed = False
+        for k in range(2, self.levels):
+            if specs[k].branch < 2:
+                specs[k] = replace(specs[k], branch=2)
+                changed = True
+        if not changed:
+            return None
+        return CycleSpec(tuple(specs))
+
+
+def as_cycle_spec(opts) -> CycleSpec:
+    """Normalize either cycle-structure form to a :class:`CycleSpec`.
+
+    Accepts a :class:`CycleSpec` (returned as-is) or anything with the
+    flat ``MultigridOptions`` attributes (``cycle``/``n1``/``n2``/
+    ``n3``/``levels``/``omega``)."""
+    if isinstance(opts, CycleSpec):
+        return opts
+    return CycleSpec.from_options(opts)

@@ -19,10 +19,11 @@ counts in Table 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .cyclespec import CycleSpec, as_cycle_spec
 from .kernels import (
     correct,
     interior,
@@ -38,7 +39,14 @@ __all__ = ["MultigridOptions", "reference_cycle", "solve", "SolveResult"]
 
 @dataclass(frozen=True)
 class MultigridOptions:
-    """Cycle structure options shared by reference, DSL, and baselines."""
+    """Cycle structure options shared by reference, DSL, and baselines.
+
+    The flat textbook form: every level smooths ``(n1, n3)`` steps at
+    weight ``omega`` and the branching schedule is all-V or all-W.  The
+    general per-level form is :class:`~repro.multigrid.cyclespec
+    .CycleSpec`; everything downstream of
+    :func:`~repro.multigrid.cyclespec.as_cycle_spec` accepts either.
+    """
 
     cycle: str = "V"  # "V" or "W"
     n1: int = 4
@@ -58,6 +66,18 @@ class MultigridOptions:
     def smoothing_label(self) -> str:
         return f"{self.n1}-{self.n2}-{self.n3}"
 
+    # -- supervisor remediation hooks (same surface as CycleSpec) --------
+    def bumped(self, bump: int) -> "MultigridOptions":
+        """More pre/post smoothing — the stagnation remediation."""
+        return replace(self, n1=self.n1 + bump, n3=self.n3 + bump)
+
+    def widened(self) -> "MultigridOptions | None":
+        """The V -> W remediation, or ``None`` when not applicable
+        (already W, or too shallow for W to differ from V)."""
+        if self.cycle == "V" and self.levels > 2:
+            return replace(self, cycle="W")
+        return None
+
 
 def _smooth(u, f, h, steps, omega):
     for _ in range(steps):
@@ -69,16 +89,22 @@ def reference_cycle(
     v: np.ndarray,
     f: np.ndarray,
     h: float,
-    opts: MultigridOptions,
+    opts: "MultigridOptions | CycleSpec",
     level: int | None = None,
 ) -> np.ndarray:
-    """One multigrid cycle; ``level`` counts down to 0 (coarsest)."""
-    if level is None:
-        level = opts.levels - 1
-    if level == 0:
-        return _smooth(v, f, h, opts.n2, opts.omega)
+    """One multigrid cycle; ``level`` counts down to 0 (coarsest).
 
-    v = _smooth(v, f, h, opts.n1, opts.omega)
+    ``opts`` may be the flat :class:`MultigridOptions` or a per-level
+    :class:`~repro.multigrid.cyclespec.CycleSpec`; the flat form builds
+    the identical iterate it always did."""
+    spec = as_cycle_spec(opts)
+    if level is None:
+        level = spec.levels - 1
+    ls = spec.level(level)
+    if level == 0:
+        return _smooth(v, f, h, ls.pre, ls.omega)
+
+    v = _smooth(v, f, h, ls.pre, ls.omega)
     r = residual(v, f, h)
     r2 = restrict_full_weighting(r)
 
@@ -91,13 +117,12 @@ def reference_cycle(
     # grids this distributes the coarse/fine boundary mismatch
     # symmetrically and converges markedly better than h_c = 2h
     hc = 1.0 / (nc + 1)
-    e2 = reference_cycle(e2, f2, hc, opts, level - 1)
-    if opts.cycle == "W" and level - 1 > 0:
-        e2 = reference_cycle(e2, f2, hc, opts, level - 1)
+    for _visit in range(ls.branch):
+        e2 = reference_cycle(e2, f2, hc, spec, level - 1)
 
     e = interpolate(e2[interior(v.ndim)], 2 * nc)
     v = correct(v, e)
-    return _smooth(v, f, h, opts.n3, opts.omega)
+    return _smooth(v, f, h, ls.post, ls.omega)
 
 
 @dataclass

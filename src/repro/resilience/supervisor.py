@@ -36,7 +36,7 @@ import json
 import math
 import os
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
@@ -270,19 +270,17 @@ class SolveSupervisor:
         pipeline = self.resilient.pipeline
         opts = getattr(pipeline, "opts", None)
 
+        # both cycle-structure forms (flat MultigridOptions and the
+        # per-level CycleSpec) expose the same remediation hooks:
+        # bumped() adds smoothing, widened() returns the next-wider
+        # branching schedule or None when not applicable
+        wide = None
+        if action == "switch-cycle" and opts is not None:
+            wide = opts.widened()
         if action == "bump-smoothing" and opts is not None:
-            bump = self.policy.smoothing_bump
-            new_opts = replace(
-                opts, n1=opts.n1 + bump, n3=opts.n3 + bump
-            )
-            self._rebuild(new_opts)
-        elif (
-            action == "switch-cycle"
-            and opts is not None
-            and opts.cycle == "V"
-            and opts.levels > 2
-        ):
-            self._rebuild(replace(opts, cycle="W"))
+            self._rebuild(opts.bumped(self.policy.smoothing_bump))
+        elif wide is not None:
+            self._rebuild(wide)
         else:
             action = "demote"
             self.ladder.trip(variant, reason="stagnation")

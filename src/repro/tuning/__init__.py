@@ -1,7 +1,9 @@
-"""Auto-tuning over the paper's tile-size x grouping-limit space."""
+"""Auto-tuning over the paper's tile-size x grouping-limit space, plus
+the PR-10 evolutionary cycle-structure search (time-to-solution)."""
 
 from .autotuner import (
     TrialMeasurement,
+    TuneMemo,
     TunePoint,
     TuneResult,
     autotune_measured,
@@ -10,9 +12,22 @@ from .autotuner import (
     group_limit_space,
     tile_space,
 )
+from .convergence import ConvergenceEstimate, ConvergenceEvaluator, probe_rhs
+from .evolve import (
+    OMEGA_GRID,
+    CycleSearch,
+    Evaluation,
+    EvolveResult,
+    EvolveSettings,
+    Genome,
+    MeasuredRun,
+    baseline_options,
+    pareto_front,
+)
 
 __all__ = [
     "TrialMeasurement",
+    "TuneMemo",
     "TunePoint",
     "TuneResult",
     "autotune_measured",
@@ -20,4 +35,16 @@ __all__ = [
     "config_space",
     "group_limit_space",
     "tile_space",
+    "ConvergenceEstimate",
+    "ConvergenceEvaluator",
+    "probe_rhs",
+    "OMEGA_GRID",
+    "CycleSearch",
+    "Evaluation",
+    "EvolveResult",
+    "EvolveSettings",
+    "Genome",
+    "MeasuredRun",
+    "baseline_options",
+    "pareto_front",
 ]

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..backend.registry import TIERS
-from ..cache import compile_cache
+from ..cache import compile_cache, compile_fingerprint
 from ..config import PolyMgConfig
 from ..errors import TrialFailure
 from ..model.costs import PipelineCostModel
@@ -43,6 +43,7 @@ from ..model.machine import MachineSpec
 
 __all__ = [
     "TrialMeasurement",
+    "TuneMemo",
     "TuneResult",
     "TunePoint",
     "tile_space",
@@ -123,6 +124,55 @@ class TunePoint:
     execute_time: float = 0.0  # wall time spent scoring (model/exec)
     cache_hit: bool = False  # compile served from the compile cache
 
+    def fingerprint(self) -> str:
+        """Stable identity of this configuration within a sweep — the
+        tie-break key for equal scores (never dict/insertion order)."""
+        return f"tiles={self.tile_shape};limit={self.group_limit}"
+
+
+class TuneMemo:
+    """Fingerprint-keyed memo of trial outcomes, shared across sweeps.
+
+    The evolutionary cycle search and repeated autotune calls revisit
+    identical (pipeline spec, params, config, scoring mode) points;
+    handing the same ``TuneMemo`` to each call dedupes those
+    evaluations.  Failures are latched too — a configuration that
+    already failed is re-quarantined without re-running it (the same
+    don't-retry-a-known-bad-variant semantics the fallback breakers
+    apply to execution tiers)."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, TrialMeasurement | TrialFailure] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def key(self, pipe, cfg: PolyMgConfig, mode: str) -> str:
+        """Content-addressed key: the compile fingerprint of this
+        (spec, params, config) point qualified by the scoring mode."""
+        outputs = (
+            pipe.output
+            if isinstance(pipe.output, (list, tuple))
+            else [pipe.output]
+        )
+        fp = compile_fingerprint(outputs, pipe.params, cfg, pipe.name)
+        return f"{mode}:{fp}"
+
+    def lookup(self, key: str) -> "TrialMeasurement | TrialFailure | None":
+        found = self.entries.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(
+        self, key: str, outcome: "TrialMeasurement | TrialFailure"
+    ) -> None:
+        self.entries[key] = outcome
+
 
 @dataclass
 class TuneResult:
@@ -130,6 +180,7 @@ class TuneResult:
     points: list[TunePoint]
     configurations: int
     failed: list[TrialFailure] = field(default_factory=list)
+    memo_hits: int = 0  # trials served from a shared TuneMemo
 
     def best_config(self, base: PolyMgConfig, ndim: int) -> PolyMgConfig:
         return base.with_(
@@ -227,17 +278,39 @@ def _tune(
     base: PolyMgConfig,
     score: Callable[[PolyMgConfig], float],
     trial_timeout: float | None = None,
+    memo: TuneMemo | None = None,
+    mode: str = "",
 ) -> TuneResult:
     """Search the space; a failing configuration is quarantined into
-    ``TuneResult.failed`` and never aborts the search."""
+    ``TuneResult.failed`` and never aborts the search.
+
+    With a shared ``memo``, points whose (spec, params, config, mode)
+    fingerprint was already evaluated — by an earlier sweep or another
+    caller holding the same memo — are served from it without
+    re-running; ``TuneResult.memo_hits`` counts them.  Memoized
+    failures stay failures."""
     points: list[TunePoint] = []
     failed: list[TrialFailure] = []
+    memo_hits = 0
     for cfg, tiles, limit in config_space(base, pipe.ndim):
-        try:
-            m = _run_trial(score, cfg, tiles, limit, trial_timeout)
-        except TrialFailure as failure:
-            failed.append(failure)
-            continue
+        key = memo.key(pipe, cfg, mode) if memo is not None else None
+        cached = memo.lookup(key) if key is not None else None
+        if cached is not None:
+            memo_hits += 1
+            if isinstance(cached, TrialFailure):
+                failed.append(cached)
+                continue
+            m = cached
+        else:
+            try:
+                m = _run_trial(score, cfg, tiles, limit, trial_timeout)
+            except TrialFailure as failure:
+                if key is not None:
+                    memo.store(key, failure)
+                failed.append(failure)
+                continue
+            if key is not None:
+                memo.store(key, m)
         points.append(
             TunePoint(
                 tiles,
@@ -253,8 +326,12 @@ def _tune(
             "every configuration in the search space failed",
             attempted=len(failed),
         )
-    best = min(points, key=lambda p: p.score)
-    return TuneResult(best, points, len(points) + len(failed), failed)
+    # ties resolve by the stable config fingerprint, not insertion
+    # order, so equal-scoring sweeps always pick the same winner
+    best = min(points, key=lambda p: (p.score, p.fingerprint()))
+    return TuneResult(
+        best, points, len(points) + len(failed), failed, memo_hits
+    )
 
 
 def autotune_model(
@@ -264,6 +341,7 @@ def autotune_model(
     threads: int,
     cycles: int = 10,
     trial_timeout: float | None = None,
+    memo: TuneMemo | None = None,
 ) -> TuneResult:
     """Tune against the machine cost model (paper-scale problems)."""
 
@@ -284,7 +362,14 @@ def autotune_model(
             cache_hit=hit,
         )
 
-    return _tune(pipe, base, score, trial_timeout)
+    return _tune(
+        pipe,
+        base,
+        score,
+        trial_timeout,
+        memo=memo,
+        mode=f"model:t{threads}c{cycles}",
+    )
 
 
 def autotune_measured(
@@ -294,6 +379,7 @@ def autotune_measured(
     repeats: int = 1,
     trial_timeout: float | None = None,
     trial_byte_budget: int | None = None,
+    memo: TuneMemo | None = None,
 ) -> TuneResult:
     """Tune by wall-clock execution (laptop-scale problems; the
     paper's 'minimum of five runs' protocol, scaled).
@@ -357,4 +443,11 @@ def autotune_measured(
             cache_hit=hit,
         )
 
-    return _tune(pipe, base, score, trial_timeout)
+    return _tune(
+        pipe,
+        base,
+        score,
+        trial_timeout,
+        memo=memo,
+        mode=f"measured:r{repeats}",
+    )

@@ -1,0 +1,233 @@
+"""Cheap convergence prediction for the cycle-structure search.
+
+The evolutionary search (:mod:`repro.tuning.evolve`) optimizes
+*time-to-solution* = (cycle wall time) x (cycles until the residual
+drops by the target factor).  The first factor comes from the machine
+cost model; this module supplies the second — cheaply enough to sit in
+an inner search loop.
+
+A candidate :class:`~repro.multigrid.cyclespec.CycleSpec` is probed
+with a short reference-solver run (:func:`repro.multigrid.reference
+.solve`, plain numpy, no compilation) on a small *proxy grid*: the
+asymptotic residual contraction factor rho of a geometric multigrid
+cycle is governed by the smoother/cycle structure and is famously
+insensitive to the grid size, so a 32^2 or 16^3 probe predicts the
+convergence behaviour of the production grid.  The predicted
+cycles-to-converge is then the standard extrapolation
+
+    cycles(rho) = ceil( log(tol_reduction) / log(rho) )
+
+with rho estimated as the geometric mean of the trailing contraction
+factors (the early factors are polluted by the initial-error
+transient).  Cycles whose probe residuals grow (rho >= 1) or go
+non-finite are flagged ``diverged`` — the search quarantines them as
+failures instead of crashing or, worse, ranking them.
+
+Estimates are memoized by the spec's canonical fingerprint, so the
+search never probes the same cycle structure twice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..multigrid.cyclespec import CycleSpec, as_cycle_spec
+from ..multigrid.reference import solve
+
+__all__ = ["ConvergenceEstimate", "ConvergenceEvaluator", "probe_rhs"]
+
+#: default proxy-grid interior size per dimensionality — small enough
+#: that a probe solve is a few milliseconds, large enough that the
+#: asymptotic contraction factor is representative
+DEFAULT_PROXY_N = {2: 32, 3: 16}
+
+#: contraction factors this close to 1 predict astronomically many
+#: cycles; treat as non-converging rather than extrapolate noise
+_RHO_CEILING = 0.999
+
+
+def probe_rhs(ndim: int, n: int, seed: int = 20170613) -> np.ndarray:
+    """Deterministic probe right-hand side on an ``(n+2)**ndim`` grid:
+    a smooth low-frequency mode plus seeded rough noise, so a probe
+    solve exercises both the coarse-grid correction and the smoother.
+    The measured re-rank uses the same family at production size, so
+    predictions and measurements see the same problem."""
+    shape = (n + 2,) * ndim
+    axes = np.meshgrid(
+        *(np.linspace(0.0, 1.0, n + 2),) * ndim, indexing="ij"
+    )
+    smooth = np.ones(shape)
+    for x in axes:
+        smooth = smooth * np.sin(np.pi * x)
+    rng = np.random.default_rng(seed)
+    rough = rng.standard_normal(shape)
+    f = smooth + 0.1 * rough
+    # homogeneous Dirichlet problem: zero the boundary layer
+    mask = np.zeros(shape, dtype=bool)
+    mask[(slice(1, -1),) * ndim] = True
+    f[~mask] = 0.0
+    return f
+
+
+@dataclass(frozen=True)
+class ConvergenceEstimate:
+    """What one probe solve predicted for a cycle structure."""
+
+    rho: float  #: asymptotic residual contraction factor per cycle
+    cycles_to_tol: float  #: predicted cycles to the target reduction
+    diverged: bool  #: residuals grew or went non-finite
+    proxy_n: int  #: interior size of the probe grid
+    probe_cycles: int  #: cycles actually run in the probe
+    residual_norms: tuple[float, ...] = ()
+
+    def predicted_cycles(self, cap: int | None = None) -> int:
+        """``cycles_to_tol`` as a usable iteration count (>= 1,
+        optionally capped)."""
+        if self.diverged or not math.isfinite(self.cycles_to_tol):
+            raise ValueError("no finite prediction for a diverged cycle")
+        cycles = max(1, int(math.ceil(self.cycles_to_tol)))
+        return cycles if cap is None else min(cycles, cap)
+
+
+class ConvergenceEvaluator:
+    """Probe-solve convergence predictor, memoized per cycle spec.
+
+    Parameters
+    ----------
+    ndim:
+        Problem dimensionality (2 or 3) — fixes the proxy grid family.
+    proxy_n:
+        Base proxy-grid interior size (default 32 for 2-D, 16 for
+        3-D).  Deep hierarchies that do not fit the base size use the
+        smallest power-of-two grid keeping >= 2 interior points on the
+        coarsest level, so every searchable depth stays probeable.
+    probe_cycles:
+        Cycles per probe solve.  The trailing ``tail`` factors of
+        these estimate rho.
+    tol_reduction:
+        The residual-reduction target the search optimizes for
+        (prediction and measured re-rank share this value).
+    rhs_seed:
+        Seed of the probe right-hand side's rough component —
+        deterministic, so estimates are exactly reproducible.
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        *,
+        proxy_n: int | None = None,
+        probe_cycles: int = 7,
+        tail: int = 3,
+        tol_reduction: float = 1e-8,
+        rhs_seed: int = 20170613,
+    ) -> None:
+        if ndim not in DEFAULT_PROXY_N:
+            raise ValueError(f"no proxy grid for rank {ndim}")
+        if probe_cycles < 2:
+            raise ValueError("need at least two probe cycles")
+        if not 0.0 < tol_reduction < 1.0:
+            raise ValueError("tol_reduction must be in (0, 1)")
+        self.ndim = ndim
+        self.base_proxy_n = (
+            proxy_n if proxy_n is not None else DEFAULT_PROXY_N[ndim]
+        )
+        self.probe_cycles = probe_cycles
+        self.tail = max(1, tail)
+        self.tol_reduction = tol_reduction
+        self.rhs_seed = rhs_seed
+        self.probes = 0
+        self.memo_hits = 0
+        self._memo: dict[str, ConvergenceEstimate] = {}
+        self._rhs_cache: dict[int, np.ndarray] = {}
+
+    # -- proxy problem ---------------------------------------------------
+    def proxy_n(self, levels: int) -> int:
+        """Probe-grid interior size for a ``levels``-deep hierarchy:
+        the base size, grown to the smallest power of two keeping the
+        coarsest interior >= 2."""
+        need = 2 << (levels - 1)  # 2 * 2**(levels-1)
+        return max(self.base_proxy_n, need)
+
+    def _rhs(self, n: int) -> np.ndarray:
+        cached = self._rhs_cache.get(n)
+        if cached is None:
+            cached = probe_rhs(self.ndim, n, self.rhs_seed)
+            self._rhs_cache[n] = cached
+        return cached
+
+    # -- estimation ------------------------------------------------------
+    def evaluate(self, spec) -> ConvergenceEstimate:
+        """Probe ``spec`` (a :class:`CycleSpec` or flat options) and
+        return its convergence estimate (memoized)."""
+        spec = as_cycle_spec(spec)
+        key = spec.fingerprint()
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        est = self._probe(spec)
+        self._memo[key] = est
+        return est
+
+    def _probe(self, spec: CycleSpec) -> ConvergenceEstimate:
+        self.probes += 1
+        n = self.proxy_n(spec.levels)
+        f = self._rhs(n)
+        with np.errstate(all="ignore"):  # divergence is data, not a warning
+            result = solve(f, spec, cycles=self.probe_cycles)
+        norms = tuple(float(v) for v in result.residual_norms)
+        return self._estimate(norms, n)
+
+    def _estimate(
+        self, norms: tuple[float, ...], proxy_n: int
+    ) -> ConvergenceEstimate:
+        if any(not math.isfinite(v) for v in norms):
+            return ConvergenceEstimate(
+                rho=float("inf"),
+                cycles_to_tol=float("inf"),
+                diverged=True,
+                proxy_n=proxy_n,
+                probe_cycles=len(norms) - 1,
+                residual_norms=norms,
+            )
+        factors = [
+            b / a for a, b in zip(norms, norms[1:]) if a > 0.0
+        ]
+        if not factors or norms[-1] == 0.0:
+            # the probe solved to machine zero: as fast as it gets
+            return ConvergenceEstimate(
+                rho=0.0,
+                cycles_to_tol=1.0,
+                diverged=False,
+                proxy_n=proxy_n,
+                probe_cycles=len(norms) - 1,
+                residual_norms=norms,
+            )
+        tail = factors[-self.tail:]
+        rho = float(np.exp(np.mean(np.log(np.maximum(tail, 1e-300)))))
+        if not math.isfinite(rho) or rho >= _RHO_CEILING:
+            return ConvergenceEstimate(
+                rho=rho,
+                cycles_to_tol=float("inf"),
+                diverged=True,
+                proxy_n=proxy_n,
+                probe_cycles=len(norms) - 1,
+                residual_norms=norms,
+            )
+        cycles = (
+            1.0
+            if rho <= 0.0
+            else math.log(self.tol_reduction) / math.log(rho)
+        )
+        return ConvergenceEstimate(
+            rho=rho,
+            cycles_to_tol=max(1.0, cycles),
+            diverged=False,
+            proxy_n=proxy_n,
+            probe_cycles=len(norms) - 1,
+            residual_norms=norms,
+        )

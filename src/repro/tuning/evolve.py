@@ -1,0 +1,903 @@
+"""Evolutionary cycle-structure search: optimize time-to-solution.
+
+Every earlier tuning layer holds the multigrid cycle fixed and searches
+code-generation parameters (tile sizes, grouping limits) to minimize
+the time of *one cycle*.  But the quantity a user pays for is
+
+    time-to-solution = cycle_time x cycles_until_converged
+
+and the cycle structure itself — per-level pre/post smoothing counts,
+relaxation weights, branching schedule (V/W/hybrid), hierarchy depth —
+trades those two factors against each other: heavier smoothing costs
+more per cycle but contracts the residual faster, W-branches pay extra
+coarse work for better convergence, and so on.  This module searches
+that joint space with a reproducible-seed evolutionary algorithm.
+
+**Genome.**  A :class:`Genome` is a
+:class:`~repro.multigrid.cyclespec.CycleSpec` (the per-level cycle
+structure) plus code-generation genes: a tile shape from the paper's
+tuning space, a grouping limit, and optionally an execution-tier
+backend.  Relaxation weights are drawn from the discrete
+:data:`OMEGA_GRID` so recurring structures fingerprint (and therefore
+memoize) identically.
+
+**Fitness.**  Predicted time-to-solution:
+:class:`~repro.model.costs.PipelineCostModel` supplies the cycle time
+of the candidate's compiled pipeline (via the selected tier's
+``cost_hint``, so driver-tier candidates are charged their real
+dispatch regime), and a :class:`~repro.tuning.convergence
+.ConvergenceEvaluator` probe-solve supplies the predicted
+cycles-to-converge.  Both halves are deterministic, so a seed replays
+to the identical winner.
+
+**Quarantine.**  Candidate evaluation is wrapped in the same
+machinery the autotuner (PR 1) and the resilience layer (PR 3) use: a
+divergent or otherwise pathological cycle raises
+:class:`~repro.errors.TrialFailure`, is recorded on
+``EvolveResult.failed`` and in the shared
+:class:`~repro.resilience.incidents.IncidentLog`, and its fingerprint
+is *latched* in the memo — breaker semantics: a known-bad genome is
+never re-evaluated, and the search itself never crashes.
+
+**Measured re-rank.**  Prediction ranks the population; measurement
+picks the winner.  The Pareto front over (cycle_time,
+cycles_to_converge) yields a small finalist set, and
+:meth:`CycleSearch.rerank_measured` re-ranks it by wall-clock
+time-to-solution through the real execution tiers, walking a
+:class:`~repro.resilience.ladder.DegradationLadder` so a finalist
+whose fast tier faults is measured one rung down (recorded, breaker
+tripped) instead of aborting the re-rank.  JIT build wall time is
+charged to the candidate, ``autotune_measured``-style.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..backend.registry import TIERS
+from ..config import PolyMgConfig
+from ..errors import ReproError, TrialFailure
+from ..model.costs import PipelineCostModel
+from ..model.machine import PAPER_MACHINE, MachineSpec
+from ..multigrid.cyclespec import CycleSpec, LevelSpec
+from ..multigrid.cycles import build_poisson_cycle, solve_compiled
+from ..multigrid.kernels import norm_residual
+from ..multigrid.reference import MultigridOptions
+from ..resilience.incidents import IncidentLog
+from ..resilience.ladder import DegradationLadder
+from ..variants import polymg_opt_plus, variant_config
+from .autotuner import GROUP_LIMITS, tile_space
+from .convergence import ConvergenceEvaluator, probe_rhs
+
+__all__ = [
+    "OMEGA_GRID",
+    "Genome",
+    "Evaluation",
+    "MeasuredRun",
+    "EvolveSettings",
+    "EvolveResult",
+    "CycleSearch",
+    "baseline_options",
+    "pareto_front",
+]
+
+#: the searchable relaxation weights — discrete so equal-behaviour
+#: genomes fingerprint equally and memo hits actually happen
+OMEGA_GRID = tuple(round(0.60 + 0.05 * i, 2) for i in range(13))
+
+
+def baseline_options(levels: int = 4) -> MultigridOptions:
+    """The incumbent the search must beat: V(4,4), omega=0.8 — the
+    paper's stock cycle."""
+    return MultigridOptions(
+        cycle="V", n1=4, n2=4, n3=4, levels=levels, omega=0.8
+    )
+
+
+# ---------------------------------------------------------------------------
+# genome
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Genome:
+    """One candidate: cycle structure + code-generation genes."""
+
+    spec: CycleSpec
+    tile_shape: tuple[int, ...]
+    group_limit: int
+    backend: str | None = None  #: ``None`` = the base config's tier
+
+    def fingerprint(self) -> str:
+        return (
+            f"{self.spec.fingerprint()}|tiles={self.tile_shape}"
+            f"|limit={self.group_limit}|backend={self.backend}"
+        )
+
+    def short_hash(self, n: int = 12) -> str:
+        return hashlib.sha256(
+            self.fingerprint().encode()
+        ).hexdigest()[:n]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "tile_shape": list(self.tile_shape),
+            "group_limit": self.group_limit,
+            "backend": self.backend,
+            "hash": self.short_hash(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Genome":
+        return cls(
+            spec=CycleSpec.from_dict(data["spec"]),
+            tile_shape=tuple(int(v) for v in data["tile_shape"]),
+            group_limit=int(data["group_limit"]),
+            backend=data.get("backend"),
+        )
+
+
+@dataclass
+class Evaluation:
+    """Predicted fitness of one genome."""
+
+    genome: Genome
+    rho: float  #: probe-estimated residual contraction per cycle
+    cycles_to_tol: float  #: predicted cycles to the target reduction
+    cycle_time: float  #: modeled seconds per cycle
+    predicted_time: float  #: modeled seconds to solution (the fitness)
+
+    def to_dict(self) -> dict:
+        return {
+            "genome": self.genome.to_dict(),
+            "label": self.genome.spec.label(),
+            "rho": self.rho,
+            "cycles_to_tol": self.cycles_to_tol,
+            "cycle_time": self.cycle_time,
+            "predicted_time": self.predicted_time,
+        }
+
+
+@dataclass
+class MeasuredRun:
+    """Wall-clock re-rank entry for one finalist."""
+
+    genome: Genome
+    variant: str  #: ladder rung that served the measurement
+    time_to_solution: float  #: best-of-repeats solve wall time (s)
+    jit_build_time: float  #: compile + tier readiness wall time (s)
+    total_time: float  #: build-charged rank key
+    cycles: int
+    final_residual: float
+    predicted_time: float
+
+    def to_dict(self) -> dict:
+        return {
+            "genome": self.genome.to_dict(),
+            "label": self.genome.spec.label(),
+            "variant": self.variant,
+            "time_to_solution": self.time_to_solution,
+            "jit_build_time": self.jit_build_time,
+            "total_time": self.total_time,
+            "cycles": self.cycles,
+            "final_residual": self.final_residual,
+            "predicted_time": self.predicted_time,
+        }
+
+
+@dataclass(frozen=True)
+class EvolveSettings:
+    """Search hyper-parameters (all reproducibility-relevant state)."""
+
+    population: int = 14
+    generations: int = 6
+    seed: int = 0
+    elites: int = 2
+    tournament: int = 3
+    crossover_rate: float = 0.6
+    mutations_per_child: int = 2
+    min_levels: int = 2
+    max_levels: int = 6
+    max_smooth: int = 8
+    threads: int = 4
+    tol_reduction: float = 1e-8
+    probe_cycles: int = 7
+    #: predictions beyond this many cycles are pathological — the
+    #: candidate is quarantined rather than ranked on noise
+    max_predicted_cycles: float = 150.0
+    pareto_finalists: int = 4
+    backend_choices: tuple[str | None, ...] = (None,)
+
+
+@dataclass
+class EvolveResult:
+    """Everything a replay or report needs."""
+
+    best: Evaluation  #: predicted-best over all evaluated genomes
+    pareto: list[Evaluation]  #: non-dominated (cycle_time, cycles)
+    finalists: list[Evaluation]  #: Pareto head, measured-re-rank input
+    history: list[dict]  #: per-generation best/median fitness
+    evaluations: int  #: probe+model evaluations actually run
+    memo_hits: int  #: population members served from the memo
+    failed: list[TrialFailure]  #: quarantined genomes (unique)
+    seed: int
+    settings: EvolveSettings
+    incidents: IncidentLog
+    measured: list[MeasuredRun] = field(default_factory=list)
+    best_measured: MeasuredRun | None = None
+
+    def winning_genome(self) -> Genome:
+        """Measured winner when a re-rank ran, else predicted best."""
+        if self.best_measured is not None:
+            return self.best_measured.genome
+        return self.best.genome
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "best": self.best.to_dict(),
+            "winner": self.winning_genome().to_dict(),
+            "pareto": [e.to_dict() for e in self.pareto],
+            "finalists": [e.to_dict() for e in self.finalists],
+            "measured": [m.to_dict() for m in self.measured],
+            "best_measured": (
+                self.best_measured.to_dict()
+                if self.best_measured is not None
+                else None
+            ),
+            "history": self.history,
+            "evaluations": self.evaluations,
+            "memo_hits": self.memo_hits,
+            "failed": [str(f) for f in self.failed],
+            "quarantined": len(self.failed),
+        }
+
+
+def pareto_front(evals: list[Evaluation]) -> list[Evaluation]:
+    """Non-dominated set over (cycle_time, cycles_to_tol), sorted by
+    predicted time then genome fingerprint (stable under ties)."""
+    front = [
+        e
+        for e in evals
+        if not any(
+            o.cycle_time <= e.cycle_time
+            and o.cycles_to_tol <= e.cycles_to_tol
+            and (
+                o.cycle_time < e.cycle_time
+                or o.cycles_to_tol < e.cycles_to_tol
+            )
+            for o in evals
+        )
+    ]
+    front.sort(
+        key=lambda e: (e.predicted_time, e.genome.fingerprint())
+    )
+    return front
+
+
+def _max_feasible_levels(N: int, floor: int = 2) -> int:
+    """Deepest hierarchy ``N`` supports: interior sizes must halve
+    evenly and the coarsest interior must keep >= 2 points."""
+    levels = 1
+    n = N
+    while n % 2 == 0 and n // 2 >= 2:
+        n //= 2
+        levels += 1
+    return max(floor, levels)
+
+
+# ---------------------------------------------------------------------------
+# the search
+# ---------------------------------------------------------------------------
+
+
+class CycleSearch:
+    """Reproducible-seed evolutionary search over cycle structures.
+
+    Parameters
+    ----------
+    ndim, N:
+        The production workload the fitness model prices (the probe
+        solves run on the evaluator's small proxy grid).
+    base_config:
+        Code-generation baseline each genome's tile/limit/backend
+        genes override (default ``polymg_opt_plus()``).
+    machine:
+        Cost-model machine (default the paper's Table-1 platform).
+    settings:
+        :class:`EvolveSettings`; the ``seed`` makes the whole search —
+        population, mutations, evaluation order, winner — replayable.
+    log:
+        Shared incident log; quarantines and generation summaries are
+        recorded there (and the measured re-rank's ladder joins it).
+    evaluator:
+        Injectable :class:`ConvergenceEvaluator` (tests shrink the
+        probe; production code leaves the default).
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        N: int,
+        *,
+        base_config: PolyMgConfig | None = None,
+        machine: MachineSpec = PAPER_MACHINE,
+        settings: EvolveSettings | None = None,
+        log: IncidentLog | None = None,
+        evaluator: ConvergenceEvaluator | None = None,
+    ) -> None:
+        self.ndim = ndim
+        self.N = N
+        self.base = (
+            base_config if base_config is not None else polymg_opt_plus()
+        )
+        self.machine = machine
+        self.settings = settings if settings is not None else EvolveSettings()
+        self.log = log if log is not None else IncidentLog()
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else ConvergenceEvaluator(
+                ndim,
+                probe_cycles=self.settings.probe_cycles,
+                tol_reduction=self.settings.tol_reduction,
+            )
+        )
+        self.max_levels = min(
+            self.settings.max_levels, _max_feasible_levels(N)
+        )
+        self.tiles = tile_space(ndim)
+        self.rng = random.Random(self.settings.seed)
+        #: genome fingerprint -> Evaluation | TrialFailure (latched)
+        self._memo: dict[str, Evaluation | TrialFailure] = {}
+        self.memo_hits = 0
+        self.evaluations = 0
+        self.failed: list[TrialFailure] = []
+
+    # -- genome constructors --------------------------------------------
+    def _config_for(self, genome: Genome) -> PolyMgConfig:
+        cfg = self.base.with_(
+            tile_sizes={
+                **self.base.tile_sizes,
+                self.ndim: genome.tile_shape,
+            },
+            group_size_limit=genome.group_limit,
+        )
+        if genome.backend is not None:
+            cfg = cfg.with_(backend=genome.backend)
+        return cfg
+
+    def _default_tiles(self) -> tuple[int, ...]:
+        return tuple(self.base.tile_sizes[self.ndim])
+
+    def baseline_genome(self) -> Genome:
+        opts = baseline_options(levels=min(4, self.max_levels))
+        return Genome(
+            spec=CycleSpec.from_options(opts),
+            tile_shape=self._default_tiles(),
+            group_limit=self.base.group_size_limit,
+        )
+
+    def _random_level(self, rng: random.Random, *, coarse: bool) -> LevelSpec:
+        s = self.settings
+        if coarse:
+            return LevelSpec(
+                pre=rng.choice((2, 4, 6, 8, 10)),
+                post=0,
+                omega=rng.choice(OMEGA_GRID),
+                branch=1,
+            )
+        return LevelSpec(
+            pre=rng.randint(0, s.max_smooth),
+            post=rng.randint(0, s.max_smooth),
+            omega=rng.choice(OMEGA_GRID),
+            branch=rng.choice((1, 1, 2)),
+        )
+
+    def _random_genome(self, rng: random.Random) -> Genome:
+        s = self.settings
+        levels = rng.randint(s.min_levels, self.max_levels)
+        specs = [self._random_level(rng, coarse=True)]
+        specs += [
+            self._random_level(rng, coarse=False)
+            for _ in range(levels - 1)
+        ]
+        return Genome(
+            spec=CycleSpec(tuple(specs)),
+            tile_shape=rng.choice(self.tiles),
+            group_limit=rng.choice(GROUP_LIMITS),
+            backend=rng.choice(s.backend_choices),
+        )
+
+    def _seed_population(self) -> list[Genome]:
+        """Generation 0: the incumbent, two hand-picked strong
+        structures, and random fill — the search can only improve on
+        the baseline, never regress below it."""
+        s = self.settings
+        pop = [self.baseline_genome()]
+        base_levels = min(4, self.max_levels)
+        # light-smoothing V-cycle: fewer steps per cycle, more cycles
+        light = [LevelSpec(pre=4, post=0, omega=0.9, branch=1)]
+        light += [
+            LevelSpec(pre=1, post=1, omega=0.9, branch=1)
+            for _ in range(base_levels - 1)
+        ]
+        pop.append(
+            Genome(
+                spec=CycleSpec(tuple(light)),
+                tile_shape=self._default_tiles(),
+                group_limit=self.base.group_size_limit,
+            )
+        )
+        if self.max_levels >= 3:
+            # W below the finest level: convergence-heavy contender
+            wspec = [LevelSpec(pre=4, post=0, omega=0.9, branch=1)]
+            wspec += [
+                LevelSpec(pre=2, post=1, omega=0.9, branch=2)
+                for _ in range(base_levels - 2)
+            ]
+            wspec.append(LevelSpec(pre=2, post=1, omega=0.9, branch=1))
+            pop.append(
+                Genome(
+                    spec=CycleSpec(tuple(wspec)),
+                    tile_shape=self._default_tiles(),
+                    group_limit=self.base.group_size_limit,
+                )
+            )
+        while len(pop) < s.population:
+            pop.append(self._random_genome(self.rng))
+        return pop[: s.population]
+
+    # -- variation operators --------------------------------------------
+    def _mutate(self, genome: Genome, rng: random.Random) -> Genome:
+        s = self.settings
+        specs = list(genome.spec.level_specs)
+        ops = [
+            "smooth",
+            "smooth",
+            "omega",
+            "branch",
+            "tiles",
+            "limit",
+        ]
+        if len(specs) < self.max_levels:
+            ops.append("add-level")
+        if len(specs) > s.min_levels:
+            ops.append("drop-level")
+        if len(s.backend_choices) > 1:
+            ops.append("backend")
+        op = rng.choice(ops)
+        tile_shape = genome.tile_shape
+        group_limit = genome.group_limit
+        backend = genome.backend
+        if op == "smooth":
+            k = rng.randrange(len(specs))
+            ls = specs[k]
+            delta = rng.choice((-1, 1))
+            if k > 0 and rng.random() < 0.5:
+                post = min(max(ls.post + delta, 0), s.max_smooth)
+                specs[k] = replace(ls, post=post)
+            else:
+                pre = min(max(ls.pre + delta, 0), s.max_smooth)
+                specs[k] = replace(ls, pre=pre)
+        elif op == "omega":
+            k = rng.randrange(len(specs))
+            ls = specs[k]
+            idx = min(
+                range(len(OMEGA_GRID)),
+                key=lambda i: abs(OMEGA_GRID[i] - ls.omega),
+            )
+            idx = min(
+                max(idx + rng.choice((-1, 1)), 0), len(OMEGA_GRID) - 1
+            )
+            specs[k] = replace(ls, omega=OMEGA_GRID[idx])
+        elif op == "branch" and len(specs) > 2:
+            k = rng.randrange(2, len(specs))
+            ls = specs[k]
+            specs[k] = replace(ls, branch=2 if ls.branch == 1 else 1)
+        elif op == "add-level":
+            specs.append(replace(specs[-1]))
+        elif op == "drop-level":
+            specs.pop()
+        elif op == "tiles":
+            tile_shape = rng.choice(self.tiles)
+        elif op == "limit":
+            group_limit = rng.choice(GROUP_LIMITS)
+        elif op == "backend":
+            backend = rng.choice(s.backend_choices)
+        return Genome(
+            spec=CycleSpec(tuple(specs)),
+            tile_shape=tile_shape,
+            group_limit=group_limit,
+            backend=backend,
+        )
+
+    def _crossover(
+        self, a: Genome, b: Genome, rng: random.Random
+    ) -> Genome:
+        """Uniform crossover aligned from the coarsest level; depth and
+        code-generation genes each come from a random parent."""
+        donor_depth = a if rng.random() < 0.5 else b
+        levels = donor_depth.spec.levels
+        specs = []
+        for k in range(levels):
+            choices = []
+            if k < a.spec.levels:
+                choices.append(a.spec.level(k))
+            if k < b.spec.levels:
+                choices.append(b.spec.level(k))
+            specs.append(rng.choice(choices))
+        return Genome(
+            spec=CycleSpec(tuple(specs)),
+            tile_shape=rng.choice((a.tile_shape, b.tile_shape)),
+            group_limit=rng.choice((a.group_limit, b.group_limit)),
+            backend=rng.choice((a.backend, b.backend)),
+        )
+
+    def _tournament(
+        self, scored: list[Evaluation], rng: random.Random
+    ) -> Genome:
+        k = min(self.settings.tournament, len(scored))
+        picks = [scored[rng.randrange(len(scored))] for _ in range(k)]
+        best = min(
+            picks,
+            key=lambda e: (e.predicted_time, e.genome.fingerprint()),
+        )
+        return best.genome
+
+    # -- fitness ---------------------------------------------------------
+    def _evaluate(self, genome: Genome) -> Evaluation:
+        """Predicted time-to-solution; raises
+        :class:`~repro.errors.TrialFailure` on any pathological
+        candidate."""
+        est = self.evaluator.evaluate(genome.spec)
+        if est.diverged:
+            raise TrialFailure(
+                "cycle diverges on the probe grid",
+                genome=genome.short_hash(),
+                label=genome.spec.label(),
+                rho=round(est.rho, 4) if math.isfinite(est.rho) else est.rho,
+            )
+        if est.cycles_to_tol > self.settings.max_predicted_cycles:
+            raise TrialFailure(
+                "pathologically slow convergence",
+                genome=genome.short_hash(),
+                label=genome.spec.label(),
+                rho=round(est.rho, 4),
+                cycles_to_tol=round(est.cycles_to_tol, 1),
+            )
+        pipe = build_poisson_cycle(self.ndim, self.N, genome.spec)
+        cfg = self._config_for(genome)
+        compiled = pipe.compile(cfg)
+        cycles = est.predicted_cycles()
+        tier = TIERS.resolve(cfg.backend)
+        total = tier.cost_hint(
+            compiled, self.machine, threads=self.settings.threads,
+            cycles=cycles,
+        )
+        if total is None:
+            total = PipelineCostModel(compiled, self.machine).run_time(
+                self.settings.threads, cycles
+            )
+        cycle_time = total / cycles
+        if not (math.isfinite(total) and total > 0.0):
+            raise TrialFailure(
+                "cost model produced a non-finite or non-positive time",
+                genome=genome.short_hash(),
+                predicted=total,
+            )
+        return Evaluation(
+            genome=genome,
+            rho=est.rho,
+            cycles_to_tol=est.cycles_to_tol,
+            cycle_time=cycle_time,
+            predicted_time=total,
+        )
+
+    def _evaluate_quarantined(self, genome: Genome) -> Evaluation | None:
+        """Memoized, crash-proof evaluation: failures are latched by
+        fingerprint (breaker semantics) and recorded once."""
+        key = genome.fingerprint()
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return None if isinstance(cached, TrialFailure) else cached
+        try:
+            self.evaluations += 1
+            ev = self._evaluate(genome)
+        except TrialFailure as failure:
+            self._quarantine(key, genome, failure)
+            return None
+        except Exception as exc:
+            failure = TrialFailure(
+                "candidate evaluation raised",
+                genome=genome.short_hash(),
+                label=genome.spec.label(),
+                cause=f"{type(exc).__name__}: {exc}",
+            )
+            self._quarantine(key, genome, failure)
+            return None
+        self._memo[key] = ev
+        return ev
+
+    def _quarantine(
+        self, key: str, genome: Genome, failure: TrialFailure
+    ) -> None:
+        self._memo[key] = failure
+        self.failed.append(failure)
+        self.log.record(
+            "evolve-quarantine",
+            error=str(failure),
+            details={"genome": genome.short_hash()},
+        )
+
+    # -- the search loop -------------------------------------------------
+    def run(self) -> EvolveResult:
+        """Run the full search; deterministic for a fixed seed."""
+        s = self.settings
+        population = self._seed_population()
+        history: list[dict] = []
+        scored: list[Evaluation] = []
+        for gen in range(s.generations):
+            scored = []
+            for genome in population:
+                ev = self._evaluate_quarantined(genome)
+                if ev is not None:
+                    scored.append(ev)
+            if not scored:
+                raise TrialFailure(
+                    "an entire generation was quarantined",
+                    generation=gen,
+                    quarantined=len(self.failed),
+                )
+            scored.sort(
+                key=lambda e: (
+                    e.predicted_time,
+                    e.genome.fingerprint(),
+                )
+            )
+            times = [e.predicted_time for e in scored]
+            history.append(
+                {
+                    "generation": gen,
+                    "best": times[0],
+                    "median": times[len(times) // 2],
+                    "best_genome": scored[0].genome.short_hash(),
+                    "scored": len(scored),
+                }
+            )
+            self.log.record(
+                "evolve-generation",
+                details={
+                    "generation": gen,
+                    "best": times[0],
+                    "best_genome": scored[0].genome.short_hash(),
+                },
+            )
+            if gen == s.generations - 1:
+                break
+            nxt = [e.genome for e in scored[: s.elites]]
+            while len(nxt) < s.population:
+                if self.rng.random() < s.crossover_rate and len(scored) > 1:
+                    child = self._crossover(
+                        self._tournament(scored, self.rng),
+                        self._tournament(scored, self.rng),
+                        self.rng,
+                    )
+                else:
+                    child = self._tournament(scored, self.rng)
+                for _ in range(
+                    self.rng.randint(1, s.mutations_per_child)
+                ):
+                    child = self._mutate(child, self.rng)
+                nxt.append(child)
+            population = nxt
+
+        successes = [
+            v
+            for v in self._memo.values()
+            if not isinstance(v, TrialFailure)
+        ]
+        best = min(
+            successes,
+            key=lambda e: (e.predicted_time, e.genome.fingerprint()),
+        )
+        front = pareto_front(successes)
+        finalists = front[: s.pareto_finalists]
+        return EvolveResult(
+            best=best,
+            pareto=front,
+            finalists=finalists,
+            history=history,
+            evaluations=self.evaluations,
+            memo_hits=self.memo_hits,
+            failed=list(self.failed),
+            seed=s.seed,
+            settings=s,
+            incidents=self.log,
+        )
+
+    # -- measured re-rank ------------------------------------------------
+    def rerank_measured(
+        self,
+        result: EvolveResult,
+        *,
+        repeats: int = 2,
+        ladder: DegradationLadder | None = None,
+        max_attempts_per_finalist: int = 4,
+    ) -> EvolveResult:
+        """Re-rank ``result.finalists`` by wall-clock time-to-solution
+        (same tolerance and final residual bound for every candidate).
+
+        Each finalist is measured on the ladder's current best rung;
+        a faulting rung is recorded on its breaker and the finalist
+        retried one rung down, so one bad tier degrades — it never
+        aborts the re-rank.  A finalist no rung can measure is
+        quarantined like any other failed candidate.  Results land in
+        ``result.measured`` / ``result.best_measured``.
+        """
+        if ladder is None:
+            ladder = DegradationLadder(
+                log=self.log, base_cooldown=0.05, probe_timeout=5.0
+            )
+        f, tol = self._measurement_problem()
+        measured: list[MeasuredRun] = []
+        for ev in result.finalists:
+            try:
+                run = self._measure_one(
+                    ev, f, tol, repeats, ladder,
+                    max_attempts_per_finalist,
+                )
+            except TrialFailure as failure:
+                self._quarantine(
+                    f"measured:{ev.genome.fingerprint()}",
+                    ev.genome,
+                    failure,
+                )
+                continue
+            measured.append(run)
+        # rank on solve wall time; the JIT build is charged visibly on
+        # the record (autotune_measured reports the same split) but a
+        # one-time 10-second cc run must not drown the actual ranking
+        measured.sort(
+            key=lambda m: (m.time_to_solution, m.genome.fingerprint())
+        )
+        result.measured = measured
+        result.best_measured = measured[0] if measured else None
+        result.failed = list(self.failed)
+        return result
+
+    def _measurement_problem(self) -> tuple[np.ndarray, float]:
+        """The shared measurement problem: every candidate (and the
+        baseline) solves the same right-hand side to the same absolute
+        residual bound, so measured times are comparable."""
+        f = probe_rhs(self.ndim, self.N, self.evaluator.rhs_seed)
+        h = 1.0 / (self.N + 1)
+        r0 = norm_residual(np.zeros_like(f), f, h)
+        return f, self.settings.tol_reduction * r0
+
+    def measure_genome(
+        self,
+        genome: Genome,
+        *,
+        repeats: int = 2,
+        ladder: DegradationLadder | None = None,
+        max_attempts: int = 4,
+    ) -> MeasuredRun:
+        """Measure one genome under the re-rank protocol (same rhs,
+        same residual bound) — how the bench harness times the
+        incumbent against the discovered winner.  Raises
+        :class:`~repro.errors.TrialFailure` if the genome is
+        quarantined or no rung can measure it."""
+        ev = self._evaluate_quarantined(genome)
+        if ev is None:
+            raise TrialFailure(
+                "genome is quarantined; nothing to measure",
+                genome=genome.short_hash(),
+            )
+        if ladder is None:
+            ladder = DegradationLadder(
+                log=self.log, base_cooldown=0.05, probe_timeout=5.0
+            )
+        f, tol = self._measurement_problem()
+        return self._measure_one(
+            ev, f, tol, repeats, ladder, max_attempts
+        )
+
+    def _measure_one(
+        self,
+        ev: Evaluation,
+        f: np.ndarray,
+        tol: float,
+        repeats: int,
+        ladder: DegradationLadder,
+        max_attempts: int,
+    ) -> MeasuredRun:
+        pipe = build_poisson_cycle(self.ndim, self.N, ev.genome.spec)
+        cap = int(
+            min(
+                math.ceil(ev.cycles_to_tol) * 3 + 5,
+                self.settings.max_predicted_cycles * 3,
+            )
+        )
+        last_error: Exception | None = None
+        tried: list[str] = []
+        for _ in range(max_attempts):
+            variant = ladder.select()
+            cfg = variant_config(
+                variant,
+                group_size_limit=ev.genome.group_limit,
+            ).with_(
+                tile_sizes={
+                    **self.base.tile_sizes,
+                    self.ndim: ev.genome.tile_shape,
+                }
+            )
+            tried.append(variant)
+            try:
+                t0 = time.perf_counter()
+                compiled = pipe.compile(cfg)
+                # charge the JIT: readiness (the native cc build) is
+                # part of this candidate's cost, autotune_measured-style
+                TIERS.resolve(cfg.backend).ensure_ready(compiled)
+                build = time.perf_counter() - t0
+                best = math.inf
+                res = None
+                for _rep in range(repeats):
+                    t0 = time.perf_counter()
+                    res = solve_compiled(
+                        pipe,
+                        f,
+                        compiled=compiled,
+                        cycles=cap,
+                        tol=tol,
+                        guards=True,
+                    )
+                    elapsed = time.perf_counter() - t0
+                    if res.residual_norms[-1] > tol:
+                        raise TrialFailure(
+                            "finalist failed to reach the residual "
+                            "bound within the cycle cap",
+                            genome=ev.genome.short_hash(),
+                            cycles=res.cycles,
+                            cap=cap,
+                            residual=res.residual_norms[-1],
+                            tol=tol,
+                        )
+                    best = min(best, elapsed)
+                ladder.record_success(variant)
+                return MeasuredRun(
+                    genome=ev.genome,
+                    variant=variant,
+                    time_to_solution=best,
+                    jit_build_time=build,
+                    total_time=build + best,
+                    cycles=res.cycles,
+                    final_residual=res.residual_norms[-1],
+                    predicted_time=ev.predicted_time,
+                )
+            except TrialFailure:
+                # the genome's fault (missed the residual bound), not
+                # the rung's: quarantine the candidate, don't trip the
+                # tier's breaker
+                raise
+            except (ReproError, RuntimeError, OSError) as exc:
+                last_error = exc
+                ladder.record_failure(variant, exc)
+        raise TrialFailure(
+            "no execution rung could measure this finalist",
+            genome=ev.genome.short_hash(),
+            tried=tuple(tried),
+            cause=(
+                f"{type(last_error).__name__}: {last_error}"
+                if last_error is not None
+                else None
+            ),
+        )

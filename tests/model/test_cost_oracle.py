@@ -1,0 +1,88 @@
+"""The cost model as a search oracle (PR 10).
+
+The evolutionary search trusts ``PipelineCostModel.cycle_time`` as its
+fitness predictor, so the model must behave like an oracle: exactly
+deterministic call-to-call, strictly increasing in grid size at a
+fixed configuration, and finite/positive over the entire tuning
+configuration space.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model import PAPER_MACHINE
+from repro.model.costs import PipelineCostModel
+from repro.multigrid import MultigridOptions, build_poisson_cycle
+from repro.tuning import config_space
+from repro.variants import polymg_opt_plus
+
+OPTS = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+
+
+def _model(ndim: int, n: int, cfg=None):
+    pipe = build_poisson_cycle(ndim, n, OPTS)
+    compiled = pipe.compile(
+        cfg if cfg is not None else polymg_opt_plus()
+    )
+    return PipelineCostModel(compiled, PAPER_MACHINE)
+
+
+class TestDeterminism:
+    def test_cycle_time_is_bitwise_deterministic(self):
+        model = _model(2, 64)
+        first = model.cycle_time(4)
+        assert all(model.cycle_time(4) == first for _ in range(5))
+        # and across independently built models of the same problem
+        again = _model(2, 64)
+        assert again.cycle_time(4) == first
+
+    def test_run_time_scales_from_cycle_time(self):
+        model = _model(2, 64)
+        one = model.run_time(4, cycles=1)
+        ten = model.run_time(4, cycles=10)
+        assert ten > one > 0.0
+
+
+class TestGridSizeMonotonicity:
+    def test_strictly_increasing_in_grid_size_2d(self):
+        times = [_model(2, n).cycle_time(4) for n in (32, 64, 128, 256)]
+        assert all(b > a for a, b in zip(times, times[1:])), times
+
+    def test_strictly_increasing_in_grid_size_3d(self):
+        times = [_model(3, n).cycle_time(4) for n in (16, 32, 64)]
+        assert all(b > a for a, b in zip(times, times[1:])), times
+
+
+class TestFiniteOverConfigSpace:
+    def test_finite_positive_over_whole_2d_space(self):
+        pipe = build_poisson_cycle(2, 64, OPTS)
+        base = polymg_opt_plus()
+        seen = 0
+        for cfg, tiles, limit in config_space(base, 2):
+            model = PipelineCostModel(
+                pipe.compile(cfg), PAPER_MACHINE
+            )
+            for threads in (1, 4, 24):
+                t = model.cycle_time(threads)
+                assert math.isfinite(t) and t > 0.0, (
+                    tiles,
+                    limit,
+                    threads,
+                    t,
+                )
+            seen += 1
+        assert seen == 80  # the paper's full 2-D space
+
+    def test_finite_positive_over_whole_3d_space(self):
+        pipe = build_poisson_cycle(3, 16, OPTS)
+        base = polymg_opt_plus()
+        seen = 0
+        for cfg, tiles, limit in config_space(base, 3):
+            model = PipelineCostModel(
+                pipe.compile(cfg), PAPER_MACHINE
+            )
+            t = model.cycle_time(8)
+            assert math.isfinite(t) and t > 0.0, (tiles, limit, t)
+            seen += 1
+        assert seen == 135  # the paper's full 3-D space

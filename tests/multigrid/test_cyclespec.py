@@ -1,0 +1,227 @@
+"""CycleSpec: the per-level cycle form and its flat-options parity.
+
+The PR-10 contract: ``CycleSpec.from_options(opts)`` builds the *same*
+stage DAG and the *same* iterate as the flat ``MultigridOptions`` it
+came from, and arbitrary heterogeneous specs lower through the
+existing DSL so every execution tier picks them up unchanged —
+fuzz-asserted across tiers below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.native import discover_compiler
+from repro.backend.registry import TIERS
+from repro.cache import spec_fingerprint
+from repro.compiler import compile_pipeline
+from repro.multigrid import (
+    CycleSpec,
+    LevelSpec,
+    MultigridOptions,
+    as_cycle_spec,
+    build_poisson_cycle,
+    solve,
+)
+from repro.variants import polymg_opt_plus
+
+from ..conftest import make_rhs
+
+HAVE_CC = discover_compiler() is not None
+TILES = {2: (8, 16), 3: (4, 8, 8)}
+
+
+def _het_spec() -> CycleSpec:
+    """A cycle no flat options tuple can express: per-level smoothing,
+    weights, and a mixed V/W branching schedule."""
+    return CycleSpec(
+        (
+            LevelSpec(pre=6, post=0, omega=0.9),
+            LevelSpec(pre=1, post=2, omega=1.0),
+            LevelSpec(pre=2, post=1, omega=0.85, branch=2),
+            LevelSpec(pre=1, post=1, omega=0.8),
+        )
+    )
+
+
+class TestNormalization:
+    def test_as_cycle_spec_is_identity_on_specs(self):
+        spec = _het_spec()
+        assert as_cycle_spec(spec) is spec
+
+    def test_from_options_shape(self):
+        opts = MultigridOptions(cycle="W", n1=3, n2=5, n3=1, levels=4)
+        spec = CycleSpec.from_options(opts)
+        assert spec.levels == 4
+        assert spec.level(0) == LevelSpec(5, 0, 0.8, 1)
+        # W convention: the level directly above the coarsest visits
+        # it once; all higher levels branch twice
+        assert spec.level(1).branch == 1
+        assert spec.level(2).branch == 2
+        assert spec.level(3).branch == 2
+
+    def test_dead_genes_do_not_split_fingerprints(self):
+        a = CycleSpec(
+            (LevelSpec(4, 0, 0.8, 1), LevelSpec(2, 2, 0.8, 1))
+        )
+        # coarsest post/branch and level-1 branch are behaviourally
+        # inert; canonicalization maps them onto the same fingerprint
+        b = CycleSpec(
+            (LevelSpec(4, 7, 0.8, 3), LevelSpec(2, 2, 0.8, 2))
+        )
+        assert a.fingerprint() == b.fingerprint()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CycleSpec((LevelSpec(4),))  # one level is not a hierarchy
+        with pytest.raises(ValueError):
+            LevelSpec(pre=-1)
+        with pytest.raises(ValueError):
+            LevelSpec(branch=0)
+        with pytest.raises(ValueError):
+            LevelSpec(omega=float("nan"))
+
+    def test_dict_roundtrip(self):
+        spec = _het_spec()
+        again = CycleSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_smoothing_steps_counts_visit_multiplicity(self):
+        v = CycleSpec.from_options(
+            MultigridOptions(cycle="V", n1=1, n2=1, n3=1, levels=3)
+        )
+        w = CycleSpec.from_options(
+            MultigridOptions(cycle="W", n1=1, n2=1, n3=1, levels=3)
+        )
+        assert v.smoothing_steps() == 1 + 2 + 2
+        # the W cycle visits level 1 twice (branch=2 at level 2)
+        assert w.smoothing_steps() == 2 * 1 + 2 * 2 + 2
+
+    def test_remediation_hooks_match_flat_form(self):
+        opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+        spec = CycleSpec.from_options(opts)
+        assert spec.bumped(2) == CycleSpec.from_options(opts.bumped(2))
+        assert spec.widened() == CycleSpec.from_options(opts.widened())
+        # already-maximal widening declines on both forms
+        assert CycleSpec.from_options(opts.widened()).widened() is None
+        assert opts.widened().widened() is None
+
+
+class TestFlatParity:
+    @pytest.mark.parametrize("cycle", ["V", "W"])
+    def test_dag_fingerprints_match(self, cycle):
+        opts = MultigridOptions(cycle=cycle, levels=3)
+        a = build_poisson_cycle(2, 16, opts)
+        b = build_poisson_cycle(2, 16, CycleSpec.from_options(opts))
+        assert spec_fingerprint([a.output]) == spec_fingerprint(
+            [b.output]
+        )
+
+    @pytest.mark.parametrize("cycle", ["V", "W"])
+    def test_reference_solver_bitwise(self, cycle, rng):
+        opts = MultigridOptions(cycle=cycle, levels=3)
+        f = make_rhs(rng, 2, 16)
+        a = solve(f, opts, cycles=3)
+        b = solve(f, CycleSpec.from_options(opts), cycles=3)
+        assert np.array_equal(a.u, b.u)
+        assert a.residual_norms == b.residual_norms
+
+
+class TestHeterogeneousLowering:
+    def test_compiled_matches_reference(self, rng):
+        spec = _het_spec()
+        pipe = build_poisson_cycle(2, 32, spec)
+        f = make_rhs(rng, 2, 32)
+        u0 = np.zeros_like(f)
+        cfg = polymg_opt_plus(tile_sizes=dict(TILES))
+        compiled = pipe.compile(cfg)
+        got = compiled.execute(pipe.make_inputs(u0, f))[
+            pipe.output.name
+        ]
+        want = solve(f, spec, cycles=1).u
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-11)
+
+    def test_pipeline_name_carries_spec_hash(self):
+        spec = _het_spec()
+        pipe = build_poisson_cycle(2, 32, spec)
+        assert spec.short_hash() in pipe.name
+
+
+def _random_spec(rng: np.random.Generator, max_levels: int) -> CycleSpec:
+    levels = int(rng.integers(2, max_levels + 1))
+    omegas = (0.7, 0.8, 0.9, 1.0)
+    specs = [
+        LevelSpec(
+            pre=int(rng.integers(1, 5)),
+            post=0,
+            omega=float(rng.choice(omegas)),
+        )
+    ]
+    for _ in range(levels - 1):
+        specs.append(
+            LevelSpec(
+                pre=int(rng.integers(0, 4)),
+                post=int(rng.integers(0, 4)),
+                omega=float(rng.choice(omegas)),
+                branch=int(rng.choice((1, 1, 2))),
+            )
+        )
+    return CycleSpec(tuple(specs))
+
+
+class TestCrossTierFuzz:
+    """Random CycleSpecs execute identically on every registered tier
+    (capability-dispatched, like the PR-7 parity net): plan-walking
+    tiers bitwise against the interpreter, JIT tiers within tight
+    tolerances."""
+
+    @pytest.mark.parametrize("tier_name", TIERS.names())
+    @pytest.mark.parametrize("ndim,n", [(2, 16), (3, 8)])
+    def test_fuzz_cyclespec_parity(self, tier_name, ndim, n):
+        tier = TIERS.resolve(tier_name)
+        if not tier.config_selectable:
+            pytest.skip("tier is not selectable as a config backend")
+        if tier.jit_build and not HAVE_CC:
+            pytest.skip("no C toolchain on PATH (cc/gcc/clang)")
+        rng = np.random.default_rng(0xC1C7E)
+        for trial in range(3):
+            spec = _random_spec(rng, max_levels=3)
+            pipe = build_poisson_cycle(ndim, n, spec)
+            f = make_rhs(rng, ndim, n)
+            inputs = pipe.make_inputs(np.zeros_like(f), f)
+            ref_cfg = polymg_opt_plus(
+                tile_sizes=dict(TILES), backend="interpreted"
+            )
+            reference = compile_pipeline(
+                pipe.output,
+                pipe.params,
+                ref_cfg,
+                name=pipe.name,
+                cache=False,
+            )
+            expected = reference.execute(dict(inputs))[
+                pipe.output.name
+            ]
+            cfg = polymg_opt_plus(
+                tile_sizes=dict(TILES), backend=tier_name
+            )
+            compiled = compile_pipeline(
+                pipe.output,
+                pipe.params,
+                cfg,
+                name=pipe.name,
+                cache=False,
+            )
+            got = compiled.execute(dict(inputs))[pipe.output.name]
+            if tier.jit_build:
+                np.testing.assert_allclose(
+                    got, expected, rtol=1e-9, atol=1e-11
+                )
+            else:
+                assert np.array_equal(got, expected), (
+                    f"{tier_name} diverged from the interpreter on "
+                    f"fuzz trial {trial}: {spec.label()}"
+                )

@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.config import PolyMgConfig
+from repro.errors import TrialFailure
 from repro.model import PAPER_MACHINE
 from repro.multigrid import MultigridOptions, build_poisson_cycle
 from repro.tuning import (
+    TuneMemo,
     autotune_measured,
     autotune_model,
     config_space,
@@ -190,3 +192,105 @@ class TestAutotune:
         )
         assert warm.cache_hit_count == len(warm.points) == 2
         assert warm.best.score == pytest.approx(cold.best.score)
+
+
+class TestTuneMemo:
+    def _pipe(self):
+        opts = MultigridOptions(cycle="V", n1=2, n2=2, n3=2, levels=3)
+        return build_poisson_cycle(2, 32, opts)
+
+    def _shrink(self, monkeypatch):
+        import repro.tuning.autotuner as at
+
+        monkeypatch.setattr(at, "GROUP_LIMITS", (4,))
+        monkeypatch.setattr(
+            at, "tile_space", lambda ndim: [(8, 16), (16, 32)]
+        )
+
+    def test_shared_memo_dedupes_repeated_sweeps(self, monkeypatch):
+        self._shrink(monkeypatch)
+        pipe = self._pipe()
+        memo = TuneMemo()
+        cold = autotune_model(
+            pipe,
+            polymg_opt_plus(),
+            PAPER_MACHINE,
+            threads=24,
+            cycles=2,
+            memo=memo,
+        )
+        assert cold.memo_hits == 0
+        assert len(memo) == 2
+        warm = autotune_model(
+            pipe,
+            polymg_opt_plus(),
+            PAPER_MACHINE,
+            threads=24,
+            cycles=2,
+            memo=memo,
+        )
+        # every point served from the memo, same winner, no re-scoring
+        assert warm.memo_hits == len(warm.points) == 2
+        assert memo.hits == 2
+        assert warm.best.score == cold.best.score
+        assert warm.best.fingerprint() == cold.best.fingerprint()
+
+    def test_memo_is_mode_keyed(self, monkeypatch):
+        """Model scores and different thread counts must not alias."""
+        self._shrink(monkeypatch)
+        pipe = self._pipe()
+        memo = TuneMemo()
+        autotune_model(
+            pipe, polymg_opt_plus(), PAPER_MACHINE,
+            threads=24, cycles=2, memo=memo,
+        )
+        other = autotune_model(
+            pipe, polymg_opt_plus(), PAPER_MACHINE,
+            threads=4, cycles=2, memo=memo,
+        )
+        assert other.memo_hits == 0
+        assert len(memo) == 4
+
+    def test_memoized_failures_stay_quarantined(self, monkeypatch):
+        """A configuration that failed is latched: the second sweep
+        re-quarantines it from the memo without re-running the trial
+        (the breakers' don't-retry-known-bad semantics)."""
+        from repro.tuning.autotuner import _tune
+
+        self._shrink(monkeypatch)
+        pipe = self._pipe()
+        memo = TuneMemo()
+        calls = []
+
+        def score(cfg):
+            calls.append(cfg.tile_sizes[2])
+            if cfg.tile_sizes[2] == (8, 16):
+                raise RuntimeError("synthetic trial fault")
+            return 1.0
+
+        first = _tune(
+            pipe, polymg_opt_plus(), score, memo=memo, mode="t"
+        )
+        assert len(first.failed) == 1 and len(first.points) == 1
+        calls_after_first = len(calls)
+        second = _tune(
+            pipe, polymg_opt_plus(), score, memo=memo, mode="t"
+        )
+        assert len(calls) == calls_after_first  # nothing re-ran
+        assert second.memo_hits == 2
+        assert len(second.failed) == 1
+        assert isinstance(second.failed[0], TrialFailure)
+
+    def test_tie_break_is_deterministic_by_fingerprint(self, monkeypatch):
+        """Equal scores resolve by the stable config fingerprint, not
+        dict/insertion order."""
+        from repro.tuning.autotuner import _tune
+
+        self._shrink(monkeypatch)
+        pipe = self._pipe()
+        res = _tune(pipe, polymg_opt_plus(), lambda cfg: 1.0)
+        fingerprints = sorted(p.fingerprint() for p in res.points)
+        assert res.best.fingerprint() == fingerprints[0]
+        # and the winner is identical on a re-sweep over the same space
+        again = _tune(pipe, polymg_opt_plus(), lambda cfg: 1.0)
+        assert again.best.fingerprint() == res.best.fingerprint()

@@ -1,0 +1,244 @@
+"""The evolutionary cycle-structure search (PR 10 tentpole).
+
+Pins the contracts the CI smoke job and the bench harness rely on:
+seeded reproducibility (same seed -> same winner, twice), quarantine
+(pathological cycles become recorded failures, never crashes), memo
+dedup (revisited genomes are never re-evaluated), Pareto-front
+construction, and the ladder-wrapped measured re-rank.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TrialFailure
+from repro.resilience.incidents import IncidentLog
+from repro.resilience.ladder import DegradationLadder
+from repro.tuning import (
+    OMEGA_GRID,
+    ConvergenceEvaluator,
+    CycleSearch,
+    EvolveSettings,
+    Genome,
+    baseline_options,
+    pareto_front,
+)
+from repro.tuning.evolve import Evaluation, _max_feasible_levels
+from repro.multigrid import CycleSpec, LevelSpec
+
+SMALL = EvolveSettings(
+    population=6, generations=2, seed=11, pareto_finalists=2
+)
+
+
+def _search(ndim=2, n=32, settings=SMALL, **kw) -> CycleSearch:
+    return CycleSearch(
+        ndim,
+        n,
+        settings=settings,
+        evaluator=ConvergenceEvaluator(ndim, probe_cycles=5),
+        **kw,
+    )
+
+
+def _no_smoothing_genome(search: CycleSearch) -> Genome:
+    spec = CycleSpec(
+        (
+            LevelSpec(pre=0, post=0, omega=0.8),
+            LevelSpec(pre=0, post=0, omega=0.8),
+            LevelSpec(pre=0, post=0, omega=0.8),
+        )
+    )
+    g = search.baseline_genome()
+    return Genome(
+        spec=spec,
+        tile_shape=g.tile_shape,
+        group_limit=g.group_limit,
+    )
+
+
+class TestConvergenceEvaluator:
+    def test_baseline_estimate_is_sane(self):
+        ev = ConvergenceEvaluator(2, probe_cycles=6)
+        est = ev.evaluate(baseline_options(levels=4))
+        assert not est.diverged
+        assert 0.0 < est.rho < 1.0
+        assert est.cycles_to_tol >= 1.0
+        assert est.predicted_cycles() >= 1
+
+    def test_no_smoothing_is_flagged_not_ranked(self):
+        ev = ConvergenceEvaluator(2, probe_cycles=5)
+        spec = CycleSpec(
+            (LevelSpec(0, 0, 0.8), LevelSpec(0, 0, 0.8))
+        )
+        est = ev.evaluate(spec)
+        assert est.diverged
+        assert not math.isfinite(est.cycles_to_tol)
+        with pytest.raises(ValueError):
+            est.predicted_cycles()
+
+    def test_memoized_by_fingerprint(self):
+        ev = ConvergenceEvaluator(2, probe_cycles=5)
+        opts = baseline_options(levels=3)
+        a = ev.evaluate(opts)
+        b = ev.evaluate(CycleSpec.from_options(opts))
+        assert a is b  # flat and per-level forms share one probe
+        assert ev.probes == 1 and ev.memo_hits == 1
+
+    def test_deterministic_across_instances(self):
+        a = ConvergenceEvaluator(2, probe_cycles=5)
+        b = ConvergenceEvaluator(2, probe_cycles=5)
+        opts = baseline_options(levels=3)
+        assert a.evaluate(opts) == b.evaluate(opts)
+
+    def test_deep_hierarchy_grows_the_proxy(self):
+        ev = ConvergenceEvaluator(2)
+        assert ev.proxy_n(4) == 32
+        assert ev.proxy_n(6) == 64  # coarsest interior stays >= 2
+
+
+class TestSeededReproducibility:
+    def test_same_seed_same_winner_twice(self):
+        first = _search().run()
+        second = _search().run()
+        assert (
+            first.best.genome.fingerprint()
+            == second.best.genome.fingerprint()
+        )
+        assert (
+            first.winning_genome().short_hash()
+            == second.winning_genome().short_hash()
+        )
+        assert first.history == second.history
+        assert first.best.predicted_time == second.best.predicted_time
+
+    def test_different_seed_perturbs_the_search(self):
+        a = _search().run()
+        b = _search(
+            settings=EvolveSettings(
+                population=6, generations=2, seed=12, pareto_finalists=2
+            )
+        ).run()
+        # histories diverge (same gen-0 incumbents, different offspring)
+        assert a.history != b.history
+
+    def test_result_serializes_for_replay(self):
+        res = _search().run()
+        d = res.to_dict()
+        assert d["seed"] == SMALL.seed
+        replayed = Genome.from_dict(d["winner"])
+        assert replayed.fingerprint() == res.winning_genome().fingerprint()
+
+
+class TestQuarantine:
+    def test_pathological_genome_is_a_recorded_failure(self):
+        log = IncidentLog()
+        search = _search(log=log)
+        bad = _no_smoothing_genome(search)
+        assert search._evaluate_quarantined(bad) is None
+        assert len(search.failed) == 1
+        assert isinstance(search.failed[0], TrialFailure)
+        assert log.count("evolve-quarantine") == 1
+
+    def test_failure_is_latched_breaker_style(self):
+        search = _search()
+        bad = _no_smoothing_genome(search)
+        search._evaluate_quarantined(bad)
+        probes_after_first = search.evaluations
+        # revisiting the same genome: memo hit, no re-evaluation, no
+        # duplicate failure record
+        assert search._evaluate_quarantined(bad) is None
+        assert search.evaluations == probes_after_first
+        assert search.memo_hits == 1
+        assert len(search.failed) == 1
+
+    def test_search_survives_pathological_population(self):
+        """A population seeded with quarantine-bound genomes still
+        completes (the incumbent carries the generation)."""
+        search = _search()
+        res = search.run()
+        assert res.evaluations > 0
+        # whatever was quarantined never crashed the run
+        assert all(isinstance(f, TrialFailure) for f in res.failed)
+
+
+class TestSearchQuality:
+    def test_winner_never_loses_to_the_incumbent(self):
+        search = _search()
+        res = search.run()
+        incumbent = search._evaluate_quarantined(
+            search.baseline_genome()
+        )
+        assert incumbent is not None
+        assert res.best.predicted_time <= incumbent.predicted_time
+
+    def test_memo_dedupes_across_generations(self):
+        res = _search().run()
+        # elites are re-scored every generation: without the memo that
+        # would be a re-probe; with it, it's a hit
+        assert res.memo_hits > 0
+
+    def test_max_feasible_levels(self):
+        assert _max_feasible_levels(64) == 6
+        assert _max_feasible_levels(48) == 5
+        assert _max_feasible_levels(6) == 2
+
+
+class TestParetoFront:
+    def _ev(self, ct, cyc, tag):
+        spec = CycleSpec(
+            (LevelSpec(1, 0, 0.8), LevelSpec(tag, 1, 0.8))
+        )
+        g = Genome(spec=spec, tile_shape=(8, 64), group_limit=4)
+        return Evaluation(
+            genome=g,
+            rho=0.5,
+            cycles_to_tol=cyc,
+            cycle_time=ct,
+            predicted_time=ct * cyc,
+        )
+
+    def test_dominated_points_are_dropped(self):
+        fast_cheap = self._ev(1.0, 10.0, 1)
+        dominated = self._ev(2.0, 20.0, 2)
+        tradeoff = self._ev(0.5, 30.0, 3)
+        front = pareto_front([fast_cheap, dominated, tradeoff])
+        assert dominated not in front
+        assert fast_cheap in front and tradeoff in front
+
+    def test_front_sorted_by_predicted_time(self):
+        evs = [self._ev(1.0, 10.0, 1), self._ev(0.5, 30.0, 2)]
+        front = pareto_front(evs)
+        times = [e.predicted_time for e in front]
+        assert times == sorted(times)
+
+
+class TestMeasuredRerank:
+    def test_rerank_through_planned_rungs(self):
+        """The re-rank walks a real DegradationLadder; restricting it
+        to planned-tier rungs keeps the test JIT-free."""
+        log = IncidentLog()
+        search = _search(n=32, log=log)
+        res = search.run()
+        ladder = DegradationLadder(
+            variants=("polymg-opt+", "polymg-naive"), log=log
+        )
+        res = search.rerank_measured(res, repeats=1, ladder=ladder)
+        assert res.measured, "no finalist could be measured"
+        assert res.best_measured is res.measured[0]
+        for m in res.measured:
+            assert m.variant in ("polymg-opt+", "polymg-naive")
+            assert m.time_to_solution > 0.0
+            assert m.final_residual <= search.settings.tol_reduction * 10
+            assert m.cycles >= 1
+        # the winner is now the measured one
+        assert (
+            res.winning_genome().fingerprint()
+            == res.best_measured.genome.fingerprint()
+        )
+
+    def test_omega_grid_is_discrete_and_bounded(self):
+        assert OMEGA_GRID[0] == 0.6 and OMEGA_GRID[-1] == 1.2
+        assert len(set(OMEGA_GRID)) == len(OMEGA_GRID)
